@@ -1,0 +1,75 @@
+"""E1 — Lemma 2.1 / Corollary 3.9(a): |D| <= max(1, floor(n / (k+1))).
+
+Regenerates the size-bound table across tree and graph families and k.
+"""
+
+import pytest
+
+from repro.core import fastdom_graph, fastdom_tree
+from repro.graphs import (
+    RootedTree,
+    assign_unique_weights,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+from repro.verify import is_k_dominating, meets_size_bound
+
+from .harness import emit, run_once
+
+TREES = [
+    ("path-256", path_graph(256)),
+    ("star-256", star_graph(256)),
+    ("random-tree-512", random_tree(512, seed=1)),
+]
+GRAPHS = [
+    ("grid-16x16", assign_unique_weights(grid_graph(16, 16), seed=2)),
+    ("torus-12x12", assign_unique_weights(torus_graph(12, 12), seed=3)),
+    (
+        "sparse-random-300",
+        assign_unique_weights(random_connected_graph(300, 0.01, seed=4), seed=5),
+    ),
+]
+KS = (1, 2, 4, 8, 16)
+
+
+def sweep():
+    rows = []
+    for name, g in TREES:
+        rt = RootedTree.from_graph(g, 0)
+        for k in KS:
+            if g.num_nodes < k + 1:
+                continue
+            d, _p, _s = fastdom_tree(g, 0, rt.parent, k)
+            bound = max(1, g.num_nodes // (k + 1))
+            assert meets_size_bound(g.num_nodes, k, len(d))
+            assert is_k_dominating(g, d, k)
+            rows.append(
+                [name, g.num_nodes, k, len(d), bound, f"{len(d) / bound:.2f}"]
+            )
+    for name, g in GRAPHS:
+        for k in KS:
+            if g.num_nodes < k + 1:
+                continue
+            d, _p, _s = fastdom_graph(g, k)
+            bound = max(1, g.num_nodes // (k + 1))
+            assert meets_size_bound(g.num_nodes, k, len(d))
+            assert is_k_dominating(g, d, k)
+            rows.append(
+                [name, g.num_nodes, k, len(d), bound, f"{len(d) / bound:.2f}"]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e01")
+def test_e01_size_bound(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E1",
+        "k-dominating set size vs the Lemma 2.1 bound",
+        ["workload", "n", "k", "|D|", "bound", "|D|/bound"],
+        rows,
+    )

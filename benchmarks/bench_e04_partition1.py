@@ -1,0 +1,52 @@
+"""E4 — Lemma 3.4: DOM_Partition_1(k) gives |C| >= k+1, Rad <= 4k^2 in
+O(k^2 log* n) time."""
+
+import pytest
+
+from repro.core import dom_partition_1
+from repro.graphs import RootedTree, path_graph, random_tree
+from repro.verify import check_partition
+
+from .harness import emit, run_once
+
+TREES = [
+    ("random-tree-600", random_tree(600, seed=1)),
+    ("path-600", path_graph(600)),
+]
+KS = (1, 2, 4, 8, 16)
+
+
+def sweep():
+    rows = []
+    for name, g in TREES:
+        rt = RootedTree.from_graph(g, 0)
+        for k in KS:
+            partition, staged = dom_partition_1(g, 0, rt.parent, k)
+            report = check_partition(
+                g, partition, min_cluster_size=k + 1,
+                max_cluster_radius=max(4 * k * k, 1),
+            )
+            assert report, report.problems
+            rows.append(
+                [
+                    name,
+                    k,
+                    partition.num_clusters,
+                    report.min_size,
+                    report.max_radius,
+                    max(4 * k * k, 1),
+                    staged.total_rounds,
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e04")
+def test_e04_partition1(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E4",
+        "DOM_Partition_1: cluster size/radius vs Lemma 3.4 bounds",
+        ["workload", "k", "clusters", "min|C|", "maxRad", "4k^2", "rounds"],
+        rows,
+    )

@@ -1,0 +1,55 @@
+"""E5 — Lemmas 3.5/3.6: DOM_Partition_2(k) gives |C| >= k+1,
+Rad <= 5k+2 in O(k log k log* n) time."""
+
+import pytest
+
+from repro.core import dom_partition_2
+from repro.graphs import RootedTree, broom_tree, path_graph, random_tree
+from repro.verify import check_partition
+
+from .harness import emit, run_once
+
+TREES = [
+    ("random-tree-600", random_tree(600, seed=1)),
+    ("path-600", path_graph(600)),
+    ("broom-300+300", broom_tree(300, 300)),
+]
+KS = (1, 2, 4, 8, 16, 32)
+
+
+def sweep():
+    rows = []
+    for name, g in TREES:
+        rt = RootedTree.from_graph(g, 0)
+        for k in KS:
+            if g.num_nodes < k + 1:
+                continue
+            partition, staged = dom_partition_2(g, 0, rt.parent, k)
+            report = check_partition(
+                g, partition, min_cluster_size=k + 1,
+                max_cluster_radius=5 * k + 2,
+            )
+            assert report, report.problems
+            rows.append(
+                [
+                    name,
+                    k,
+                    partition.num_clusters,
+                    report.min_size,
+                    report.max_radius,
+                    5 * k + 2,
+                    staged.total_rounds,
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_partition2(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E5",
+        "DOM_Partition_2: cluster size/radius vs Lemma 3.6 bounds",
+        ["workload", "k", "clusters", "min|C|", "maxRad", "5k+2", "rounds"],
+        rows,
+    )

@@ -1,0 +1,92 @@
+"""E6 — Lemmas 3.7/3.8: the fast DOM_Partition(k) keeps the 5k+2 radius
+and k+1 size guarantees in O(k log* n) time.
+
+The second table isolates the Lemma 3.8 shape: for fixed k the rounds
+are flat in n; for fixed n they grow linearly in k (not k log k).
+"""
+
+import pytest
+
+from repro.analysis import fit_exponent
+from repro.core import dom_partition
+from repro.graphs import RootedTree, path_graph, random_tree
+from repro.verify import check_partition
+
+from .harness import emit, note, run_once
+
+KS = (1, 2, 4, 8, 16, 32)
+
+
+def guarantee_sweep():
+    rows = []
+    for name, g in [
+        ("random-tree-600", random_tree(600, seed=1)),
+        ("path-600", path_graph(600)),
+    ]:
+        rt = RootedTree.from_graph(g, 0)
+        for k in KS:
+            partition, staged = dom_partition(g, 0, rt.parent, k)
+            report = check_partition(
+                g, partition, min_cluster_size=k + 1,
+                max_cluster_radius=5 * k + 2,
+            )
+            assert report, report.problems
+            rows.append(
+                [
+                    name,
+                    k,
+                    partition.num_clusters,
+                    report.min_size,
+                    report.max_radius,
+                    5 * k + 2,
+                    staged.total_rounds,
+                ]
+            )
+    return rows
+
+
+def scaling_sweep():
+    rows = []
+    # rounds vs k at fixed n
+    g = path_graph(4096)
+    rt = RootedTree.from_graph(g, 0)
+    k_points = []
+    for k in (4, 8, 16, 32, 64):
+        _p, staged = dom_partition(g, 0, rt.parent, k)
+        k_points.append((k, staged.total_rounds))
+        rows.append(["path-4096 (k sweep)", k, 4096, staged.total_rounds])
+    exponent = fit_exponent(k_points)
+    note("E6", f"rounds-vs-k growth exponent {exponent:.2f} (claim: ~1.0)")
+    assert exponent <= 1.45
+    # rounds vs n at fixed k
+    n_points = []
+    for n in (512, 2048, 8192):
+        g = random_tree(n, seed=n)
+        rt = RootedTree.from_graph(g, 0)
+        _p, staged = dom_partition(g, 0, rt.parent, 8)
+        n_points.append((n, staged.total_rounds))
+        rows.append(["random-tree (n sweep, k=8)", 8, n, staged.total_rounds])
+    assert n_points[-1][1] <= n_points[0][1] * 1.4 + 20
+    return rows
+
+
+@pytest.mark.benchmark(group="e06")
+def test_e06_partition_fast_guarantees(benchmark):
+    rows = run_once(benchmark, guarantee_sweep)
+    emit(
+        "E6",
+        "fast DOM_Partition: cluster size/radius vs Lemma 3.7 bounds",
+        ["workload", "k", "clusters", "min|C|", "maxRad", "5k+2", "rounds"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e06")
+def test_e06_partition_fast_scaling(benchmark):
+    rows = run_once(benchmark, scaling_sweep)
+    emit(
+        "E6",
+        "fast DOM_Partition: O(k log* n) round scaling (Lemma 3.8)",
+        ["sweep", "k", "n", "rounds"],
+        rows,
+    )

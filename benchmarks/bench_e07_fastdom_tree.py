@@ -1,0 +1,77 @@
+"""E7 — Theorem 3.2: FastDOM_T computes a k-dominating set of size at
+most n/(k+1) on trees in O(k log* n) rounds."""
+
+import pytest
+
+from repro.analysis import log_star
+from repro.core import fastdom_tree
+from repro.graphs import RootedTree, broom_tree, path_graph, random_tree, star_graph
+from repro.verify import is_k_dominating, meets_size_bound
+
+from .harness import emit, run_once
+
+TREES = [
+    ("path-512", path_graph(512)),
+    ("star-512", star_graph(512)),
+    ("random-tree-512", random_tree(512, seed=3)),
+    ("broom-256+256", broom_tree(256, 256)),
+]
+KS = (1, 2, 4, 8, 16)
+
+
+def sweep():
+    rows = []
+    for name, g in TREES:
+        rt = RootedTree.from_graph(g, 0)
+        n = g.num_nodes
+        for k in KS:
+            dominators, partition, staged = fastdom_tree(g, 0, rt.parent, k)
+            assert meets_size_bound(n, k, len(dominators))
+            assert is_k_dominating(g, dominators, k)
+            assert partition.max_radius_in_graph(g) <= k
+            rows.append(
+                [
+                    name,
+                    k,
+                    len(dominators),
+                    max(1, n // (k + 1)),
+                    staged.total_rounds,
+                ]
+            )
+    return rows
+
+
+def scaling():
+    rows = []
+    k = 8
+    points = []
+    for n in (256, 1024, 4096):
+        g = random_tree(n, seed=n)
+        rt = RootedTree.from_graph(g, 0)
+        _d, _p, staged = fastdom_tree(g, 0, rt.parent, k)
+        points.append((n, staged.total_rounds))
+        rows.append([n, log_star(n), k, staged.total_rounds])
+    assert points[-1][1] <= points[0][1] * 1.4 + 20
+    return rows
+
+
+@pytest.mark.benchmark(group="e07")
+def test_e07_fastdom_tree_guarantees(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E7",
+        "FastDOM_T size and rounds (Theorem 3.2)",
+        ["workload", "k", "|D|", "bound", "rounds"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e07")
+def test_e07_fastdom_tree_scaling(benchmark):
+    rows = run_once(benchmark, scaling)
+    emit(
+        "E7",
+        "FastDOM_T rounds flat in n for fixed k (O(k log* n))",
+        ["n", "log*(n)", "k", "rounds"],
+        rows,
+    )

@@ -1,0 +1,88 @@
+"""E8 — Lemmas 4.1–4.3: SimpleMST builds a (k+1, n) spanning forest of
+MST fragments in O(k) rounds (independent of n and Diam)."""
+
+import pytest
+
+from repro.core import simple_mst_forest
+from repro.graphs import (
+    assign_unique_weights,
+    grid_graph,
+    random_connected_graph,
+    torus_graph,
+)
+from repro.mst import kruskal_mst
+from repro.verify import check_spanning_forest
+
+from .harness import emit, note, run_once
+
+GRAPHS = [
+    ("grid-16x16", assign_unique_weights(grid_graph(16, 16), seed=1)),
+    ("torus-12x12", assign_unique_weights(torus_graph(12, 12), seed=2)),
+    (
+        "sparse-400",
+        assign_unique_weights(random_connected_graph(400, 0.008, seed=3), seed=4),
+    ),
+]
+KS = (1, 2, 4, 8, 16)
+
+
+def sweep():
+    rows = []
+    for name, g in GRAPHS:
+        mst = kruskal_mst(g)
+        for k in KS:
+            parents, fragments, net = simple_mst_forest(g, k)
+            report = check_spanning_forest(g, fragments, sigma=k + 1)
+            assert report, report.problems
+            for v, p in parents.items():
+                if p is not None:
+                    assert (min(v, p), max(v, p)) in mst
+            rows.append(
+                [
+                    name,
+                    k,
+                    len(fragments),
+                    max(1, g.num_nodes // (k + 1)),
+                    report.min_size,
+                    net.metrics.rounds,
+                    12 * (k + 1),
+                ]
+            )
+    return rows
+
+
+def n_independence():
+    rows = []
+    k = 8
+    for n, seed in ((100, 1), (400, 2), (1600, 3)):
+        g = assign_unique_weights(
+            random_connected_graph(n, 4.0 / n, seed=seed), seed=seed + 10
+        )
+        _p, fragments, net = simple_mst_forest(g, k)
+        rows.append([n, k, len(fragments), net.metrics.rounds])
+    # The schedule depends only on k: identical round counts.
+    assert len({row[3] for row in rows}) == 1
+    return rows
+
+
+@pytest.mark.benchmark(group="e08")
+def test_e08_simplemst_guarantees(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E8",
+        "SimpleMST (k+1, n) forest of MST fragments in O(k) rounds",
+        ["workload", "k", "fragments", "max frags", "min size", "rounds",
+         "~12(k+1)"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e08")
+def test_e08_simplemst_n_independent(benchmark):
+    rows = run_once(benchmark, n_independence)
+    emit(
+        "E8",
+        "SimpleMST rounds independent of n (Lemma 4.1)",
+        ["n", "k", "fragments", "rounds"],
+        rows,
+    )

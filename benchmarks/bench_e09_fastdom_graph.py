@@ -1,0 +1,62 @@
+"""E9 — Theorem 4.4: FastDOM_G on general graphs — size bound, radius-k
+partition, O(k log* n) rounds with the per-stage breakdown."""
+
+import pytest
+
+from repro.core import fastdom_graph
+from repro.graphs import (
+    assign_unique_weights,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    torus_graph,
+)
+from repro.verify import is_k_dominating, meets_size_bound
+
+from .harness import emit, run_once
+
+GRAPHS = [
+    ("grid-16x16", assign_unique_weights(grid_graph(16, 16), seed=1)),
+    ("torus-10x10", assign_unique_weights(torus_graph(10, 10), seed=2)),
+    ("ring-256", assign_unique_weights(cycle_graph(256), seed=3)),
+    (
+        "dense-200",
+        assign_unique_weights(random_connected_graph(200, 0.08, seed=4), seed=5),
+    ),
+]
+KS = (1, 2, 4, 8)
+
+
+def sweep():
+    rows = []
+    for name, g in GRAPHS:
+        n = g.num_nodes
+        for k in KS:
+            dominators, partition, staged = fastdom_graph(g, k)
+            assert meets_size_bound(n, k, len(dominators))
+            assert is_k_dominating(g, dominators, k)
+            breakdown = staged.breakdown()
+            rows.append(
+                [
+                    name,
+                    k,
+                    len(dominators),
+                    max(1, n // (k + 1)),
+                    breakdown.get("simple-mst", 0),
+                    breakdown.get("fastdom-per-fragment", 0),
+                    staged.total_rounds,
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_fastdom_graph(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E9",
+        "FastDOM_G on general graphs (Theorem 4.4)",
+        ["workload", "k", "|D|", "bound", "simpleMST", "per-fragment",
+         "total rounds"],
+        rows,
+    )

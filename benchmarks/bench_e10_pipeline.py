@@ -1,0 +1,103 @@
+"""E10 — §5.1 (Lemmas 5.1–5.5): Procedure Pipeline is fully pipelined
+(zero stalls / ordering violations), finishes in O(N + Diam) rounds, and
+produces the exact fragment-graph MST.  The ablation row disables the
+cycle elimination, showing the Θ(m + Diam) cost the red rule avoids.
+"""
+
+import pytest
+
+from repro.core import simple_mst_forest
+from repro.graphs import (
+    assign_unique_weights,
+    cycle_graph,
+    diameter,
+    grid_graph,
+    random_connected_graph,
+)
+from repro.mst import kruskal_mst, run_pipeline
+
+from .harness import emit, note, run_once
+
+GRAPHS = [
+    ("grid-14x14", assign_unique_weights(grid_graph(14, 14), seed=1)),
+    ("ring-200", assign_unique_weights(cycle_graph(200), seed=2)),
+    (
+        "dense-150",
+        assign_unique_weights(random_connected_graph(150, 0.15, seed=3), seed=4),
+    ),
+]
+
+
+def fragments_for(graph, k):
+    parents, fragments, _net = simple_mst_forest(graph, k)
+    fragment_of = {}
+    for fragment in fragments:
+        root = min(fragment, key=str)
+        for v in fragment:
+            fragment_of[v] = root
+    tree_edges = {
+        (min(v, p), max(v, p)) for v, p in parents.items() if p is not None
+    }
+    return fragment_of, tree_edges, len(fragments)
+
+
+def sweep():
+    rows = []
+    for name, g in GRAPHS:
+        d_g = diameter(g)
+        fragment_of, tree_edges, n_fragments = fragments_for(g, 7)
+        selected, staged, net = run_pipeline(g, fragment_of)
+        combined = tree_edges | {(min(a, b), max(a, b)) for a, b in selected}
+        assert combined == kruskal_mst(g)
+        stalls = sum(
+            o["pipelining_violations"] for o in net.outputs().values()
+        )
+        order = sum(o["order_violations"] for o in net.outputs().values())
+        assert stalls == 0 and order == 0
+        rows.append(
+            [
+                name,
+                n_fragments,
+                d_g,
+                staged.total_rounds,
+                6 * (n_fragments + d_g) + 30,
+                stalls,
+                order,
+            ]
+        )
+    return rows
+
+
+def ablation():
+    rows = []
+    g = assign_unique_weights(random_connected_graph(120, 0.3, seed=5), seed=6)
+    frag = {v: v for v in g.nodes}
+    _s, staged_red, _n = run_pipeline(g, frag)
+    _s2, staged_all, _n2 = run_pipeline(g, frag, eliminate_cycles=False)
+    rows.append(["red rule on (Θ(N + D))", g.num_edges, staged_red.total_rounds])
+    rows.append(["red rule off (Θ(m + D))", g.num_edges, staged_all.total_rounds])
+    assert staged_all.total_rounds > staged_red.total_rounds
+    return rows
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_pipeline(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E10",
+        "Pipeline: exact MST, zero stalls, O(N + Diam) rounds",
+        ["workload", "N frags", "Diam", "rounds", "~6(N+D)", "stalls",
+         "order viol."],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_red_rule_ablation(benchmark):
+    rows = run_once(benchmark, ablation)
+    emit(
+        "E10",
+        "cycle-elimination ablation (dense graph, singleton fragments)",
+        ["variant", "m", "rounds"],
+        rows,
+    )

@@ -1,0 +1,149 @@
+"""E11 — Theorem 5.6: Fast-MST runs in O(sqrt(n) log* n + Diam) rounds.
+
+The benchmark sweeps n on low-diameter random graphs and reports all
+four algorithms (Fast-MST, GHS, pipeline-only, flood-collect), fits the
+log-log growth exponents (expected ~0.5 for Fast-MST vs ~1.0 for the
+linear baselines) and extrapolates the crossover points.  Every run's
+output is checked against Kruskal.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import crossover_estimate, fit_exponent, log_star
+from repro.graphs import assign_unique_weights, diameter, random_connected_graph
+from repro.mst import (
+    fast_mst,
+    flood_collect_mst,
+    ghs_mst,
+    kruskal_mst,
+    pipeline_only_mst,
+)
+
+from .harness import emit, note, run_once
+
+SIZES = (64, 144, 256, 484)
+
+
+def make_graph(n, seed):
+    # ~6 average degree keeps the diameter small relative to n.
+    return assign_unique_weights(
+        random_connected_graph(n, 6.0 / n, seed=seed), seed=seed + 1
+    )
+
+
+def sweep():
+    rows = []
+    fast_points, ghs_points, pipe_points, flood_points = [], [], [], []
+    for i, n in enumerate(SIZES):
+        g = make_graph(n, seed=i)
+        want = kruskal_mst(g)
+        d_g = diameter(g)
+
+        fast_edges, fast_staged, diag = fast_mst(g)
+        assert fast_edges == want and diag["pipelining_violations"] == 0
+        ghs_edges, ghs_metrics = ghs_mst(g)
+        assert ghs_edges == want
+        pipe_edges, pipe_staged = pipeline_only_mst(g)
+        assert pipe_edges == want
+        flood_edges, flood_staged = flood_collect_mst(g)
+        assert flood_edges == want
+
+        claim = math.sqrt(n) * log_star(n) + d_g
+        fast_points.append((n, fast_staged.total_rounds))
+        ghs_points.append((n, ghs_metrics.rounds))
+        pipe_points.append((n, pipe_staged.total_rounds))
+        flood_points.append((n, flood_staged.total_rounds))
+        rows.append(
+            [
+                n,
+                g.num_edges,
+                d_g,
+                fast_staged.total_rounds,
+                f"{fast_staged.total_rounds / claim:.1f}",
+                ghs_metrics.rounds,
+                pipe_staged.total_rounds,
+                flood_staged.total_rounds,
+            ]
+        )
+
+    fast_exp = fit_exponent(fast_points)
+    ghs_exp = fit_exponent(ghs_points)
+    pipe_exp = fit_exponent(pipe_points)
+    flood_exp = fit_exponent(flood_points)
+    note(
+        "E11",
+        f"growth exponents: fast-mst {fast_exp:.2f} (claim ~0.5), "
+        f"ghs {ghs_exp:.2f} (~1), pipeline-only {pipe_exp:.2f} (~1), "
+        f"flood {flood_exp:.2f} (>=1)",
+    )
+    # Shape checks: Fast-MST grows strictly slower than the baselines.
+    assert fast_exp < ghs_exp - 0.2
+    assert fast_exp < pipe_exp - 0.15
+    # GHS already loses to Fast-MST within the measured range.
+    assert ghs_points[-1][1] > fast_points[-1][1]
+    crossover_pipe = crossover_estimate(fast_points, pipe_points)
+    note(
+        "E11",
+        f"extrapolated fast-mst vs pipeline-only crossover at n ~ "
+        f"{crossover_pipe:.0f} (constants of the partition stage dominate "
+        f"below that)",
+    )
+    return rows
+
+
+def regular_sweep():
+    """A second series on 4-regular expanders (diameter O(log n)), the
+    cleanest testbed for the sqrt(n) vs n separation; GHS omitted at the
+    largest size to keep the suite quick."""
+    from repro.graphs import random_regular_graph
+
+    rows = []
+    fast_points, pipe_points = [], []
+    for i, n in enumerate((64, 256, 576)):
+        g = assign_unique_weights(random_regular_graph(n, 4, seed=i), seed=i + 9)
+        want = kruskal_mst(g)
+        d_g = diameter(g)
+        fast_edges, fast_staged, diag = fast_mst(g)
+        assert fast_edges == want
+        pipe_edges, pipe_staged = pipeline_only_mst(g)
+        assert pipe_edges == want
+        fast_points.append((n, fast_staged.total_rounds))
+        pipe_points.append((n, pipe_staged.total_rounds))
+        rows.append(
+            [n, d_g, fast_staged.total_rounds, pipe_staged.total_rounds]
+        )
+    fast_exp = fit_exponent(fast_points)
+    pipe_exp = fit_exponent(pipe_points)
+    note(
+        "E11",
+        f"regular-graph exponents: fast-mst {fast_exp:.2f}, "
+        f"pipeline-only {pipe_exp:.2f}; crossover ~ "
+        f"{crossover_estimate(fast_points, pipe_points):.0f}",
+    )
+    assert fast_exp < pipe_exp - 0.15
+    return rows
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_fast_mst_vs_baselines(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E11",
+        "MST round counts: Fast-MST vs GHS vs pipeline-only vs flood",
+        ["n", "m", "Diam", "fast-mst", "fast/(sqrt(n)log*n+D)", "ghs",
+         "pipeline-only", "flood"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_regular_graph_series(benchmark):
+    rows = run_once(benchmark, regular_sweep)
+    emit(
+        "E11",
+        "Fast-MST vs pipeline-only on 4-regular expanders",
+        ["n", "Diam", "fast-mst", "pipeline-only"],
+        rows,
+    )

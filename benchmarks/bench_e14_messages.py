@@ -1,0 +1,87 @@
+"""E14 — communication cost (what §1.2 explicitly ignores).
+
+"We shall follow the common trend of stripping away unessential
+complications.  In particular, we ignore the communication cost of our
+algorithm (i.e., the number of messages it uses)."  This experiment
+quantifies that choice: total messages sent by the physical
+message-passing stages of each MST algorithm, and by FastDOM_G, across
+a size sweep.  (Fast-MST's contracted-tree bookkeeping exchanges are
+round-charged, not message-counted — see DESIGN.md §2; the dominant
+streams, SimpleMST + BFS + Pipeline, are counted exactly.)
+"""
+
+import pytest
+
+from repro.core import fastdom_graph
+from repro.graphs import assign_unique_weights, random_connected_graph
+from repro.mst import fast_mst, flood_collect_mst, ghs_mst, pipeline_only_mst
+
+from .harness import emit, run_once
+
+SIZES = (64, 144, 256)
+
+
+def make_graph(n, seed):
+    return assign_unique_weights(
+        random_connected_graph(n, 6.0 / n, seed=seed), seed=seed + 1
+    )
+
+
+def mst_sweep():
+    rows = []
+    for i, n in enumerate(SIZES):
+        g = make_graph(n, seed=i)
+        _e1, fast_staged, _d = fast_mst(g)
+        _e2, ghs_metrics = ghs_mst(g)
+        _e3, pipe_staged = pipeline_only_mst(g)
+        _e4, flood_staged = flood_collect_mst(g)
+        rows.append(
+            [
+                n,
+                g.num_edges,
+                fast_staged.total_messages,
+                ghs_metrics.traffic.messages,
+                pipe_staged.total_messages,
+                flood_staged.total_messages,
+            ]
+        )
+    # The classic time/message tradeoff, visible in the data: GHS is
+    # message-frugal (its original selling point was O(m + n log n)
+    # messages) while the pipelined collection pays Θ(N·n) messages to
+    # broadcast the N-1 selected edges down every subtree.  Fast-MST
+    # sits in between: its N = O(sqrt n) clusters shrink the broadcast.
+    assert all(row[4] > row[3] for row in rows)  # pipeline-only > ghs
+    assert all(row[2] < row[4] for row in rows)  # fast-mst < pipeline-only
+    return rows
+
+
+def kdom_sweep():
+    rows = []
+    for i, n in enumerate(SIZES):
+        g = make_graph(n, seed=10 + i)
+        for k in (2, 8):
+            _d, _p, staged = fastdom_graph(g, k)
+            rows.append([n, k, staged.total_messages, staged.total_rounds])
+    return rows
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_mst_messages(benchmark):
+    rows = run_once(benchmark, mst_sweep)
+    emit(
+        "E14",
+        "MST message totals (the cost §1.2 ignores)",
+        ["n", "m", "fast-mst", "ghs", "pipeline-only", "flood"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_fastdom_messages(benchmark):
+    rows = run_once(benchmark, kdom_sweep)
+    emit(
+        "E14",
+        "FastDOM_G message totals",
+        ["n", "k", "messages", "rounds"],
+        rows,
+    )

@@ -1,0 +1,80 @@
+"""E15 — solution-quality ablation (beyond the paper's bound).
+
+The paper only promises |D| ≤ n/(k+1).  This experiment measures how
+far each construction actually lands from the *optimum* on trees:
+
+* ``fastdom``   — the distributed FastDOM_T (per-cluster minimum DP);
+* ``minimum``   — the sequential exact tree minimum (Meir–Moon bound);
+* ``greedy``    — the deepest-leaf greedy;
+* ``class``     — the Lemma 2.1 level-class pick (size only; may fail
+                  to dominate — reproduction note R1).
+
+The distributed answer pays a locality premium over the global
+optimum (clusters are solved independently), yet stays well inside the
+paper's bound.
+"""
+
+import pytest
+
+from repro.core import (
+    fastdom_tree,
+    greedy_kdominating_set,
+    level_class_construction,
+    minimum_kdominating_set,
+)
+from repro.graphs import (
+    RootedTree,
+    broom_tree,
+    caterpillar_tree,
+    path_graph,
+    random_tree,
+)
+
+from .harness import emit, run_once
+
+TREES = [
+    ("path-400", path_graph(400)),
+    ("random-tree-400", random_tree(400, seed=2)),
+    ("caterpillar", caterpillar_tree(80, 4)),
+    ("broom", broom_tree(200, 200)),
+]
+KS = (2, 4, 8)
+
+
+def sweep():
+    rows = []
+    for name, g in TREES:
+        rt = RootedTree.from_graph(g, 0)
+        n = g.num_nodes
+        for k in KS:
+            fast_d, _p, _s = fastdom_tree(g, 0, rt.parent, k)
+            minimum = minimum_kdominating_set(rt, k)
+            greedy = greedy_kdominating_set(rt, k)
+            level_set, _lvl = level_class_construction(rt, k)
+            bound = max(1, n // (k + 1))
+            assert len(minimum) <= len(fast_d) <= bound
+            rows.append(
+                [
+                    name,
+                    k,
+                    len(fast_d),
+                    len(minimum),
+                    len(greedy),
+                    len(level_set),
+                    bound,
+                    f"{len(fast_d) / max(len(minimum), 1):.2f}",
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_solution_quality(benchmark):
+    rows = run_once(benchmark, sweep)
+    emit(
+        "E15",
+        "k-dominating set sizes: distributed vs sequential constructions",
+        ["workload", "k", "fastdom", "minimum", "greedy", "class", "bound",
+         "fast/min"],
+        rows,
+    )

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The §1.2 remark, demonstrated: the paper assumes synchrony without
+loss of generality because any synchronous algorithm runs on an
+asynchronous network under synchroniser α of Awerbuch [A1].
+
+This script runs the distributed BFS (Procedure Initialize's engine)
+both synchronously and hosted under α on an event-driven network with
+random per-message delays, and shows bit-identical outputs with pulse
+counts equal to the synchronous round count.
+
+Run:  python examples/asynchronous_alpha.py
+"""
+
+from repro.graphs import bfs_distances, random_tree
+from repro.primitives.bfs import BFSTreeProgram
+from repro.sim import Network, run_synchronized
+
+
+def main() -> None:
+    graph = random_tree(120, seed=21)
+    root = 0
+
+    sync_net = Network(graph)
+    sync_metrics = sync_net.run(lambda ctx: BFSTreeProgram(ctx, root))
+    sync_depths = sync_net.output_field("depth")
+    print(f"synchronous BFS: {sync_metrics.rounds} rounds, "
+          f"{sync_metrics.messages} messages")
+
+    async_net, virtual_time = run_synchronized(
+        graph, lambda ctx: BFSTreeProgram(ctx, root), seed=5
+    )
+    alpha_depths = {
+        v: p.output["depth"] for v, p in async_net.programs.items()
+    }
+    pulses = max(
+        p.pulses_at_halt
+        for p in async_net.programs.values()
+        if p.pulses_at_halt is not None
+    )
+    print(f"asynchronous + α:  {pulses} pulses, "
+          f"{async_net.message_count} messages, "
+          f"virtual completion time {virtual_time:.1f}")
+
+    assert alpha_depths == sync_depths == bfs_distances(graph, root)
+    print("\noutputs are bit-identical to the synchronous run;")
+    print(f"α's overhead: "
+          f"{async_net.message_count / (graph.num_edges * pulses):.2f} "
+          f"messages per edge per pulse (the remark's 'one message over "
+          f"each edge in each direction per round', plus acks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Visualising Lemma 2.3's pipelining: the k+1 censuses of DiamDOM
+share every tree edge with zero collisions.
+
+Prints a round-by-round matrix of census messages crossing each edge of
+a small path — each edge carries at most one message per round (the
+simulator would raise otherwise), and the censuses march up the tree
+staggered one round apart.
+
+Run:  python examples/census_pipelining.py
+"""
+
+from repro.core.diam_dom import DiamDOMProgram
+from repro.graphs import path_graph
+from repro.sim import Network, TraceRecorder, traced
+
+
+def main() -> None:
+    n, k = 10, 3
+    graph = path_graph(n)
+    recorder = TraceRecorder()
+    network = Network(graph)
+    network.run(traced(lambda ctx: DiamDOMProgram(ctx, 0, k), recorder))
+
+    # Collect census sends: (round, sender) -> census level.
+    sends = {}
+    for event in recorder.events:
+        if event.kind == "send" and event.detail[1][0] == "CEN":
+            sends[(event.round, event.node)] = event.detail[1][1]
+    rounds = sorted({r for r, _v in sends})
+    t1 = network.programs[0].output["t1"]
+
+    print(f"path of {n} nodes rooted at 0, k = {k} "
+          f"(censuses 0..{k}); t1 = {t1}")
+    print(f"cell = census level crossing the edge toward the root "
+          f"that round\n")
+    header = "round | " + " ".join(f"e{v}" for v in range(n - 1, 0, -1))
+    print(header)
+    print("-" * len(header))
+    for r in rounds:
+        cells = []
+        for v in range(n - 1, 0, -1):
+            level = sends.get((r, v))
+            cells.append(str(level) if level is not None else ".")
+        print(f"{r:5d} | " + "  ".join(cells))
+
+    print("\nEach column (edge) carries each census exactly once, on")
+    print("consecutive rounds — the fully pipelined convergecast whose")
+    print("collision-freedom is Lemma 2.3's 'crucial observation'.")
+    decision = network.programs[0].output["decision_round"]
+    print(f"root decides at round {decision} "
+          f"(bound 5*Diam + k = {5 * (n - 1) + k})")
+
+
+if __name__ == "__main__":
+    main()

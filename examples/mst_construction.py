@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The headline application (§5): distributed MST in
+O(sqrt(n) log* n + Diam) rounds, compared against the GHS-style and
+pipeline-only baselines on the same network.
+
+Run:  python examples/mst_construction.py
+"""
+
+from repro.graphs import assign_unique_weights, diameter, random_connected_graph
+from repro.mst import fast_mst, ghs_mst, kruskal_mst, pipeline_only_mst
+from repro.verify import spanning_tree_weight
+
+
+def main() -> None:
+    n = 300
+    graph = assign_unique_weights(
+        random_connected_graph(n, 6.0 / n, seed=11), seed=12
+    )
+    print(
+        f"network: n={n}, m={graph.num_edges}, diameter={diameter(graph)}"
+    )
+
+    reference = kruskal_mst(graph)
+    reference_weight = spanning_tree_weight(graph, reference)
+    print(f"reference MST weight (sequential Kruskal): {reference_weight}\n")
+
+    edges, staged, diag = fast_mst(graph)
+    assert edges == reference
+    print(
+        f"Fast-MST: exact MST in {staged.total_rounds} rounds "
+        f"(k={diag['k']}, {diag['clusters']} clusters, "
+        f"{diag['pipelining_violations']} pipeline stalls)"
+    )
+    for stage, rounds in staged.breakdown().items():
+        print(f"    {stage:>16}: {rounds}")
+
+    ghs_edges, ghs_metrics = ghs_mst(graph)
+    assert ghs_edges == reference
+    print(f"\nGHS baseline:           {ghs_metrics.rounds} rounds (O(n))")
+
+    pipe_edges, pipe_staged = pipeline_only_mst(graph)
+    assert pipe_edges == reference
+    print(f"pipeline-only baseline: {pipe_staged.total_rounds} rounds (O(n + Diam))")
+
+    speedup = ghs_metrics.rounds / staged.total_rounds
+    print(f"\nFast-MST beats GHS by {speedup:.1f}x on this low-diameter graph;")
+    print("its advantage over the O(n + D) baseline grows as sqrt(n)/n -> 0.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Routing with sparse tables (the [PU] application, §1.1): cluster the
+network around a k-dominating set, keep per-node tables far below the
+Θ(n) of shortest-path routing, and pay only a bounded additive stretch.
+
+Run:  python examples/sparse_routing.py
+"""
+
+import random
+
+from repro.applications import build_routing, full_table_size
+from repro.graphs import assign_unique_weights, torus_graph
+
+
+def main() -> None:
+    network = assign_unique_weights(torus_graph(10, 10), seed=5)
+    n = network.num_nodes
+    k = 3
+
+    scheme, preprocessing_rounds = build_routing(network, k)
+    print(f"network: {n} nodes; cluster radius k={k}")
+    print(f"distributed preprocessing: {preprocessing_rounds} rounds\n")
+
+    print("table sizes:")
+    print(f"  full shortest-path routing: {n - 1} entries/node "
+          f"({full_table_size(network)} total)")
+    print(f"  cluster routing:            max {scheme.max_table_size()} "
+          f"entries/node ({scheme.total_table_size()} total)")
+
+    rng = random.Random(1)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(500)]
+    worst = 0.0
+    for s, t in pairs:
+        if s == t:
+            continue
+        result = scheme.route(s, t)
+        assert result.path[-1] == t
+        assert result.hops <= result.shortest + 4 * k
+        worst = max(worst, result.stretch)
+    print(f"\n500 random routes delivered; "
+          f"avg stretch {scheme.average_stretch(pairs):.2f}, "
+          f"worst {worst:.2f} (additive bound: shortest + {4 * k})")
+
+
+if __name__ == "__main__":
+    main()

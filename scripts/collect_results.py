@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Merge the benchmark result tables into a single report.
+
+Usage:
+    pytest benchmarks/ --benchmark-only      # writes benchmarks/results/
+    python scripts/collect_results.py        # -> benchmarks/results/REPORT.md
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "results",
+)
+
+
+def natural_key(name: str):
+    match = re.match(r"E(\d+)", name)
+    return (int(match.group(1)) if match else 999, name)
+
+
+def main() -> int:
+    if not os.path.isdir(RESULTS_DIR):
+        print(
+            "no results directory; run `pytest benchmarks/ --benchmark-only` "
+            "first",
+            file=sys.stderr,
+        )
+        return 1
+    files = sorted(
+        (f for f in os.listdir(RESULTS_DIR) if f.endswith(".txt")),
+        key=natural_key,
+    )
+    if not files:
+        print("no result tables found", file=sys.stderr)
+        return 1
+    out_path = os.path.join(RESULTS_DIR, "REPORT.md")
+    with open(out_path, "w") as out:
+        out.write("# Benchmark report\n")
+        out.write(
+            "\nGenerated from benchmarks/results/*.txt; see EXPERIMENTS.md "
+            "for the claim-by-claim interpretation.\n"
+        )
+        for name in files:
+            out.write(f"\n## {name[:-4]}\n\n```\n")
+            with open(os.path.join(RESULTS_DIR, name)) as handle:
+                out.write(handle.read().strip())
+            out.write("\n```\n")
+    print(f"wrote {out_path} ({len(files)} experiments)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

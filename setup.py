@@ -1,0 +1,9 @@
+"""Setuptools shim; all metadata lives in pyproject.toml.
+
+Kept so `pip install -e .` works in offline environments whose pip/
+setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

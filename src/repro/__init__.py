@@ -1,0 +1,53 @@
+"""repro — a reproduction of Kutten & Peleg, "Fast Distributed
+Construction of k-Dominating Sets and Applications" (PODC 1995).
+
+The library implements, at message level on a strict CONGEST-model
+simulator:
+
+* the paper's core contribution — small k-dominating sets and their
+  radius-k cluster partitions in O(k log* n) rounds on trees
+  (Theorem 3.2) and general graphs (Theorem 4.4);
+* the headline application — a distributed MST algorithm running in
+  O(sqrt(n) log* n + Diam) rounds (Theorem 5.6) built on a new fully
+  pipelined convergecast (§5.1);
+* every substrate the paper depends on: the synchronous network model,
+  Cole–Vishkin symmetry breaking [GPS], controlled-GHS fragment growth
+  [GHS/A2], synchroniser α [A1]; and the comparison baselines.
+
+Quickstart::
+
+    from repro import fastdom_graph, fast_mst
+    from repro.graphs import grid_graph, assign_unique_weights
+
+    g = assign_unique_weights(grid_graph(16, 16), seed=1)
+    dominators, partition, rounds = fastdom_graph(g, k=4)
+    mst_edges, staged, diag = fast_mst(g)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+claim-by-claim reproduction record.
+"""
+
+from .core import (
+    diam_dom,
+    dom_partition,
+    fastdom_graph,
+    fastdom_tree,
+    simple_mst_forest,
+)
+from .mst import fast_mst, ghs_mst, kruskal_mst, pipeline_only_mst, run_pipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "diam_dom",
+    "dom_partition",
+    "fast_mst",
+    "fastdom_graph",
+    "fastdom_tree",
+    "ghs_mst",
+    "kruskal_mst",
+    "pipeline_only_mst",
+    "run_pipeline",
+    "simple_mst_forest",
+    "__version__",
+]

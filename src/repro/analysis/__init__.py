@@ -1,0 +1,20 @@
+"""Benchmark-side analysis: growth-exponent fits and table rendering."""
+
+from .complexity import (
+    bound_ratios,
+    crossover_estimate,
+    fit_exponent,
+    log_star,
+    ratios_are_bounded,
+)
+from .tables import banner, format_table
+
+__all__ = [
+    "banner",
+    "bound_ratios",
+    "crossover_estimate",
+    "fit_exponent",
+    "format_table",
+    "log_star",
+    "ratios_are_bounded",
+]

@@ -1,0 +1,89 @@
+"""Empirical complexity analysis used by the benchmark harness.
+
+The paper's claims are asymptotic; the benchmarks validate their
+*shape* by (a) fitting log-log growth exponents to measured round
+counts and (b) checking that the ratio ``measured / claimed_bound``
+stays flat (or shrinks) as the driving parameter grows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+
+def fit_exponent(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    For measurements following ``y = C * x^a`` this recovers ``a``.
+    Points with non-positive coordinates are rejected.
+    """
+    cleaned = [(x, y) for x, y in points if x > 0 and y > 0]
+    if len(cleaned) < 2:
+        raise ValueError("need at least two positive points")
+    logs = [(math.log(x), math.log(y)) for x, y in cleaned]
+    n = len(logs)
+    mean_x = sum(lx for lx, _ in logs) / n
+    mean_y = sum(ly for _, ly in logs) / n
+    sxx = sum((lx - mean_x) ** 2 for lx, _ in logs)
+    sxy = sum((lx - mean_x) * (ly - mean_y) for lx, ly in logs)
+    if sxx == 0:
+        raise ValueError("all x values identical")
+    return sxy / sxx
+
+
+def bound_ratios(
+    points: Sequence[Tuple[float, float]],
+    bound: Callable[[float], float],
+) -> List[float]:
+    """``measured / bound(x)`` for each (x, measured) point."""
+    return [y / bound(x) for x, y in points]
+
+
+def ratios_are_bounded(
+    points: Sequence[Tuple[float, float]],
+    bound: Callable[[float], float],
+    tolerance_growth: float = 1.5,
+) -> bool:
+    """True when the measured/bound ratio does not grow by more than
+    ``tolerance_growth`` from the first to the last point — the working
+    definition of "the claimed complexity shape holds"."""
+    ratios = bound_ratios(points, bound)
+    if len(ratios) < 2:
+        return True
+    return ratios[-1] <= ratios[0] * tolerance_growth + 1e-9
+
+
+def log_star(n: float) -> int:
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def crossover_estimate(
+    points_a: Sequence[Tuple[float, float]],
+    points_b: Sequence[Tuple[float, float]],
+) -> float:
+    """Extrapolated x where power-law fits of two series cross.
+
+    Fits ``y = C x^a`` to each series and solves for equality.  Returns
+    ``inf`` when the fits never cross for x above 1.
+    """
+    a1 = fit_exponent(points_a)
+    a2 = fit_exponent(points_b)
+    # Recover intercepts via geometric means.
+    c1 = math.exp(
+        sum(math.log(y) - a1 * math.log(x) for x, y in points_a)
+        / len(points_a)
+    )
+    c2 = math.exp(
+        sum(math.log(y) - a2 * math.log(x) for x, y in points_b)
+        / len(points_b)
+    )
+    if abs(a1 - a2) < 1e-9:
+        return math.inf
+    x = (c2 / c1) ** (1.0 / (a1 - a2))
+    return x if x > 1 else math.inf

@@ -1,0 +1,27 @@
+"""Applications from the paper's introduction: routing with sparse
+tables [PU], centre selection [BKP], distributed directories [P2]."""
+
+from .aggregates import MaxIdFloodProgram, count_nodes, leader_election
+from .centers import ServerPlacement, place_servers, random_placement
+from .directory import DominatingSetDirectory, LookupResult
+from .routing import (
+    ClusterRouting,
+    RouteResult,
+    build_routing,
+    full_table_size,
+)
+
+__all__ = [
+    "ClusterRouting",
+    "MaxIdFloodProgram",
+    "DominatingSetDirectory",
+    "LookupResult",
+    "RouteResult",
+    "ServerPlacement",
+    "build_routing",
+    "count_nodes",
+    "full_table_size",
+    "leader_election",
+    "place_servers",
+    "random_placement",
+]

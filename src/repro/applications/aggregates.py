@@ -1,0 +1,79 @@
+"""Global aggregate utilities: leader election and node counting.
+
+The paper's toolbox ([A2] solves "minimum-weight spanning tree,
+counting, leader election and related problems"; [P] gives
+time-optimal leader election) makes these one-liners over the
+primitives in this repository:
+
+* :func:`leader_election` — a max-id flood: every node forwards the
+  largest identifier it has heard; the wave stabilises after
+  ``ecc(leader)`` rounds.  Termination is observed by network
+  quiescence (no message in flight), the standard simulation-side
+  stopping rule for stabilising protocols.
+* :func:`count_nodes` — BFS tree + convergecast census from any root,
+  in O(Diam) rounds (Procedure ``Initialize`` + ``Census`` machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..graphs.graph import Graph
+from ..primitives.bfs import build_bfs_tree
+from ..primitives.convergecast import sum_combiner, tree_convergecast
+from ..sim.model import Envelope
+from ..sim.network import Network
+from ..sim.program import Context, NodeProgram
+from ..sim.runner import StagedRun
+
+
+class MaxIdFloodProgram(NodeProgram):
+    """Forward the largest id heard so far; stabilises on the leader.
+
+    Output: ``leader`` (the node's current belief).
+    """
+
+    def __init__(self, ctx: Context):
+        super().__init__(ctx)
+        self.best = ctx.node
+
+    def on_start(self) -> None:
+        self.output["leader"] = self.best
+        self.broadcast("MAX", self.best)
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        improved = False
+        for envelope in inbox:
+            if envelope.tag() == "MAX" and envelope.payload[1] > self.best:
+                self.best = envelope.payload[1]
+                improved = True
+        if improved:
+            self.output["leader"] = self.best
+            self.broadcast("MAX", self.best)
+
+
+def leader_election(graph: Graph) -> Tuple[Any, int, "Network"]:
+    """Elect the maximum-id node.
+
+    Returns (leader, rounds until the wave stabilised, network).
+    Every node's ``leader`` output agrees on the winner.
+    """
+    network = Network(graph)
+    metrics = network.run(MaxIdFloodProgram, stop_when_quiet=True)
+    beliefs = network.output_field("leader")
+    leaders = set(beliefs.values())
+    if len(leaders) != 1:  # pragma: no cover - flood guarantees agreement
+        raise RuntimeError(f"election did not converge: {leaders!r}")
+    return leaders.pop(), metrics.rounds, network
+
+
+def count_nodes(graph: Graph, root: Any) -> Tuple[int, StagedRun]:
+    """Count the network's nodes from ``root`` (BFS + convergecast)."""
+    staged = StagedRun()
+    parents, _depths, bfs_network = build_bfs_tree(graph, root)
+    staged.record("bfs", bfs_network.metrics)
+    total, cc_network = tree_convergecast(
+        graph, root, parents, {v: 1 for v in graph.nodes}, sum_combiner
+    )
+    staged.record("census", cc_network.metrics)
+    return total, staged

@@ -1,0 +1,83 @@
+"""Distributed directory placement (the [P2] motivation).
+
+"It is proposed that a set of k-dominating centers can be selected for
+locating copies of a distributed directory" (§1.1).  Objects are
+registered in directory copies placed on the k-dominating set; a
+client's *nearest* copy is at distance at most k, so a lookup that hits
+its local copy costs at most ``2k`` (there and back).  Misses are
+forwarded to the object's *home* copy (hash-placed), bounding every
+lookup by ``2k + backbone``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..core.fastdom_graph import fastdom_graph
+from ..graphs.distances import bfs_distances
+from ..graphs.graph import Graph
+
+
+@dataclass
+class LookupResult:
+    value: Any
+    hops: int
+    hit_local_copy: bool
+
+
+class DominatingSetDirectory:
+    """A replicated directory with copies on a k-dominating set."""
+
+    def __init__(self, graph: Graph, k: int):
+        self.graph = graph
+        self.k = k
+        dominators, partition, staged = fastdom_graph(graph, k)
+        self.copies: List[Any] = sorted(dominators, key=str)
+        self.local_copy_of: Dict[Any, Any] = dict(partition.center_of)
+        self.preprocessing_rounds = staged.total_rounds
+        self._store: Dict[Any, Dict[str, Any]] = {c: {} for c in self.copies}
+        self._dist_cache: Dict[Any, Dict[Any, int]] = {}
+
+    # -- internals ---------------------------------------------------------
+    def _dist(self, u: Any, v: Any) -> int:
+        if u not in self._dist_cache:
+            self._dist_cache[u] = bfs_distances(self.graph, u)
+        return self._dist_cache[u][v]
+
+    def home_of(self, name: str) -> Any:
+        """Deterministic hash placement of an object's home copy."""
+        index = sum(ord(ch) for ch in name) % len(self.copies)
+        return self.copies[index]
+
+    # -- operations ----------------------------------------------------------
+    def publish(self, client: Any, name: str, value: Any) -> int:
+        """Register an object: write to the local copy and the home copy.
+
+        Returns the hop cost.
+        """
+        local = self.local_copy_of[client]
+        home = self.home_of(name)
+        self._store[local][name] = value
+        cost = self._dist(client, local)
+        if home != local:
+            self._store[home][name] = value
+            cost += self._dist(local, home)
+        return cost
+
+    def lookup(self, client: Any, name: str) -> LookupResult:
+        """Resolve an object: local copy first, then the home copy."""
+        local = self.local_copy_of[client]
+        cost = self._dist(client, local)
+        if name in self._store[local]:
+            return LookupResult(self._store[local][name], 2 * cost, True)
+        home = self.home_of(name)
+        cost += self._dist(local, home)
+        value = self._store[home].get(name)
+        if value is None:
+            raise KeyError(name)
+        return LookupResult(value, cost + self._dist(home, client), False)
+
+    def local_read_bound(self) -> int:
+        """Every hit on the local copy costs at most 2k hops."""
+        return 2 * self.k

@@ -1,0 +1,141 @@
+"""Cluster-based routing with sparse tables, in the style of [PU].
+
+The paper's first listed application (§1.1): the [PU] routing scheme
+partitions the network into radius-k clusters around a k-dominating
+set; "the new construction can serve to speed up the preprocessing
+stage of that routing scheme".  This module implements the routing
+data structures that consume the FastDOM_G output:
+
+* every node stores its dominator and a next-hop toward it;
+* every node stores a next-hop for each *member of its own cluster*
+  (local detail);
+* every dominator stores a next-hop toward every other dominator
+  (the inter-cluster backbone).
+
+A message from ``s`` to ``t`` travels ``s -> dom(s) -> dom(t) -> t``
+unless ``t`` lies in ``s``'s own cluster, in which case it goes direct.
+Stretch is bounded by ``(dist(s, t) + 4k) / dist(s, t)``; table sizes
+are ``O(cluster)`` at members and ``O(cluster + n / (k + 1))`` at
+dominators instead of Θ(n) everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..core.fastdom_graph import fastdom_graph
+from ..graphs.distances import bfs_distances, bfs_tree
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+
+
+@dataclass
+class RouteResult:
+    path: List[Any]
+    hops: int
+    shortest: int
+
+    @property
+    def stretch(self) -> float:
+        if self.shortest == 0:
+            return 1.0
+        return self.hops / self.shortest
+
+
+class ClusterRouting:
+    """Routing tables built from a k-dominating set and its partition."""
+
+    def __init__(self, graph: Graph, dominators, partition: Partition, k: int):
+        self.graph = graph
+        self.k = k
+        self.dominators = set(dominators)
+        self.center_of: Dict[Any, Any] = dict(partition.center_of)
+        # next_hop[v][target] -> neighbour of v on a shortest path.
+        self._tables: Dict[Any, Dict[Any, Any]] = {v: {} for v in graph.nodes}
+        self._build()
+
+    # -- construction -----------------------------------------------------
+    def _build(self) -> None:
+        # Backbone: every node keeps a next hop toward every dominator
+        # (n / (k + 1) entries per node — the sparse part of the
+        # tradeoff; classic shortest-path routing would keep n - 1).
+        for target in sorted(self.dominators, key=str):
+            _dist, parent = bfs_tree(self.graph, target)
+            for v in self.graph.nodes:
+                if v != target:
+                    self._tables[v][target] = parent[v]
+        # Local detail: for each node t, install entries for t along
+        # the shortest path from t's dominator to t (length <= k), so a
+        # message that reached dom(t) can descend to t.
+        for t in sorted(self.graph.nodes, key=str):
+            center = self.center_of[t]
+            if center == t:
+                continue
+            _dist, parent = bfs_tree(self.graph, t)
+            position = center
+            while position != t:
+                next_hop = parent[position]
+                self._tables[position][t] = next_hop
+                position = next_hop
+
+    # -- queries ------------------------------------------------------------
+    def table_size(self, v: Any) -> int:
+        return len(self._tables[v])
+
+    def max_table_size(self) -> int:
+        return max(self.table_size(v) for v in self.graph.nodes)
+
+    def total_table_size(self) -> int:
+        return sum(self.table_size(v) for v in self.graph.nodes)
+
+    def route(self, source: Any, target: Any) -> RouteResult:
+        """Simulate forwarding from source to target."""
+        if source == target:
+            return RouteResult([source], 0, 0)
+        waypoints = self._waypoints(source, target)
+        path = [source]
+        position = source
+        for waypoint in waypoints:
+            while position != waypoint:
+                next_hop = self._tables[position].get(waypoint)
+                if next_hop is None:
+                    raise RuntimeError(
+                        f"routing hole at {position} toward {waypoint}"
+                    )
+                position = next_hop
+                path.append(position)
+        shortest = bfs_distances(self.graph, source)[target]
+        return RouteResult(path, len(path) - 1, shortest)
+
+    def _waypoints(self, source: Any, target: Any) -> List[Any]:
+        # Route toward the target's dominator (every node knows a next
+        # hop for it), then descend the installed dominator-to-member
+        # path.  Total detour at most 2k over the shortest path.
+        center = self.center_of[target]
+        if center in (source, target):
+            return [target]
+        if self._tables[source].get(target) is not None:
+            # Source happens to lie on the installed descent path.
+            return [target]
+        return [center, target]
+
+    def average_stretch(self, pairs) -> float:
+        stretches = [self.route(s, t).stretch for s, t in pairs if s != t]
+        if not stretches:
+            return 1.0
+        return sum(stretches) / len(stretches)
+
+
+def build_routing(graph: Graph, k: int) -> Tuple[ClusterRouting, int]:
+    """Build cluster routing from FastDOM_G; returns (scheme, rounds
+    spent in the distributed preprocessing stage)."""
+    dominators, partition, staged = fastdom_graph(graph, k)
+    return ClusterRouting(graph, dominators, partition, k), staged.total_rounds
+
+
+def full_table_size(graph: Graph) -> int:
+    """Baseline: classic shortest-path routing keeps n - 1 entries at
+    every node."""
+    n = graph.num_nodes
+    return n * (n - 1)

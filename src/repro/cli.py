@@ -1,0 +1,203 @@
+"""Command-line interface: run the paper's algorithms on real or
+generated graphs.
+
+Examples::
+
+    python -m repro info --generate grid:12x12
+    python -m repro kdom --generate torus:10x10 --k 3
+    python -m repro mst --generate random:200:0.05 --algorithm fast
+    python -m repro mst --graph my_network.edges --algorithm ghs
+    python -m repro partition --generate tree:500 --k 8
+
+Graph specs: ``grid:RxC``, ``torus:RxC``, ``ring:N``, ``tree:N``,
+``random:N:P`` (random connected with extra-edge probability P),
+``complete:N``; or ``--graph FILE`` with a ``u v [weight]`` edge list.
+Weights are auto-assigned (distinct, polynomial) when missing and an
+algorithm needs them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .applications.aggregates import count_nodes, leader_election
+from .core import dom_partition, fastdom_graph
+from .graphs import (
+    RootedTree,
+    assign_unique_weights,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    grid_graph,
+    has_unique_weights,
+    load_edge_list,
+    random_connected_graph,
+    random_tree,
+    torus_graph,
+)
+from .graphs.graph import Graph
+from .mst import fast_mst, ghs_mst, kruskal_mst, pipeline_only_mst
+from .verify import domination_radius
+
+
+def build_graph(args: argparse.Namespace) -> Graph:
+    if args.graph:
+        with open(args.graph) as handle:
+            return load_edge_list(handle.read())
+    if args.generate:
+        return generate(args.generate, seed=args.seed)
+    raise SystemExit("one of --graph or --generate is required")
+
+
+def generate(spec: str, seed: int = 0) -> Graph:
+    kind, _, rest = spec.partition(":")
+    try:
+        if kind == "grid":
+            rows, cols = rest.split("x")
+            return grid_graph(int(rows), int(cols))
+        if kind == "torus":
+            rows, cols = rest.split("x")
+            return torus_graph(int(rows), int(cols))
+        if kind == "ring":
+            return cycle_graph(int(rest))
+        if kind == "tree":
+            return random_tree(int(rest), seed=seed)
+        if kind == "complete":
+            return complete_graph(int(rest))
+        if kind == "random":
+            n, p = rest.split(":")
+            return random_connected_graph(int(n), float(p), seed=seed)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"bad graph spec {spec!r}: {exc}")
+    raise SystemExit(
+        f"unknown graph kind {kind!r} (grid/torus/ring/tree/complete/random)"
+    )
+
+
+def ensure_weights(graph: Graph, seed: int) -> Graph:
+    if not has_unique_weights(graph):
+        assign_unique_weights(graph, seed=seed)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def cmd_info(args: argparse.Namespace) -> int:
+    g = build_graph(args)
+    print(f"nodes:    {g.num_nodes}")
+    print(f"edges:    {g.num_edges}")
+    print(f"diameter: {diameter(g)}")
+    leader, rounds, _net = leader_election(g)
+    print(f"leader (max id): {leader}  [elected in {rounds} rounds]")
+    total, staged = count_nodes(g, leader)
+    print(f"distributed count from leader: {total} "
+          f"[{staged.total_rounds} rounds]")
+    return 0
+
+
+def cmd_kdom(args: argparse.Namespace) -> int:
+    g = ensure_weights(build_graph(args), args.seed)
+    dominators, partition, staged = fastdom_graph(g, args.k)
+    radius = domination_radius(g, dominators)
+    print(f"k = {args.k}")
+    print(f"|D| = {len(dominators)}  "
+          f"(bound {max(1, g.num_nodes // (args.k + 1))})")
+    print(f"domination radius = {radius}")
+    print(f"clusters = {partition.num_clusters}")
+    print(f"rounds = {staged.total_rounds}  {staged.breakdown()}")
+    if args.verbose:
+        print(f"D = {sorted(dominators, key=str)}")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    g = build_graph(args)
+    root = min(g.nodes, key=str)
+    rt = RootedTree.from_graph(g, root)
+    partition, staged = dom_partition(g, root, rt.parent, args.k)
+    sizes = sorted(c.size for c in partition.clusters)
+    radii = [c.radius_in(g) for c in partition.clusters]
+    print(f"clusters = {partition.num_clusters}")
+    print(f"sizes: min {sizes[0]}, max {sizes[-1]} (k+1 = {args.k + 1})")
+    print(f"max radius = {max(radii)} (bound 5k+2 = {5 * args.k + 2})")
+    print(f"rounds = {staged.total_rounds}")
+    return 0
+
+
+def cmd_mst(args: argparse.Namespace) -> int:
+    g = ensure_weights(build_graph(args), args.seed)
+    reference = kruskal_mst(g)
+    if args.algorithm == "fast":
+        edges, staged, diag = fast_mst(g)
+        rounds = staged.total_rounds
+        extra = f"k={diag['k']}, clusters={diag['clusters']}"
+    elif args.algorithm == "ghs":
+        edges, metrics = ghs_mst(g)
+        rounds, extra = metrics.rounds, "controlled GHS"
+    elif args.algorithm == "pipeline":
+        edges, staged = pipeline_only_mst(g)
+        rounds, extra = staged.total_rounds, "pipeline over singletons"
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown algorithm {args.algorithm}")
+    weight = sum(g.weight(u, v) for u, v in edges)
+    status = "exact" if edges == reference else "WRONG"
+    print(f"algorithm = {args.algorithm} ({extra})")
+    print(f"MST weight = {weight}  [{status} vs sequential Kruskal]")
+    print(f"rounds = {rounds}")
+    if args.verbose:
+        for u, v in sorted(edges, key=str):
+            print(f"  {u} - {v}  ({g.weight(u, v)})")
+    return 0 if edges == reference else 1
+
+
+# ---------------------------------------------------------------------------
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed k-dominating sets and MST (Kutten & Peleg, "
+            "PODC 1995) on a CONGEST simulator"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--graph", help="edge-list file (u v [weight] lines)")
+        p.add_argument("--generate", help="graph spec, e.g. grid:12x12")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("-v", "--verbose", action="store_true")
+
+    p_info = sub.add_parser("info", help="graph stats + leader election")
+    common(p_info)
+    p_info.set_defaults(fn=cmd_info)
+
+    p_kdom = sub.add_parser("kdom", help="FastDOM_G k-dominating set")
+    common(p_kdom)
+    p_kdom.add_argument("--k", type=int, required=True)
+    p_kdom.set_defaults(fn=cmd_kdom)
+
+    p_part = sub.add_parser("partition", help="fast DOM_Partition on a tree")
+    common(p_part)
+    p_part.add_argument("--k", type=int, required=True)
+    p_part.set_defaults(fn=cmd_partition)
+
+    p_mst = sub.add_parser("mst", help="distributed MST")
+    common(p_mst)
+    p_mst.add_argument(
+        "--algorithm", choices=("fast", "ghs", "pipeline"), default="fast"
+    )
+    p_mst.set_defaults(fn=cmd_mst)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's contribution: fast distributed small k-dominating sets.
+
+Public API:
+
+* :func:`fastdom_graph` — Theorem 4.4: k-dominating set of size at most
+  ``n / (k + 1)`` on a general graph in O(k log* n) rounds.
+* :func:`fastdom_tree` — Theorem 3.2: the tree case.
+* :func:`diam_dom` — §2.2: the diameter-time algorithm with pipelined
+  censuses (Lemma 2.3).
+* :func:`dom_partition`, :func:`dom_partition_1`, :func:`dom_partition_2`
+  — the §3.2 tree-partition ladder.
+* :func:`simple_mst_forest` — §4.1–4.4: the (k+1, n) spanning forest of
+  MST fragments.
+* :mod:`repro.core.existence` — sequential Lemma 2.1 constructions.
+"""
+
+from .balanced_dom import balanced_dom, repair_singletons
+from .diam_dom import DiamDOMProgram, diam_dom
+from .existence import (
+    greedy_kdominating_set,
+    is_k_dominating_in_tree,
+    level_class_construction,
+    level_classes,
+    minimum_kdominating_set,
+)
+from .fastdom_graph import fastdom_graph
+from .fastdom_tree import fastdom_tree
+from .kdom_tree import (
+    NearestDominatorProgram,
+    TreeKDomProgram,
+    tree_kdominating_set,
+)
+from .partition_basic import dom_partition_1
+from .partition_bounded import dom_partition_2
+from .partition_common import log2_phase_count
+from .partition_fast import dom_partition
+from .small_dom_set import SmallDomSetProgram, small_dom_set
+from .spanning_forest import SimpleMSTProgram, simple_mst_forest
+
+__all__ = [
+    "DiamDOMProgram",
+    "NearestDominatorProgram",
+    "SimpleMSTProgram",
+    "SmallDomSetProgram",
+    "TreeKDomProgram",
+    "balanced_dom",
+    "diam_dom",
+    "dom_partition",
+    "dom_partition_1",
+    "dom_partition_2",
+    "fastdom_graph",
+    "fastdom_tree",
+    "greedy_kdominating_set",
+    "is_k_dominating_in_tree",
+    "level_class_construction",
+    "level_classes",
+    "log2_phase_count",
+    "minimum_kdominating_set",
+    "repair_singletons",
+    "simple_mst_forest",
+    "small_dom_set",
+    "tree_kdominating_set",
+]

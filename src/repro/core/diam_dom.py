@@ -1,0 +1,190 @@
+"""Algorithm ``DiamDOM`` (§2.2, Figs. 1–3): the diameter-time
+k-dominating set computation, with the paper's pipelined censuses.
+
+Faithful to the paper:
+
+* Procedure ``Initialize`` is the BFS + depth labels + tree-depth
+  broadcast of Fig. 1 (:class:`repro.primitives.bfs.BFSTreeProgram`),
+  after which every node knows ``Depth(v)``, ``M`` and the common time
+  ``t1``.
+* Procedure ``Census(l)`` (Fig. 2) is a convergecast in which a node of
+  depth ``i`` emits its subtree's ``D_l`` count at round
+  ``t1 + l + (M - i)``.
+* The k + 1 censuses are staggered one round apart (Fig. 3) and —
+  Lemma 2.3's "crucial observation" — never collide: on any edge, the
+  census-``l`` message occupies round ``t1 + l + M - i``, distinct per
+  ``l``.  The simulator enforces this (a collision would raise
+  :class:`~repro.sim.errors.CongestionViolation`).
+* The root picks the level class of minimum count; we additionally
+  broadcast the chosen level so every node learns its membership.
+
+Reproduction note (R1, see :mod:`repro.core.existence`): the chosen
+class always meets the size bound but is *not* guaranteed to be
+k-dominating when the BFS tree has leaves shallower than the chosen
+level.  ``diam_dom`` reports the chosen set faithfully;
+:func:`repro.core.kdom_tree.tree_kdominating_set` is the repaired
+subroutine used inside ``FastDOM``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..graphs.graph import Graph
+from ..primitives.bfs import BFSTreeProgram
+from ..sim.model import Envelope
+from ..sim.network import Network
+from ..sim.program import Context
+from .existence import _require_k
+
+
+class DiamDOMProgram(BFSTreeProgram):
+    """One node of Algorithm ``DiamDOM`` (Fig. 3).
+
+    Outputs (everywhere): ``depth``, ``in_dominating_set``,
+    ``chosen_level``; at the root additionally ``level_counts`` and
+    ``decision_round`` (the round at which the root knows the answer —
+    the quantity Lemma 2.3 bounds by ``5 * Diam + k``).
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        root: Any,
+        k: int,
+        staggered_by_level: bool = False,
+    ):
+        """``staggered_by_level`` enables the improvement sketched in
+        the remark after Lemma 2.3: census ``l`` starts from its own
+        deepest level ``M_l`` (the largest depth ≡ l mod k+1) rather
+        than from depth ``M``, so all censuses complete by ``t1 + M``
+        and the total drops to ``5·Diam`` flat (subtrees strictly below
+        ``M_l`` provably contribute zero to census ``l`` and stay
+        silent)."""
+        super().__init__(ctx, root)
+        _require_k(k)
+        self.k = k
+        self.staggered_by_level = staggered_by_level
+        self._census_mode = False
+        self._level_counts: Dict[int, int] = {}
+        self._decided = False
+
+    # -- Initialize → census transition ---------------------------------
+    def on_initialized(self) -> None:
+        # Unlike the standalone BFS program we keep running: censuses
+        # start at t1 (known locally, identical at every node).
+        self._census_mode = True
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        if not self._census_mode:
+            super().on_round(inbox)
+            return
+        level = self._census_level_for_round(self.round)
+        if level is not None:
+            below = sum(
+                envelope.payload[2]
+                for envelope in inbox
+                if envelope.tag() == "CEN"
+            )
+            own = 1 if self.depth % (self.k + 1) == level else 0
+            counter = below + own
+            if self.is_root:
+                self._level_counts[level] = counter
+                if len(self._level_counts) == self._expected_censuses():
+                    self._decide()
+                    return
+            else:
+                self.send(self.parent, "CEN", level, counter)
+        for envelope in inbox:
+            if envelope.tag() == "SEL":
+                self._adopt_selection(envelope.payload[1])
+                return
+
+    # -- census schedules ---------------------------------------------------
+    def _census_level_for_round(self, current: int) -> Optional[int]:
+        """Which census (if any) this node emits in ``current``.
+
+        Fig. 2/3 schedule: census ``l`` from a depth-``i`` node at round
+        ``t1 + l + (M - i)`` — one census per round, staggered by start
+        *time*.  Remark schedule: census ``l`` at round
+        ``t1 + (M_l - i)`` where ``M_l`` is census l's deepest level —
+        staggered by start *level*, all done by ``t1 + M``.  Both are
+        collision-free on every edge (per-``l`` delivery rounds are
+        distinct); the simulator enforces this.
+        """
+        offset = current - self.t1
+        if offset < 0:
+            return None
+        if not self.staggered_by_level:
+            level = offset - (self.tree_depth - self.depth)
+            return level if 0 <= level <= self.k else None
+        horizon = self.depth + offset  # candidate M_l
+        if horizon > self.tree_depth:
+            return None
+        level = horizon % (self.k + 1)
+        if level > self.k:
+            return None
+        return level if horizon == self._deepest_level(level) else None
+
+    def _deepest_level(self, level: int) -> int:
+        """``M_l``: the largest depth ≤ M congruent to ``level``."""
+        return self.tree_depth - (
+            (self.tree_depth - level) % (self.k + 1)
+        )
+
+    def _expected_censuses(self) -> int:
+        """Censuses that physically run: classes beyond the tree depth
+        are empty and emit nothing (their count is implicitly zero)."""
+        return min(self.k, self.tree_depth) + 1
+
+    # -- selection ---------------------------------------------------------
+    def _decide(self) -> None:
+        # Classes beyond the tree depth are empty (the k >= h case of
+        # Lemma 2.1, where the root alone suffices): restrict the choice
+        # to the nonempty classes l <= min(k, M).
+        eligible = range(min(self.k, self.tree_depth) + 1)
+        best = min(eligible, key=lambda l: (self._level_counts[l], l))
+        self.output["level_counts"] = dict(self._level_counts)
+        self.output["decision_round"] = self.round
+        self._announce(best)
+
+    def _adopt_selection(self, level: int) -> None:
+        self._announce(level)
+
+    def _announce(self, level: int) -> None:
+        self.output["chosen_level"] = level
+        self.output["in_dominating_set"] = (
+            self.depth % (self.k + 1) == level
+        )
+        for child in sorted(self.children, key=str):
+            self.send(child, "SEL", level)
+        self.halt()
+
+
+def diam_dom(
+    graph: Graph,
+    root: Any,
+    k: int,
+    word_limit: int = 8,
+    staggered_by_level: bool = False,
+) -> Tuple[Set[Any], int, Dict[int, int], "Network"]:
+    """Run Algorithm ``DiamDOM`` on (typically a tree or cluster) graph.
+
+    Returns (chosen level class D, chosen level, per-level counts,
+    network).  ``network.programs[root].output["decision_round"]`` is
+    the Lemma 2.3 quantity; ``staggered_by_level=True`` selects the
+    remark's improved schedule (decision by ``t1 + M``, flat in k).
+    """
+    network = Network(graph, word_limit=word_limit)
+    network.run(
+        lambda ctx: DiamDOMProgram(ctx, root, k, staggered_by_level)
+    )
+    flags = network.output_field("in_dominating_set")
+    dominating_set = {v for v, flag in flags.items() if flag}
+    root_output = network.programs[root].output
+    return (
+        dominating_set,
+        root_output["chosen_level"],
+        root_output["level_counts"],
+        network,
+    )

@@ -1,0 +1,144 @@
+"""Sequential constructions for small k-dominating sets on trees.
+
+Three constructions live here:
+
+* :func:`level_classes` / :func:`level_class_construction` — the
+  construction in the paper's proof of Lemma 2.1 ([PU]): split the
+  rooted tree into depth classes mod ``k + 1`` and return the smallest
+  class.  The size bound ``|D| <= max(1, floor(n / (k + 1)))`` always
+  holds (averaging).  **Reproduction note (R1):** the paper's claim
+  that *every* class is k-dominating is false in general — a class
+  ``l`` fails when some leaf has depth ``< l`` (shallow leaves cannot
+  reach the class below them and have no class member above).  See
+  ``tests/core/test_existence.py::test_lemma21_domination_gap`` for the
+  concrete counterexample, and :mod:`repro.core.kdom_tree` for the
+  convergecast algorithm this library uses where correctness matters.
+
+* :func:`greedy_kdominating_set` — the Meir–Moon greedy (repeatedly
+  dominate a deepest leaf from its k-th ancestor), which *does* achieve
+  the Lemma 2.1 bound with guaranteed domination.
+
+* :func:`minimum_kdominating_set` — exact minimum k-domination on a
+  tree by the classic linear-time DP; the sequential reference for the
+  distributed program in :mod:`repro.core.kdom_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from ..graphs.tree import RootedTree
+
+_INF = float("inf")
+_NEG_INF = float("-inf")
+
+
+def level_classes(tree: RootedTree, k: int) -> List[Set[Any]]:
+    """The k + 1 depth classes ``D_l = {v : depth(v) = l mod (k + 1)}``."""
+    _require_k(k)
+    classes: List[Set[Any]] = [set() for _ in range(k + 1)]
+    for v, depth in tree.depth.items():
+        classes[depth % (k + 1)].add(v)
+    return classes
+
+
+def level_class_construction(tree: RootedTree, k: int) -> Tuple[Set[Any], int]:
+    """Lemma 2.1 construction, verbatim: the smallest depth class.
+
+    Returns (the set, the chosen class index).  If ``k >= height`` the
+    root alone is returned, as in the paper's proof.
+    """
+    _require_k(k)
+    if k >= tree.height:
+        return {tree.root}, 0
+    classes = level_classes(tree, k)
+    best = min(range(k + 1), key=lambda l: (len(classes[l]), l))
+    return classes[best], best
+
+
+def greedy_kdominating_set(tree: RootedTree, k: int) -> Set[Any]:
+    """Greedy: repeatedly cover a deepest uncovered node from its
+    ancestor ``k`` steps up.  Guarantees k-domination and size at most
+    ``ceil(n / (k + 1))`` (each pick but the last covers a fresh path of
+    ``k + 1`` nodes).  The exact Lemma 2.1 bound is met by
+    :func:`minimum_kdominating_set` (Meir–Moon: the tree minimum is at
+    most ``n / (k + 1)`` whenever ``n >= k + 1``)."""
+    _require_k(k)
+    dominators: Set[Any] = set()
+    order = sorted(tree.nodes, key=lambda v: (-tree.depth[v], str(v)))
+    covered: Set[Any] = set()
+    for v in order:
+        if v in covered:
+            continue
+        # Walk k steps toward the root (or stop at the root).
+        w = v
+        for _ in range(k):
+            parent = tree.parent[w]
+            if parent is None:
+                break
+            w = parent
+        dominators.add(w)
+        covered |= _ball(tree, w, k)
+    return dominators
+
+
+def _ball(tree: RootedTree, center: Any, k: int) -> Set[Any]:
+    """Nodes within tree distance k of ``center``."""
+    ball = {center}
+    frontier = [center]
+    for _ in range(k):
+        next_frontier = []
+        for v in frontier:
+            nbrs = list(tree.children[v])
+            if tree.parent[v] is not None:
+                nbrs.append(tree.parent[v])
+            for u in nbrs:
+                if u not in ball:
+                    ball.add(u)
+                    next_frontier.append(u)
+        frontier = next_frontier
+    return ball
+
+
+def minimum_kdominating_set(tree: RootedTree, k: int) -> Set[Any]:
+    """Exact minimum k-dominating set of a tree (classic bottom-up DP).
+
+    State per node: ``uncov`` = distance to the farthest not-yet-covered
+    node in the subtree (−inf if none), ``cov`` = distance to the
+    nearest dominator in the subtree (+inf if none).  A node joins the
+    set exactly when its farthest uncovered descendant would otherwise
+    slip out of range.
+    """
+    _require_k(k)
+    dominators: Set[Any] = set()
+    uncov: Dict[Any, float] = {}
+    cov: Dict[Any, float] = {}
+    for v in tree.postorder():
+        child_uncov = [uncov[c] + 1 for c in tree.children[v]]
+        child_cov = [cov[c] + 1 for c in tree.children[v]]
+        a = max([0.0] + child_uncov)
+        b = min(child_cov) if child_cov else _INF
+        if a + b <= k:
+            uncov[v], cov[v] = _NEG_INF, b
+        elif a >= k:
+            dominators.add(v)
+            uncov[v], cov[v] = _NEG_INF, 0.0
+        else:
+            uncov[v], cov[v] = a, b
+    if uncov[tree.root] != _NEG_INF:
+        dominators.add(tree.root)
+    return dominators
+
+
+def is_k_dominating_in_tree(tree: RootedTree, dominators: Set[Any], k: int) -> bool:
+    """Check k-domination with distances measured inside the tree."""
+    _require_k(k)
+    covered: Set[Any] = set()
+    for d in dominators:
+        covered |= _ball(tree, d, k)
+    return covered >= set(tree.nodes)
+
+
+def _require_k(k: int) -> None:
+    if k < 0:
+        raise ValueError("k must be non-negative")

@@ -1,0 +1,133 @@
+"""Algorithm ``FastDOM_T`` (§3.3, Theorem 3.2): small k-dominating sets
+on trees in ``O(k log* n)`` rounds.
+
+Composition, exactly as the paper:
+
+1. ``DOM_Partition(k)`` partitions the tree into clusters with
+   ``|C| >= k + 1`` and ``Rad(C) <= 5k + 2``;
+2. a diameter-time k-dominating set procedure runs *inside every
+   cluster in parallel* — O(k) rounds each, since cluster diameters are
+   O(k);
+3. the union of the per-cluster sets is the answer:
+   ``|D| = sum |D_i| <= sum |C_i| / (k+1) = n / (k+1)``
+   (Corollary 3.9(a)) and every node is within k of its cluster's
+   dominator set (Corollary 3.9(b)).
+
+The per-cluster procedure is selectable:
+
+* ``method="kdom-dp"`` (default): the convergecast DP of
+  :mod:`repro.core.kdom_tree` — exact minimum per cluster, hence the
+  Lemma 2.1 bound, and always k-dominating.
+* ``method="diamdom"``: the paper's census algorithm
+  (:mod:`repro.core.diam_dom`) — faithful, but subject to reproduction
+  note R1 (the chosen level class may fail to dominate on clusters with
+  shallow leaves), in which case this driver raises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from ..sim.network import Network
+from ..sim.runner import StagedRun, run_in_parallel
+from .diam_dom import DiamDOMProgram
+from .kdom_tree import NearestDominatorProgram, TreeKDomProgram
+from .partition_fast import dom_partition
+
+METHODS = ("kdom-dp", "diamdom")
+
+
+def fastdom_tree(
+    tree: Graph,
+    root: Any,
+    t_parent: Dict[Any, Optional[Any]],
+    k: int,
+    method: str = "kdom-dp",
+) -> Tuple[Set[Any], Partition, StagedRun]:
+    """Run ``FastDOM_T`` on a rooted tree with ``n >= k + 1`` nodes.
+
+    Returns (k-dominating set D, the radius-<=k partition P around D,
+    per-stage round accounting).
+    """
+    if method not in METHODS:
+        raise ValueError(f"method must be one of {METHODS}")
+    if k == 0:
+        # Degenerate: every node dominates itself.
+        dominators = set(tree.nodes)
+        partition = Partition.from_center_map({v: v for v in tree.nodes})
+        return dominators, partition, StagedRun()
+
+    clusters_partition, staged = dom_partition(tree, root, t_parent, k)
+
+    dominators: Set[Any] = set()
+    center_map: Dict[Any, Any] = {}
+
+    # Per-cluster runs are vertex-disjoint, hence truly parallel; rounds
+    # are the maximum over clusters (run_in_parallel semantics).
+    dom_runs = []
+    cluster_info = []
+    for cluster in clusters_partition:
+        sub = tree.subgraph(cluster.members)
+        sub_parent = {
+            v: (t_parent.get(v) if t_parent.get(v) in cluster.members else None)
+            for v in cluster.members
+        }
+        sub_root = next(v for v, p in sub_parent.items() if p is None)
+        network = Network(sub)
+        if method == "kdom-dp":
+            factory = _dp_factory(sub_root, sub_parent, k)
+        else:
+            factory = _diamdom_factory(sub_root, k)
+        dom_runs.append((network, factory))
+        cluster_info.append((cluster, sub, sub_parent, sub_root))
+    networks, combined = run_in_parallel(dom_runs)
+    staged.record("cluster-domination", combined)
+
+    wave_runs = []
+    for network, (cluster, sub, _sub_parent, _sub_root) in zip(
+        networks, cluster_info
+    ):
+        flags = network.output_field("in_dominating_set")
+        cluster_dominators = {v for v, flag in flags.items() if flag}
+        if not cluster_dominators:
+            raise RuntimeError(
+                f"cluster {cluster.center} produced an empty dominating set"
+            )
+        dominators |= cluster_dominators
+        wave_network = Network(sub)
+        wave_runs.append(
+            (
+                wave_network,
+                _wave_factory(cluster_dominators, k),
+            )
+        )
+    wave_networks, wave_combined = run_in_parallel(wave_runs)
+    staged.record("cluster-partition", wave_combined)
+
+    for wave_network, (cluster, _sub, _p, _r) in zip(wave_networks, cluster_info):
+        assignment = wave_network.output_field("dominator")
+        for v, dom in assignment.items():
+            if dom is None:
+                raise RuntimeError(
+                    f"node {v} found no dominator within {k} hops in its "
+                    f"cluster; the per-cluster set is not k-dominating "
+                    f"(reproduction note R1 applies to method='diamdom')"
+                )
+            center_map[v] = dom
+    return dominators, Partition.from_center_map(center_map), staged
+
+
+def _dp_factory(sub_root, sub_parent, k):
+    return lambda ctx: TreeKDomProgram(ctx, sub_root, sub_parent, k)
+
+
+def _diamdom_factory(sub_root, k):
+    return lambda ctx: DiamDOMProgram(ctx, sub_root, k)
+
+
+def _wave_factory(cluster_dominators, k):
+    return lambda ctx: NearestDominatorProgram(
+        ctx, ctx.node in cluster_dominators, k
+    )

@@ -1,0 +1,169 @@
+"""Distributed minimum k-dominating set on a tree, plus the induced
+nearest-dominator partition.
+
+This is the library's *correct-by-construction* cluster subroutine (see
+the reproduction note R1 in :mod:`repro.core.existence`): a single
+convergecast evaluates the classic tree k-domination DP, so the output
+is an exact minimum — hence at most ``floor(n / (k + 1))`` for
+``n >= k + 1`` by Meir–Moon, which is precisely the bound Lemma 2.1
+needs — and is always k-dominating.  A k-round multi-source wave then
+assigns every node its nearest dominator, yielding the partition of
+§1.2 with ``Rad(P) <= k`` (Corollary 3.9(b)).
+
+Round complexity: ``O(depth(T) + k)`` — the same budget the paper
+spends running ``DiamDOM`` inside a cluster.
+
+Message contents are ``O(log k)`` bits: the DP state is a pair of
+distances capped at ``k + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from ..sim.model import Envelope
+from ..sim.network import Network
+from ..sim.program import Context, NodeProgram, ScriptedProgram
+from ..sim.runner import StagedRun
+from .existence import _require_k
+
+#: Sentinel for "no uncovered node in the subtree".
+NO_UNCOVERED = -1
+
+
+class TreeKDomProgram(NodeProgram):
+    """Bottom-up DP convergecast; marks ``in_dominating_set``.
+
+    Per-node state sent to the parent: ``(uncov, cov)`` where ``uncov``
+    is the distance to the farthest uncovered node in the subtree
+    (``-1`` for none) and ``cov`` the distance to the nearest subtree
+    dominator (capped at ``k + 1`` = "unusable").
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        root: Any,
+        parent_of: Dict[Any, Optional[Any]],
+        k: int,
+    ):
+        super().__init__(ctx)
+        _require_k(k)
+        self.k = k
+        self.is_root = ctx.node == root
+        self.parent = parent_of.get(ctx.node)
+        self.children = tuple(
+            nb for nb in ctx.neighbors if parent_of.get(nb) == ctx.node
+        )
+        self._child_states: List[Tuple[int, int]] = []
+        self.in_dominating_set = False
+
+    def _maybe_fire(self) -> None:
+        if len(self._child_states) < len(self.children):
+            return
+        cap = self.k + 1
+        uncov_candidates = [0] + [
+            u + 1 for u, _c in self._child_states if u != NO_UNCOVERED
+        ]
+        a = max(uncov_candidates)
+        cov_candidates = [min(c + 1, cap) for _u, c in self._child_states]
+        b = min(cov_candidates) if cov_candidates else cap
+        if a + b <= self.k:
+            state = (NO_UNCOVERED, b)
+        elif a >= self.k:
+            self.in_dominating_set = True
+            state = (NO_UNCOVERED, 0)
+        else:
+            state = (a, b)
+        if self.is_root:
+            if state[0] != NO_UNCOVERED:
+                self.in_dominating_set = True
+        else:
+            self.send(self.parent, "DP", state[0], state[1])
+        self.output["in_dominating_set"] = self.in_dominating_set
+        self.halt()
+
+    def on_start(self) -> None:
+        self._maybe_fire()
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        for envelope in inbox:
+            if envelope.tag() == "DP":
+                self._child_states.append(
+                    (envelope.payload[1], envelope.payload[2])
+                )
+        self._maybe_fire()
+
+
+class NearestDominatorProgram(ScriptedProgram):
+    """k-round multi-source wave assigning each node its closest
+    dominator (ties to the smallest id), the partition rule of §1.2.
+
+    Outputs: ``dominator`` (or ``None`` if out of range — impossible for
+    a genuinely k-dominating input) and ``dominator_distance``.
+    """
+
+    def __init__(self, ctx: Context, is_dominator: bool, k: int):
+        super().__init__(ctx)
+        _require_k(k)
+        self.k = k
+        self.is_dominator = is_dominator
+        self.dominator: Optional[Any] = None
+        self.dominator_distance: Optional[int] = None
+
+    def script(self):
+        if self.is_dominator:
+            self.dominator = self.node
+            self.dominator_distance = 0
+            if self.k > 0:
+                self.broadcast("DOM", self.node, 1)
+        for distance in range(1, self.k + 1):
+            inbox = yield
+            if self.dominator is None:
+                offers = sorted(
+                    envelope.payload[1]
+                    for envelope in inbox
+                    if envelope.tag() == "DOM"
+                )
+                if offers:
+                    self.dominator = offers[0]
+                    self.dominator_distance = distance
+                    if distance < self.k:
+                        self.broadcast("DOM", self.dominator, distance + 1)
+        self.output["dominator"] = self.dominator
+        self.output["dominator_distance"] = self.dominator_distance
+
+
+def tree_kdominating_set(
+    graph: Graph,
+    root: Any,
+    parent_of: Dict[Any, Optional[Any]],
+    k: int,
+    staged: Optional[StagedRun] = None,
+) -> Tuple[Set[Any], Partition, StagedRun]:
+    """Run the DP + partition wave on a tree with known parent pointers.
+
+    Returns (dominating set, nearest-dominator partition, staging info).
+    """
+    staged = staged if staged is not None else StagedRun()
+
+    dp_network = Network(graph)
+    dp_network.run(lambda ctx: TreeKDomProgram(ctx, root, parent_of, k))
+    staged.record("kdom-dp", dp_network.metrics)
+    flags = dp_network.output_field("in_dominating_set")
+    dominators = {v for v, flag in flags.items() if flag}
+
+    wave_network = Network(graph)
+    wave_network.run(lambda ctx: NearestDominatorProgram(ctx, ctx.node in dominators, k))
+    staged.record("kdom-partition", wave_network.metrics)
+    assignment = wave_network.output_field("dominator")
+    missing = [v for v, d in assignment.items() if d is None]
+    if missing:
+        raise RuntimeError(
+            f"nodes {missing!r} found no dominator within {k} hops; "
+            f"the dominating set is not k-dominating"
+        )
+    partition = Partition.from_center_map(assignment)
+    return dominators, partition, staged

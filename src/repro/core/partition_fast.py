@@ -1,0 +1,217 @@
+"""Algorithm ``DOM_Partition(k)`` (§3.2.3, Fig. 7) — the O(k log* n)
+tree partitioning.
+
+``DOM_Partition_2`` pays O(k) physical rounds per virtual round in
+*every* iteration because some cluster may already have Θ(k) diameter.
+The fast variant caps phase ``i`` at O(2^i) time by letting only
+clusters of radius at most ``2 * 2^i`` participate; larger clusters wait
+in a set ``W`` and are returned to the forest at the start of the next
+phase (step 3-I).  A participating cluster whose tree became a
+singleton (all neighbours waiting) merges *onto* a waiting neighbour at
+a node ``w`` of depth at most ``k`` (step 3-IV), which bounds the depth
+growth; clusters whose depth reaches ``k + 1`` are moved to the output
+by the standing depth test.  Total time: ``sum_i O(2^i log* n)`` =
+``O(k log* n)`` (Lemma 3.8).
+
+Guarantees (Lemma 3.7): the output is a partition with
+``|C| >= k + 1`` and ``Rad(C) <= 5k + 2`` for every cluster.
+
+Reproduction notes:
+
+* R2 (see :mod:`repro.core.partition_bounded`) applies here too: the
+  post-loop flush moves surviving clusters (live and waiting) to the
+  output / side set.
+* R3: the paper's per-phase accounting is reproduced by charging each
+  phase ``i``: the participation probe (O(2^i)), the 3-IV handshake
+  (O(2^i)), and the BalancedDOM run at ``2 r + 1`` physical rounds per
+  virtual round where ``r <= 2 * 2^i`` is the maximum *participating*
+  radius — exactly the cap the paper engineers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..graphs.distances import bfs_distances
+from ..graphs.graph import Graph
+from ..graphs.partition import Cluster, Partition
+from ..sim.runner import StagedRun
+from ..sim.virtual import VirtualNetwork
+from .partition_bounded import _merge_side_set
+from .partition_common import (
+    build_contracted_forest,
+    cluster_depth,
+    cluster_depths,
+    contracted_parent_map,
+    log2_phase_count,
+    merge_by_center_map,
+    recompute_top,
+    singleton_clusters,
+    tops_by_member,
+)
+
+
+def dom_partition(
+    tree: Graph,
+    root: Any,
+    t_parent: Dict[Any, Optional[Any]],
+    k: int,
+) -> Tuple[Partition, StagedRun]:
+    """Run the fast ``DOM_Partition(k)`` on a rooted tree, n >= k + 1."""
+    if tree.num_nodes < k + 1:
+        raise ValueError(
+            f"DOM_Partition requires n >= k + 1 (n={tree.num_nodes}, k={k})"
+        )
+    t_depth = bfs_distances(tree, root)
+    staged = StagedRun()
+    live: Dict[Any, Set[Any]] = singleton_clusters(tree)
+    waiting: Dict[Any, Set[Any]] = {}
+    out: Dict[Any, Set[Any]] = {}
+    side: List[Set[Any]] = []
+
+    for phase in range(1, log2_phase_count(k) + 1):
+        radius_cap = 2 * (1 << phase)
+        # (3-I) Return the waiting clusters to the forest.
+        live.update(waiting)
+        waiting = {}
+        if not live:
+            break
+        # Standing depth test (the §3.2.3 implementation note): clusters
+        # whose depth counters exceeded k move to the output.
+        removed_any = _remove_deep_clusters(tree, live, out, k)
+        # (3-II/3-III) Participation probe: clusters with radius above
+        # 2 * 2^i wait this phase out.  Cost: a probe to depth 2 * 2^i
+        # and back.
+        staged.add_rounds(f"probe-{phase}", 2 * radius_cap + 1)
+        for top in sorted(live, key=str):
+            if cluster_depth(tree, live[top], top) > radius_cap:
+                waiting[top] = live.pop(top)
+        # (3-IV) Lone participating clusters merge onto an eligible
+        # waiting neighbour, or retire to the side set.
+        _absorb_lone_clusters(tree, live, waiting, side, k, staged, phase)
+        if not live:
+            continue
+        # (3a) BalancedDOM on the participating forest, then contract.
+        center_map, virtual = _run_balanced_on_participants(
+            tree, live, t_parent
+        )
+        cost = virtual.virtual_rounds * (2 * min(virtual.round_cost // 2, radius_cap) + 1)
+        staged.add_rounds(f"balanced-{phase}", cost)
+        live = merge_by_center_map(live, center_map, t_depth)
+        # (3b) Deep merged clusters move to the output.
+        _remove_deep_clusters(tree, live, out, k)
+
+    # Post-loop flush (R2): everything left joins the output if large
+    # enough, else the side set.
+    for pool in (live, waiting):
+        for top in sorted(pool, key=str):
+            members = pool[top]
+            if len(members) >= k + 1:
+                out[top] = members
+            else:
+                side.append(members)
+    # (4) Dispose of the side set as in DOM_Partition_2.
+    _merge_side_set(tree, out, side, k)
+    partition = Partition(
+        Cluster(recompute_top(members, t_depth), set(members))
+        for members in out.values()
+    )
+    return partition, staged
+
+
+def _remove_deep_clusters(
+    tree: Graph,
+    live: Dict[Any, Set[Any]],
+    out: Dict[Any, Set[Any]],
+    k: int,
+) -> bool:
+    removed = False
+    for top in sorted(live, key=str):
+        if cluster_depth(tree, live[top], top) >= k + 1:
+            out[top] = live.pop(top)
+            removed = True
+    return removed
+
+
+def _run_balanced_on_participants(
+    tree: Graph,
+    live: Dict[Any, Set[Any]],
+    t_parent: Dict[Any, Optional[Any]],
+):
+    from .small_dom_set import SmallDomSetProgram
+
+    contracted = build_contracted_forest(tree, live)
+    contracted_parents = contracted_parent_map(t_parent, live)
+    virtual = VirtualNetwork(contracted)
+    id_bound = max(
+        tree.num_nodes, max((v + 1 for v in tree.nodes), default=1)
+    )
+    virtual.run(
+        lambda ctx: SmallDomSetProgram(ctx, contracted_parents, id_bound=id_bound)
+    )
+    return virtual.output_field("dominator"), virtual
+
+
+def _absorb_lone_clusters(
+    tree: Graph,
+    live: Dict[Any, Set[Any]],
+    waiting: Dict[Any, Set[Any]],
+    side: List[Set[Any]],
+    k: int,
+    staged: StagedRun,
+    phase: int,
+) -> None:
+    """Step 3-IV: a participating cluster with no participating
+    neighbour merges onto a waiting neighbour at a node ``w`` with
+    ``Depth(w) <= k``; with no eligible host it moves to the side set.
+    """
+    live_owner = tops_by_member(live)
+    lone_tops = [
+        top for top in sorted(live, key=str)
+        if not _touches(tree, live[top], live_owner, top)
+    ]
+    if not lone_tops:
+        return
+    staged.add_rounds(f"absorb-{phase}", 2 * (1 << phase) + 2)
+    waiting_owner = tops_by_member(waiting)
+    waiting_depths: Dict[Any, Dict[Any, int]] = {}
+    for top in lone_tops:
+        members = live.pop(top)
+        host_top: Optional[Any] = None
+        for v in sorted(members, key=str):
+            for w in sorted(tree.neighbors(v), key=str):
+                candidate = waiting_owner.get(w)
+                if candidate is None:
+                    continue
+                if candidate not in waiting_depths:
+                    waiting_depths[candidate] = cluster_depths(
+                        tree, waiting[candidate], candidate
+                    )
+                if waiting_depths[candidate][w] <= k:
+                    host_top = candidate
+                    break
+            if host_top is not None:
+                break
+        if host_top is None:
+            side.append(members)
+        else:
+            waiting[host_top] |= members
+            for v in members:
+                waiting_owner[v] = host_top
+            # Step 3-IV(iii): depth values inside the host are refreshed;
+            # our bookkeeping recomputes them on demand.
+            waiting_depths.pop(host_top, None)
+
+
+def _touches(
+    tree: Graph,
+    members: Set[Any],
+    owner: Dict[Any, Any],
+    top: Any,
+) -> bool:
+    for v in members:
+        for u in tree.neighbors(v):
+            other = owner.get(u)
+            if other is not None and other != top:
+                return True
+    return False

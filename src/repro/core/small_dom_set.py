@@ -1,0 +1,130 @@
+"""Procedure ``Small-Dom-Set`` — the Lemma 3.2 contract.
+
+The paper uses the `[GKP]` procedure as a black box with this contract
+(Lemma 3.2): on an n-vertex tree, n >= 2, compute a dominating set ``D``
+with ``|D| <= ceil(n / 2)`` in ``O(log* n)`` rounds with O(log n)-bit
+messages, such that every node of ``D`` has a neighbour outside ``D``.
+The `[GKP]` internals are not reproduced in this paper, so we supply a
+contract-equivalent construction (DESIGN.md §2):
+
+1. 3-colour the rooted tree (Cole–Vishkin + shift-down, O(log* n));
+2. compute a maximal matching (three colour-phases, O(1) extra);
+3. every unmatched node *attaches* to a matched neighbour (one exists,
+   by maximality), which thereby becomes a dominator; matched pairs
+   where neither endpoint attracted an attachment elect their
+   smaller-id endpoint.
+
+The output clusters are stars centred at dominators, every cluster has
+at least two nodes, and exactly one dominator per cluster gives
+``|D| <= floor(n / 2)`` — so the construction also satisfies the
+*balanced* property (c) of Definition 3.1 directly (the paper obtains
+it by repairing singletons, see :mod:`repro.core.balanced_dom`).
+
+Isolated nodes (possible when the procedure runs on a forest) become
+singleton self-dominating clusters flagged ``singleton``; callers that
+require property (c) must not feed isolated nodes (the partition
+algorithms of §3.2 remove single-node trees before invoking this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+from ..sim.network import Network
+from ..symmetry.matching import TreeMatchingProgram
+
+
+class SmallDomSetProgram(TreeMatchingProgram):
+    """Distributed star-partition dominating set on a rooted forest.
+
+    Outputs: ``in_dominating_set`` (bool), ``dominator`` (cluster
+    centre; self for dominators), ``singleton`` (True only for isolated
+    nodes).
+    """
+
+    def script(self):
+        yield from self.run_three_coloring()
+        yield from self.run_matching()
+        yield from self.run_star_partition()
+        self.output["color"] = self.color
+        self.output["partner"] = self.partner
+        self.output["in_dominating_set"] = self.in_dominating_set
+        self.output["dominator"] = self.dominator
+        self.output["singleton"] = self.singleton
+
+    def run_star_partition(self):
+        self.in_dominating_set = False
+        self.dominator: Optional[Any] = None
+        self.singleton = False
+
+        if not self.neighbors:
+            # Isolated node: self-dominating singleton (callers avoid this).
+            self.in_dominating_set = True
+            self.dominator = self.node
+            self.singleton = True
+            yield
+            yield
+            return
+
+        # Slot A: unmatched nodes attach to their smallest matched
+        # neighbour (every neighbour is matched, by maximality).
+        attach_target: Optional[Any] = None
+        if self.partner is None:
+            candidates = sorted(
+                nb for nb in self.neighbors if nb in self.known_matched
+            )
+            if not candidates:  # pragma: no cover - maximality guarantees
+                raise RuntimeError(
+                    f"unmatched node {self.node} has no matched neighbour"
+                )
+            attach_target = candidates[0]
+            self.send(attach_target, "ATTACH")
+            self.dominator = attach_target
+        inbox = yield
+
+        # Slot B: matched nodes tell their partner whether they
+        # attracted attachments (and hence must be a dominator).
+        got_attachment = any(e.tag() == "ATTACH" for e in inbox)
+        if self.partner is not None:
+            self.send(self.partner, "PAIR", got_attachment)
+        inbox = yield
+
+        # Slot C: resolve roles within each matched pair.
+        if self.partner is not None:
+            partner_got = False
+            for envelope in inbox:
+                if envelope.tag() == "PAIR" and envelope.sender == self.partner:
+                    partner_got = envelope.payload[1]
+            if got_attachment:
+                self.in_dominating_set = True
+                self.dominator = self.node
+            elif partner_got:
+                self.dominator = self.partner
+            else:
+                center = min(self.node, self.partner)
+                self.in_dominating_set = center == self.node
+                self.dominator = center
+
+
+def small_dom_set(
+    graph: Graph,
+    parent_of: Dict[Any, Optional[Any]],
+    word_limit: int = 8,
+) -> Tuple[Set[Any], Partition, "Network"]:
+    """Run ``Small-Dom-Set`` on a rooted forest.
+
+    Returns (dominating set, star partition, network).
+    """
+    from ..symmetry.cole_vishkin import derive_id_bound
+
+    network = Network(graph, word_limit=word_limit)
+    bound = derive_id_bound(graph)
+    network.run(
+        lambda ctx: SmallDomSetProgram(ctx, parent_of, id_bound=bound)
+    )
+    flags = network.output_field("in_dominating_set")
+    dominators = {v for v, flag in flags.items() if flag}
+    partition = Partition.from_center_map(network.output_field("dominator"))
+    return dominators, partition, network

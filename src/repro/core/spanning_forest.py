@@ -1,0 +1,296 @@
+"""Procedure ``SimpleMST`` (§4.1–4.4): a ``(k + 1, n)`` spanning forest
+of MST fragments in ``O(k)`` rounds.
+
+A controlled Gallager–Humblet–Spira process: nodes start as singleton
+fragments; in each synchronous phase ``i`` (``i = 1 .. ceil(log2(k+1))``)
+every fragment whose rooted depth is at most ``2^i`` is *active* and
+merges along its minimum-weight outgoing edge; deeper fragments sit the
+phase out (but still accept merges onto them).  After the last phase
+every fragment has at least ``k + 1`` nodes (active fragments at least
+double per phase; a halted fragment already has more than ``2^i``
+nodes), every fragment tree is a subtree of the MST (cut rule, distinct
+weights), and the total time is ``sum_i O(2^i) = O(k)``.
+
+Phase schedule (all nodes share it, derived from ``k``), with
+``L = 2^i``; one slot = one round:
+
+=========  =======================================================
+slots      action
+=========  =======================================================
+0..L       probe: root floods its id with depth labels to depth L
+L+1..2L+1  echo: depth-d nodes report ``too_deep`` at slot 2L+1-d
+2L+2..3L+1 root broadcasts ACTIVE if depth <= L
+3L+1       every active node sends its fragment id over all edges
+3L+2       edges classified internal/outgoing; local MOE chosen
+3L+2..4L+2 convergecast: depth-d nodes upcast subtree MOE at
+           slot 4L+2-d, discarding all but the lightest (the paper's
+           "discarded once a lower weight edge is known")
+4L+2..5L+2 rootship transfer: XFR token walks to the MOE endpoint,
+           reversing parent pointers en route
+5L+2       the new root sends CONNECT over the MOE
+5L+3       merges resolve: reciprocal CONNECT -> higher id wins the
+           combined root; otherwise the sender is absorbed
+=========  =======================================================
+
+Phase length ``5 * 2^i + 3`` (the paper states ``5 * 2^i + 2``; one
+slot of difference from making the id-exchange its own slot —
+reproduction note R4; the O(k) total of Lemma 4.1 is unaffected).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..graphs.graph import Graph
+from ..sim.model import Envelope
+from ..sim.network import Network
+from ..sim.program import Context, ScriptedProgram
+from .partition_common import log2_phase_count
+
+#: Sentinel id for "the minimum outgoing edge lives at this very node".
+_SELF = "self"
+
+
+class SimpleMSTProgram(ScriptedProgram):
+    """One node of Procedure ``SimpleMST``.
+
+    Outputs: ``parent`` (fragment-tree parent or None), ``children``,
+    ``is_root``, ``fragment_id`` (possibly stale in halted fragments —
+    faithful to §4.2's discussion), ``tree_edges`` (incident MST edges).
+    """
+
+    def __init__(self, ctx: Context, k: int):
+        super().__init__(ctx)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        self.phases = log2_phase_count(k)
+        self.parent: Optional[Any] = None
+        self.children: Set[Any] = set()
+        self.is_root = True
+        self.fragment_id: Any = ctx.node
+
+    # ------------------------------------------------------------------
+    def script(self):
+        for i in range(1, self.phases + 1):
+            yield from self.run_phase(2 ** i)
+        self.output["parent"] = self.parent
+        self.output["children"] = tuple(sorted(self.children, key=str))
+        self.output["is_root"] = self.is_root
+        self.output["fragment_id"] = self.fragment_id
+        tree_edges = set(self.children)
+        if self.parent is not None:
+            tree_edges.add(self.parent)
+        self.output["tree_edges"] = tuple(sorted(tree_edges, key=str))
+
+    # ------------------------------------------------------------------
+    def run_phase(self, L: int):
+        # Per-phase state.
+        self.depth: Optional[int] = None
+        self.active = False
+        self._too_deep = False
+        self._echo_too_deep = False
+        self._best_weight: Optional[float] = None
+        self._best_source: Optional[Any] = None  # child id or _SELF
+        self._own_edge_target: Optional[Any] = None
+        self._is_vstar = False
+        self._sent_connect_to: Optional[Any] = None
+        self._got_connect_from: Set[Any] = set()
+
+        # Slot 0: roots launch the probe.
+        if self.is_root:
+            self.depth = 0
+            self.fragment_id = self.node
+            if L >= 1:
+                for child in sorted(self.children, key=str):
+                    self.send(child, "PRB", self.node, 1)
+        for slot in range(1, 5 * L + 4):
+            inbox = yield
+            self._phase_slot(slot, L, inbox)
+
+    # ------------------------------------------------------------------
+    def _phase_slot(self, slot: int, L: int, inbox: List[Envelope]) -> None:
+        for envelope in inbox:
+            tag = envelope.tag()
+            if tag == "PRB":
+                self._handle_probe(envelope, L)
+            elif tag == "ECH":
+                if envelope.payload[1]:
+                    self._echo_too_deep = True
+            elif tag == "ACT":
+                self._handle_active(envelope)
+            elif tag == "MOE":
+                self._handle_moe(envelope)
+            elif tag == "XFR":
+                self._handle_transfer(envelope)
+            elif tag == "CON":
+                self._got_connect_from.add(envelope.sender)
+            # FID handled collectively below.
+
+        # Echo schedule: depth-d nodes report at slot 2L + 1 - d.
+        if (
+            self.depth is not None
+            and not self.is_root
+            and slot == 2 * L + 1 - self.depth
+        ):
+            self.send(self.parent, "ECH", self._too_deep or self._echo_too_deep)
+        # Root verdict at slot 2L + 1.
+        if self.is_root and slot == 2 * L + 1:
+            self.active = not (self._too_deep or self._echo_too_deep)
+            if self.active:
+                for child in sorted(self.children, key=str):
+                    self.send(child, "ACT")
+        # Fragment-id exchange at slot 3L + 1.
+        if slot == 3 * L + 1 and self.active:
+            for neighbor in self.neighbors:
+                self.send(neighbor, "FID", self.fragment_id)
+        # Edge classification at slot 3L + 2.
+        if slot == 3 * L + 2 and self.active:
+            self._classify_edges(inbox)
+        # Convergecast schedule: depth-d nodes upcast at slot 4L + 2 - d.
+        if (
+            self.active
+            and self.depth is not None
+            and slot == 4 * L + 2 - self.depth
+        ):
+            if self.is_root:
+                self._launch_transfer()
+            else:
+                self.send(self.parent, "MOE", self._best_weight)
+        # CONNECT at slot 5L + 2.
+        if slot == 5 * L + 2 and self._is_vstar and self._own_edge_target is not None:
+            self._sent_connect_to = self._own_edge_target
+            self.send(self._own_edge_target, "CON", self.node)
+        # Merge resolution at slot 5L + 3.
+        if slot == 5 * L + 3:
+            self._resolve_merges()
+
+    # -- probe / activity ------------------------------------------------
+    def _handle_probe(self, envelope: Envelope, L: int) -> None:
+        _tag, root_id, depth = envelope.payload
+        self.depth = depth
+        self.fragment_id = root_id
+        if depth < L:
+            for child in sorted(self.children, key=str):
+                self.send(child, "PRB", root_id, depth + 1)
+        elif self.children:
+            # The fragment continues below the probe horizon.
+            self._too_deep = True
+
+    def _handle_active(self, envelope: Envelope) -> None:
+        self.active = True
+        for child in sorted(self.children, key=str):
+            self.send(child, "ACT")
+
+    # -- minimum outgoing edge ---------------------------------------------
+    def _classify_edges(self, inbox: List[Envelope]) -> None:
+        same_fragment = {
+            envelope.sender
+            for envelope in inbox
+            if envelope.tag() == "FID" and envelope.payload[1] == self.fragment_id
+        }
+        candidates = [
+            (self.ctx.weight(nb), nb)
+            for nb in self.neighbors
+            if nb not in same_fragment
+        ]
+        if candidates:
+            weight, target = min(candidates)
+            self._best_weight = weight
+            self._best_source = _SELF
+            self._own_edge_target = target
+
+    def _handle_moe(self, envelope: Envelope) -> None:
+        weight = envelope.payload[1]
+        if weight is None:
+            return
+        if self._best_weight is None or weight < self._best_weight:
+            self._best_weight = weight
+            self._best_source = envelope.sender
+
+    # -- rootship transfer ----------------------------------------------------
+    def _launch_transfer(self) -> None:
+        if self._best_weight is None:
+            return  # no outgoing edge anywhere: the fragment spans G
+        if self._best_source == _SELF:
+            self._is_vstar = True
+            return
+        self._pass_rootship(self._best_source)
+
+    def _handle_transfer(self, envelope: Envelope) -> None:
+        old_parent = envelope.sender
+        self.children.add(old_parent)
+        self.parent = None
+        if self._best_source == _SELF or self._best_source is None:
+            self._is_vstar = True
+            self.is_root = True
+        else:
+            self._pass_rootship(self._best_source)
+
+    def _pass_rootship(self, child: Any) -> None:
+        self.send(child, "XFR")
+        self.children.discard(child)
+        self.parent = child
+        self.is_root = False
+
+    # -- merging ----------------------------------------------------------
+    def _resolve_merges(self) -> None:
+        for sender in sorted(self._got_connect_from, key=str):
+            if self._sent_connect_to == sender:
+                # Reciprocal CONNECT over the shared minimum edge: the
+                # higher id becomes the root of the combined fragment.
+                if self.node > sender:
+                    self.children.add(sender)
+                else:
+                    self.parent = sender
+                    self.is_root = False
+            else:
+                # Another fragment merged onto us here.
+                self.children.add(sender)
+        if (
+            self._sent_connect_to is not None
+            and self._sent_connect_to not in self._got_connect_from
+        ):
+            # One-sided CONNECT: we are absorbed by the other fragment.
+            self.parent = self._sent_connect_to
+            self.is_root = False
+
+
+def simple_mst_forest(
+    graph: Graph, k: int, word_limit: int = 8
+) -> Tuple[Dict[Any, Optional[Any]], List[Set[Any]], "Network"]:
+    """Run Procedure ``SimpleMST`` on a weighted graph.
+
+    Returns (fragment parent map, list of fragment node sets, network).
+    """
+    network = Network(graph, word_limit=word_limit)
+    network.run(lambda ctx: SimpleMSTProgram(ctx, k))
+    parents = network.output_field("parent")
+    fragments = _components_from_parents(parents)
+    return parents, fragments, network
+
+
+def _components_from_parents(
+    parents: Dict[Any, Optional[Any]]
+) -> List[Set[Any]]:
+    adjacency: Dict[Any, Set[Any]] = {v: set() for v in parents}
+    for v, p in parents.items():
+        if p is not None:
+            adjacency[v].add(p)
+            adjacency[p].add(v)
+    seen: Set[Any] = set()
+    components: List[Set[Any]] = []
+    for start in sorted(parents, key=str):
+        if start in seen:
+            continue
+        stack = [start]
+        component = set()
+        while stack:
+            v = stack.pop()
+            if v in component:
+                continue
+            component.add(v)
+            stack.extend(adjacency[v] - component)
+        seen |= component
+        components.append(component)
+    return components

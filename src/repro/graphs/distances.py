@@ -1,0 +1,136 @@
+"""Unweighted (hop-count) distance utilities.
+
+The paper measures all diameters/radii "in the unweighted sense, i.e.,
+in number of hops" (§1.2); these helpers implement exactly that via BFS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, List, Tuple
+
+from .graph import Graph
+
+
+def bfs_distances(graph: Graph, source: Any) -> Dict[Any, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def bfs_tree(graph: Graph, source: Any) -> Tuple[Dict[Any, int], Dict[Any, Any]]:
+    """Distances and BFS-tree parents (parent of source is None).
+
+    Ties between potential parents break toward the smallest neighbour,
+    matching the deterministic tie-breaking the simulator uses.
+    """
+    dist = {source: 0}
+    parent: Dict[Any, Any] = {source: None}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in sorted(graph.neighbors(v), key=str):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                parent[u] = v
+                queue.append(u)
+    return dist, parent
+
+
+def distance(graph: Graph, u: Any, v: Any) -> int:
+    dist = bfs_distances(graph, u)
+    if v not in dist:
+        raise ValueError(f"{v} unreachable from {u}")
+    return dist[v]
+
+
+def eccentricity(graph: Graph, v: Any) -> int:
+    dist = bfs_distances(graph, v)
+    if len(dist) != graph.num_nodes:
+        raise ValueError("graph is disconnected")
+    return max(dist.values())
+
+
+def diameter(graph: Graph) -> int:
+    """Exact hop diameter (all-sources BFS; fine at laptop scale)."""
+    if graph.num_nodes == 0:
+        return 0
+    return max(eccentricity(graph, v) for v in graph.nodes)
+
+
+def radius_and_center(graph: Graph) -> Tuple[int, Any]:
+    """The graph radius and one centre vertex attaining it."""
+    if graph.num_nodes == 0:
+        raise ValueError("empty graph has no centre")
+    best_node = None
+    best_ecc = None
+    for v in sorted(graph.nodes, key=str):
+        ecc = eccentricity(graph, v)
+        if best_ecc is None or ecc < best_ecc:
+            best_ecc, best_node = ecc, v
+    return best_ecc, best_node
+
+
+def radius(graph: Graph) -> int:
+    return radius_and_center(graph)[0]
+
+
+def radius_within(graph: Graph, members: Iterable[Any], center: Any) -> int:
+    """Eccentricity of ``center`` in the subgraph induced by ``members``.
+
+    Used to check cluster-radius claims (Rad measured *inside* the
+    cluster, as in the paper's Definition 3.1 of spanning forests).
+    """
+    members = set(members)
+    if center not in members:
+        raise ValueError("center must be a member")
+    dist = {center: 0}
+    queue = deque([center])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u in members and u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    if set(dist) != members:
+        raise ValueError("members do not induce a connected subgraph")
+    return max(dist.values())
+
+
+def connected_components(graph: Graph) -> List[List[Any]]:
+    seen: Dict[Any, bool] = {}
+    components: List[List[Any]] = []
+    for start in graph.nodes:
+        if start in seen:
+            continue
+        component = []
+        queue = deque([start])
+        seen[start] = True
+        while queue:
+            v = queue.popleft()
+            component.append(v)
+            for u in graph.neighbors(v):
+                if u not in seen:
+                    seen[u] = True
+                    queue.append(u)
+        components.append(component)
+    return components
+
+
+def shortest_path(graph: Graph, source: Any, target: Any) -> List[Any]:
+    """One shortest (fewest-hops) path, inclusive of both endpoints."""
+    _dist, parent = bfs_tree(graph, source)
+    if target not in parent:
+        raise ValueError(f"{target} unreachable from {source}")
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path

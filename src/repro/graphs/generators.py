@@ -1,0 +1,305 @@
+"""Deterministic, seeded graph and tree generators.
+
+These supply the workloads for every experiment: tree families that
+stress the k-dominating-set algorithms (paths = deep, stars = shallow,
+caterpillars/brooms = mixed), and graph families for the MST experiments
+(grids and tori = low diameter relative to n, random connected graphs =
+dense fragment graphs, lollipops = pathological diameter).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """0 - 1 - 2 - ... - (n-1)."""
+    _require_positive(n)
+    g = Graph()
+    g.add_node(0)
+    for v in range(1, n):
+        g.add_edge(v - 1, v)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n: int) -> Graph:
+    """Centre 0 joined to leaves 1..n-1."""
+    _require_positive(n)
+    g = Graph()
+    g.add_node(0)
+    for v in range(1, n):
+        g.add_edge(0, v)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    _require_positive(n)
+    g = Graph()
+    for v in range(n):
+        g.add_node(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given height, rooted at 0."""
+    if branching < 1 or height < 0:
+        raise ValueError("branching >= 1 and height >= 0 required")
+    g = Graph()
+    g.add_node(0)
+    frontier = [0]
+    next_id = 1
+    for _level in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                g.add_edge(parent, next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return g
+
+
+def caterpillar_tree(spine: int, legs_per_node: int) -> Graph:
+    """A path of ``spine`` nodes, each with ``legs_per_node`` leaves."""
+    _require_positive(spine)
+    g = path_graph(spine)
+    next_id = spine
+    for v in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(v, next_id)
+            next_id += 1
+    return g
+
+
+def broom_tree(handle: int, bristles: int) -> Graph:
+    """A path of ``handle`` nodes with ``bristles`` leaves at the far end."""
+    _require_positive(handle)
+    g = path_graph(handle)
+    next_id = handle
+    for _ in range(bristles):
+        g.add_edge(handle - 1, next_id)
+        next_id += 1
+    return g
+
+
+def spider_tree(legs: int, leg_length: int) -> Graph:
+    """``legs`` paths of ``leg_length`` nodes glued at a centre (node 0)."""
+    if legs < 1 or leg_length < 1:
+        raise ValueError("legs >= 1 and leg_length >= 1 required")
+    g = Graph()
+    g.add_node(0)
+    next_id = 1
+    for _ in range(legs):
+        previous = 0
+        for _ in range(leg_length):
+            g.add_edge(previous, next_id)
+            previous = next_id
+            next_id += 1
+    return g
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform random labelled tree via a random Prüfer sequence."""
+    _require_positive(n)
+    if n == 1:
+        g = Graph()
+        g.add_node(0)
+        return g
+    if n == 2:
+        g = Graph()
+        g.add_edge(0, 1)
+        return g
+    rng = random.Random(seed)
+    pruefer = [rng.randrange(n) for _ in range(n - 2)]
+    return tree_from_pruefer(pruefer)
+
+
+def tree_from_pruefer(pruefer: Sequence[int]) -> Graph:
+    """Decode a Prüfer sequence over nodes 0..n-1 (n = len + 2)."""
+    n = len(pruefer) + 2
+    degree = [1] * n
+    for v in pruefer:
+        if not 0 <= v < n:
+            raise ValueError("Prüfer entry out of range")
+        degree[v] += 1
+    g = Graph()
+    for v in range(n):
+        g.add_node(v)
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in pruefer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, v)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    g.add_edge(u, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols grid; node (r, c) is numbered r * cols + c."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows, cols >= 1 required")
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_node(v)
+            if c > 0:
+                g.add_edge(v - 1, v)
+            if r > 0:
+                g.add_edge(v - cols, v)
+    return g
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """Grid with wraparound in both dimensions (diameter ~ (r+c)/2)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs rows, cols >= 3")
+    g = grid_graph(rows, cols)
+    for r in range(rows):
+        g.add_edge(r * cols, r * cols + cols - 1)
+    for c in range(cols):
+        g.add_edge(c, (rows - 1) * cols + c)
+    return g
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """A clique with a path attached: large n, large diameter."""
+    if clique_size < 3:
+        raise ValueError("clique_size >= 3 required")
+    g = complete_graph(clique_size)
+    previous = clique_size - 1
+    next_id = clique_size
+    for _ in range(path_length):
+        g.add_edge(previous, next_id)
+        previous = next_id
+        next_id += 1
+    return g
+
+
+def random_connected_graph(n: int, extra_edge_prob: float, seed: int = 0) -> Graph:
+    """A random tree plus each non-tree edge independently with the given
+    probability — connected by construction."""
+    _require_positive(n)
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ValueError("probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    g = random_tree(n, seed=rng.randrange(2**30))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v) and rng.random() < extra_edge_prob:
+                g.add_edge(u, v)
+    return g
+
+
+def random_graph_with_m_edges(n: int, m: int, seed: int = 0) -> Graph:
+    """A connected graph with exactly ``m`` edges (m >= n - 1)."""
+    _require_positive(n)
+    max_edges = n * (n - 1) // 2
+    if not n - 1 <= m <= max_edges:
+        raise ValueError(f"m must lie in [{n - 1}, {max_edges}]")
+    rng = random.Random(seed)
+    g = random_tree(n, seed=rng.randrange(2**30))
+    candidates = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not g.has_edge(u, v)
+    ]
+    rng.shuffle(candidates)
+    for u, v in candidates[: m - (n - 1)]:
+        g.add_edge(u, v)
+    return g
+
+
+def random_regular_graph(n: int, degree: int, seed: int = 0) -> Graph:
+    """A simple connected ``degree``-regular graph (pairing model with
+    rejection).  Classic low-diameter (expander-like) workload for the
+    MST experiments: diameter O(log n) at constant degree.
+
+    Requires ``n * degree`` even and ``degree >= 3`` (for connectivity
+    with high probability; we reject and retry until both simplicity
+    and connectivity hold).
+    """
+    if degree < 3 or degree >= n:
+        raise ValueError("3 <= degree < n required")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    rng = random.Random(seed)
+    from .validation import is_connected
+
+    for _attempt in range(1000):
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                ok = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if not ok:
+            continue
+        g = Graph()
+        for v in range(n):
+            g.add_node(v)
+        for u, v in edges:
+            g.add_edge(u, v)
+        if is_connected(g):
+            return g
+    raise RuntimeError(
+        f"failed to sample a connected {degree}-regular graph on {n} nodes"
+    )
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise ValueError("n >= 1 required")
+
+
+#: Named tree families used by parameterised tests and benchmarks.
+TREE_FAMILIES = {
+    "path": lambda n, seed=0: path_graph(n),
+    "star": lambda n, seed=0: star_graph(n),
+    "random": lambda n, seed=0: random_tree(n, seed=seed),
+    "caterpillar": lambda n, seed=0: caterpillar_tree(max(1, n // 4), 3),
+    "broom": lambda n, seed=0: broom_tree(max(1, n // 2), n - max(1, n // 2)),
+    "binary": lambda n, seed=0: balanced_tree(2, max(1, (n).bit_length() - 1)),
+}
+
+#: Named graph families used by the MST experiments.
+GRAPH_FAMILIES = {
+    "grid": lambda n, seed=0: grid_graph(_near_square(n), _near_square(n)),
+    "torus": lambda n, seed=0: torus_graph(
+        max(3, _near_square(n)), max(3, _near_square(n))
+    ),
+    "sparse-random": lambda n, seed=0: random_connected_graph(n, 4.0 / n, seed=seed),
+    "dense-random": lambda n, seed=0: random_connected_graph(n, 0.2, seed=seed),
+    "ring": lambda n, seed=0: cycle_graph(max(3, n)),
+}
+
+
+def _near_square(n: int) -> int:
+    side = max(2, round(n ** 0.5))
+    return side

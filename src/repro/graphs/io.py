@@ -1,0 +1,72 @@
+"""Plain-text edge-list serialisation for graphs.
+
+Format: one ``u v [weight]`` line per edge, ``#``-prefixed comments,
+and ``node v`` lines for isolated nodes.  Round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, TextIO, Union
+
+from .graph import Graph
+
+
+def dump_edge_list(graph: Graph) -> str:
+    lines: List[str] = [f"# nodes={graph.num_nodes} edges={graph.num_edges}"]
+    connected = set()
+    for u, v, w in sorted(graph.weighted_edges(), key=lambda t: (str(t[0]), str(t[1]))):
+        connected.add(u)
+        connected.add(v)
+        if w is None:
+            lines.append(f"{u} {v}")
+        else:
+            lines.append(f"{u} {v} {w}")
+    for v in sorted(graph.nodes, key=str):
+        if v not in connected:
+            lines.append(f"node {v}")
+    return "\n".join(lines) + "\n"
+
+
+def load_edge_list(text: str) -> Graph:
+    graph = Graph()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "node":
+            if len(parts) != 2:
+                raise ValueError(f"line {line_number}: malformed node line")
+            graph.add_node(_parse_node(parts[1]))
+            continue
+        if len(parts) == 2:
+            graph.add_edge(_parse_node(parts[0]), _parse_node(parts[1]))
+        elif len(parts) == 3:
+            graph.add_edge(
+                _parse_node(parts[0]), _parse_node(parts[1]), _parse_weight(parts[2])
+            )
+        else:
+            raise ValueError(f"line {line_number}: expected 'u v [w]'")
+    return graph
+
+
+def write_edge_list(graph: Graph, stream: TextIO) -> None:
+    stream.write(dump_edge_list(graph))
+
+
+def read_edge_list(stream: TextIO) -> Graph:
+    return load_edge_list(stream.read())
+
+
+def _parse_node(token: str) -> Any:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _parse_weight(token: str) -> Union[int, float]:
+    try:
+        return int(token)
+    except ValueError:
+        return float(token)

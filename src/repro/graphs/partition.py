@@ -1,0 +1,110 @@
+"""Cluster and partition structures.
+
+The paper's output objects: a dominating set ``D`` and an associated
+partition ``P`` assigning every node a dominator/centre.  A
+:class:`Cluster` is one block (centre + members); a :class:`Partition`
+is the full collection with the disjoint-cover invariant enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Set
+
+from .distances import radius_within
+from .graph import Graph
+
+
+@dataclass
+class Cluster:
+    """One block of a partition: a centre and its member set."""
+
+    center: Any
+    members: Set[Any] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.members = set(self.members)
+        self.members.add(self.center)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def radius_in(self, graph: Graph) -> int:
+        """Radius around the centre inside the induced subgraph."""
+        return radius_within(graph, self.members, self.center)
+
+    def __contains__(self, v: Any) -> bool:
+        return v in self.members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster(center={self.center}, size={self.size})"
+
+
+class Partition:
+    """A disjoint cover of a graph's nodes by centred clusters."""
+
+    def __init__(self, clusters: Iterable[Cluster]):
+        self.clusters: List[Cluster] = list(clusters)
+        self.center_of: Dict[Any, Any] = {}
+        for cluster in self.clusters:
+            for v in cluster.members:
+                if v in self.center_of:
+                    raise ValueError(f"node {v} appears in two clusters")
+                self.center_of[v] = cluster.center
+
+    @classmethod
+    def from_center_map(cls, center_of: Dict[Any, Any]) -> "Partition":
+        """Build from a node -> centre assignment (centres map to
+        themselves or are added implicitly)."""
+        members: Dict[Any, Set[Any]] = {}
+        for v, center in center_of.items():
+            members.setdefault(center, set()).add(v)
+        for center in members:
+            members[center].add(center)
+        return cls(Cluster(center, nodes) for center, nodes in members.items())
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def centers(self) -> List[Any]:
+        return [cluster.center for cluster in self.clusters]
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self, v: Any) -> Cluster:
+        center = self.center_of[v]
+        for cluster in self.clusters:
+            if cluster.center == center:
+                return cluster
+        raise KeyError(v)  # pragma: no cover - unreachable by construction
+
+    def covers(self, nodes: Iterable[Any]) -> bool:
+        return set(nodes) == set(self.center_of)
+
+    def min_cluster_size(self) -> int:
+        return min((c.size for c in self.clusters), default=0)
+
+    def max_radius_in(self, graph: Graph) -> int:
+        """max over clusters of the radius inside the induced subgraph
+        (the paper's Rad(P))."""
+        return max((c.radius_in(graph) for c in self.clusters), default=0)
+
+    def max_radius_in_graph(self, graph: Graph) -> int:
+        """max over nodes of dist_G(v, centre(v)) — domination radius
+        measured in the whole graph (weaker than :meth:`max_radius_in`)."""
+        from .distances import bfs_distances
+
+        worst = 0
+        for cluster in self.clusters:
+            dist = bfs_distances(graph, cluster.center)
+            for v in cluster.members:
+                worst = max(worst, dist[v])
+        return worst
+
+    def __iter__(self) -> Iterator[Cluster]:
+        return iter(self.clusters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Partition(clusters={self.num_clusters}, nodes={len(self.center_of)})"

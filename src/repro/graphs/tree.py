@@ -1,0 +1,133 @@
+"""Rooted-tree views.
+
+Most algorithms in the paper operate on a tree with a distinguished root
+(the BFS tree of Procedure ``Initialize``, MST fragments, the clusters'
+spanning trees).  :class:`RootedTree` is the sequential-side view of such
+a tree: parent/children maps, depths, and traversal orders.  It is used
+by verifiers and by the sequential reference constructions — the
+distributed algorithms themselves learn this structure through messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .graph import Graph
+from .validation import is_tree
+
+
+class RootedTree:
+    """A tree with a root, parent pointers and per-node depths."""
+
+    def __init__(self, parent: Dict[Any, Optional[Any]], root: Any):
+        if parent.get(root, "missing") is not None:
+            raise ValueError("root must map to parent None")
+        self.root = root
+        self.parent: Dict[Any, Optional[Any]] = dict(parent)
+        self.children: Dict[Any, List[Any]] = {v: [] for v in parent}
+        for v, p in parent.items():
+            if p is not None:
+                if p not in self.children:
+                    raise ValueError(f"parent {p} of {v} is not a tree node")
+                self.children[p].append(v)
+        for kids in self.children.values():
+            kids.sort(key=str)
+        self.depth: Dict[Any, int] = {}
+        self._compute_depths()
+
+    def _compute_depths(self) -> None:
+        self.depth[self.root] = 0
+        queue = deque([self.root])
+        visited = 1
+        while queue:
+            v = queue.popleft()
+            for c in self.children[v]:
+                self.depth[c] = self.depth[v] + 1
+                queue.append(c)
+                visited += 1
+        if visited != len(self.parent):
+            raise ValueError("parent map is not a single tree rooted at root")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph, root: Any) -> "RootedTree":
+        """Root an (unrooted) tree graph at ``root`` via BFS."""
+        if not is_tree(graph):
+            raise ValueError("graph is not a tree")
+        from .distances import bfs_tree
+
+        _dist, parent = bfs_tree(graph, root)
+        return cls(parent, root)
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def nodes(self) -> List[Any]:
+        return list(self.parent)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parent)
+
+    @property
+    def height(self) -> int:
+        """Depth of the deepest node (the paper's tree depth ``M``)."""
+        return max(self.depth.values())
+
+    def is_leaf(self, v: Any) -> bool:
+        return not self.children[v]
+
+    def leaves(self) -> List[Any]:
+        return [v for v in self.parent if self.is_leaf(v)]
+
+    def nodes_at_depth(self, d: int) -> List[Any]:
+        return [v for v, depth in self.depth.items() if depth == d]
+
+    def subtree_nodes(self, v: Any) -> List[Any]:
+        """All nodes in the subtree rooted at ``v`` (including ``v``)."""
+        out = []
+        stack = [v]
+        while stack:
+            w = stack.pop()
+            out.append(w)
+            stack.extend(self.children[w])
+        return out
+
+    def path_to_root(self, v: Any) -> List[Any]:
+        path = [v]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def bfs_order(self) -> Iterator[Any]:
+        queue = deque([self.root])
+        while queue:
+            v = queue.popleft()
+            yield v
+            queue.extend(self.children[v])
+
+    def postorder(self) -> Iterator[Any]:
+        """Children before parents (for bottom-up computations)."""
+        order: List[Any] = []
+        stack = [self.root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(self.children[v])
+        return reversed(order)
+
+    def edges(self) -> Iterator[Tuple[Any, Any]]:
+        for v, p in self.parent.items():
+            if p is not None:
+                yield (p, v)
+
+    def as_graph(self, weights: Optional[Dict[Tuple[Any, Any], float]] = None) -> Graph:
+        graph = Graph()
+        for v in self.parent:
+            graph.add_node(v)
+        for p, v in self.edges():
+            w = None
+            if weights is not None:
+                w = weights.get((p, v), weights.get((v, p)))
+            graph.add_edge(p, v, w)
+        return graph

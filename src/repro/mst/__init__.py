@@ -1,0 +1,25 @@
+"""The MST application (§5): Procedure Pipeline, Fast-MST, baselines,
+and sequential references."""
+
+from .fast_mst import default_k, fast_mst
+from .flood_collect import flood_collect_mst, pipeline_only_mst
+from .ghs import ghs_mst
+from .kruskal import kruskal_mst, mst_weight
+from .pipeline import PipelineProgram, make_descriptor, run_pipeline
+from .prim import prim_mst
+from .unionfind import UnionFind
+
+__all__ = [
+    "PipelineProgram",
+    "UnionFind",
+    "default_k",
+    "fast_mst",
+    "flood_collect_mst",
+    "ghs_mst",
+    "kruskal_mst",
+    "make_descriptor",
+    "mst_weight",
+    "pipeline_only_mst",
+    "prim_mst",
+    "run_pipeline",
+]

@@ -1,0 +1,44 @@
+"""Naive MST baselines built on Procedure ``Pipeline`` with singleton
+fragments.
+
+* :func:`pipeline_only_mst` — skip the k-dominating-set stage entirely:
+  every node is its own fragment and the pipelined convergecast carries
+  the per-subtree MST forests to the root.  Θ(n + Diam) rounds (the
+  red rule caps each subtree's traffic at n - 1 edges).  This isolates
+  the contribution of the paper's Part 1: Fast-MST improves the ``n``
+  term to ``sqrt(n) log* n``.
+
+* :func:`flood_collect_mst` — additionally disable the cycle
+  elimination, so every edge of the graph is hauled to the root:
+  Θ(m + Diam) rounds.  This is the "collect the entire topology"
+  strawman of §1.2, made model-compliant (one edge per message).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Set, Tuple
+
+from ..graphs.graph import Graph
+from ..sim.runner import StagedRun
+from .kruskal import _canonical
+from .pipeline import run_pipeline
+
+
+def pipeline_only_mst(
+    graph: Graph, root: Any = None
+) -> Tuple[Set[Tuple[Any, Any]], StagedRun]:
+    """MST via Pipeline over singleton fragments — Θ(n + Diam)."""
+    fragment_of = {v: v for v in graph.nodes}
+    selected, staged, _network = run_pipeline(graph, fragment_of, root=root)
+    return {_canonical(a, b) for a, b in selected}, staged
+
+
+def flood_collect_mst(
+    graph: Graph, root: Any = None
+) -> Tuple[Set[Tuple[Any, Any]], StagedRun]:
+    """MST by hauling every edge to the root — Θ(m + Diam)."""
+    fragment_of = {v: v for v in graph.nodes}
+    selected, staged, _network = run_pipeline(
+        graph, fragment_of, root=root, eliminate_cycles=False
+    )
+    return {_canonical(a, b) for a, b in selected}, staged

@@ -1,0 +1,37 @@
+"""Synchronous GHS-style MST baseline — the `[GHS]` comparator.
+
+Runs the controlled-GHS machinery of
+:mod:`repro.core.spanning_forest` with enough phases for the fragments
+to swallow the whole graph (``k = n``), producing the full MST.  Phase
+``i`` costs ``O(2^i)`` rounds, so the total is ``O(n)`` even on graphs
+of small diameter — the behaviour the paper's ``Fast-MST`` beats with
+its ``O(sqrt(n) log* n + Diam)`` bound (experiment E11).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Set, Tuple
+
+from ..core.spanning_forest import simple_mst_forest
+from ..graphs.graph import Graph
+from ..sim.metrics import RunMetrics
+from .kruskal import _canonical
+
+
+def ghs_mst(graph: Graph) -> Tuple[Set[Tuple[Any, Any]], RunMetrics]:
+    """Compute the MST with uncapped controlled GHS.
+
+    Returns (MST edge set, run metrics).  Raises if the graph is
+    disconnected (the process then stalls with several fragments).
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return set(), RunMetrics()
+    parents, fragments, network = simple_mst_forest(graph, max(n - 1, 0))
+    if len(fragments) != 1:
+        raise ValueError(
+            f"GHS finished with {len(fragments)} fragments; graph "
+            f"disconnected?"
+        )
+    edges = {_canonical(v, p) for v, p in parents.items() if p is not None}
+    return edges, network.metrics

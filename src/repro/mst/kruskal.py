@@ -1,0 +1,41 @@
+"""Sequential Kruskal MST — the correctness oracle for every
+distributed MST algorithm in this repository."""
+
+from __future__ import annotations
+
+from typing import Any, Set, Tuple
+
+from ..graphs.graph import Graph
+from .unionfind import UnionFind
+
+
+def kruskal_mst(graph: Graph) -> Set[Tuple[Any, Any]]:
+    """The MST edge set (endpoints sorted per edge).
+
+    Requires weighted edges; with distinct weights the MST is unique.
+    Raises on a disconnected graph.
+    """
+    uf = UnionFind(graph.nodes)
+    edges = sorted(
+        graph.weighted_edges(), key=lambda t: (t[2], str(t[0]), str(t[1]))
+    )
+    mst: Set[Tuple[Any, Any]] = set()
+    for u, v, w in edges:
+        if w is None:
+            raise ValueError(f"edge ({u}, {v}) has no weight")
+        if uf.union(u, v):
+            mst.add(_canonical(u, v))
+    if graph.num_nodes and len(mst) != graph.num_nodes - 1:
+        raise ValueError("graph is disconnected; no spanning tree exists")
+    return mst
+
+
+def mst_weight(graph: Graph) -> float:
+    return sum(graph.weight(u, v) for u, v in kruskal_mst(graph))
+
+
+def _canonical(u: Any, v: Any) -> Tuple[Any, Any]:
+    try:
+        return (u, v) if u < v else (v, u)
+    except TypeError:
+        return (u, v) if str(u) < str(v) else (v, u)

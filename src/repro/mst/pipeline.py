@@ -1,0 +1,278 @@
+"""Procedure ``Pipeline`` (§5.1, Fig. 8): fully pipelined global edge
+elimination.
+
+Every node of a BFS tree ``B`` maintains the set ``Q`` of inter-fragment
+edges it knows of (its own incident ones, plus everything upcast by its
+children) and the set ``U`` of edges it has already sent up.  At each
+pulse it sends the lightest edge of::
+
+    RC = Q \\ (U  ∪  Cyc(U, Q))
+
+where ``Cyc(U, Q)`` is the set of edges closing a cycle with ``U`` on
+the *fragment graph* (evaluated here with a per-node union-find over
+fragment ids).  When ``RC`` is empty the node sends a terminating
+message and stops upcasting.  The root gathers the surviving edges,
+computes the fragment-graph MST locally (red rule: an edge that is
+heaviest on a cycle is in no MST, so discarded edges are never needed),
+and streams the ``N - 1`` chosen edges back down the tree.
+
+The paper's analytical claims are instrumented directly:
+
+* Lemma 5.1 (upcast edges form a forest) holds by construction of the
+  union-find filter;
+* Lemma 5.3(d) (each node upcasts in nondecreasing weight order) is
+  checked at every send — a violation is recorded in the node output
+  ``order_violations``;
+* Lemmas 5.3(a)/5.4 (a node's candidate set only empties once all its
+  children have terminated — the "fully pipelined, no waiting" claim)
+  is checked when terminating — a violation is recorded in
+  ``pipelining_violations``.
+
+Setting ``eliminate_cycles=False`` disables the ``Cyc`` filter (every
+known edge is upcast), turning the procedure into the naive
+collect-everything baseline whose time is Θ(m + Diam) instead of
+Θ(N + Diam) — the ablation of experiment E10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..graphs.graph import Graph
+from ..primitives.bfs import build_bfs_tree
+from ..sim.model import Envelope
+from ..sim.network import Network
+from ..sim.program import Context, NodeProgram
+from ..sim.runner import StagedRun
+from .unionfind import UnionFind
+
+#: An edge descriptor: (weight, fragment_a, fragment_b, endpoint_a,
+#: endpoint_b), endpoints sorted.  Descriptors are shared by both
+#: endpoints so duplicates arriving via different children dedupe.
+EdgeDescriptor = Tuple[float, Any, Any, Any, Any]
+
+
+def make_descriptor(
+    weight: float, u: Any, v: Any, fragment_of: Dict[Any, Any]
+) -> EdgeDescriptor:
+    a, b = (u, v) if str(u) < str(v) else (v, u)
+    return (weight, fragment_of[a], fragment_of[b], a, b)
+
+
+class PipelineProgram(NodeProgram):
+    """One node of Procedure ``Pipeline``.
+
+    Outputs: at every node ``upcast_count``, ``start_round``,
+    ``term_round``, ``order_violations``, ``pipelining_violations``,
+    ``incident_selected`` (its incident fragment-graph MST edges); at
+    the root additionally ``selected_edges`` (the full set ``S``).
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        root: Any,
+        parent_of: Dict[Any, Optional[Any]],
+        fragment_id: Any,
+        eliminate_cycles: bool = True,
+    ):
+        super().__init__(ctx)
+        self.is_root = ctx.node == root
+        self.parent = parent_of.get(ctx.node)
+        self.children = tuple(
+            nb for nb in ctx.neighbors if parent_of.get(nb) == ctx.node
+        )
+        self.fragment_id = fragment_id
+        self.eliminate_cycles = eliminate_cycles
+
+        self.queue: List[EdgeDescriptor] = []  # Q, kept sorted
+        self.known: Set[EdgeDescriptor] = set()
+        self.sent_up: Set[EdgeDescriptor] = set()  # U
+        self.union_find = UnionFind()
+        self.children_heard: Set[Any] = set()
+        self.children_done: Set[Any] = set()
+        self.started = False
+        self.terminated = False
+        self.last_weight_sent: Optional[float] = None
+
+        # Downstream broadcast state (root originates, others relay).
+        self.broadcast_queue: List[Tuple[Any, Any]] = []
+        self.stream_complete = False
+        self.selected_incident: List[Tuple[Any, Any]] = []
+
+        self.output["order_violations"] = 0
+        self.output["pipelining_violations"] = 0
+        self.output["upcast_count"] = 0
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        # Pulse -1: learn the fragment ids across every incident edge.
+        self.broadcast("FRG", self.fragment_id)
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        for envelope in inbox:
+            tag = envelope.tag()
+            if tag == "FRG":
+                self._note_fragment(envelope)
+            elif tag == "EDG":
+                self._receive_edge(envelope)
+            elif tag == "TRM":
+                self.children_heard.add(envelope.sender)
+                self.children_done.add(envelope.sender)
+            elif tag == "SEL":
+                self._receive_selection(envelope)
+            elif tag == "DON":
+                self.stream_complete = True
+
+        if not self.started:
+            if self.children_heard >= set(self.children) and self.round >= 1:
+                self.started = True
+                self.output["start_round"] = self.round
+        if self.started and not self.terminated and not self.is_root:
+            self._pulse_upcast()
+        if self.is_root:
+            self._maybe_complete()
+        self._pump_broadcast()
+
+    # -- building Q ------------------------------------------------------
+    def _note_fragment(self, envelope: Envelope) -> None:
+        neighbor = envelope.sender
+        neighbor_fragment = envelope.payload[1]
+        if neighbor_fragment == self.fragment_id:
+            return
+        weight = self.ctx.weight(neighbor)
+        a, b = (
+            (self.node, neighbor)
+            if str(self.node) < str(neighbor)
+            else (neighbor, self.node)
+        )
+        fa = self.fragment_id if a == self.node else neighbor_fragment
+        fb = neighbor_fragment if a == self.node else self.fragment_id
+        self._add_edge((weight, fa, fb, a, b))
+
+    def _receive_edge(self, envelope: Envelope) -> None:
+        _tag, weight, fa, fb, a, b = envelope.payload
+        self.children_heard.add(envelope.sender)
+        self._add_edge((weight, fa, fb, a, b))
+
+    def _add_edge(self, descriptor: EdgeDescriptor) -> None:
+        if descriptor not in self.known:
+            self.known.add(descriptor)
+            self.queue.append(descriptor)
+            self.queue.sort()
+
+    # -- upcasting --------------------------------------------------------
+    def _next_candidate(self) -> Optional[EdgeDescriptor]:
+        while self.queue:
+            descriptor = self.queue[0]
+            weight, fa, fb, _a, _b = descriptor
+            if descriptor in self.sent_up:
+                self.queue.pop(0)
+                continue
+            if self.eliminate_cycles and self.union_find.connected(fa, fb):
+                # e in Cyc(U, Q): drop for good (red rule).
+                self.queue.pop(0)
+                continue
+            return descriptor
+        return None
+
+    def _pulse_upcast(self) -> None:
+        candidate = self._next_candidate()
+        if candidate is None:
+            if self.children_done < set(self.children):
+                # Lemma 5.3(a) violated: we ran dry while a child was
+                # still streaming.
+                self.output["pipelining_violations"] += 1
+            self.terminated = True
+            self.output["term_round"] = self.round
+            self.send(self.parent, "TRM")
+            return
+        weight, fa, fb, a, b = candidate
+        if self.last_weight_sent is not None and weight < self.last_weight_sent:
+            self.output["order_violations"] += 1
+        self.last_weight_sent = weight
+        self.queue.pop(0)
+        self.sent_up.add(candidate)
+        self.union_find.union(fa, fb)
+        self.output["upcast_count"] += 1
+        self.send(self.parent, "EDG", weight, fa, fb, a, b)
+
+    # -- root: collect, solve, broadcast ------------------------------------
+    def _maybe_complete(self) -> None:
+        if self.stream_complete or self.output.get("selected_edges") is not None:
+            return
+        if not self.started:
+            return
+        if self.children_done < set(self.children):
+            return
+        # Everything has arrived: solve the fragment-graph MST (Kruskal
+        # over the surviving candidates — the red rule guarantees the
+        # discarded edges are in no MST, Lemma 5.5).
+        candidates = sorted(self.known)
+        uf = UnionFind()
+        selected: List[Tuple[Any, Any]] = []
+        for weight, fa, fb, a, b in candidates:
+            if uf.union(fa, fb):
+                selected.append((a, b))
+        self.output["selected_edges"] = list(selected)
+        self.broadcast_queue = list(selected)
+        self.stream_complete = True
+        self._mark_incident(selected)
+
+    def _pump_broadcast(self) -> None:
+        """Relay the selection stream downward, one edge per round."""
+        if self.broadcast_queue:
+            a, b = self.broadcast_queue.pop(0)
+            for child in self.children:
+                self.send(child, "SEL", a, b)
+        elif self.stream_complete:
+            for child in self.children:
+                self.send(child, "DON")
+            self.output["incident_selected"] = list(self.selected_incident)
+            self.halt()
+
+    def _receive_selection(self, envelope: Envelope) -> None:
+        _tag, a, b = envelope.payload
+        self.broadcast_queue.append((a, b))
+        self._mark_incident([(a, b)])
+
+    def _mark_incident(self, selected: List[Tuple[Any, Any]]) -> None:
+        for a, b in selected:
+            if a == self.node or b == self.node:
+                self.selected_incident.append((a, b))
+
+
+def run_pipeline(
+    graph: Graph,
+    fragment_of: Dict[Any, Any],
+    root: Any = None,
+    eliminate_cycles: bool = True,
+    word_limit: int = 8,
+) -> Tuple[List[Tuple[Any, Any]], StagedRun, "Network"]:
+    """Run Procedure ``Pipeline``: BFS stage + pipelined elimination.
+
+    Returns (selected inter-fragment MST edges, staged rounds, the
+    pipeline network for inspection).
+    """
+    from ..graphs.validation import is_connected
+
+    if not is_connected(graph):
+        raise ValueError(
+            "Pipeline requires a connected graph (the BFS tree must span "
+            "every fragment)"
+        )
+    if root is None:
+        root = min(graph.nodes, key=str)
+    staged = StagedRun()
+    parents, _depths, bfs_network = build_bfs_tree(graph, root, word_limit)
+    staged.record("bfs-tree", bfs_network.metrics)
+
+    network = Network(graph, word_limit=word_limit)
+    network.run(
+        lambda ctx: PipelineProgram(
+            ctx, root, parents, fragment_of[ctx.node], eliminate_cycles
+        )
+    )
+    staged.record("pipeline", network.metrics)
+    selected = network.programs[root].output["selected_edges"]
+    return list(selected), staged, network

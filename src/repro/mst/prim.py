@@ -1,0 +1,45 @@
+"""Sequential Prim MST — a second, independent correctness oracle
+(tests cross-check Kruskal and Prim against each other)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Set, Tuple
+
+from ..graphs.graph import Graph
+
+
+def prim_mst(graph: Graph, start: Any = None) -> Set[Tuple[Any, Any]]:
+    """The MST edge set via Prim's algorithm (unique MST assumed)."""
+    if graph.num_nodes == 0:
+        return set()
+    if start is None:
+        start = min(graph.nodes, key=str)
+    visited = {start}
+    frontier = [
+        (graph.weight(start, u), str(start), str(u), start, u)
+        for u in graph.neighbors(start)
+    ]
+    heapq.heapify(frontier)
+    mst: Set[Tuple[Any, Any]] = set()
+    while frontier and len(visited) < graph.num_nodes:
+        w, _su, _sv, u, v = heapq.heappop(frontier)
+        if v in visited:
+            continue
+        visited.add(v)
+        mst.add(_canonical(u, v))
+        for x in graph.neighbors(v):
+            if x not in visited:
+                heapq.heappush(
+                    frontier, (graph.weight(v, x), str(v), str(x), v, x)
+                )
+    if len(visited) != graph.num_nodes:
+        raise ValueError("graph is disconnected; no spanning tree exists")
+    return mst
+
+
+def _canonical(u: Any, v: Any) -> Tuple[Any, Any]:
+    try:
+        return (u, v) if u < v else (v, u)
+    except TypeError:
+        return (u, v) if str(u) < str(v) else (v, u)

@@ -1,0 +1,69 @@
+"""Union-find (disjoint sets) with path compression and union by rank.
+
+Used by the sequential Kruskal reference and — crucially — by every
+node of Procedure ``Pipeline`` to evaluate the paper's
+``Cyc(U, Q)`` test: an edge closes a cycle with the already-upcast set
+``U`` iff its fragment endpoints are already connected in ``U``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable elements.
+
+    Elements are created lazily on first touch.
+    """
+
+    def __init__(self, elements: Iterable[Any] = ()):
+        self._parent: Dict[Any, Any] = {}
+        self._rank: Dict[Any, int] = {}
+        self._components = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Any) -> None:
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._components += 1
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._parent
+
+    def find(self, element: Any) -> Any:
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def connected(self, a: Any, b: Any) -> bool:
+        return self.find(a) == self.find(b)
+
+    def union(self, a: Any, b: Any) -> bool:
+        """Merge the two sets; returns False if already connected."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._components -= 1
+        return True
+
+    @property
+    def component_count(self) -> int:
+        return self._components
+
+    def groups(self) -> Dict[Any, set]:
+        out: Dict[Any, set] = {}
+        for element in self._parent:
+            out.setdefault(self.find(element), set()).add(element)
+        return out

@@ -1,0 +1,29 @@
+"""Distributed building blocks: BFS, broadcast, echo, convergecast, flood."""
+
+from .bfs import BFSTreeProgram, build_bfs_tree
+from .broadcast import BroadcastProgram, tree_broadcast
+from .convergecast import (
+    ConvergecastProgram,
+    max_combiner,
+    min_combiner,
+    sum_combiner,
+    tree_convergecast,
+)
+from .echo import HopLimitedEchoProgram, hop_limited_echo
+from .flooding import FloodProgram, flood
+
+__all__ = [
+    "BFSTreeProgram",
+    "BroadcastProgram",
+    "ConvergecastProgram",
+    "FloodProgram",
+    "HopLimitedEchoProgram",
+    "build_bfs_tree",
+    "flood",
+    "hop_limited_echo",
+    "max_combiner",
+    "min_combiner",
+    "sum_combiner",
+    "tree_broadcast",
+    "tree_convergecast",
+]

@@ -1,0 +1,65 @@
+"""Tree broadcast: push a value from the root down a known tree.
+
+Used once a tree structure (parents/children) has been established by a
+previous stage.  Cost: ``depth`` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.model import Envelope
+from ..sim.network import Network
+from ..sim.program import Context, NodeProgram
+
+
+class BroadcastProgram(NodeProgram):
+    """Broadcast ``value`` from ``root`` over a known tree.
+
+    ``parent_of`` maps node -> parent (None at the root).  Output:
+    ``value`` at every node.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        root: Any,
+        parent_of: Dict[Any, Optional[Any]],
+        value: Any = None,
+    ):
+        super().__init__(ctx)
+        self.is_root = ctx.node == root
+        self.children = tuple(
+            nb for nb in ctx.neighbors if parent_of.get(nb) == ctx.node
+        )
+        self.value = value if self.is_root else None
+
+    def _forward(self) -> None:
+        for child in self.children:
+            self.send(child, "BC", self.value)
+        self.output["value"] = self.value
+        self.halt()
+
+    def on_start(self) -> None:
+        if self.is_root:
+            self._forward()
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        for envelope in inbox:
+            if envelope.tag() == "BC":
+                self.value = envelope.payload[1]
+                self._forward()
+                return
+
+
+def tree_broadcast(
+    graph,
+    root: Any,
+    parent_of: Dict[Any, Optional[Any]],
+    value: Any,
+    word_limit: int = 8,
+) -> Tuple[Dict[Any, Any], "Network"]:
+    """Run :class:`BroadcastProgram`; return (values per node, network)."""
+    network = Network(graph, word_limit=word_limit)
+    network.run(lambda ctx: BroadcastProgram(ctx, root, parent_of, value))
+    return network.output_field("value"), network

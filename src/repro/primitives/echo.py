@@ -1,0 +1,124 @@
+"""Broadcast-and-echo over a known tree, with optional hop limit.
+
+The paper uses this pattern twice:
+
+* Procedure ``Initialize`` step 3 learns the tree depth by a full
+  broadcast-and-echo;
+* Procedure ``SimpleMST`` performs "a process of 'broadcast and echo'
+  *to depth k + 1* over the tree, namely, using a hop counter in the
+  broadcast message" to test whether a fragment's depth exceeds a
+  threshold (§4.2).
+
+:class:`HopLimitedEchoProgram` implements the hop-limited variant: the
+root learns (a) whether the tree extends beyond the hop limit and
+(b) the aggregate of a value over the explored part.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.model import Envelope
+from ..sim.network import Network
+from ..sim.program import Context, NodeProgram
+from .convergecast import Combiner, sum_combiner
+
+
+class HopLimitedEchoProgram(NodeProgram):
+    """Broadcast-and-echo to a bounded depth over a known tree.
+
+    The root sends a probe with a hop counter; a node receiving the
+    probe with counter 0 while having children reports "too deep".
+    Echoes carry (aggregate, too_deep) pairs upward.  Root outputs
+    ``aggregate`` (over the explored region) and ``too_deep``.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        root: Any,
+        parent_of: Dict[Any, Optional[Any]],
+        hop_limit: int,
+        local_value: Any = 1,
+        combiner: Combiner = sum_combiner,
+    ):
+        super().__init__(ctx)
+        self.is_root = ctx.node == root
+        self.parent = parent_of.get(ctx.node)
+        self.children = tuple(
+            nb for nb in ctx.neighbors if parent_of.get(nb) == ctx.node
+        )
+        self.hop_limit = hop_limit
+        self.local_value = local_value
+        self.combiner = combiner
+        self._expected_echoes = 0
+        self._child_values: List[Any] = []
+        self._too_deep = False
+
+    def _probe_children(self, hops_left: int) -> None:
+        if self.children and hops_left == 0:
+            # The subtree continues below the probe horizon.
+            self._too_deep = True
+            self._fire()
+            return
+        self._expected_echoes = len(self.children)
+        for child in self.children:
+            self.send(child, "PROBE", hops_left - 1)
+        if self._expected_echoes == 0:
+            self._fire()
+
+    def _fire(self) -> None:
+        aggregate = self.combiner(self.local_value, self._child_values)
+        self.output["aggregate"] = aggregate
+        self.output["too_deep"] = self._too_deep
+        if not self.is_root:
+            self.send(self.parent, "ECHO", aggregate, self._too_deep)
+        self.halt()
+
+    def on_start(self) -> None:
+        if self.is_root:
+            self._probe_children(self.hop_limit)
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        for envelope in inbox:
+            tag = envelope.tag()
+            if tag == "PROBE":
+                self._probe_children(envelope.payload[1])
+            elif tag == "ECHO":
+                self._child_values.append(envelope.payload[1])
+                if envelope.payload[2]:
+                    self._too_deep = True
+                self._expected_echoes -= 1
+                if self._expected_echoes == 0:
+                    self._fire()
+
+
+def hop_limited_echo(
+    graph,
+    root: Any,
+    parent_of: Dict[Any, Optional[Any]],
+    hop_limit: int,
+    local_values: Optional[Dict[Any, Any]] = None,
+    combiner: Combiner = sum_combiner,
+    word_limit: int = 8,
+) -> Tuple[Any, bool, "Network"]:
+    """Run a hop-limited broadcast-and-echo from ``root``.
+
+    Returns (aggregate over the explored region, too_deep flag, network).
+    """
+    network = Network(graph, word_limit=word_limit)
+    # Nodes beyond the probe horizon never hear anything and so never
+    # halt; the run is over once the root has its answer.
+    network.run(
+        lambda ctx: HopLimitedEchoProgram(
+            ctx,
+            root,
+            parent_of,
+            hop_limit,
+            1 if local_values is None else local_values[ctx.node],
+            combiner,
+        ),
+        until=lambda net: net.programs[root].halted,
+    )
+    root_output = network.programs[root].output
+    return root_output["aggregate"], root_output["too_deep"], network

@@ -1,0 +1,65 @@
+"""Synchronous CONGEST-model simulator (and an async engine + synchroniser α).
+
+This package is the substrate on which every algorithm of the paper is
+implemented and measured.  See DESIGN.md §3.
+"""
+
+from .errors import (
+    ConfigurationError,
+    CongestionViolation,
+    HaltedNodeActed,
+    MessageTooLarge,
+    ModelViolation,
+    NotANeighbor,
+    RoundLimitExceeded,
+    SimulationError,
+    UnserializablePayload,
+)
+from .metrics import PhaseBreakdown, RunMetrics
+from .model import DEFAULT_WORD_LIMIT, Envelope, MessageStats, measure_words
+from .network import DEFAULT_MAX_ROUNDS, Network
+from .orchestrator import Orchestrator
+from .program import Context, IdleProgram, NodeProgram, ScriptedProgram, split_by_tag
+from .runner import StagedRun, run_in_parallel
+from .trace import TraceEvent, TraceRecorder, traced
+from .virtual import ContractedGraph, VirtualNetwork
+from .events import AsyncContext, AsyncNetwork, AsyncNodeProgram
+from .synchronizer import AlphaSynchronizerNode, run_synchronized
+
+__all__ = [
+    "AlphaSynchronizerNode",
+    "AsyncContext",
+    "AsyncNetwork",
+    "AsyncNodeProgram",
+    "ConfigurationError",
+    "CongestionViolation",
+    "ContractedGraph",
+    "Context",
+    "DEFAULT_MAX_ROUNDS",
+    "DEFAULT_WORD_LIMIT",
+    "Envelope",
+    "HaltedNodeActed",
+    "IdleProgram",
+    "MessageStats",
+    "MessageTooLarge",
+    "ModelViolation",
+    "Network",
+    "NodeProgram",
+    "Orchestrator",
+    "NotANeighbor",
+    "PhaseBreakdown",
+    "RoundLimitExceeded",
+    "RunMetrics",
+    "ScriptedProgram",
+    "SimulationError",
+    "StagedRun",
+    "TraceEvent",
+    "TraceRecorder",
+    "UnserializablePayload",
+    "VirtualNetwork",
+    "measure_words",
+    "run_in_parallel",
+    "run_synchronized",
+    "split_by_tag",
+    "traced",
+]

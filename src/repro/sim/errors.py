@@ -1,0 +1,94 @@
+"""Exceptions raised by the CONGEST simulator.
+
+The simulator is strict: model violations (oversized messages, more than
+one message per edge per direction per round, sends to non-neighbours)
+raise immediately rather than being silently tolerated, because the whole
+point of the reproduction is to certify that the algorithms respect the
+CONGEST model the paper assumes.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ModelViolation(SimulationError):
+    """An algorithm violated the CONGEST communication model."""
+
+
+class MessageTooLarge(ModelViolation):
+    """A message exceeded the O(log n)-bit budget (measured in words)."""
+
+    def __init__(self, sender, receiver, payload, words, limit):
+        self.sender = sender
+        self.receiver = receiver
+        self.payload = payload
+        self.words = words
+        self.limit = limit
+        super().__init__(
+            f"message {payload!r} from {sender} to {receiver} is {words} "
+            f"words, exceeding the per-message limit of {limit}"
+        )
+
+
+class CongestionViolation(ModelViolation):
+    """A node sent two messages over the same edge in one round."""
+
+    def __init__(self, sender, receiver, round_number):
+        self.sender = sender
+        self.receiver = receiver
+        self.round_number = round_number
+        super().__init__(
+            f"node {sender} sent a second message to {receiver} in round "
+            f"{round_number}; the model allows one message per edge per "
+            f"direction per round"
+        )
+
+
+class NotANeighbor(ModelViolation):
+    """A node attempted to send to a node it shares no edge with."""
+
+    def __init__(self, sender, receiver):
+        self.sender = sender
+        self.receiver = receiver
+        super().__init__(
+            f"node {sender} attempted to send to {receiver}, which is not "
+            f"one of its neighbours"
+        )
+
+
+class UnserializablePayload(ModelViolation):
+    """A message payload contained a field the model cannot encode."""
+
+    def __init__(self, field):
+        self.field = field
+        super().__init__(
+            f"payload field {field!r} of type {type(field).__name__} is not "
+            f"encodable in O(log n)-bit words (allowed: int, bool, float, "
+            f"short str, None, and shallow tuples thereof)"
+        )
+
+
+class RoundLimitExceeded(SimulationError):
+    """The run did not terminate within the configured round budget."""
+
+    def __init__(self, limit):
+        self.limit = limit
+        super().__init__(
+            f"simulation did not terminate within {limit} rounds; "
+            f"likely a livelock or an insufficient budget"
+        )
+
+
+class HaltedNodeActed(SimulationError):
+    """A halted node attempted to send a message."""
+
+    def __init__(self, node):
+        self.node = node
+        super().__init__(f"halted node {node} attempted to send a message")
+
+
+class ConfigurationError(SimulationError):
+    """The network or program was configured inconsistently."""

@@ -1,0 +1,150 @@
+"""Event-driven asynchronous network engine.
+
+The paper works in the synchronous model but notes (§1.2) that this is
+without loss of generality because communication cost is ignored: any
+synchronous algorithm can run on an asynchronous network under
+synchroniser α of Awerbuch [A1].  This module provides the asynchronous
+substrate on which :mod:`repro.sim.synchronizer` demonstrates that
+remark empirically (experiment E13).
+
+Message delays are per-delivery, drawn deterministically from a seeded
+RNG in ``(0, 1]`` — the standard normalisation that one time unit bounds
+the delay of any single message.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .errors import NotANeighbor, RoundLimitExceeded
+from .model import measure_words
+from .errors import MessageTooLarge
+
+
+class AsyncContext:
+    """Per-node view of the asynchronous network."""
+
+    __slots__ = ("node", "neighbors", "edge_weights", "n", "_network")
+
+    def __init__(self, node, neighbors, edge_weights, n, network):
+        self.node = node
+        self.neighbors = tuple(neighbors)
+        self.edge_weights = dict(edge_weights)
+        self.n = n
+        self._network = network
+
+    @property
+    def time(self) -> float:
+        return self._network.current_time
+
+
+class AsyncNodeProgram:
+    """Base class for asynchronous, message-driven node programs."""
+
+    def __init__(self, ctx: AsyncContext):
+        self.ctx = ctx
+        self.halted = False
+        self.output: Dict[str, Any] = {}
+
+    @property
+    def node(self):
+        return self.ctx.node
+
+    @property
+    def neighbors(self):
+        return self.ctx.neighbors
+
+    def send(self, neighbor, *fields) -> None:
+        self.ctx._network._enqueue(self.node, neighbor, tuple(fields))
+
+    def halt(self) -> None:
+        self.halted = True
+
+    def on_start(self) -> None:
+        """Called once at time 0."""
+
+    def on_message(self, sender, payload: Tuple[Any, ...]) -> None:
+        raise NotImplementedError
+
+
+class AsyncNetwork:
+    """An asynchronous network with bounded per-message delays."""
+
+    def __init__(
+        self,
+        graph,
+        seed: int = 0,
+        min_delay: float = 0.1,
+        max_delay: float = 1.0,
+        word_limit: int = 8,
+    ):
+        self.graph = graph
+        self.nodes = sorted(graph.nodes)
+        self.n = len(self.nodes)
+        self.word_limit = word_limit
+        self._neighbors = {v: tuple(sorted(graph.neighbors(v))) for v in self.nodes}
+        weight = getattr(graph, "weight", None)
+        self._weights = {
+            v: ({u: weight(v, u) for u in self._neighbors[v]} if weight else {})
+            for v in self.nodes
+        }
+        self._rng = random.Random(seed)
+        self._min_delay = min_delay
+        self._max_delay = max_delay
+        self._queue: List[Tuple[float, int, Any, Any, tuple]] = []
+        self._seq = 0
+        self.current_time = 0.0
+        self.message_count = 0
+        self.programs: Dict[Any, AsyncNodeProgram] = {}
+
+    def _enqueue(self, sender, receiver, payload) -> None:
+        if receiver not in self._neighbors[sender]:
+            raise NotANeighbor(sender, receiver)
+        words = measure_words(payload)
+        if words > self.word_limit:
+            raise MessageTooLarge(sender, receiver, payload, words, self.word_limit)
+        delay = self._rng.uniform(self._min_delay, self._max_delay)
+        self._seq += 1
+        heapq.heappush(
+            self._queue,
+            (self.current_time + delay, self._seq, receiver, sender, payload),
+        )
+        self.message_count += 1
+
+    def run(
+        self,
+        program_factory: Callable[[AsyncContext], AsyncNodeProgram],
+        max_events: int = 10_000_000,
+        stop_when: Optional[Callable[["AsyncNetwork"], bool]] = None,
+    ) -> float:
+        """Run the event loop; returns the virtual completion time."""
+        self.programs = {}
+        self.current_time = 0.0
+        for v in self.nodes:
+            ctx = AsyncContext(v, self._neighbors[v], self._weights[v], self.n, self)
+            self.programs[v] = program_factory(ctx)
+        for v in self.nodes:
+            self.programs[v].on_start()
+        events = 0
+        completion_time = 0.0
+        while self._queue:
+            if stop_when is not None and stop_when(self):
+                break
+            if all(p.halted for p in self.programs.values()):
+                break
+            events += 1
+            if events > max_events:
+                raise RoundLimitExceeded(max_events)
+            time, _seq, receiver, sender, payload = heapq.heappop(self._queue)
+            self.current_time = time
+            program = self.programs[receiver]
+            if program.halted:
+                continue
+            completion_time = time
+            program.on_message(sender, payload)
+        return completion_time
+
+    def outputs(self) -> Dict[Any, Dict[str, Any]]:
+        return {v: self.programs[v].output for v in self.nodes}

@@ -1,0 +1,87 @@
+"""Run metrics for the CONGEST simulator.
+
+The paper's complexity claims are about *rounds* (synchronous time
+units).  The simulator therefore reports round counts as the primary
+measurement, alongside message/word traffic so benchmarks can also check
+the congestion behaviour the paper reasons about informally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Optional
+
+from .model import MessageStats
+
+
+@dataclass
+class RunMetrics:
+    """Measurements from one synchronous execution."""
+
+    #: Number of rounds executed (round 0 = ``on_start`` sweep included).
+    rounds: int = 0
+    #: Message traffic statistics.
+    traffic: MessageStats = dataclass_field(default_factory=MessageStats)
+    #: True if the run ended because every node halted (vs quiescence).
+    all_halted: bool = False
+    #: Number of nodes that had halted when the run ended.
+    halted_nodes: int = 0
+
+    @property
+    def messages(self) -> int:
+        return self.traffic.messages
+
+    @property
+    def total_words(self) -> int:
+        return self.traffic.total_words
+
+    @property
+    def max_message_words(self) -> int:
+        return self.traffic.max_words
+
+    def merged_with(self, other: "RunMetrics") -> "RunMetrics":
+        """Sequential composition: rounds add, traffic accumulates."""
+        merged = RunMetrics()
+        merged.rounds = self.rounds + other.rounds
+        merged.traffic.messages = self.traffic.messages + other.traffic.messages
+        merged.traffic.total_words = (
+            self.traffic.total_words + other.traffic.total_words
+        )
+        merged.traffic.max_words = max(
+            self.traffic.max_words, other.traffic.max_words
+        )
+        merged.all_halted = other.all_halted
+        merged.halted_nodes = other.halted_nodes
+        return merged
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase round accounting for composite algorithms.
+
+    Composite procedures (``FastDOM_T``, ``Fast-MST``, ...) are sequential
+    compositions of sub-algorithms; benchmarks report where the rounds
+    went, mirroring the paper's per-stage analysis.
+    """
+
+    phases: Dict[str, int] = dataclass_field(default_factory=dict)
+
+    def add(self, name: str, rounds: int) -> None:
+        self.phases[name] = self.phases.get(name, 0) + rounds
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(self.phases.values())
+
+    def dominant_phase(self) -> Optional[str]:
+        if not self.phases:
+            return None
+        return max(self.phases, key=lambda name: self.phases[name])
+
+    def as_table(self) -> str:
+        width = max((len(name) for name in self.phases), default=5)
+        lines = [f"{'phase'.ljust(width)}  rounds"]
+        for name, rounds in self.phases.items():
+            lines.append(f"{name.ljust(width)}  {rounds}")
+        lines.append(f"{'TOTAL'.ljust(width)}  {self.total_rounds}")
+        return "\n".join(lines)

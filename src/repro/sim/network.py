@@ -1,0 +1,185 @@
+"""The synchronous CONGEST network simulator.
+
+:class:`Network` owns a topology and drives a set of
+:class:`~repro.sim.program.NodeProgram` instances in lockstep rounds,
+enforcing the communication model the paper assumes:
+
+* messages carry ``O(log n)`` bits (a constant number of words);
+* a node sends at most one message per incident edge per round;
+* messages sent in round ``t`` are delivered at the start of round
+  ``t + 1``;
+* nodes may only talk to graph neighbours.
+
+Any violation raises, so a green test suite certifies model compliance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import (
+    CongestionViolation,
+    HaltedNodeActed,
+    MessageTooLarge,
+    NotANeighbor,
+    RoundLimitExceeded,
+)
+from .metrics import RunMetrics
+from .model import DEFAULT_WORD_LIMIT, Envelope, measure_words
+from .program import Context, NodeProgram
+
+#: Default round budget.  Generous; real algorithms in this repository
+#: terminate far earlier, and hitting the budget indicates a livelock.
+DEFAULT_MAX_ROUNDS = 1_000_000
+
+ProgramFactory = Callable[[Context], NodeProgram]
+
+
+class Network:
+    """A synchronous message-passing network over a fixed topology.
+
+    ``graph`` may be any object exposing ``nodes`` (iterable),
+    ``neighbors(v)`` (iterable) and optionally ``weight(u, v)``;
+    :class:`repro.graphs.Graph` is the canonical implementation.
+    """
+
+    def __init__(self, graph, word_limit: int = DEFAULT_WORD_LIMIT):
+        self.graph = graph
+        self.word_limit = word_limit
+        self.nodes: List[Any] = sorted(graph.nodes)
+        self.n = len(self.nodes)
+        self._neighbors: Dict[Any, tuple] = {
+            v: tuple(sorted(graph.neighbors(v))) for v in self.nodes
+        }
+        self._weights: Dict[Any, Dict[Any, float]] = {}
+        weight = getattr(graph, "weight", None)
+        for v in self.nodes:
+            if weight is None:
+                self._weights[v] = {}
+            else:
+                self._weights[v] = {u: weight(v, u) for u in self._neighbors[v]}
+
+        self.current_round = 0
+        self.programs: Dict[Any, NodeProgram] = {}
+        self.metrics = RunMetrics()
+        # Messages sent this round, delivered next round.
+        self._outbox: List[Envelope] = []
+        # (sender, receiver) pairs used this round, for congestion checks.
+        self._channels_used: set = set()
+
+    # ------------------------------------------------------------------
+    # Sending (called by programs through their context)
+    # ------------------------------------------------------------------
+    def _enqueue(self, sender, receiver, payload) -> None:
+        program = self.programs.get(sender)
+        if program is not None and program.halted:
+            raise HaltedNodeActed(sender)
+        if receiver not in self._weights[sender] and receiver not in self._neighbors[sender]:
+            raise NotANeighbor(sender, receiver)
+        channel = (sender, receiver)
+        if channel in self._channels_used:
+            raise CongestionViolation(sender, receiver, self.current_round)
+        words = measure_words(payload)
+        if words > self.word_limit:
+            raise MessageTooLarge(sender, receiver, payload, words, self.word_limit)
+        self._channels_used.add(channel)
+        envelope = Envelope(sender, receiver, payload, self.current_round)
+        self._outbox.append(envelope)
+        self.metrics.traffic.record(envelope)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def setup(self, program_factory: ProgramFactory) -> None:
+        """Instantiate one program per node and run the round-0 sweep."""
+        self.current_round = 0
+        self.metrics = RunMetrics()
+        self._outbox = []
+        self._channels_used = set()
+        self.programs = {}
+        for v in self.nodes:
+            ctx = Context(v, self._neighbors[v], self._weights[v], self.n, self)
+            self.programs[v] = program_factory(ctx)
+        for v in self.nodes:
+            program = self.programs[v]
+            if not program.halted:
+                program.on_start()
+
+    def step(self) -> bool:
+        """Execute one round; return True if the network is still live.
+
+        A network is live while some node has not halted or a message is
+        in flight toward a live node.
+        """
+        inboxes: Dict[Any, List[Envelope]] = {}
+        for envelope in self._outbox:
+            inboxes.setdefault(envelope.receiver, []).append(envelope)
+        self._outbox = []
+        self._channels_used = set()
+        self.current_round += 1
+
+        progressed = False
+        for v in self.nodes:
+            program = self.programs[v]
+            if program.halted:
+                continue
+            inbox = inboxes.get(v, [])
+            inbox.sort(key=lambda e: (str(e.sender), str(e.payload)))
+            program.on_round(inbox)
+            progressed = True
+        self.metrics.rounds = self.current_round
+        return progressed and not self.all_halted()
+
+    def run(
+        self,
+        program_factory: Optional[ProgramFactory] = None,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        stop_when_quiet: bool = False,
+        until: Optional[Callable[["Network"], bool]] = None,
+    ) -> RunMetrics:
+        """Run to completion and return metrics.
+
+        Termination: every program halted; or ``until(network)`` becomes
+        true; or (if ``stop_when_quiet``) a round passes with no message
+        in flight and none sent.  Exceeding ``max_rounds`` raises
+        :class:`RoundLimitExceeded`.
+        """
+        if program_factory is not None:
+            self.setup(program_factory)
+        while not self.all_halted():
+            if until is not None and until(self):
+                break
+            if stop_when_quiet and not self._outbox and self.current_round > 0:
+                break
+            if self.current_round >= max_rounds:
+                raise RoundLimitExceeded(max_rounds)
+            self.step()
+        self.metrics.rounds = self.current_round
+        self.metrics.all_halted = self.all_halted()
+        self.metrics.halted_nodes = sum(
+            1 for p in self.programs.values() if p.halted
+        )
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def all_halted(self) -> bool:
+        if not self.programs:
+            return False
+        return all(program.halted for program in self.programs.values())
+
+    def outputs(self) -> Dict[Any, Dict[str, Any]]:
+        """Collect every node's ``output`` dictionary."""
+        return {v: self.programs[v].output for v in self.nodes}
+
+    def output_field(self, key: str) -> Dict[Any, Any]:
+        """Collect one named output field across nodes (where present)."""
+        return {
+            v: program.output[key]
+            for v, program in self.programs.items()
+            if key in program.output
+        }
+
+    def neighbors(self, v) -> tuple:
+        return self._neighbors[v]

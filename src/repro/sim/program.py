@@ -1,0 +1,164 @@
+"""Node program API for the synchronous CONGEST simulator.
+
+An algorithm is written as a subclass of :class:`NodeProgram`.  The
+network instantiates one program per node and drives it round by round:
+
+* ``on_start()`` runs once, in round 0, before any message is delivered.
+* ``on_round(inbox)`` runs in every subsequent round with the messages
+  sent to this node in the previous round (possibly empty).
+
+Programs communicate only via ``self.send(neighbor, *fields)`` and keep
+all state in instance attributes.  When a program is done it calls
+``self.halt()``; a halted node receives no further events (the paper's
+"terminated" nodes that must still relay are simply programs that do not
+halt).
+
+Results are exposed through the ``output`` dictionary, which drivers
+collect after the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .model import Envelope
+
+
+class Context:
+    """Per-node view of the network, handed to a program at construction.
+
+    The context deliberately exposes only information a real distributed
+    node would have: its own identifier, its incident edges (with
+    weights, if the graph is weighted), and ``n`` — the paper assumes
+    nodes know ``n`` (or a polynomial upper bound) since message size is
+    defined relative to it.
+    """
+
+    __slots__ = ("node", "neighbors", "edge_weights", "n", "_network")
+
+    def __init__(self, node, neighbors, edge_weights, n, network):
+        self.node = node
+        self.neighbors: Tuple[Any, ...] = tuple(neighbors)
+        self.edge_weights: Dict[Any, float] = dict(edge_weights)
+        self.n: int = n
+        self._network = network
+
+    def weight(self, neighbor) -> float:
+        """Weight of the incident edge to ``neighbor``."""
+        return self.edge_weights[neighbor]
+
+    @property
+    def round(self) -> int:
+        """The current round number (0 during ``on_start``)."""
+        return self._network.current_round
+
+
+class NodeProgram:
+    """Base class for synchronous message-passing node programs."""
+
+    def __init__(self, ctx: Context):
+        self.ctx = ctx
+        self.halted = False
+        self.output: Dict[str, Any] = {}
+
+    # -- identity conveniences -------------------------------------------
+    @property
+    def node(self):
+        return self.ctx.node
+
+    @property
+    def neighbors(self) -> Tuple[Any, ...]:
+        return self.ctx.neighbors
+
+    @property
+    def n(self) -> int:
+        return self.ctx.n
+
+    @property
+    def round(self) -> int:
+        return self.ctx.round
+
+    # -- actions ----------------------------------------------------------
+    def send(self, neighbor, *fields) -> None:
+        """Send one message (a tuple of scalar fields) to a neighbour."""
+        self.ctx._network._enqueue(self.node, neighbor, tuple(fields))
+
+    def broadcast(self, *fields) -> None:
+        """Send the same message to every neighbour."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, *fields)
+
+    def halt(self) -> None:
+        """Stop participating; the node receives no further events."""
+        self.halted = True
+
+    # -- event hooks (override these) --------------------------------------
+    def on_start(self) -> None:
+        """Round-0 hook; may send messages."""
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        """Per-round hook; ``inbox`` holds last round's messages to us."""
+        raise NotImplementedError
+
+
+class ScriptedProgram(NodeProgram):
+    """A node program written as a single generator.
+
+    Subclasses implement :meth:`script` as a generator that sends
+    messages and then ``inbox = yield``-s to wait for the next round.
+    This keeps multi-phase protocols (the paper's algorithms are full of
+    "exactly 2^i + 1 time units later ..." logic) readable and makes the
+    lockstep alignment between nodes explicit: every node's script has
+    the same yield structure.
+
+    When the generator returns, the node halts automatically.
+    """
+
+    def on_start(self) -> None:
+        self._script = self.script()
+        try:
+            next(self._script)
+        except StopIteration:
+            self.halt()
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        try:
+            self._script.send(inbox)
+        except StopIteration:
+            self.halt()
+
+    def script(self):
+        """Generator body: ``inbox = yield`` waits one round."""
+        raise NotImplementedError
+
+    # -- scripting conveniences -------------------------------------------
+    def wait_rounds(self, rounds: int):
+        """Yield helper: idle for ``rounds`` rounds, discarding traffic.
+
+        Usage: ``yield from self.wait_rounds(5)``.
+        """
+        for _ in range(rounds):
+            yield
+
+
+class IdleProgram(NodeProgram):
+    """A program that does nothing and halts immediately (for testing)."""
+
+    def on_start(self) -> None:
+        self.halt()
+
+    def on_round(self, inbox: List[Envelope]) -> None:  # pragma: no cover
+        pass
+
+
+def split_by_tag(inbox: Sequence[Envelope]) -> Dict[Any, List[Envelope]]:
+    """Group an inbox by protocol tag (first payload field).
+
+    Most programs in this repository multiplex several conceptual
+    sub-protocols over the single per-edge channel; this helper keeps
+    their ``on_round`` bodies readable.
+    """
+    groups: Dict[Any, List[Envelope]] = {}
+    for envelope in inbox:
+        groups.setdefault(envelope.tag(), []).append(envelope)
+    return groups

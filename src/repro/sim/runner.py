@@ -1,0 +1,82 @@
+"""Execution helpers: parallel composition and staged drivers.
+
+The paper repeatedly applies a sub-algorithm "on each cluster
+separately".  Because clusters are vertex-disjoint, the executions do
+not interact, and running them on independent sub-networks while taking
+the *maximum* round count is an exact model of the parallel composition.
+:func:`run_in_parallel` packages that argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .metrics import RunMetrics
+from .network import DEFAULT_MAX_ROUNDS, Network, ProgramFactory
+
+
+def run_in_parallel(
+    runs: Iterable[Tuple[Network, ProgramFactory]],
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> Tuple[List[Network], RunMetrics]:
+    """Run several disjoint sub-networks "simultaneously".
+
+    Returns the list of networks (for output collection) and combined
+    metrics: ``rounds`` is the maximum across runs (they execute in
+    parallel), traffic is summed.
+    """
+    networks: List[Network] = []
+    combined = RunMetrics()
+    max_round_count = 0
+    for network, factory in runs:
+        metrics = network.run(factory, max_rounds=max_rounds)
+        networks.append(network)
+        max_round_count = max(max_round_count, metrics.rounds)
+        combined.traffic.messages += metrics.traffic.messages
+        combined.traffic.total_words += metrics.traffic.total_words
+        combined.traffic.max_words = max(
+            combined.traffic.max_words, metrics.traffic.max_words
+        )
+    combined.rounds = max_round_count
+    combined.all_halted = all(net.all_halted() for net in networks)
+    combined.halted_nodes = sum(
+        sum(1 for p in net.programs.values() if p.halted) for net in networks
+    )
+    return networks, combined
+
+
+class StagedRun:
+    """Accumulator for the sequential stages of a composite algorithm.
+
+    Stages execute one after the other (the paper's algorithms are
+    sequential compositions), so rounds add up.  Each stage is recorded
+    by name for the per-phase breakdown the benchmarks print.
+    """
+
+    def __init__(self) -> None:
+        self.stage_rounds: Dict[str, int] = {}
+        self.stage_order: List[str] = []
+        self.total_messages = 0
+
+    def record(self, name: str, metrics: RunMetrics) -> None:
+        self.add_rounds(name, metrics.rounds)
+        self.total_messages += metrics.traffic.messages
+
+    def add_rounds(self, name: str, rounds: int) -> None:
+        if name not in self.stage_rounds:
+            self.stage_rounds[name] = 0
+            self.stage_order.append(name)
+        self.stage_rounds[name] += rounds
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(self.stage_rounds.values())
+
+    def breakdown(self) -> Dict[str, int]:
+        return {name: self.stage_rounds[name] for name in self.stage_order}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{name}={self.stage_rounds[name]}" for name in self.stage_order
+        )
+        return f"StagedRun(total={self.total_rounds}, {inner})"

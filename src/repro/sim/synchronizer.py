@@ -1,0 +1,167 @@
+"""Synchroniser α of Awerbuch, hosting synchronous programs on an
+asynchronous network.
+
+The paper's remark (§1.2): synchrony is assumed WLOG because "we can use
+the simple synchronizer α of [A1] whose cost in an asynchronous network
+is one message over each edge in each direction per round".
+
+Protocol per pulse ``p`` at node ``v``:
+
+1. ``v`` sends its pulse-``p`` payload messages, tagged ``("MSG", p, …)``.
+2. Every payload message is acknowledged (``("ACK", p)``).
+3. When all of ``v``'s pulse-``p`` messages are acknowledged, ``v`` is
+   *safe* and announces ``("SAFE", p)`` to every neighbour.
+4. When ``v`` is safe and has heard ``SAFE(p)`` from every neighbour, it
+   advances to pulse ``p + 1``, delivering the buffered pulse-``p``
+   payload messages to the hosted synchronous program.
+
+A node whose hosted program has halted keeps announcing safety so its
+neighbours can continue; the event loop stops once every hosted program
+has halted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from .events import AsyncContext, AsyncNodeProgram, AsyncNetwork
+from .model import Envelope
+from .program import Context, NodeProgram
+
+
+class _HostAdapter:
+    """Presents the synchroniser to the hosted synchronous program as if
+    it were a :class:`~repro.sim.network.Network`."""
+
+    def __init__(self, host: "AlphaSynchronizerNode"):
+        self._host = host
+
+    @property
+    def current_round(self) -> int:
+        return self._host.pulse
+
+    def _enqueue(self, sender, receiver, payload) -> None:
+        self._host.queue_payload(receiver, payload)
+
+
+class AlphaSynchronizerNode(AsyncNodeProgram):
+    """One node of synchroniser α, hosting a synchronous program."""
+
+    def __init__(self, ctx: AsyncContext, sync_factory: Callable[[Context], NodeProgram]):
+        super().__init__(ctx)
+        self.pulse = 0
+        self._outgoing: List[Tuple[Any, tuple]] = []
+        self._channels_used: Set[Any] = set()
+        self._pending_acks = 0
+        self._announced_safe = False
+        self._safe_from: Dict[int, Set[Any]] = {}
+        self._buffered: Dict[int, List[Envelope]] = {}
+        adapter = _HostAdapter(self)
+        sync_ctx = Context(ctx.node, ctx.neighbors, ctx.edge_weights, ctx.n, adapter)
+        self.sync_program = sync_factory(sync_ctx)
+        self.pulses_completed = 0
+        #: Pulse count when the hosted program halted (the meaningful
+        #: comparison against synchronous rounds; pulses after that are
+        #: just trailing safety chatter while neighbours finish).
+        self.pulses_at_halt: Optional[int] = None
+
+    # -- hosted-program send path ---------------------------------------
+    def queue_payload(self, receiver, payload) -> None:
+        if receiver in self._channels_used:
+            from .errors import CongestionViolation
+
+            raise CongestionViolation(self.node, receiver, self.pulse)
+        self._channels_used.add(receiver)
+        self._outgoing.append((receiver, payload))
+
+    # -- synchroniser protocol -------------------------------------------
+    def on_start(self) -> None:
+        self.sync_program.on_start()
+        self._dispatch_pulse_messages()
+
+    def _dispatch_pulse_messages(self) -> None:
+        outgoing, self._outgoing = self._outgoing, []
+        self._channels_used = set()
+        self._pending_acks = len(outgoing)
+        self._announced_safe = False
+        for receiver, payload in outgoing:
+            self.send(receiver, "MSG", self.pulse, payload)
+        if self._pending_acks == 0:
+            self._announce_safe()
+
+    def _announce_safe(self) -> None:
+        self._announced_safe = True
+        for neighbor in self.neighbors:
+            self.send(neighbor, "SAFE", self.pulse)
+        self._try_advance()
+
+    def on_message(self, sender, payload) -> None:
+        tag = payload[0]
+        if tag == "MSG":
+            _tag, pulse, inner = payload
+            self._buffered.setdefault(pulse, []).append(
+                Envelope(sender, self.node, inner, pulse)
+            )
+            self.send(sender, "ACK", pulse)
+        elif tag == "ACK":
+            self._pending_acks -= 1
+            if self._pending_acks == 0 and not self._announced_safe:
+                self._announce_safe()
+        elif tag == "SAFE":
+            _tag, pulse = payload
+            self._safe_from.setdefault(pulse, set()).add(sender)
+            self._try_advance()
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown synchroniser message {payload!r}")
+
+    def _try_advance(self) -> None:
+        while (
+            self._announced_safe
+            and self._safe_from.get(self.pulse, set()) >= set(self.neighbors)
+        ):
+            delivered = self._buffered.pop(self.pulse, [])
+            delivered.sort(key=lambda e: str((e.sender, e.payload)))
+            self.pulse += 1
+            self.pulses_completed += 1
+            if not self.sync_program.halted:
+                self.sync_program.on_round(delivered)
+            if self.sync_program.halted and self.pulses_at_halt is None:
+                self.pulses_at_halt = self.pulse
+            self.output = self.sync_program.output
+            # A hosted program may halt in the same call that queued its
+            # final messages (e.g. a root halting right after its last
+            # broadcast); those must still go out.  Once halted it is no
+            # longer invoked, so no further payload traffic arises — the
+            # synchroniser merely keeps announcing safety for ever-quiet
+            # pulses so neighbours can continue.
+            self._dispatch_pulse_messages()
+
+    @property
+    def hosted_halted(self) -> bool:
+        return self.sync_program.halted
+
+
+def run_synchronized(
+    graph,
+    sync_factory: Callable[[Context], NodeProgram],
+    seed: int = 0,
+    max_events: int = 10_000_000,
+) -> Tuple[AsyncNetwork, float]:
+    """Run a synchronous program on an async network under synchroniser α.
+
+    Returns the async network (programs expose ``sync_program`` and
+    ``pulses_completed``) and the virtual completion time.
+    """
+    network = AsyncNetwork(graph, seed=seed)
+
+    def factory(ctx: AsyncContext) -> AlphaSynchronizerNode:
+        return AlphaSynchronizerNode(ctx, sync_factory)
+
+    def all_hosted_halted(net: AsyncNetwork) -> bool:
+        return all(
+            isinstance(p, AlphaSynchronizerNode) and p.hosted_halted
+            for p in net.programs.values()
+        )
+
+    completion = network.run(factory, max_events=max_events, stop_when=all_hosted_halted)
+    return network, completion

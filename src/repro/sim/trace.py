@@ -1,0 +1,87 @@
+"""Execution tracing for debugging and for the pipelining experiments.
+
+Lemma 5.3 of the paper is a statement about *when* nodes send: once a
+node starts upcasting it never stalls.  Verifying it requires observing
+per-round send behaviour, which is what :class:`TraceRecorder` captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from .program import Context, NodeProgram
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    round: int
+    node: Any
+    kind: str  # "send" | "round" | "halt"
+    detail: Tuple[Any, ...]
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent`s emitted by traced programs."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, round_number: int, node: Any, kind: str, *detail: Any) -> None:
+        self.events.append(TraceEvent(round_number, node, kind, tuple(detail)))
+
+    def sends_by_node(self) -> Dict[Any, List[int]]:
+        """Map node -> sorted list of rounds in which it sent a message."""
+        sends: Dict[Any, List[int]] = {}
+        for event in self.events:
+            if event.kind == "send":
+                sends.setdefault(event.node, []).append(event.round)
+        for rounds in sends.values():
+            rounds.sort()
+        return sends
+
+    def rounds_active(self, node: Any) -> List[int]:
+        return sorted(
+            {e.round for e in self.events if e.node == node and e.kind == "round"}
+        )
+
+    def stalls(self, node: Any) -> List[int]:
+        """Rounds strictly between a node's first and last send in which
+        it sent nothing — the "waiting" the paper proves cannot happen in
+        Procedure Pipeline."""
+        sends = self.sends_by_node().get(node, [])
+        if len(sends) < 2:
+            return []
+        send_set = set(sends)
+        return [r for r in range(sends[0], sends[-1] + 1) if r not in send_set]
+
+
+def traced(
+    program_factory: Callable[[Context], NodeProgram], recorder: TraceRecorder
+) -> Callable[[Context], NodeProgram]:
+    """Wrap a program factory so every send/round/halt is recorded."""
+
+    def factory(ctx: Context) -> NodeProgram:
+        program = program_factory(ctx)
+        original_send = program.send
+        original_on_round = program.on_round
+        original_halt = program.halt
+
+        def send(neighbor, *fields):
+            recorder.record(ctx.round, ctx.node, "send", neighbor, fields)
+            return original_send(neighbor, *fields)
+
+        def on_round(inbox):
+            recorder.record(ctx.round, ctx.node, "round", len(inbox))
+            return original_on_round(inbox)
+
+        def halt():
+            recorder.record(ctx.round, ctx.node, "halt")
+            return original_halt()
+
+        program.send = send  # type: ignore[method-assign]
+        program.on_round = on_round  # type: ignore[method-assign]
+        program.halt = halt  # type: ignore[method-assign]
+        return program
+
+    return factory

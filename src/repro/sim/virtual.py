@@ -1,0 +1,148 @@
+"""Virtual (contracted) networks over cluster partitions.
+
+Several of the paper's algorithms run on a *contracted* tree in which
+every cluster of the current partition acts as a single node.  The paper
+sketches the distributed implementation (§3.2.1): "appoint for each
+cluster a center node, that will from now on perform the operations for
+the whole cluster, while the other nodes in the cluster will just serve
+as links".  One round of the contracted algorithm then costs time
+proportional to the cluster diameter — the center must reach the cluster
+boundary and back.  Section 3.2.2 charges exactly this slowdown:
+"its distributed implementation on the ith iteration is slowed down by a
+factor proportional to the maximum diameter of clusters at that
+iteration".
+
+:class:`VirtualNetwork` reifies that accounting: it is a genuine
+:class:`~repro.sim.network.Network` over the contracted topology, plus a
+``round_cost`` multiplier equal to ``2 * max_cluster_radius + 1``
+(center → boundary → center, plus the crossing edge), so that
+``physical_rounds`` reports the cost in base-network rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from .network import DEFAULT_MAX_ROUNDS, Network, ProgramFactory
+
+
+class ContractedGraph:
+    """The quotient graph of a base graph under a cluster partition.
+
+    Nodes are cluster identifiers (we use the cluster center's id);
+    two clusters are adjacent iff some base edge joins them.  Satisfies
+    the topology protocol expected by :class:`Network`.
+    """
+
+    def __init__(
+        self,
+        base_graph,
+        clusters: Dict[Any, Set[Any]],
+        tree_edges_only: Optional[Iterable[Tuple[Any, Any]]] = None,
+    ):
+        """``clusters`` maps center id -> set of base nodes (disjoint,
+        covering).  If ``tree_edges_only`` is given, only those base
+        edges induce contracted adjacency (used when contracting a
+        spanning tree rather than the whole graph)."""
+        self.base_graph = base_graph
+        self.clusters = {center: set(members) for center, members in clusters.items()}
+        self.center_of: Dict[Any, Any] = {}
+        for center, members in self.clusters.items():
+            for v in members:
+                if v in self.center_of:
+                    raise ValueError(f"node {v} appears in two clusters")
+                self.center_of[v] = center
+        covered = set(self.center_of)
+        base_nodes = set(base_graph.nodes)
+        if covered != base_nodes:
+            missing = base_nodes - covered
+            extra = covered - base_nodes
+            raise ValueError(
+                f"clusters do not partition the graph (missing={missing!r}, "
+                f"extra={extra!r})"
+            )
+
+        self._adjacency: Dict[Any, Set[Any]] = {c: set() for c in self.clusters}
+        if tree_edges_only is not None:
+            edge_iter = tree_edges_only
+        else:
+            edge_iter = base_graph.edges()
+        for u, v in edge_iter:
+            cu, cv = self.center_of[u], self.center_of[v]
+            if cu != cv:
+                self._adjacency[cu].add(cv)
+                self._adjacency[cv].add(cu)
+
+    @property
+    def nodes(self) -> List[Any]:
+        return sorted(self.clusters)
+
+    def neighbors(self, center) -> List[Any]:
+        return sorted(self._adjacency[center])
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.clusters)
+
+    def radius_of(self, center, distances=None) -> int:
+        """Radius of a cluster around its center, measured in the base
+        graph restricted to the cluster (BFS within the member set)."""
+        members = self.clusters[center]
+        if len(members) == 1:
+            return 0
+        frontier = [center]
+        seen = {center}
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for v in frontier:
+                for u in self.base_graph.neighbors(v):
+                    if u in members and u not in seen:
+                        seen.add(u)
+                        next_frontier.append(u)
+            if not next_frontier:
+                depth -= 1
+                break
+            frontier = next_frontier
+        if seen != members:
+            raise ValueError(
+                f"cluster of {center} is not connected within the base graph"
+            )
+        return depth
+
+    def max_radius(self) -> int:
+        return max((self.radius_of(c) for c in self.clusters), default=0)
+
+
+class VirtualNetwork:
+    """A Network over a contracted graph, with physical-round accounting."""
+
+    def __init__(self, contracted: ContractedGraph, word_limit: int = 8):
+        self.contracted = contracted
+        self.network = Network(contracted, word_limit=word_limit)
+        self.round_cost = 2 * contracted.max_radius() + 1
+
+    def run(
+        self,
+        program_factory: ProgramFactory,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        **kwargs,
+    ):
+        metrics = self.network.run(program_factory, max_rounds=max_rounds, **kwargs)
+        return metrics
+
+    @property
+    def virtual_rounds(self) -> int:
+        return self.network.metrics.rounds
+
+    @property
+    def physical_rounds(self) -> int:
+        """Cost of the virtual execution in base-network rounds."""
+        return self.virtual_rounds * self.round_cost
+
+    def outputs(self):
+        return self.network.outputs()
+
+    def output_field(self, key: str):
+        return self.network.output_field(key)

@@ -1,0 +1,33 @@
+"""Symmetry-breaking substrate: log*, Cole–Vishkin, 3-colouring, tree MIS
+and maximal matching — the `[GPS]` machinery behind Lemma 3.2."""
+
+from .cole_vishkin import (
+    SixColoringProgram,
+    cv_step,
+    cv_step_root,
+    derive_id_bound,
+    six_color_forest,
+)
+from .log_star import cv_color_bits_after_step, cv_iterations, log2_ceil, log_star
+from .matching import TreeMatchingProgram, tree_maximal_matching
+from .mis_tree import TreeMISProgram, tree_mis
+from .three_coloring import PALETTE, ThreeColoringProgram, three_color_forest
+
+__all__ = [
+    "PALETTE",
+    "SixColoringProgram",
+    "ThreeColoringProgram",
+    "TreeMISProgram",
+    "TreeMatchingProgram",
+    "cv_color_bits_after_step",
+    "cv_iterations",
+    "cv_step",
+    "cv_step_root",
+    "derive_id_bound",
+    "log2_ceil",
+    "log_star",
+    "six_color_forest",
+    "three_color_forest",
+    "tree_maximal_matching",
+    "tree_mis",
+]

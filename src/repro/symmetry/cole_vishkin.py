@@ -1,0 +1,133 @@
+"""Cole–Vishkin colour reduction on rooted trees and forests.
+
+This is the engine behind the `[GPS]` black box the paper relies on
+(Lemma 3.2): an ``O(log* n)`` distributed 6-colouring of a rooted
+forest.  Every node starts with its unique id as its colour; in each
+round a node looks at the lowest bit position ``i`` in which its colour
+differs from its parent's and adopts the new colour ``2 * i + b`` where
+``b`` is its own bit at position ``i``.  After ``cv_iterations(n)``
+rounds (a schedule every node derives locally from ``n``) all colours
+lie in ``[0, 6)``.
+
+Roots have no parent; they act as if their parent differed in bit 0,
+which preserves properness (see :func:`cv_step_root`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim.network import Network
+from ..sim.program import Context, ScriptedProgram
+from .log_star import cv_iterations
+
+
+def cv_step(color: int, parent_color: int) -> int:
+    """One Cole–Vishkin reduction step against the parent's colour."""
+    if color == parent_color:
+        raise ValueError("colouring is not proper: equal parent/child colours")
+    differing = color ^ parent_color
+    i = (differing & -differing).bit_length() - 1
+    b = (color >> i) & 1
+    return 2 * i + b
+
+
+def cv_step_root(color: int) -> int:
+    """Root variant: pretend the (absent) parent differs in bit 0.
+
+    A child that also chose ``i = 0`` must have had a differing bit 0,
+    so the root's new colour ``b0`` cannot collide with it; a child that
+    chose ``i > 0`` lands at ``>= 2`` while the root lands at ``<= 1``.
+    """
+    return 2 * 0 + (color & 1)
+
+
+class SixColoringProgram(ScriptedProgram):
+    """Distributed 6-colouring of a rooted forest in O(log* n) rounds.
+
+    ``parent_of`` maps every node to its tree parent (``None`` for
+    roots).  Node identifiers must be non-negative integers below ``n``
+    — the unique-id assumption of the model.  Output: ``color``.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        parent_of: Dict[Any, Optional[Any]],
+        id_bound: Optional[int] = None,
+    ):
+        """``id_bound``: exclusive upper bound on node identifiers, used
+        to derive the (globally agreed) reduction schedule.  Defaults to
+        ``n``; contracted networks whose node ids come from a larger
+        original graph must pass that graph's size."""
+        super().__init__(ctx)
+        if not isinstance(ctx.node, int) or ctx.node < 0:
+            raise ValueError("colouring requires non-negative integer node ids")
+        self.parent = parent_of.get(ctx.node)
+        self.children: Tuple[Any, ...] = tuple(
+            nb for nb in ctx.neighbors if parent_of.get(nb) == ctx.node
+        )
+        self.color: int = ctx.node
+        self.total_steps = cv_iterations(max(ctx.n, id_bound or 1, 1))
+        if ctx.node >= max(ctx.n, id_bound or 1):
+            raise ValueError(
+                f"node id {ctx.node} exceeds the declared id bound "
+                f"{max(ctx.n, id_bound or 1)}; pass id_bound"
+            )
+
+    def send_color_down(self) -> None:
+        for child in self.children:
+            self.send(child, "C", self.color)
+
+    def parent_color(self, inbox) -> Optional[int]:
+        for envelope in inbox:
+            if envelope.tag() == "C" and envelope.sender == self.parent:
+                return envelope.payload[1]
+        return None
+
+    def script(self):
+        yield from self.run_six_coloring()
+        self.output["color"] = self.color
+
+    def run_six_coloring(self):
+        """Generator implementing the CV rounds; reusable by subclasses."""
+        self.send_color_down()
+        for _step in range(self.total_steps):
+            inbox = yield
+            if self.parent is None:
+                self.color = cv_step_root(self.color)
+            else:
+                parent_color = self.parent_color(inbox)
+                if parent_color is None:
+                    raise RuntimeError(
+                        f"node {self.node} missed its parent's colour"
+                    )
+                self.color = cv_step(self.color, parent_color)
+            self.send_color_down()
+        # A final idle round lets the last colour broadcast drain so the
+        # round accounting is identical at every node.
+        yield
+
+
+def derive_id_bound(graph) -> int:
+    """Exclusive upper bound on the graph's integer node ids.
+
+    The model assumes ids in ``[0, n)``; graphs with sparse labels
+    (contracted graphs, forests carved out of larger graphs) need the
+    true bound so every node derives the same reduction schedule.
+    """
+    return max(
+        (v + 1 for v in graph.nodes if isinstance(v, int)),
+        default=1,
+    )
+
+
+def six_color_forest(
+    graph, parent_of: Dict[Any, Optional[Any]], word_limit: int = 8
+) -> Tuple[Dict[Any, int], "Network"]:
+    """Run :class:`SixColoringProgram` on ``graph``; return colours and
+    the network (for metrics)."""
+    network = Network(graph, word_limit=word_limit)
+    bound = derive_id_bound(graph)
+    network.run(lambda ctx: SixColoringProgram(ctx, parent_of, id_bound=bound))
+    return network.output_field("color"), network

@@ -1,0 +1,61 @@
+"""Iterated-logarithm utilities.
+
+``log* n`` is the number of times ``log2`` must be applied to ``n``
+before the result drops to at most 1.  The paper's headline complexities
+(``O(k log* n)``) are measured against this function, and the
+Cole–Vishkin colour-reduction schedule is derived from the closely
+related bit-length iteration computed here.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log2_ceil(n: int) -> int:
+    """Smallest integer b with 2**b >= n (n >= 1)."""
+    if n < 1:
+        raise ValueError("n >= 1 required")
+    return (n - 1).bit_length()
+
+
+def log_star(n: int) -> int:
+    """Iterated logarithm: applications of log2 until the value <= 1."""
+    if n < 1:
+        raise ValueError("n >= 1 required")
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def cv_color_bits_after_step(bits: int) -> int:
+    """Bit-length of Cole–Vishkin colours after one reduction step.
+
+    With colours of ``bits`` bits, the new colour is ``2 * i + b`` with
+    ``i < bits``, hence at most ``2 * bits - 1``.
+    """
+    if bits < 1:
+        raise ValueError("bits >= 1 required")
+    return (2 * bits - 1).bit_length()
+
+
+def cv_iterations(n: int) -> int:
+    """Rounds of Cole–Vishkin needed to reach colours < 6 from ids < n.
+
+    The colour space shrinks from ``B`` bits to ``ceil(log2(2B))`` bits
+    per step; once colours fit in 3 bits one further step lands them in
+    ``[0, 6)``.  This is the ``O(log* n)`` schedule every node can
+    compute locally from ``n``.
+    """
+    if n < 1:
+        raise ValueError("n >= 1 required")
+    bits = max(1, (max(n - 1, 1)).bit_length())
+    iterations = 0
+    while bits > 3:
+        bits = cv_color_bits_after_step(bits)
+        iterations += 1
+    # One final step maps 3-bit colours into [0, 6).
+    return iterations + 1

@@ -1,0 +1,108 @@
+"""Maximal matching on rooted forests in O(log* n) rounds.
+
+Built on the 3-colouring: three proposal phases, one per colour class.
+In phase ``c`` every unmatched node of colour ``c`` whose parent is not
+known to be matched proposes to its parent; an unmatched parent accepts
+the smallest-id proposer and both endpoints announce ``MATCHED`` to
+their remaining neighbours.
+
+Properness of the colouring guarantees a node is never simultaneously a
+proposer and a potential acceptor in the same phase (its parent has a
+different colour, and so do its children).  Maximality: if an edge
+(child v, parent p) ended with both endpoints unmatched, then in phase
+``colour(v)`` node v would have proposed (p never announced MATCHED)
+and p, being unmatched, would have accepted some proposer —
+contradiction.
+
+This module is the engine of the repository's ``Small-Dom-Set``
+substitute (see DESIGN.md §2): a maximal matching plus one attachment
+round yields a star partition with all the properties of the paper's
+Lemma 3.2, and the balanced property (c) of Definition 3.1 for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..sim.network import Network
+from .three_coloring import PALETTE, ThreeColoringProgram
+
+
+class TreeMatchingProgram(ThreeColoringProgram):
+    """Distributed maximal matching on a rooted forest.
+
+    Output: ``partner`` (matched neighbour, or ``None``).
+    """
+
+    def script(self):
+        yield from self.run_three_coloring()
+        yield from self.run_matching()
+        self.output["color"] = self.color
+        self.output["partner"] = self.partner
+
+    def run_matching(self):
+        self.partner: Optional[Any] = None
+        self.known_matched: Set[Any] = set()
+        for c in PALETTE:
+            # Slot A: colour-c unmatched nodes propose to their parent.
+            proposed = False
+            if (
+                self.partner is None
+                and self.color == c
+                and self.parent is not None
+                and self.parent not in self.known_matched
+            ):
+                self.send(self.parent, "PROPOSE")
+                proposed = True
+            inbox = yield
+            # Slot B: unmatched parents accept the smallest proposer and
+            # break the news to everyone else.
+            proposals = sorted(
+                envelope.sender
+                for envelope in inbox
+                if envelope.tag() == "PROPOSE"
+            )
+            if self.partner is None and proposals:
+                winner = proposals[0]
+                self.partner = winner
+                self.send(winner, "ACCEPT")
+                for neighbor in self.neighbors:
+                    if neighbor != winner:
+                        self.send(neighbor, "MATCHED")
+            inbox = yield
+            # Slot C: accepted proposers record the match and announce it.
+            newly_matched_as_proposer = False
+            for envelope in inbox:
+                if envelope.tag() == "ACCEPT" and envelope.sender == self.parent:
+                    if not proposed:  # pragma: no cover - defensive
+                        raise RuntimeError(
+                            f"unsolicited ACCEPT at node {self.node}"
+                        )
+                    self.partner = self.parent
+                    newly_matched_as_proposer = True
+                elif envelope.tag() == "MATCHED":
+                    self.known_matched.add(envelope.sender)
+            if newly_matched_as_proposer:
+                for neighbor in self.neighbors:
+                    if neighbor != self.partner:
+                        self.send(neighbor, "MATCHED")
+            inbox = yield
+            # Slot D: absorb the proposers' announcements (same round in
+            # which the next phase's proposals are decided).
+            for envelope in inbox:
+                if envelope.tag() == "MATCHED":
+                    self.known_matched.add(envelope.sender)
+
+
+def tree_maximal_matching(
+    graph, parent_of: Dict[Any, Optional[Any]], word_limit: int = 8
+) -> Tuple[Dict[Any, Optional[Any]], "Network"]:
+    """Run :class:`TreeMatchingProgram`; return partner map and network."""
+    from .cole_vishkin import derive_id_bound
+
+    network = Network(graph, word_limit=word_limit)
+    bound = derive_id_bound(graph)
+    network.run(
+        lambda ctx: TreeMatchingProgram(ctx, parent_of, id_bound=bound)
+    )
+    return network.output_field("partner"), network

@@ -1,0 +1,54 @@
+"""Maximal independent set on rooted forests in O(log* n) rounds.
+
+This is the `[GPS]` procedure the paper cites in Lemma 3.2: compute a
+3-colouring, then sweep the colour classes.  In phase ``c`` every
+still-undominated node of colour ``c`` joins the MIS and announces it;
+neighbours mark themselves dominated.  Independence holds because a
+colour class is independent; maximality because a node skipped in its
+own phase must already have an MIS neighbour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim.network import Network
+from .three_coloring import PALETTE, ThreeColoringProgram
+
+
+class TreeMISProgram(ThreeColoringProgram):
+    """Distributed MIS on a rooted forest.  Output: ``in_mis`` (bool)."""
+
+    def script(self):
+        yield from self.run_three_coloring()
+        yield from self.run_mis()
+        self.output["color"] = self.color
+        self.output["in_mis"] = self.in_mis
+
+    def run_mis(self):
+        self.in_mis = False
+        self.dominated = False
+        for c in PALETTE:
+            if self.color == c and not self.dominated:
+                self.in_mis = True
+                self.broadcast("MIS")
+            inbox = yield
+            if any(envelope.tag() == "MIS" for envelope in inbox):
+                if self.in_mis:
+                    raise RuntimeError(
+                        f"MIS independence violated at node {self.node}"
+                    )
+                self.dominated = True
+
+
+def tree_mis(
+    graph, parent_of: Dict[Any, Optional[Any]], word_limit: int = 8
+) -> Tuple[set, "Network"]:
+    """Run :class:`TreeMISProgram`; return the MIS and the network."""
+    from .cole_vishkin import derive_id_bound
+
+    network = Network(graph, word_limit=word_limit)
+    bound = derive_id_bound(graph)
+    network.run(lambda ctx: TreeMISProgram(ctx, parent_of, id_bound=bound))
+    flags = network.output_field("in_mis")
+    return {v for v, flag in flags.items() if flag}, network

@@ -1,0 +1,84 @@
+"""3-colouring of rooted forests: Cole–Vishkin + shift-down reduction.
+
+After the 6-colouring of :mod:`repro.symmetry.cole_vishkin`, colours
+``5, 4, 3`` are eliminated one per phase by the standard shift-down
+procedure (Goldberg–Plotkin–Shannon):
+
+* **shift down** — every non-root adopts its parent's current colour
+  (making sibling sets monochromatic; the root picks a fresh colour in
+  ``{0, 1, 2}``), then
+* **recolour** — every node whose colour is the phase's target picks
+  the smallest colour in ``{0, 1, 2}`` used by neither its parent nor
+  its (monochromatic) children.
+
+Each phase costs O(1) rounds, keeping the total at O(log* n).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim.network import Network
+from .cole_vishkin import SixColoringProgram
+
+PALETTE = (0, 1, 2)
+
+
+class ThreeColoringProgram(SixColoringProgram):
+    """Distributed 3-colouring of a rooted forest in O(log* n) rounds.
+
+    Output: ``color`` in ``{0, 1, 2}``.
+    """
+
+    def script(self):
+        yield from self.run_three_coloring()
+        self.output["color"] = self.color
+
+    def run_three_coloring(self):
+        """Generator: 6-colouring followed by three shift-down phases."""
+        yield from self.run_six_coloring()
+        for target in (5, 4, 3):
+            # Shift down: learn the parent's current colour ...
+            self.send_color_down()
+            inbox = yield
+            if self.parent is None:
+                old = self.color
+                self.color = min(x for x in PALETTE if x != old)
+            else:
+                parent_color = self.parent_color(inbox)
+                if parent_color is None:
+                    raise RuntimeError(
+                        f"node {self.node} missed its parent's colour"
+                    )
+                self.color = parent_color
+            # ... exchange post-shift colours with parent and children ...
+            self.send_color_down()
+            if self.parent is not None:
+                self.send(self.parent, "C", self.color)
+            inbox = yield
+            parent_color = self.parent_color(inbox)
+            child_colors = {
+                envelope.payload[1]
+                for envelope in inbox
+                if envelope.tag() == "C" and envelope.sender in self.children
+            }
+            # ... and recolour the target class into the palette.
+            if self.color == target:
+                used = set(child_colors)
+                if parent_color is not None:
+                    used.add(parent_color)
+                self.color = min(x for x in PALETTE if x not in used)
+
+
+def three_color_forest(
+    graph, parent_of: Dict[Any, Optional[Any]], word_limit: int = 8
+) -> Tuple[Dict[Any, int], "Network"]:
+    """Run :class:`ThreeColoringProgram`; return colours and the network."""
+    from .cole_vishkin import derive_id_bound
+
+    network = Network(graph, word_limit=word_limit)
+    bound = derive_id_bound(graph)
+    network.run(
+        lambda ctx: ThreeColoringProgram(ctx, parent_of, id_bound=bound)
+    )
+    return network.output_field("color"), network

@@ -1,0 +1,29 @@
+"""Independent verification layer: checkers for every claim class."""
+
+from .dominating import (
+    domination_radius,
+    every_dominator_has_outside_neighbor,
+    is_dominating,
+    is_k_dominating,
+    meets_size_bound,
+)
+from .mst import check_mst, check_mst_fragments, spanning_tree_weight
+from .partition import PartitionReport, check_partition, check_spanning_forest
+from .symmetry import check_coloring, check_matching, check_mis
+
+__all__ = [
+    "PartitionReport",
+    "check_coloring",
+    "check_matching",
+    "check_mis",
+    "check_mst",
+    "check_mst_fragments",
+    "check_partition",
+    "check_spanning_forest",
+    "domination_radius",
+    "every_dominator_has_outside_neighbor",
+    "is_dominating",
+    "is_k_dominating",
+    "meets_size_bound",
+    "spanning_tree_weight",
+]

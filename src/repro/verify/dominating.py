@@ -1,0 +1,64 @@
+"""Independent checkers for dominating-set claims.
+
+These are used by tests and benchmarks to validate the algorithms'
+outputs against the paper's stated bounds; they deliberately share no
+code with the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional, Set
+
+from ..graphs.graph import Graph
+
+
+def domination_radius(graph: Graph, dominators: Set[Any]) -> Optional[int]:
+    """max over nodes of the distance to the nearest dominator, or
+    ``None`` if some node cannot reach any dominator."""
+    if not dominators:
+        return None
+    dist: Dict[Any, int] = {}
+    queue = deque()
+    for d in dominators:
+        if d not in graph:
+            raise ValueError(f"dominator {d} not a graph node")
+        dist[d] = 0
+        queue.append(d)
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    if len(dist) != graph.num_nodes:
+        return None
+    return max(dist.values())
+
+
+def is_k_dominating(graph: Graph, dominators: Set[Any], k: int) -> bool:
+    """Every node within distance k of some dominator (§1.2)."""
+    radius = domination_radius(graph, dominators)
+    return radius is not None and radius <= k
+
+
+def meets_size_bound(n: int, k: int, size: int) -> bool:
+    """Lemma 2.1's bound: ``|D| <= max(1, floor(n / (k + 1)))``."""
+    return size <= max(1, n // (k + 1))
+
+
+def is_dominating(graph: Graph, dominators: Set[Any]) -> bool:
+    return is_k_dominating(graph, dominators, 1) or all(
+        v in dominators or any(u in dominators for u in graph.neighbors(v))
+        for v in graph.nodes
+    )
+
+
+def every_dominator_has_outside_neighbor(
+    graph: Graph, dominators: Set[Any]
+) -> bool:
+    """The extra property of Lemma 3.2's output."""
+    return all(
+        any(u not in dominators for u in graph.neighbors(v))
+        for v in dominators
+    )

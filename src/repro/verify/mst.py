@@ -1,0 +1,45 @@
+"""Independent MST checkers (spanning, acyclic, weight-optimal, and the
+cut-property test for MST *fragments*)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from ..graphs.graph import Graph
+from ..graphs.validation import edges_form_spanning_tree
+from ..mst.kruskal import kruskal_mst
+
+
+def check_mst(graph: Graph, edges: Iterable[Tuple[Any, Any]]) -> bool:
+    """Exact check: the edges are a spanning tree of minimum weight.
+
+    With distinct weights the MST is unique, so this compares edge sets
+    against Kruskal.
+    """
+    edge_set = {_canonical(u, v) for u, v in edges}
+    if not edges_form_spanning_tree(graph, edge_set):
+        return False
+    return edge_set == kruskal_mst(graph)
+
+
+def check_mst_fragments(
+    graph: Graph, fragment_edge_sets: Iterable[Iterable[Tuple[Any, Any]]]
+) -> bool:
+    """Every fragment's edges are a subset of the (unique) MST."""
+    mst = kruskal_mst(graph)
+    for edges in fragment_edge_sets:
+        for u, v in edges:
+            if _canonical(u, v) not in mst:
+                return False
+    return True
+
+
+def spanning_tree_weight(graph: Graph, edges: Iterable[Tuple[Any, Any]]) -> float:
+    return sum(graph.weight(u, v) for u, v in edges)
+
+
+def _canonical(u: Any, v: Any) -> Tuple[Any, Any]:
+    try:
+        return (u, v) if u < v else (v, u)
+    except TypeError:
+        return (u, v) if str(u) < str(v) else (v, u)

@@ -1,0 +1,136 @@
+"""Independent checkers for partition / spanning-forest structure."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, List, Optional, Set
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition
+
+
+class PartitionReport:
+    """Outcome of a full partition check (all fields or raise-free)."""
+
+    def __init__(self) -> None:
+        self.is_partition = True
+        self.problems: List[str] = []
+        self.min_size: Optional[int] = None
+        self.max_radius: Optional[int] = None
+
+    def fail(self, message: str) -> None:
+        self.is_partition = False
+        self.problems.append(message)
+
+    def __bool__(self) -> bool:
+        return self.is_partition
+
+
+def check_partition(
+    graph: Graph,
+    partition: Partition,
+    min_cluster_size: Optional[int] = None,
+    max_cluster_radius: Optional[int] = None,
+    require_connected: bool = True,
+) -> PartitionReport:
+    """Validate disjointness, coverage, and the paper's size/radius
+    bounds (measured *inside* each cluster, per Definition 3.1)."""
+    report = PartitionReport()
+    seen: Set[Any] = set()
+    sizes: List[int] = []
+    radii: List[int] = []
+    for cluster in partition:
+        overlap = cluster.members & seen
+        if overlap:
+            report.fail(f"clusters overlap on {sorted(overlap, key=str)[:5]}")
+        seen |= cluster.members
+        sizes.append(cluster.size)
+        if require_connected:
+            try:
+                radii.append(cluster.radius_in(graph))
+            except ValueError as exc:
+                report.fail(f"cluster {cluster.center}: {exc}")
+    missing = set(graph.nodes) - seen
+    if missing:
+        report.fail(f"nodes uncovered: {sorted(missing, key=str)[:5]}")
+    report.min_size = min(sizes) if sizes else None
+    report.max_radius = max(radii) if radii else None
+    if min_cluster_size is not None and sizes and min(sizes) < min_cluster_size:
+        report.fail(
+            f"cluster size {min(sizes)} below required {min_cluster_size}"
+        )
+    if (
+        max_cluster_radius is not None
+        and radii
+        and max(radii) > max_cluster_radius
+    ):
+        report.fail(
+            f"cluster radius {max(radii)} above allowed {max_cluster_radius}"
+        )
+    return report
+
+
+def check_spanning_forest(
+    graph: Graph,
+    fragments: Iterable[Set[Any]],
+    sigma: int,
+    rho: Optional[int] = None,
+) -> PartitionReport:
+    """Definition 3.1 (the (σ, ρ) spanning forest): disjoint trees of
+    graph edges spanning all nodes, each with at least σ nodes and
+    radius at most ρ."""
+    report = PartitionReport()
+    seen: Set[Any] = set()
+    sizes: List[int] = []
+    for fragment in fragments:
+        if fragment & seen:
+            report.fail("fragments overlap")
+        seen |= fragment
+        sizes.append(len(fragment))
+        if not _connected_within(graph, fragment):
+            report.fail(f"fragment of size {len(fragment)} not connected")
+    if seen != set(graph.nodes):
+        report.fail("fragments do not span the graph")
+    report.min_size = min(sizes) if sizes else None
+    if sizes and min(sizes) < min(sigma, graph.num_nodes):
+        report.fail(f"fragment size {min(sizes)} below sigma={sigma}")
+    if rho is not None:
+        worst = 0
+        for fragment in fragments:
+            worst = max(worst, _radius_within(graph, fragment))
+        report.max_radius = worst
+        if worst > rho:
+            report.fail(f"fragment radius {worst} above rho={rho}")
+    return report
+
+
+def _connected_within(graph: Graph, members: Set[Any]) -> bool:
+    if not members:
+        return True
+    start = next(iter(members))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u in members and u not in seen:
+                seen.add(u)
+                queue.append(u)
+    return seen == members
+
+
+def _radius_within(graph: Graph, members: Set[Any]) -> int:
+    best = None
+    for center in members:
+        dist = {center: 0}
+        queue = deque([center])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u in members and u not in dist:
+                    dist[u] = dist[v] + 1
+                    queue.append(u)
+        ecc = max(dist.values())
+        if best is None or ecc < best:
+            best = ecc
+    return best or 0

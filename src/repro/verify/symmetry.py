@@ -1,0 +1,49 @@
+"""Independent checkers for the symmetry-breaking substrate."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from ..graphs.graph import Graph
+
+
+def check_coloring(
+    graph: Graph, colors: Dict[Any, int], palette_size: Optional[int] = None
+) -> bool:
+    """Proper colouring, optionally within a palette ``[0, size)``."""
+    for v in graph.nodes:
+        if v not in colors:
+            return False
+        if palette_size is not None and not 0 <= colors[v] < palette_size:
+            return False
+        for u in graph.neighbors(v):
+            if colors.get(u) == colors[v]:
+                return False
+    return True
+
+
+def check_mis(graph: Graph, mis: Set[Any]) -> bool:
+    """Independent and maximal."""
+    for v in mis:
+        if any(u in mis for u in graph.neighbors(v)):
+            return False
+    for v in graph.nodes:
+        if v not in mis and not any(u in mis for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+def check_matching(graph: Graph, partner: Dict[Any, Optional[Any]]) -> bool:
+    """Mutual, edge-respecting, and maximal."""
+    for v, p in partner.items():
+        if p is None:
+            continue
+        if not graph.has_edge(v, p):
+            return False
+        if partner.get(p) != v:
+            return False
+    unmatched = {v for v, p in partner.items() if p is None}
+    for v in unmatched:
+        if any(u in unmatched for u in graph.neighbors(v)):
+            return False
+    return True

@@ -1,0 +1,66 @@
+"""Complexity-fitting helpers used by the benchmark harness."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    bound_ratios,
+    crossover_estimate,
+    fit_exponent,
+    log_star,
+    ratios_are_bounded,
+)
+
+
+class TestFitExponent:
+    def test_linear(self):
+        points = [(10, 30), (100, 300), (1000, 3000)]
+        assert fit_exponent(points) == pytest.approx(1.0)
+
+    def test_sqrt(self):
+        points = [(n, 5 * math.sqrt(n)) for n in (16, 64, 256, 1024)]
+        assert fit_exponent(points) == pytest.approx(0.5)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_exponent([(10, 5)])
+
+    def test_rejects_equal_x(self):
+        with pytest.raises(ValueError):
+            fit_exponent([(10, 5), (10, 7)])
+
+
+class TestBoundRatios:
+    def test_flat_for_matching_bound(self):
+        points = [(n, 7 * n) for n in (10, 100, 1000)]
+        ratios = bound_ratios(points, lambda n: n)
+        assert all(r == pytest.approx(7.0) for r in ratios)
+
+    def test_ratios_are_bounded_accepts_flat(self):
+        points = [(n, 2 * n + 5) for n in (10, 100, 1000)]
+        assert ratios_are_bounded(points, lambda n: n)
+
+    def test_ratios_are_bounded_rejects_growth(self):
+        points = [(n, n * n) for n in (10, 100, 1000)]
+        assert not ratios_are_bounded(points, lambda n: n)
+
+
+class TestCrossover:
+    def test_sqrt_beats_linear_eventually(self):
+        sqrt_series = [(n, 50 * math.sqrt(n)) for n in (16, 64, 256)]
+        linear_series = [(n, 2 * n) for n in (16, 64, 256)]
+        x = crossover_estimate(sqrt_series, linear_series)
+        assert x == pytest.approx(625, rel=0.01)
+
+    def test_parallel_fits_never_cross(self):
+        a = [(10, 10), (100, 100)]
+        b = [(10, 20), (100, 200)]
+        assert crossover_estimate(a, b) == math.inf
+
+
+class TestLogStar:
+    def test_values(self):
+        assert log_star(2) == 1
+        assert log_star(16) == 3
+        assert log_star(65536) == 4

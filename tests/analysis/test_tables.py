@@ -1,0 +1,24 @@
+"""Table rendering."""
+
+from repro.analysis import banner, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456789]])
+        assert "1.23" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and len(text.splitlines()) == 2
+
+
+class TestBanner:
+    def test_contains_title(self):
+        assert "E1" in banner("E1")

@@ -1,0 +1,59 @@
+"""Leader election and distributed counting."""
+
+import pytest
+
+from repro.applications import count_nodes, leader_election
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    eccentricity,
+    grid_graph,
+    random_connected_graph,
+    random_tree,
+)
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: random_tree(60, seed=1),
+            lambda: grid_graph(6, 6),
+            lambda: cycle_graph(30),
+            lambda: random_connected_graph(80, 0.07, seed=2),
+        ],
+    )
+    def test_elects_max_id(self, factory):
+        g = factory()
+        leader, _rounds, _net = leader_election(g)
+        assert leader == max(g.nodes)
+
+    def test_everyone_agrees(self):
+        g = random_connected_graph(50, 0.1, seed=3)
+        _leader, _rounds, net = leader_election(g)
+        assert len(set(net.output_field("leader").values())) == 1
+
+    def test_rounds_near_eccentricity(self):
+        g = cycle_graph(40)
+        leader, rounds, _net = leader_election(g)
+        assert rounds <= eccentricity(g, leader) + 2
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(7)
+        leader, rounds, _net = leader_election(g)
+        assert leader == 7
+
+
+class TestCounting:
+    @pytest.mark.parametrize("n,seed", [(30, 1), (100, 2)])
+    def test_exact_count(self, n, seed):
+        g = random_tree(n, seed=seed)
+        total, staged = count_nodes(g, 0)
+        assert total == n
+        assert staged.total_rounds > 0
+
+    def test_count_on_graph(self):
+        g = grid_graph(7, 5)
+        total, _staged = count_nodes(g, 12)
+        assert total == 35

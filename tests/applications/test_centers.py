@@ -1,0 +1,42 @@
+"""Server placement on k-dominating sets."""
+
+import pytest
+
+from repro.applications import place_servers, random_placement
+from repro.graphs import assign_unique_weights, grid_graph, random_connected_graph
+
+
+@pytest.fixture
+def grid():
+    return assign_unique_weights(grid_graph(8, 8), seed=1)
+
+
+class TestPlacement:
+    def test_cover_radius_guaranteed(self, grid):
+        placement = place_servers(grid, 3)
+        assert placement.cover_radius <= 3
+
+    def test_server_count_bound(self, grid):
+        placement = place_servers(grid, 3)
+        assert placement.server_count <= max(1, 64 // 4)
+
+    def test_every_client_assigned_a_server(self, grid):
+        placement = place_servers(grid, 2)
+        assert set(placement.assignment) == set(grid.nodes)
+        assert set(placement.assignment.values()) <= placement.servers
+
+    def test_load_accounts_everyone(self, grid):
+        placement = place_servers(grid, 2)
+        assert sum(placement.load().values()) == 64
+
+    def test_random_placement_same_count_weaker_radius(self, grid):
+        placement = place_servers(grid, 3)
+        rand = random_placement(grid, placement.server_count, seed=9)
+        assert rand.server_count == placement.server_count
+        # A structural guarantee vs luck: random may or may not cover
+        # within k, but never beats the guarantee's validity.
+        assert placement.cover_radius <= 3
+
+    def test_random_placement_rejects_zero(self, grid):
+        with pytest.raises(ValueError):
+            random_placement(grid, 0)

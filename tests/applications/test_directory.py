@@ -1,0 +1,50 @@
+"""Distributed directory on dominating-set copies ([P2] application)."""
+
+import pytest
+
+from repro.applications import DominatingSetDirectory
+from repro.graphs import assign_unique_weights, grid_graph
+
+
+@pytest.fixture(scope="module")
+def directory():
+    g = assign_unique_weights(grid_graph(7, 7), seed=4)
+    return g, DominatingSetDirectory(g, 3)
+
+
+class TestDirectory:
+    def test_publish_then_lookup(self, directory):
+        _g, d = directory
+        d.publish(0, "alpha", "payload")
+        result = d.lookup(0, "alpha")
+        assert result.value == "payload"
+
+    def test_local_hit_within_2k(self, directory):
+        _g, d = directory
+        d.publish(10, "beta", 1)
+        result = d.lookup(10, "beta")
+        assert result.hit_local_copy
+        assert result.hops <= d.local_read_bound()
+
+    def test_remote_lookup_falls_back_to_home(self, directory):
+        _g, d = directory
+        d.publish(0, "gamma", 7)
+        far = 48
+        result = d.lookup(far, "gamma")
+        assert result.value == 7
+
+    def test_missing_key_raises(self, directory):
+        _g, d = directory
+        with pytest.raises(KeyError):
+            d.lookup(3, "no-such-object")
+
+    def test_home_is_deterministic(self, directory):
+        _g, d = directory
+        assert d.home_of("x") == d.home_of("x")
+        assert d.home_of("x") in d.copies
+
+    def test_copies_are_k_dominating(self, directory):
+        g, d = directory
+        from repro.verify import is_k_dominating
+
+        assert is_k_dominating(g, set(d.copies), 3)

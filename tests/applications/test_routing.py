@@ -1,0 +1,85 @@
+"""Cluster routing with sparse tables ([PU] application)."""
+
+import random
+
+import pytest
+
+from repro.applications import build_routing, full_table_size
+from repro.graphs import (
+    assign_unique_weights,
+    grid_graph,
+    random_connected_graph,
+    torus_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def routed_grid():
+    g = assign_unique_weights(grid_graph(7, 7), seed=2)
+    scheme, rounds = build_routing(g, 3)
+    return g, scheme
+
+
+class TestRouting:
+    def test_all_pairs_deliver(self, routed_grid):
+        g, scheme = routed_grid
+        rng = random.Random(0)
+        for _ in range(200):
+            s, t = rng.randrange(49), rng.randrange(49)
+            result = scheme.route(s, t)
+            assert result.path[0] == s and result.path[-1] == t
+            for a, b in zip(result.path, result.path[1:]):
+                assert g.has_edge(a, b)
+
+    def test_additive_stretch_bound(self, routed_grid):
+        g, scheme = routed_grid
+        k = 3
+        rng = random.Random(1)
+        for _ in range(200):
+            s, t = rng.randrange(49), rng.randrange(49)
+            if s == t:
+                continue
+            result = scheme.route(s, t)
+            assert result.hops <= result.shortest + 4 * k
+
+    def test_self_route(self, routed_grid):
+        _g, scheme = routed_grid
+        result = scheme.route(5, 5)
+        assert result.hops == 0 and result.path == [5]
+
+    def test_tables_sparser_than_full(self, routed_grid):
+        g, scheme = routed_grid
+        assert scheme.total_table_size() < full_table_size(g)
+        assert scheme.max_table_size() < g.num_nodes - 1
+
+    def test_average_stretch_reasonable(self, routed_grid):
+        _g, scheme = routed_grid
+        rng = random.Random(2)
+        pairs = [(rng.randrange(49), rng.randrange(49)) for _ in range(100)]
+        assert scheme.average_stretch(pairs) <= 3.0
+
+    def test_torus(self):
+        g = assign_unique_weights(torus_graph(6, 6), seed=3)
+        scheme, _rounds = build_routing(g, 2)
+        result = scheme.route(0, 35)
+        assert result.path[-1] == 35
+        assert result.hops <= result.shortest + 8
+
+
+from hypothesis import given, settings
+
+from ..conftest import weighted_graphs
+
+
+@settings(max_examples=8, deadline=None)
+@given(weighted_graphs(min_nodes=6, max_nodes=20))
+def test_routing_property(graph):
+    """Every route delivers with additive stretch at most 4k."""
+    k = 2
+    scheme, _rounds = build_routing(graph, k)
+    nodes = sorted(graph.nodes)
+    for s in nodes[:4]:
+        for t in nodes[-4:]:
+            result = scheme.route(s, t)
+            assert result.path[0] == s and result.path[-1] == t
+            assert result.hops <= result.shortest + 4 * k

@@ -1,0 +1,85 @@
+"""BalancedDOM and the Fig. 4 singleton-repair steps."""
+
+import pytest
+
+from repro.core import balanced_dom, repair_singletons
+from repro.graphs import Graph, RootedTree, path_graph, random_tree
+from repro.verify import is_dominating
+
+
+class TestBalancedDom:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (25, 1), (128, 2)])
+    def test_definition_31(self, n, seed):
+        g = random_tree(n, seed=seed)
+        rt = RootedTree.from_graph(g, 0)
+        dominators, partition, _net = balanced_dom(g, rt.parent)
+        assert len(dominators) <= n // 2  # (a)
+        assert is_dominating(g, dominators)  # (b)
+        assert partition.min_cluster_size() >= 2  # (c)
+        assert partition.covers(g.nodes)
+
+
+class TestRepairSingletons:
+    def test_fig4_steps_on_singleton_input(self):
+        # Path 0-1-2-3 with D = {0, 2}: cluster {0} is a singleton.
+        g = path_graph(4)
+        d, centers = repair_singletons(g, {0, 2}, {0: 0, 1: 2, 2: 2, 3: 2})
+        assert is_dominating(g, d)
+        sizes = {}
+        for v, c in centers.items():
+            sizes[c] = sizes.get(c, 0) + 1
+        assert all(s >= 2 for s in sizes.values())
+        assert len(d) <= 2
+
+    def test_step2_picks_non_dominator_neighbor(self):
+        # Path 1-0-2-3 with D = {1, 2}: cluster {1} is a singleton and
+        # 1's only neighbour 0 is outside D (contract satisfied).
+        g = Graph()
+        g.add_edge(1, 0)
+        g.add_edge(0, 2)
+        g.add_edge(2, 3)
+        d, centers = repair_singletons(g, {1, 2}, {1: 1, 0: 2, 2: 2, 3: 2})
+        assert is_dominating(g, d)
+        assert 1 not in d  # the singleton quit D
+        assert 0 in d  # its chosen neighbour became a dominator
+        sizes = {}
+        for _v, c in centers.items():
+            sizes[c] = sizes.get(c, 0) + 1
+        assert all(s >= 2 for s in sizes.values())
+
+    def test_contract_violation_raises(self):
+        # D = whole graph: dominator 0 has no neighbour outside D, so a
+        # singleton cluster at 0 cannot be repaired.
+        g = path_graph(2)
+        with pytest.raises(ValueError):
+            repair_singletons(g, {0, 1}, {0: 0, 1: 1})
+
+    def test_no_singletons_is_identity(self):
+        g = path_graph(4)
+        d0 = {1, 3}
+        centers0 = {0: 1, 1: 1, 2: 3, 3: 3}
+        d, centers = repair_singletons(g, d0, centers0)
+        assert d == d0 and centers == centers0
+
+    def test_isolated_node_kept(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(9)
+        d, centers = repair_singletons(g, {0, 9}, {0: 0, 1: 0, 9: 9})
+        assert 9 in d and centers[9] == 9
+
+    def test_step4_dominator_rejoins_leaver(self):
+        # Path 2-0-1 with D = {2, 1}, clusters {2} and {1, 0}.  Step 2:
+        # singleton {2} quits D and picks 0; step 3: 0 becomes a
+        # dominator and pulls out of 1's cluster, leaving {1} a
+        # singleton; step 4: dominator 1 quits D and rejoins leaver 0.
+        g = Graph()
+        g.add_edge(2, 0)
+        g.add_edge(0, 1)
+        d, centers = repair_singletons(g, {2, 1}, {2: 2, 0: 1, 1: 1})
+        assert is_dominating(g, d)
+        assert d == {0}
+        counts = {}
+        for _v, c in centers.items():
+            counts[c] = counts.get(c, 0) + 1
+        assert all(s >= 2 for s in counts.values())

@@ -1,0 +1,140 @@
+"""Lemma 2.1 constructions — including the R1 reproduction finding."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    greedy_kdominating_set,
+    is_k_dominating_in_tree,
+    level_class_construction,
+    level_classes,
+    minimum_kdominating_set,
+)
+from repro.graphs import Graph, RootedTree, path_graph, random_tree, star_graph
+
+from ..conftest import pruefer_trees
+
+
+def rooted(g, root=0):
+    return RootedTree.from_graph(g, root)
+
+
+class TestLevelClasses:
+    def test_classes_partition_nodes(self):
+        rt = rooted(random_tree(50, seed=1))
+        classes = level_classes(rt, 3)
+        assert sum(len(c) for c in classes) == 50
+        assert len(classes) == 4
+
+    def test_smallest_class_meets_bound(self):
+        for n, k, seed in [(30, 2, 1), (100, 4, 2), (17, 3, 3)]:
+            rt = rooted(random_tree(n, seed=seed))
+            d, _l = level_class_construction(rt, k)
+            assert len(d) <= max(1, n // (k + 1))
+
+    def test_shallow_tree_returns_root(self):
+        rt = rooted(star_graph(10))
+        d, _l = level_class_construction(rt, 5)
+        assert d == {0}
+
+    def test_path_classes_all_dominate(self):
+        # On an end-rooted path there is no shallow leaf, so the paper's
+        # claim holds for every class (the R1 gap needs a shallow leaf).
+        rt = rooted(path_graph(30))
+        for k in (1, 2, 4):
+            for cls in level_classes(rt, k):
+                assert is_k_dominating_in_tree(rt, cls, k)
+
+    def test_lemma21_domination_gap(self):
+        """R1: the paper's 'clearly every D_i is a k-dominating set' is
+        false — a shallow leaf cannot reach class l > its depth."""
+        g = Graph()
+        g.add_edge(0, 1)  # shallow leaf x = 1
+        previous = 0
+        for i in range(2, 12):  # deep path 0-2-3-...-11
+            g.add_edge(previous, i)
+            previous = i
+        rt = rooted(g)
+        k = 2
+        classes = level_classes(rt, k)
+        # class 2 is the smallest, and it does NOT dominate.
+        chosen, level = level_class_construction(rt, k)
+        assert level == 2
+        assert not is_k_dominating_in_tree(rt, chosen, k)
+        # while the minimum-DP construction does, within the same bound.
+        repaired = minimum_kdominating_set(rt, k)
+        assert is_k_dominating_in_tree(rt, repaired, k)
+        assert len(repaired) <= max(1, g.num_nodes // (k + 1))
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("n,k,seed", [(25, 1, 0), (60, 3, 1), (90, 6, 2)])
+    def test_dominates(self, n, k, seed):
+        rt = rooted(random_tree(n, seed=seed))
+        d = greedy_kdominating_set(rt, k)
+        assert is_k_dominating_in_tree(rt, d, k)
+
+    def test_k_zero_takes_everyone(self):
+        rt = rooted(path_graph(5))
+        assert greedy_kdominating_set(rt, 0) == set(range(5))
+
+    def test_negative_k_rejected(self):
+        rt = rooted(path_graph(3))
+        with pytest.raises(ValueError):
+            greedy_kdominating_set(rt, -1)
+
+
+class TestMinimumDP:
+    @pytest.mark.parametrize(
+        "n,k,seed", [(20, 1, 0), (40, 2, 1), (80, 5, 2), (7, 3, 3)]
+    )
+    def test_dominates_and_meets_bound(self, n, k, seed):
+        rt = rooted(random_tree(n, seed=seed))
+        d = minimum_kdominating_set(rt, k)
+        assert is_k_dominating_in_tree(rt, d, k)
+        if n >= k + 1:
+            assert len(d) <= n // (k + 1)  # Meir–Moon
+
+    def test_exact_minimum_small_trees(self):
+        for seed in range(6):
+            g = random_tree(9, seed=seed)
+            rt = rooted(g)
+            for k in (1, 2):
+                d = minimum_kdominating_set(rt, k)
+                best = None
+                nodes = list(g.nodes)
+                for r in range(1, len(nodes) + 1):
+                    if any(
+                        is_k_dominating_in_tree(rt, set(c), k)
+                        for c in itertools.combinations(nodes, r)
+                    ):
+                        best = r
+                        break
+                assert len(d) == best
+
+    def test_path_exact_value(self):
+        # gamma_k(P_n) = ceil(n / (2k + 1)).
+        for n, k in [(10, 1), (21, 1), (21, 2), (30, 3)]:
+            rt = rooted(path_graph(n))
+            d = minimum_kdominating_set(rt, k)
+            assert len(d) == -(-n // (2 * k + 1))
+
+    def test_singleton_tree(self):
+        g = Graph()
+        g.add_node(0)
+        rt = RootedTree({0: None}, 0)
+        assert minimum_kdominating_set(rt, 4) == {0}
+
+
+@settings(max_examples=30, deadline=None)
+@given(pruefer_trees(max_nodes=30), st.integers(min_value=1, max_value=5))
+def test_minimum_dp_properties(tree, k):
+    rt = RootedTree.from_graph(tree, 0)
+    d = minimum_kdominating_set(rt, k)
+    assert is_k_dominating_in_tree(rt, d, k)
+    n = tree.num_nodes
+    if n >= k + 1:
+        assert len(d) <= n // (k + 1)

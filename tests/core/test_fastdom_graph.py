@@ -1,0 +1,96 @@
+"""FastDOM_G (Theorem 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fastdom_graph
+from repro.graphs import (
+    assign_unique_weights,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    torus_graph,
+)
+from repro.verify import is_k_dominating, meets_size_bound
+
+from ..conftest import weighted_graphs
+
+GRAPHS = [
+    ("grid", assign_unique_weights(grid_graph(8, 8), 1)),
+    ("torus", assign_unique_weights(torus_graph(6, 6), 2)),
+    ("cycle", assign_unique_weights(cycle_graph(50), 3)),
+    ("dense", assign_unique_weights(random_connected_graph(80, 0.1, 4), 5)),
+    ("clique", assign_unique_weights(complete_graph(20), 6)),
+]
+
+
+class TestTheorem44:
+    @pytest.mark.parametrize("name,graph", GRAPHS)
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_size_and_domination(self, name, graph, k):
+        dominators, partition, _staged = fastdom_graph(graph, k)
+        assert meets_size_bound(graph.num_nodes, k, len(dominators))
+        assert is_k_dominating(graph, dominators, k)
+        assert partition.covers(graph.nodes)
+
+    def test_tiny_graph_single_dominator(self):
+        g = assign_unique_weights(cycle_graph(4), 1)
+        dominators, partition, _staged = fastdom_graph(g, 10)
+        assert len(dominators) == 1
+        assert is_k_dominating(g, dominators, 10)
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        dominators, partition, _staged = fastdom_graph(Graph(), 3)
+        assert dominators == set()
+
+    def test_stage_breakdown_reported(self):
+        g = assign_unique_weights(grid_graph(6, 6), 2)
+        _d, _p, staged = fastdom_graph(g, 3)
+        assert "simple-mst" in staged.breakdown()
+        assert "fastdom-per-fragment" in staged.breakdown()
+
+    def test_rounds_scale_with_k_not_n(self):
+        k = 4
+        rounds = []
+        for n, seed in ((100, 1), (700, 2)):
+            g = assign_unique_weights(
+                random_connected_graph(n, 4.0 / n, seed=seed), seed
+            )
+            _d, _p, staged = fastdom_graph(g, k)
+            rounds.append(staged.total_rounds)
+        assert rounds[1] <= rounds[0] * 1.4 + 20
+
+    def test_diamdom_method_flagged_failures_possible(self):
+        """method='diamdom' either succeeds or raises the documented R1
+        error; it must never silently return a non-dominating set."""
+        g = assign_unique_weights(random_connected_graph(60, 0.05, 3), 4)
+        try:
+            dominators, _p, _s = fastdom_graph(g, 3, method="diamdom")
+        except RuntimeError as exc:
+            assert "R1" in str(exc) or "dominator" in str(exc)
+        else:
+            assert is_k_dominating(g, dominators, 3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(weighted_graphs(min_nodes=5, max_nodes=40), st.integers(min_value=1, max_value=4))
+def test_fastdom_graph_property(graph, k):
+    dominators, partition, _staged = fastdom_graph(graph, k)
+    assert is_k_dominating(graph, dominators, k)
+    assert meets_size_bound(graph.num_nodes, k, len(dominators))
+    assert partition.covers(graph.nodes)
+
+
+class TestInputValidation:
+    def test_disconnected_rejected(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        g.add_edge(0, 1, 1)
+        g.add_edge(2, 3, 2)
+        with pytest.raises(ValueError):
+            fastdom_graph(g, 1)

@@ -1,0 +1,89 @@
+"""FastDOM_T (Theorem 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fastdom_tree
+from repro.graphs import (
+    RootedTree,
+    broom_tree,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.verify import is_k_dominating, meets_size_bound
+
+from ..conftest import pruefer_trees
+
+
+def run_on(g, k, method="kdom-dp", root=0):
+    rt = RootedTree.from_graph(g, root)
+    return fastdom_tree(g, root, rt.parent, k, method=method)
+
+
+class TestTheorem32:
+    @pytest.mark.parametrize(
+        "factory,label",
+        [
+            (lambda: path_graph(150), "path"),
+            (lambda: star_graph(80), "star"),
+            (lambda: random_tree(200, seed=1), "random"),
+            (lambda: broom_tree(40, 40), "broom"),
+        ],
+    )
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_size_and_domination(self, factory, label, k):
+        g = factory()
+        dominators, partition, _staged = run_on(g, k)
+        assert meets_size_bound(g.num_nodes, k, len(dominators))
+        assert is_k_dominating(g, dominators, k)
+        assert partition.covers(g.nodes)
+        assert partition.max_radius_in_graph(g) <= k
+
+    def test_k_zero(self):
+        g = path_graph(5)
+        dominators, partition, staged = run_on(g, 0)
+        assert dominators == set(g.nodes)
+        assert staged.total_rounds == 0
+
+    def test_invalid_method(self):
+        g = path_graph(10)
+        rt = RootedTree.from_graph(g, 0)
+        with pytest.raises(ValueError):
+            fastdom_tree(g, 0, rt.parent, 2, method="nope")
+
+    def test_diamdom_method_on_paths(self):
+        # On a path the level classes always dominate (no shallow
+        # leaves inside clusters anchored at their tops), so the
+        # faithful census method works end to end.
+        g = path_graph(100)
+        dominators, partition, _staged = run_on(g, 3, method="diamdom")
+        assert is_k_dominating(g, dominators, 3)
+        assert meets_size_bound(100, 3, len(dominators))
+
+    def test_rounds_scale_with_k_not_n(self):
+        k = 5
+        rounds = []
+        for n in (200, 1600):
+            g = random_tree(n, seed=2)
+            _d, _p, staged = run_on(g, k)
+            rounds.append(staged.total_rounds)
+        assert rounds[1] <= rounds[0] * 1.4 + 10
+
+    def test_dominators_inside_own_cluster(self):
+        g = random_tree(90, seed=3)
+        dominators, partition, _staged = run_on(g, 3)
+        for cluster_center in partition.centers:
+            assert cluster_center in dominators
+
+
+@settings(max_examples=15, deadline=None)
+@given(pruefer_trees(min_nodes=6, max_nodes=35), st.integers(min_value=1, max_value=4))
+def test_fastdom_tree_property(tree, k):
+    if tree.num_nodes < k + 1:
+        return
+    rt = RootedTree.from_graph(tree, 0)
+    dominators, partition, _staged = fastdom_tree(tree, 0, rt.parent, k)
+    assert is_k_dominating(tree, dominators, k)
+    assert meets_size_bound(tree.num_nodes, k, len(dominators))

@@ -1,0 +1,121 @@
+"""Small-Dom-Set: the Lemma 3.2 contract, plus the balanced property."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import small_dom_set
+from repro.graphs import Graph, RootedTree, path_graph, random_tree, star_graph
+from repro.verify import (
+    every_dominator_has_outside_neighbor,
+    is_dominating,
+)
+
+from ..conftest import pruefer_trees
+
+
+def run_on(g, root=0):
+    rt = RootedTree.from_graph(g, root)
+    return small_dom_set(g, rt.parent)
+
+
+class TestLemma32Contract:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (3, 1), (10, 2), (75, 3), (400, 4)])
+    def test_dominating(self, n, seed):
+        g = random_tree(n, seed=seed)
+        dominators, _p, _net = run_on(g)
+        assert is_dominating(g, dominators)
+
+    @pytest.mark.parametrize("n,seed", [(2, 0), (9, 1), (64, 2), (333, 3)])
+    def test_size_at_most_half(self, n, seed):
+        g = random_tree(n, seed=seed)
+        dominators, _p, _net = run_on(g)
+        assert len(dominators) <= math.ceil(n / 2)
+
+    @pytest.mark.parametrize("n,seed", [(4, 0), (31, 1), (100, 2)])
+    def test_every_dominator_has_outside_neighbor(self, n, seed):
+        g = random_tree(n, seed=seed)
+        dominators, _p, _net = run_on(g)
+        assert every_dominator_has_outside_neighbor(g, dominators)
+
+    def test_rounds_olog_star(self):
+        rounds = []
+        for n in (32, 4096):
+            g = random_tree(n, seed=7)
+            _d, _p, net = run_on(g)
+            rounds.append(net.metrics.rounds)
+        assert rounds[1] - rounds[0] <= 4
+
+
+class TestBalancedOutput:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (17, 1), (90, 2)])
+    def test_clusters_are_stars_with_two_plus_nodes(self, n, seed):
+        g = random_tree(n, seed=seed)
+        dominators, partition, _net = run_on(g)
+        for cluster in partition:
+            assert cluster.size >= 2
+            assert cluster.center in dominators
+            for member in cluster.members:
+                if member != cluster.center:
+                    assert g.has_edge(member, cluster.center)
+                    assert member not in dominators
+
+    def test_one_dominator_per_cluster(self):
+        g = random_tree(64, seed=3)
+        dominators, partition, _net = run_on(g)
+        assert len(dominators) == partition.num_clusters
+
+    def test_star_graph_single_cluster(self):
+        g = star_graph(12)
+        dominators, partition, _net = run_on(g)
+        assert partition.num_clusters == 1
+        assert is_dominating(g, dominators)
+
+    def test_isolated_node_flagged_singleton(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(5)
+        dominators, partition, net = small_dom_set(
+            g, {0: None, 1: 0, 5: None}
+        )
+        assert net.programs[5].output["singleton"] is True
+        assert 5 in dominators
+
+
+@settings(max_examples=25, deadline=None)
+@given(pruefer_trees(max_nodes=40))
+def test_small_dom_set_contract_property(tree):
+    rt = RootedTree.from_graph(tree, 0)
+    dominators, partition, _net = small_dom_set(tree, rt.parent)
+    n = tree.num_nodes
+    assert is_dominating(tree, dominators)
+    assert len(dominators) <= math.ceil(n / 2)
+    assert every_dominator_has_outside_neighbor(tree, dominators)
+    assert partition.covers(tree.nodes)
+    assert partition.min_cluster_size() >= 2
+
+
+class TestForestInput:
+    def test_two_tree_forest(self):
+        """The partition algorithms feed forests; both trees resolve
+        independently in the same run."""
+        from repro.graphs import Graph, random_tree
+
+        a = random_tree(12, seed=1)
+        b = random_tree(9, seed=2).relabeled({i: 100 + i for i in range(9)})
+        forest = Graph()
+        for g in (a, b):
+            for v in g.nodes:
+                forest.add_node(v)
+            for u, v, w in g.weighted_edges():
+                forest.add_edge(u, v, w)
+        parent = dict(RootedTree.from_graph(a, 0).parent)
+        parent.update(RootedTree.from_graph(b, 100).parent)
+        dominators, partition, _net = small_dom_set(forest, parent)
+        assert is_dominating(forest, dominators)
+        assert partition.covers(forest.nodes)
+        # Clusters never straddle the two trees.
+        for cluster in partition:
+            sides = {member >= 100 for member in cluster.members}
+            assert len(sides) == 1

@@ -1,0 +1,115 @@
+"""Distance utilities, cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    bfs_distances,
+    bfs_tree,
+    connected_components,
+    diameter,
+    distance,
+    eccentricity,
+    grid_graph,
+    path_graph,
+    radius_and_center,
+    radius_within,
+    random_connected_graph,
+    random_tree,
+    shortest_path,
+    star_graph,
+    Graph,
+)
+
+
+def to_nx(g) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(g.nodes)
+    out.add_edges_from(g.edges())
+    return out
+
+
+class TestBFS:
+    def test_distances_match_networkx(self):
+        g = random_connected_graph(50, 0.08, seed=2)
+        ours = bfs_distances(g, 0)
+        theirs = nx.single_source_shortest_path_length(to_nx(g), 0)
+        assert ours == dict(theirs)
+
+    def test_bfs_tree_parents_consistent(self):
+        g = random_tree(40, seed=1)
+        dist, parent = bfs_tree(g, 0)
+        for v, p in parent.items():
+            if v != 0:
+                assert dist[p] == dist[v] - 1
+
+    def test_distance(self):
+        assert distance(path_graph(10), 0, 9) == 9
+
+    def test_distance_unreachable(self):
+        g = Graph()
+        g.add_node(0)
+        g.add_node(1)
+        with pytest.raises(ValueError):
+            distance(g, 0, 1)
+
+
+class TestDiameterRadius:
+    def test_path(self):
+        assert diameter(path_graph(10)) == 9
+        r, c = radius_and_center(path_graph(9))
+        assert r == 4 and c == 4
+
+    def test_star(self):
+        assert diameter(star_graph(10)) == 2
+        r, c = radius_and_center(star_graph(10))
+        assert r == 1 and c == 0
+
+    def test_grid_matches_networkx(self):
+        g = grid_graph(4, 6)
+        assert diameter(g) == nx.diameter(to_nx(g))
+
+    def test_eccentricity_matches_networkx(self):
+        g = random_connected_graph(40, 0.1, seed=3)
+        h = to_nx(g)
+        for v in list(g.nodes)[:10]:
+            assert eccentricity(g, v) == nx.eccentricity(h, v)
+
+    def test_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            eccentricity(g, 0)
+
+
+class TestRadiusWithin:
+    def test_subset_radius(self):
+        g = path_graph(10)
+        assert radius_within(g, {2, 3, 4, 5}, 3) == 2
+
+    def test_center_must_be_member(self):
+        with pytest.raises(ValueError):
+            radius_within(path_graph(5), {1, 2}, 4)
+
+    def test_disconnected_members_raise(self):
+        with pytest.raises(ValueError):
+            radius_within(path_graph(10), {0, 1, 8, 9}, 0)
+
+
+class TestComponentsAndPaths:
+    def test_components(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        g.add_node(4)
+        comps = sorted(sorted(c) for c in connected_components(g))
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_shortest_path_endpoints(self):
+        g = grid_graph(5, 5)
+        path = shortest_path(g, 0, 24)
+        assert path[0] == 0 and path[-1] == 24
+        assert len(path) - 1 == distance(g, 0, 24)
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)

@@ -1,0 +1,28 @@
+"""The named workload-family registries used by benchmarks."""
+
+from repro.graphs import GRAPH_FAMILIES, TREE_FAMILIES, is_connected, is_tree
+
+
+class TestTreeFamilies:
+    def test_all_families_yield_trees(self):
+        for name, factory in TREE_FAMILIES.items():
+            g = factory(50, seed=1)
+            assert is_tree(g), name
+            assert g.num_nodes >= 2, name
+
+    def test_seeded_families_deterministic(self):
+        a = TREE_FAMILIES["random"](40, seed=5)
+        b = TREE_FAMILIES["random"](40, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestGraphFamilies:
+    def test_all_families_connected(self):
+        for name, factory in GRAPH_FAMILIES.items():
+            g = factory(50, seed=1)
+            assert is_connected(g), name
+            assert g.num_nodes >= 3, name
+
+    def test_ring_exact(self):
+        g = GRAPH_FAMILIES["ring"](20)
+        assert g.num_edges == 20

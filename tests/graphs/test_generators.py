@@ -1,0 +1,176 @@
+"""Generator tests, cross-validated against networkx where useful."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    balanced_tree,
+    broom_tree,
+    caterpillar_tree,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    is_connected,
+    is_tree,
+    lollipop_graph,
+    path_graph,
+    random_connected_graph,
+    random_graph_with_m_edges,
+    random_tree,
+    spider_tree,
+    star_graph,
+    torus_graph,
+    tree_from_pruefer,
+)
+
+
+def to_nx(g) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(g.nodes)
+    out.add_edges_from(g.edges())
+    return out
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4 and is_tree(g)
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6 and is_tree(g)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.num_nodes == 15 and is_tree(g)
+
+    def test_caterpillar(self):
+        g = caterpillar_tree(5, 2)
+        assert g.num_nodes == 15 and is_tree(g)
+
+    def test_broom(self):
+        g = broom_tree(4, 6)
+        assert g.num_nodes == 10 and is_tree(g)
+
+    def test_spider(self):
+        g = spider_tree(3, 4)
+        assert g.num_nodes == 13 and is_tree(g)
+        assert g.degree(0) == 3
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # 17
+
+    def test_torus_regular(self):
+        g = torus_graph(4, 5)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_lollipop(self):
+        g = lollipop_graph(5, 6)
+        assert g.num_nodes == 11 and is_connected(g)
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            assert is_tree(random_tree(50, seed=seed))
+
+    def test_random_tree_deterministic(self):
+        a = random_tree(30, seed=4)
+        b = random_tree(30, seed=4)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_random_tree_small(self):
+        assert random_tree(1).num_nodes == 1
+        assert random_tree(2).num_edges == 1
+
+    def test_random_connected(self):
+        g = random_connected_graph(60, 0.05, seed=1)
+        assert is_connected(g)
+        assert g.num_edges >= 59
+
+    def test_random_with_m_edges(self):
+        g = random_graph_with_m_edges(20, 30, seed=2)
+        assert g.num_edges == 30 and is_connected(g)
+
+    def test_random_with_m_edges_bounds(self):
+        with pytest.raises(ValueError):
+            random_graph_with_m_edges(5, 3)
+        with pytest.raises(ValueError):
+            random_graph_with_m_edges(5, 11)
+
+    def test_pruefer_roundtrip_vs_networkx(self):
+        seq = [3, 3, 3, 4]
+        ours = tree_from_pruefer(seq)
+        theirs = nx.from_prufer_sequence(seq)
+        assert set(ours.edges()) == {tuple(sorted(e)) for e in theirs.edges()}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40).flatmap(
+        lambda n: st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=max(n - 2, 0),
+            max_size=max(n - 2, 0),
+        )
+    )
+)
+def test_pruefer_always_yields_tree(seq):
+    g = tree_from_pruefer(seq)
+    assert is_tree(g)
+    assert g.num_nodes == len(seq) + 2
+
+
+class TestRandomRegular:
+    def test_degree_and_connectivity(self):
+        from repro.graphs import random_regular_graph
+
+        g = random_regular_graph(60, 4, seed=2)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+        assert is_connected(g)
+        assert g.num_edges == 120
+
+    def test_odd_product_rejected(self):
+        from repro.graphs import random_regular_graph
+
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_degree_bounds(self):
+        from repro.graphs import random_regular_graph
+
+        with pytest.raises(ValueError):
+            random_regular_graph(10, 2)
+        with pytest.raises(ValueError):
+            random_regular_graph(6, 6)
+
+    def test_deterministic(self):
+        from repro.graphs import random_regular_graph
+
+        a = random_regular_graph(30, 4, seed=9)
+        b = random_regular_graph(30, 4, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_low_diameter(self):
+        from repro.graphs import diameter, random_regular_graph
+
+        g = random_regular_graph(128, 4, seed=3)
+        assert diameter(g) <= 8  # O(log n) for expanders

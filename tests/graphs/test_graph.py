@@ -1,0 +1,104 @@
+"""Graph structure tests."""
+
+import pytest
+
+from repro.graphs import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    g = Graph()
+    g.add_edge(0, 1, 5)
+    g.add_edge(1, 2, 7)
+    g.add_edge(0, 2, 9)
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_reweight_conflict_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_edge(0, 1, 99)
+
+    def test_idempotent_same_weight(self, triangle):
+        triangle.add_edge(0, 1, 5)
+        assert triangle.num_edges == 3
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(3)
+        g.add_node(3)
+        assert g.num_nodes == 1
+
+    def test_set_weight(self, triangle):
+        triangle.set_weight(0, 1, 50)
+        assert triangle.weight(0, 1) == 50
+        assert triangle.weight(1, 0) == 50
+
+    def test_set_weight_missing_edge(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.set_weight(0, 5, 1)
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert triangle.num_edges == 2
+
+
+class TestInspection:
+    def test_neighbors_symmetric(self, triangle):
+        assert set(triangle.neighbors(0)) == {1, 2}
+        assert 0 in triangle.neighbors(1)
+
+    def test_degree(self, triangle):
+        assert triangle.degree(0) == 2
+
+    def test_edges_once_each(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v in edges)
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight() == 21
+
+    def test_contains(self, triangle):
+        assert 0 in triangle and 9 not in triangle
+
+
+class TestDerived:
+    def test_copy_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+
+    def test_subgraph(self, triangle):
+        sub = triangle.subgraph([0, 1])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.weight(0, 1) == 5
+
+    def test_subgraph_missing_node(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.subgraph([0, 42])
+
+    def test_edge_subgraph_keeps_all_nodes(self, triangle):
+        sub = triangle.edge_subgraph([(0, 1)])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 1
+
+    def test_relabeled(self, triangle):
+        out = triangle.relabeled({0: "a", 1: "b", 2: "c"})
+        assert out.has_edge("a", "b")
+        assert out.weight("a", "b") == 5
+
+    def test_relabel_must_be_injective(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.relabeled({0: "x", 1: "x", 2: "y"})

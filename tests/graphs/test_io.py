@@ -1,0 +1,60 @@
+"""Edge-list serialisation round-trips."""
+
+import io
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    assign_unique_weights,
+    dump_edge_list,
+    grid_graph,
+    load_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestRoundTrip:
+    def test_weighted_roundtrip(self):
+        g = assign_unique_weights(grid_graph(4, 4), seed=2)
+        back = load_edge_list(dump_edge_list(g))
+        assert sorted(back.weighted_edges()) == sorted(g.weighted_edges())
+
+    def test_unweighted_roundtrip(self):
+        g = grid_graph(3, 3)
+        back = load_edge_list(dump_edge_list(g))
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_isolated_nodes_preserved(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(7)
+        back = load_edge_list(dump_edge_list(g))
+        assert 7 in back and back.num_nodes == 3
+
+    def test_stream_api(self):
+        g = grid_graph(2, 3)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        back = read_edge_list(buf)
+        assert sorted(back.edges()) == sorted(g.edges())
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        g = load_edge_list("# hello\n\n0 1\n")
+        assert g.has_edge(0, 1)
+
+    def test_float_weights(self):
+        g = load_edge_list("0 1 2.5\n")
+        assert g.weight(0, 1) == 2.5
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            load_edge_list("0 1 2 3\n")
+
+    def test_string_nodes(self):
+        g = load_edge_list("alpha beta 3\n")
+        assert g.has_edge("alpha", "beta")

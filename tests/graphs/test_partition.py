@@ -1,0 +1,58 @@
+"""Cluster / Partition structure tests."""
+
+import pytest
+
+from repro.graphs import Cluster, Partition, path_graph
+
+
+class TestCluster:
+    def test_center_always_member(self):
+        c = Cluster(3, {4, 5})
+        assert 3 in c and c.size == 3
+
+    def test_radius_in(self):
+        g = path_graph(10)
+        c = Cluster(4, {2, 3, 4, 5, 6})
+        assert c.radius_in(g) == 2
+
+
+class TestPartition:
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Partition([Cluster(0, {0, 1}), Cluster(2, {1, 2})])
+
+    def test_from_center_map(self):
+        p = Partition.from_center_map({0: 0, 1: 0, 2: 2, 3: 2})
+        assert sorted(p.centers) == [0, 2]
+        assert p.num_clusters == 2
+        assert p.center_of[1] == 0
+
+    def test_from_center_map_adds_center(self):
+        # centres appear even if only referenced.
+        p = Partition.from_center_map({1: 0})
+        assert p.center_of[0] == 0
+
+    def test_covers(self):
+        g = path_graph(4)
+        p = Partition.from_center_map({0: 0, 1: 0, 2: 3, 3: 3})
+        assert p.covers(g.nodes)
+        assert not p.covers(list(g.nodes) + [99])
+
+    def test_min_cluster_size(self):
+        p = Partition.from_center_map({0: 0, 1: 0, 2: 2})
+        assert p.min_cluster_size() == 1
+
+    def test_max_radius_in(self):
+        g = path_graph(6)
+        p = Partition.from_center_map({0: 1, 1: 1, 2: 1, 3: 4, 4: 4, 5: 4})
+        assert p.max_radius_in(g) == 1
+
+    def test_max_radius_in_graph(self):
+        g = path_graph(6)
+        # 5 assigned to centre 0: distance 5 through the graph.
+        p = Partition.from_center_map({v: 0 for v in g.nodes})
+        assert p.max_radius_in_graph(g) == 5
+
+    def test_cluster_of(self):
+        p = Partition.from_center_map({0: 0, 1: 0})
+        assert p.cluster_of(1).center == 0

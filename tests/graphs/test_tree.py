@@ -1,0 +1,73 @@
+"""RootedTree tests."""
+
+import pytest
+
+from repro.graphs import Graph, RootedTree, balanced_tree, path_graph, random_tree
+
+
+class TestConstruction:
+    def test_from_graph(self):
+        rt = RootedTree.from_graph(path_graph(5), 0)
+        assert rt.depth == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert rt.parent[3] == 2
+
+    def test_rejects_non_tree(self):
+        g = path_graph(4)
+        g.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            RootedTree.from_graph(g, 0)
+
+    def test_rejects_bad_root_parent(self):
+        with pytest.raises(ValueError):
+            RootedTree({0: 1, 1: 0}, 0)
+
+    def test_rejects_disconnected_parent_map(self):
+        with pytest.raises(ValueError):
+            RootedTree({0: None, 1: None, 2: 1}, 0)
+
+
+class TestQueries:
+    @pytest.fixture
+    def rt(self):
+        return RootedTree.from_graph(balanced_tree(2, 3), 0)
+
+    def test_height(self, rt):
+        assert rt.height == 3
+
+    def test_leaves(self, rt):
+        assert len(rt.leaves()) == 8
+        assert all(rt.is_leaf(v) for v in rt.leaves())
+
+    def test_nodes_at_depth(self, rt):
+        assert len(rt.nodes_at_depth(2)) == 4
+
+    def test_subtree_nodes(self, rt):
+        sub = rt.subtree_nodes(1)
+        assert 1 in sub and len(sub) == 7
+
+    def test_path_to_root(self, rt):
+        leaf = rt.leaves()[0]
+        path = rt.path_to_root(leaf)
+        assert path[0] == leaf and path[-1] == 0
+        assert len(path) == 4
+
+    def test_postorder_children_first(self, rt):
+        seen = set()
+        for v in rt.postorder():
+            for c in rt.children[v]:
+                assert c in seen
+            seen.add(v)
+        assert len(seen) == rt.num_nodes
+
+    def test_bfs_order_starts_at_root(self, rt):
+        order = list(rt.bfs_order())
+        assert order[0] == 0 and len(order) == rt.num_nodes
+
+    def test_edges_count(self, rt):
+        assert len(list(rt.edges())) == rt.num_nodes - 1
+
+    def test_as_graph_roundtrip(self):
+        g = random_tree(30, seed=9)
+        rt = RootedTree.from_graph(g, 0)
+        back = rt.as_graph()
+        assert set(back.edges()) == set(g.edges())

@@ -1,0 +1,65 @@
+"""Structural validation checks."""
+
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    edges_form_spanning_tree,
+    is_connected,
+    is_forest,
+    is_tree,
+    path_graph,
+    random_tree,
+)
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected(path_graph(5))
+
+    def test_disconnected(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        assert not is_connected(g)
+
+    def test_empty_is_connected(self):
+        assert is_connected(Graph())
+
+
+class TestTreeForest:
+    def test_tree(self):
+        assert is_tree(random_tree(20, seed=1))
+
+    def test_cycle_not_tree(self):
+        assert not is_tree(cycle_graph(5))
+        assert not is_forest(cycle_graph(5))
+
+    def test_forest(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert is_forest(g) and not is_tree(g)
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(0)
+        assert is_tree(g) and is_forest(g)
+
+
+class TestSpanningTreeEdges:
+    def test_valid_spanning_tree(self):
+        g = cycle_graph(5)
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert edges_form_spanning_tree(g, edges)
+
+    def test_cycle_rejected(self):
+        g = cycle_graph(4)
+        assert not edges_form_spanning_tree(g, list(g.edges()))
+
+    def test_nonspanning_rejected(self):
+        g = path_graph(4)
+        assert not edges_form_spanning_tree(g, [(0, 1), (1, 2)])
+
+    def test_foreign_edge_rejected(self):
+        g = path_graph(3)
+        assert not edges_form_spanning_tree(g, [(0, 2), (1, 2)])

@@ -1,0 +1,62 @@
+"""Weight-assignment tests (the model's distinct / polynomial demands)."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    assign_unique_weights,
+    assign_weights_by_rank,
+    complete_graph,
+    grid_graph,
+    has_unique_weights,
+    perturb_to_unique,
+    weights_are_polynomial,
+)
+
+
+class TestUniqueWeights:
+    def test_distinct(self):
+        g = assign_unique_weights(grid_graph(6, 6), seed=1)
+        assert has_unique_weights(g)
+
+    def test_polynomial_bound(self):
+        g = assign_unique_weights(grid_graph(6, 6), seed=1)
+        assert weights_are_polynomial(g)
+
+    def test_deterministic(self):
+        a = assign_unique_weights(grid_graph(4, 4), seed=7)
+        b = assign_unique_weights(grid_graph(4, 4), seed=7)
+        assert sorted(a.weighted_edges()) == sorted(b.weighted_edges())
+
+    def test_too_small_range_rejected(self):
+        with pytest.raises(ValueError):
+            assign_unique_weights(complete_graph(10), seed=0, max_weight=10)
+
+
+class TestRankWeights:
+    def test_ranks_cover_1_to_m(self):
+        g = assign_weights_by_rank(grid_graph(5, 5), seed=3)
+        weights = sorted(w for _u, _v, w in g.weighted_edges())
+        assert weights == list(range(1, g.num_edges + 1))
+
+
+class TestPerturb:
+    def test_duplicates_resolved(self):
+        g = Graph()
+        g.add_edge(0, 1, 5)
+        g.add_edge(1, 2, 5)
+        g.add_edge(2, 3, 5)
+        perturb_to_unique(g)
+        assert has_unique_weights(g)
+
+    def test_order_respected(self):
+        g = Graph()
+        g.add_edge(0, 1, 100)
+        g.add_edge(1, 2, 1)
+        perturb_to_unique(g)
+        assert g.weight(1, 2) < g.weight(0, 1)
+
+    def test_unweighted_detected(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        assert not has_unique_weights(g)

@@ -1,0 +1,58 @@
+"""GHS and flood-collect baselines."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    assign_unique_weights,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+)
+from repro.mst import flood_collect_mst, ghs_mst, kruskal_mst, pipeline_only_mst
+
+
+class TestGHS:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_mst(self, seed):
+        g = assign_unique_weights(
+            random_connected_graph(60, 0.08, seed=seed), seed + 5
+        )
+        edges, _metrics = ghs_mst(g)
+        assert edges == kruskal_mst(g)
+
+    def test_rounds_grow_with_n_even_on_small_diameter(self):
+        rounds = {}
+        for n, seed in ((40, 1), (160, 2)):
+            g = assign_unique_weights(
+                random_connected_graph(n, 8.0 / n, seed=seed), seed
+            )
+            _e, metrics = ghs_mst(g)
+            rounds[n] = metrics.rounds
+        # GHS pays O(n): 4x nodes => ~4x rounds.
+        assert rounds[160] >= 2.5 * rounds[40]
+
+    def test_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(0, 1, 1)
+        g.add_edge(2, 3, 2)
+        with pytest.raises(ValueError):
+            ghs_mst(g)
+
+
+class TestFloodBaselines:
+    def test_pipeline_only_correct(self):
+        g = assign_unique_weights(grid_graph(6, 6), 1)
+        edges, _staged = pipeline_only_mst(g)
+        assert edges == kruskal_mst(g)
+
+    def test_flood_collect_correct(self):
+        g = assign_unique_weights(cycle_graph(30), 2)
+        edges, _staged = flood_collect_mst(g)
+        assert edges == kruskal_mst(g)
+
+    def test_flood_collect_pays_for_m(self):
+        dense = assign_unique_weights(random_connected_graph(50, 0.5, 3), 4)
+        _e1, staged_pipe = pipeline_only_mst(dense)
+        _e2, staged_flood = flood_collect_mst(dense)
+        assert staged_flood.total_rounds > 1.5 * staged_pipe.total_rounds

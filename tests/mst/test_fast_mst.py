@@ -1,0 +1,137 @@
+"""Algorithm Fast-MST (Theorem 5.6)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import log_star
+from repro.graphs import (
+    assign_unique_weights,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    grid_graph,
+    lollipop_graph,
+    random_connected_graph,
+    torus_graph,
+)
+from repro.mst import default_k, fast_mst, kruskal_mst
+
+from ..conftest import weighted_graphs
+
+GRAPHS = [
+    ("grid", lambda: grid_graph(8, 8), 1),
+    ("torus", lambda: torus_graph(7, 7), 2),
+    ("cycle", lambda: cycle_graph(60), 3),
+    ("dense", lambda: random_connected_graph(90, 0.1, seed=4), 5),
+    ("clique", lambda: complete_graph(18), 6),
+    ("lollipop", lambda: lollipop_graph(15, 25), 7),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name,factory,seed", GRAPHS)
+    def test_exact_mst(self, name, factory, seed):
+        g = assign_unique_weights(factory(), seed=seed)
+        edges, _staged, diag = fast_mst(g)
+        assert edges == kruskal_mst(g)
+        assert diag["pipelining_violations"] == 0
+        assert diag["order_violations"] == 0
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 16])
+    def test_any_k_correct(self, k):
+        g = assign_unique_weights(random_connected_graph(70, 0.08, 1), 2)
+        edges, _staged, _diag = fast_mst(g, k=k)
+        assert edges == kruskal_mst(g)
+
+    def test_single_node(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        g.add_node(0)
+        edges, _staged, _diag = fast_mst(g)
+        assert edges == set()
+
+    def test_two_nodes(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        g.add_edge(0, 1, 3)
+        edges, _staged, _diag = fast_mst(g)
+        assert edges == {(0, 1)}
+
+
+class TestComplexityShape:
+    def test_default_k_is_sqrt(self):
+        assert default_k(100) == 10
+        assert default_k(101) == 11
+        assert default_k(1) == 1
+
+    def test_cluster_count_near_sqrt(self):
+        g = assign_unique_weights(random_connected_graph(200, 0.03, 5), 6)
+        _edges, _staged, diag = fast_mst(g)
+        assert diag["clusters"] <= math.ceil(200 / (diag["k"] + 1)) + 1
+
+    def test_rounds_sublinear_on_low_diameter_graphs(self):
+        rounds = {}
+        for n, seed in ((64, 1), (256, 2)):
+            g = assign_unique_weights(
+                random_connected_graph(n, 8.0 / n, seed=seed), seed
+            )
+            _e, staged, _d = fast_mst(g)
+            rounds[n] = staged.total_rounds
+        # sqrt scaling: 4x nodes should grow rounds well below 4x.
+        assert rounds[256] <= rounds[64] * 3
+
+    def test_stage_breakdown_present(self):
+        g = assign_unique_weights(grid_graph(6, 6), 3)
+        _e, staged, _d = fast_mst(g)
+        for stage in ("simple-mst", "dom-partition", "pipeline"):
+            assert stage in staged.breakdown()
+
+
+@settings(max_examples=12, deadline=None)
+@given(weighted_graphs(min_nodes=4, max_nodes=30))
+def test_fast_mst_property(graph):
+    edges, _staged, diag = fast_mst(graph)
+    assert edges == kruskal_mst(graph)
+    assert diag["pipelining_violations"] == 0
+
+
+class TestWeightAssumptions:
+    def test_duplicate_weights_after_perturbation(self):
+        """The model's distinct-weight assumption can be discharged by
+        lexicographic perturbation (repro.graphs.perturb_to_unique); the
+        perturbed instance has a unique MST that fast_mst finds."""
+        from repro.graphs import Graph, perturb_to_unique
+
+        g = Graph()
+        # A 4-cycle with all-equal weights plus a chord.
+        g.add_edge(0, 1, 5)
+        g.add_edge(1, 2, 5)
+        g.add_edge(2, 3, 5)
+        g.add_edge(3, 0, 5)
+        g.add_edge(0, 2, 5)
+        perturb_to_unique(g)
+        edges, _staged, _diag = fast_mst(g)
+        assert edges == kruskal_mst(g)
+        assert len(edges) == 3
+
+    def test_float_weights_supported(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        g.add_edge(0, 1, 0.5)
+        g.add_edge(1, 2, 0.25)
+        g.add_edge(2, 0, 0.75)
+        edges, _staged, _diag = fast_mst(g)
+        assert edges == {(0, 1), (1, 2)}
+
+    def test_regular_graph_workload(self):
+        from repro.graphs import assign_unique_weights, random_regular_graph
+
+        g = assign_unique_weights(random_regular_graph(64, 4, seed=2), seed=3)
+        edges, _staged, diag = fast_mst(g)
+        assert edges == kruskal_mst(g)
+        assert diag["pipelining_violations"] == 0

@@ -1,0 +1,75 @@
+"""Sequential references, cross-checked against each other and networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import (
+    Graph,
+    assign_unique_weights,
+    complete_graph,
+    grid_graph,
+    random_connected_graph,
+)
+from repro.mst import kruskal_mst, mst_weight, prim_mst
+
+from ..conftest import weighted_graphs
+
+
+def to_nx(g) -> nx.Graph:
+    out = nx.Graph()
+    for u, v, w in g.weighted_edges():
+        out.add_edge(u, v, weight=w)
+    return out
+
+
+class TestReferences:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kruskal_matches_networkx(self, seed):
+        g = assign_unique_weights(
+            random_connected_graph(40, 0.1, seed=seed), seed=seed + 10
+        )
+        ours = kruskal_mst(g)
+        theirs = {
+            tuple(sorted(e)) for e in nx.minimum_spanning_edges(to_nx(g), data=False)
+        }
+        assert ours == theirs
+
+    def test_prim_matches_kruskal(self):
+        for seed in range(4):
+            g = assign_unique_weights(complete_graph(12), seed=seed)
+            assert prim_mst(g) == kruskal_mst(g)
+
+    def test_weight(self):
+        g = Graph()
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 2, 2)
+        g.add_edge(0, 2, 10)
+        assert mst_weight(g) == 3
+
+    def test_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(0, 1, 1)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            kruskal_mst(g)
+        with pytest.raises(ValueError):
+            prim_mst(g)
+
+    def test_unweighted_rejected(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            kruskal_mst(g)
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(0)
+        assert kruskal_mst(g) == set()
+        assert prim_mst(g) == set()
+
+
+@settings(max_examples=25, deadline=None)
+@given(weighted_graphs(max_nodes=25))
+def test_prim_kruskal_agree_property(graph):
+    assert prim_mst(graph) == kruskal_mst(graph)

@@ -1,0 +1,75 @@
+"""Message-size discipline: every protocol fits the O(log n) budget.
+
+These tests pin down the *exact* word footprint of each protocol's
+largest message, so a future change that silently fattens a message
+(breaking the CONGEST assumption) fails loudly.
+"""
+
+import pytest
+
+from repro.core import diam_dom, fastdom_graph, simple_mst_forest
+from repro.graphs import (
+    RootedTree,
+    assign_unique_weights,
+    grid_graph,
+    random_connected_graph,
+    random_tree,
+)
+from repro.mst import run_pipeline
+from repro.sim import MessageTooLarge, Network
+from repro.symmetry import ThreeColoringProgram
+
+
+class TestWordBudgets:
+    def test_pipeline_edges_are_six_words(self):
+        g = assign_unique_weights(random_connected_graph(40, 0.1, 1), 2)
+        frag = {v: v for v in g.nodes}
+        _sel, _staged, net = run_pipeline(g, frag, word_limit=6)
+        assert net.metrics.max_message_words <= 6
+
+    def test_pipeline_rejects_five_word_limit(self):
+        g = assign_unique_weights(random_connected_graph(30, 0.1, 3), 4)
+        frag = {v: v for v in g.nodes}
+        with pytest.raises(MessageTooLarge):
+            run_pipeline(g, frag, word_limit=5)
+
+    def test_simplemst_fits_three_words(self):
+        g = assign_unique_weights(grid_graph(6, 6), 5)
+        _p, _f, net = simple_mst_forest(g, 7, word_limit=3)
+        assert net.metrics.max_message_words <= 3
+
+    def test_coloring_fits_two_words(self):
+        g = random_tree(100, seed=6)
+        rt = RootedTree.from_graph(g, 0)
+        net = Network(g, word_limit=2)
+        net.run(lambda ctx: ThreeColoringProgram(ctx, rt.parent))
+        assert net.metrics.max_message_words <= 2
+
+    def test_diamdom_fits_three_words(self):
+        g = random_tree(80, seed=7)
+        _d, _l, _c, net = diam_dom(g, 0, 5, word_limit=3)
+        assert net.metrics.max_message_words <= 3
+
+    def test_fastdom_default_budget(self):
+        g = assign_unique_weights(grid_graph(6, 6), 8)
+        # The whole composition runs inside the default 8-word budget;
+        # a violation anywhere would raise.
+        fastdom_graph(g, 3)
+
+
+class TestDeterminism:
+    def test_fastdom_reproducible(self):
+        a = assign_unique_weights(random_connected_graph(60, 0.08, 9), 10)
+        b = assign_unique_weights(random_connected_graph(60, 0.08, 9), 10)
+        da, pa, sa = fastdom_graph(a, 3)
+        db, pb, sb = fastdom_graph(b, 3)
+        assert da == db
+        assert pa.center_of == pb.center_of
+        assert sa.total_rounds == sb.total_rounds
+
+    def test_pipeline_reproducible(self):
+        g1 = assign_unique_weights(random_connected_graph(40, 0.1, 11), 12)
+        g2 = assign_unique_weights(random_connected_graph(40, 0.1, 11), 12)
+        s1, r1, _n1 = run_pipeline(g1, {v: v for v in g1.nodes})
+        s2, r2, _n2 = run_pipeline(g2, {v: v for v in g2.nodes})
+        assert s1 == s2 and r1.total_rounds == r2.total_rounds

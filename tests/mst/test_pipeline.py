@@ -1,0 +1,147 @@
+"""Procedure Pipeline (§5.1): correctness, pipelining, baselines."""
+
+import pytest
+
+from repro.core import simple_mst_forest
+from repro.graphs import (
+    assign_unique_weights,
+    cycle_graph,
+    diameter,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+)
+from repro.mst import kruskal_mst, run_pipeline
+
+
+def fragments_for(graph, k):
+    parents, fragments, _net = simple_mst_forest(graph, k)
+    fragment_of = {}
+    for fragment in fragments:
+        root = min(fragment, key=str)
+        for v in fragment:
+            fragment_of[v] = root
+    tree_edges = {
+        (min(v, p), max(v, p)) for v, p in parents.items() if p is not None
+    }
+    return fragment_of, tree_edges, len(fragments)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "factory,seed",
+        [
+            (lambda: grid_graph(7, 7), 1),
+            (lambda: cycle_graph(40), 2),
+            (lambda: random_connected_graph(80, 0.08, seed=3), 4),
+        ],
+    )
+    def test_selected_edges_complete_the_mst(self, factory, seed):
+        g = assign_unique_weights(factory(), seed=seed)
+        fragment_of, tree_edges, _n = fragments_for(g, 3)
+        selected, _staged, _net = run_pipeline(g, fragment_of)
+        combined = tree_edges | {
+            (min(a, b), max(a, b)) for a, b in selected
+        }
+        assert combined == kruskal_mst(g)
+
+    def test_singleton_fragments_full_mst(self):
+        g = assign_unique_weights(random_connected_graph(50, 0.1, 5), 6)
+        selected, _staged, _net = run_pipeline(g, {v: v for v in g.nodes})
+        assert {
+            (min(a, b), max(a, b)) for a, b in selected
+        } == kruskal_mst(g)
+
+    def test_single_fragment_selects_nothing(self):
+        g = assign_unique_weights(grid_graph(4, 4), 1)
+        selected, _staged, _net = run_pipeline(g, {v: 0 for v in g.nodes})
+        assert selected == []
+
+
+class TestPipeliningClaims:
+    def test_no_violations_recorded(self):
+        g = assign_unique_weights(random_connected_graph(100, 0.05, 7), 8)
+        fragment_of, _edges, _n = fragments_for(g, 3)
+        _sel, _staged, net = run_pipeline(g, fragment_of)
+        for v, out in net.outputs().items():
+            assert out["pipelining_violations"] == 0, v
+            assert out["order_violations"] == 0, v
+
+    def test_upcasts_form_forest_sizes(self):
+        """Lemma 5.1: each node upcasts at most N - 1 edges."""
+        g = assign_unique_weights(random_connected_graph(90, 0.1, 9), 10)
+        fragment_of, _edges, n_fragments = fragments_for(g, 3)
+        _sel, _staged, net = run_pipeline(g, fragment_of)
+        for out in net.outputs().values():
+            assert out["upcast_count"] <= max(n_fragments - 1, 0)
+
+    def test_rounds_linear_in_n_plus_diam(self):
+        """Lemma 5.5 shape on singleton fragments: O(n + Diam)."""
+        g = assign_unique_weights(cycle_graph(120), 2)
+        selected, staged, _net = run_pipeline(g, {v: v for v in g.nodes})
+        n, d = 120, diameter(g)
+        assert staged.total_rounds <= 6 * (n + d)
+
+    def test_start_rounds_follow_level_function(self):
+        """Lemma 5.2: L(leaf) = 0; L(v) = 1 + max L(children)."""
+        g = assign_unique_weights(path_graph(30), 3)
+        fragment_of = {v: v for v in g.nodes}
+        _sel, _staged, net = run_pipeline(g, fragment_of, root=0)
+        starts = {
+            v: out.get("start_round")
+            for v, out in net.outputs().items()
+        }
+        # On a root-anchored path the unique leaf is node 29; each node
+        # closer to the root starts exactly one round later.
+        base = starts[29]
+        for v in range(1, 30):
+            assert starts[v] == base + (29 - v)
+
+
+class TestCollectAllBaseline:
+    def test_collect_all_still_correct(self):
+        g = assign_unique_weights(random_connected_graph(40, 0.15, 1), 2)
+        selected, _staged, _net = run_pipeline(
+            g, {v: v for v in g.nodes}, eliminate_cycles=False
+        )
+        assert {
+            (min(a, b), max(a, b)) for a, b in selected
+        } == kruskal_mst(g)
+
+    def test_collect_all_hauls_more_traffic(self):
+        g = assign_unique_weights(random_connected_graph(60, 0.3, 3), 4)
+        frag = {v: v for v in g.nodes}
+        _s1, staged_red, _n1 = run_pipeline(g, frag)
+        _s2, staged_all, _n2 = run_pipeline(g, frag, eliminate_cycles=False)
+        assert staged_all.total_rounds > staged_red.total_rounds
+
+
+from hypothesis import given, settings
+
+from ..conftest import weighted_graphs
+
+
+@settings(max_examples=15, deadline=None)
+@given(weighted_graphs(min_nodes=4, max_nodes=25))
+def test_pipeline_property_random_fragments(graph):
+    """Pipeline over SimpleMST fragments (random k) always completes the
+    exact MST with zero pipelining/ordering violations."""
+    k = max(1, graph.num_nodes // 5)
+    fragment_of, tree_edges, _n = fragments_for(graph, k)
+    selected, _staged, net = run_pipeline(graph, fragment_of)
+    combined = tree_edges | {(min(a, b), max(a, b)) for a, b in selected}
+    assert combined == kruskal_mst(graph)
+    for out in net.outputs().values():
+        assert out["pipelining_violations"] == 0
+        assert out["order_violations"] == 0
+
+
+class TestInputValidation:
+    def test_disconnected_rejected(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        g.add_edge(0, 1, 1)
+        g.add_edge(2, 3, 2)
+        with pytest.raises(ValueError):
+            run_pipeline(g, {v: v for v in g.nodes})

@@ -1,0 +1,43 @@
+"""Union-find structure."""
+
+from repro.mst import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(range(5))
+        assert uf.component_count == 5
+
+    def test_union_merges(self):
+        uf = UnionFind(range(4))
+        assert uf.union(0, 1) is True
+        assert uf.union(0, 1) is False
+        assert uf.connected(0, 1)
+        assert uf.component_count == 3
+
+    def test_transitive(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+        assert not uf.connected("a", "d")
+
+    def test_lazy_creation(self):
+        uf = UnionFind()
+        assert "x" not in uf
+        uf.find("x")
+        assert "x" in uf
+
+    def test_groups(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(sorted(g) for g in uf.groups().values())
+        assert groups == [[0, 1], [2, 3], [4]]
+
+    def test_long_chain_path_compression(self):
+        uf = UnionFind()
+        for i in range(1000):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 1000)
+        assert uf.component_count == 1

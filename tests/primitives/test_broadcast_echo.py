@@ -1,0 +1,100 @@
+"""Tree broadcast, convergecast, hop-limited echo."""
+
+import pytest
+
+from repro.graphs import RootedTree, balanced_tree, path_graph, random_tree
+from repro.primitives import (
+    hop_limited_echo,
+    max_combiner,
+    min_combiner,
+    sum_combiner,
+    tree_broadcast,
+    tree_convergecast,
+)
+
+
+@pytest.fixture
+def tree_and_parents():
+    g = random_tree(50, seed=3)
+    rt = RootedTree.from_graph(g, 0)
+    return g, rt
+
+
+class TestBroadcast:
+    def test_value_everywhere(self, tree_and_parents):
+        g, rt = tree_and_parents
+        values, _net = tree_broadcast(g, 0, rt.parent, "token")
+        assert set(values.values()) == {"token"}
+        assert set(values) == set(g.nodes)
+
+    def test_rounds_equal_height(self, tree_and_parents):
+        g, rt = tree_and_parents
+        _values, net = tree_broadcast(g, 0, rt.parent, 1)
+        assert net.metrics.rounds == rt.height
+
+
+class TestConvergecast:
+    def test_sum(self, tree_and_parents):
+        g, rt = tree_and_parents
+        total, _net = tree_convergecast(
+            g, 0, rt.parent, {v: 2 for v in g.nodes}
+        )
+        assert total == 2 * g.num_nodes
+
+    def test_max(self, tree_and_parents):
+        g, rt = tree_and_parents
+        best, _net = tree_convergecast(
+            g, 0, rt.parent, {v: v for v in g.nodes}, combiner=max_combiner
+        )
+        assert best == max(g.nodes)
+
+    def test_min(self, tree_and_parents):
+        g, rt = tree_and_parents
+        best, _net = tree_convergecast(
+            g, 0, rt.parent, {v: v + 5 for v in g.nodes}, combiner=min_combiner
+        )
+        assert best == 5
+
+    def test_subtree_aggregates(self):
+        g = balanced_tree(2, 3)
+        rt = RootedTree.from_graph(g, 0)
+        from repro.sim import Network
+        from repro.primitives import ConvergecastProgram
+
+        net = Network(g)
+        net.run(
+            lambda ctx: ConvergecastProgram(ctx, 0, rt.parent, 1, sum_combiner)
+        )
+        for v in g.nodes:
+            assert net.programs[v].output["aggregate"] == len(
+                rt.subtree_nodes(v)
+            )
+
+
+class TestHopLimitedEcho:
+    def test_depth_detection(self):
+        g = path_graph(10)
+        rt = RootedTree.from_graph(g, 0)
+        for limit in (3, 8, 9, 12):
+            _agg, too_deep, _net = hop_limited_echo(g, 0, rt.parent, limit)
+            assert too_deep == (rt.height > limit)
+
+    def test_aggregate_counts_explored_region(self):
+        g = path_graph(10)
+        rt = RootedTree.from_graph(g, 0)
+        agg, too_deep, _net = hop_limited_echo(g, 0, rt.parent, 4)
+        assert too_deep
+        # nodes 0..4 explored before hitting the horizon
+        assert agg == 5
+
+    def test_full_exploration_counts_everything(self):
+        g = random_tree(40, seed=2)
+        rt = RootedTree.from_graph(g, 0)
+        agg, too_deep, _net = hop_limited_echo(g, 0, rt.parent, rt.height)
+        assert not too_deep and agg == 40
+
+    def test_rounds_bounded_by_limit(self):
+        g = path_graph(200)
+        rt = RootedTree.from_graph(g, 0)
+        _agg, _deep, net = hop_limited_echo(g, 0, rt.parent, 5)
+        assert net.metrics.rounds <= 2 * 5 + 4

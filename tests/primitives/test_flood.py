@@ -1,0 +1,24 @@
+"""Flooding primitive."""
+
+from repro.graphs import bfs_distances, grid_graph, random_connected_graph
+from repro.primitives import flood
+
+
+class TestFlood:
+    def test_everyone_receives(self):
+        g = random_connected_graph(60, 0.05, seed=1)
+        values, _net = flood(g, 0, "v")
+        assert set(values) == set(g.nodes)
+        assert set(values.values()) == {"v"}
+
+    def test_hops_equal_bfs_distance(self):
+        g = grid_graph(6, 6)
+        _values, net = flood(g, 0, 1)
+        dist = bfs_distances(g, 0)
+        for v in g.nodes:
+            assert net.programs[v].output["hops"] == dist[v]
+
+    def test_rounds_equal_eccentricity(self):
+        g = grid_graph(5, 8)
+        _values, net = flood(g, 0, 1)
+        assert net.metrics.rounds == max(bfs_distances(g, 0).values())

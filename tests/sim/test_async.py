@@ -1,0 +1,95 @@
+"""Asynchronous engine and synchroniser α (experiment E13 substrate)."""
+
+import pytest
+
+from repro.graphs import path_graph, random_tree, star_graph
+from repro.primitives.bfs import BFSTreeProgram
+from repro.sim import (
+    AsyncNetwork,
+    AsyncNodeProgram,
+    Network,
+    run_synchronized,
+)
+from repro.graphs import bfs_distances
+
+
+class AsyncFlood(AsyncNodeProgram):
+    """Event-driven flood from node 0."""
+
+    def on_start(self):
+        if self.node == 0:
+            self.output["value"] = 1
+            for nb in self.neighbors:
+                self.send(nb, "F", 1)
+            self.halt()
+
+    def on_message(self, sender, payload):
+        if payload[0] == "F" and "value" not in self.output:
+            self.output["value"] = payload[1]
+            for nb in self.neighbors:
+                if nb != sender:
+                    self.send(nb, "F", payload[1])
+            self.halt()
+
+
+class TestAsyncNetwork:
+    def test_flood_reaches_everyone(self):
+        g = random_tree(30, seed=5)
+        net = AsyncNetwork(g, seed=1)
+        net.run(AsyncFlood)
+        assert set(net.outputs()) == set(g.nodes)
+        assert all(o.get("value") == 1 for o in net.outputs().values())
+
+    def test_deterministic_given_seed(self):
+        g = random_tree(20, seed=3)
+        t1 = AsyncNetwork(g, seed=9).run(AsyncFlood)
+        t2 = AsyncNetwork(g, seed=9).run(AsyncFlood)
+        assert t1 == t2
+
+    def test_completion_time_bounded_by_hops(self):
+        g = path_graph(10)
+        net = AsyncNetwork(g, seed=2, max_delay=1.0)
+        time = net.run(AsyncFlood)
+        # One unit bounds each hop's delay; 9 hops end to end.
+        assert time <= 9.0
+
+
+class TestSynchronizerAlpha:
+    def test_bfs_under_alpha_matches_sync(self):
+        g = random_tree(25, seed=8)
+        sync_net = Network(g)
+        sync_net.run(lambda ctx: BFSTreeProgram(ctx, 0))
+        sync_depths = sync_net.output_field("depth")
+
+        async_net, _time = run_synchronized(
+            g, lambda ctx: BFSTreeProgram(ctx, 0), seed=4
+        )
+        alpha_depths = {
+            v: p.output["depth"] for v, p in async_net.programs.items()
+        }
+        assert alpha_depths == sync_depths == bfs_distances(g, 0)
+
+    def test_pulse_counts_close_to_sync_rounds(self):
+        g = star_graph(10)
+        sync_net = Network(g)
+        sync_metrics = sync_net.run(lambda ctx: BFSTreeProgram(ctx, 0))
+
+        async_net, _time = run_synchronized(
+            g, lambda ctx: BFSTreeProgram(ctx, 0), seed=4
+        )
+        pulses = max(
+            p.pulses_at_halt
+            for p in async_net.programs.values()
+            if p.pulses_at_halt is not None
+        )
+        assert pulses <= sync_metrics.rounds + 2
+
+    def test_alpha_message_overhead_constant_per_edge_per_pulse(self):
+        g = path_graph(8)
+        async_net, _time = run_synchronized(
+            g, lambda ctx: BFSTreeProgram(ctx, 0), seed=1
+        )
+        pulses = max(p.pulses_completed for p in async_net.programs.values())
+        # alpha costs O(1) messages per edge per pulse (payload + ack +
+        # safe in each direction: <= 6).
+        assert async_net.message_count <= 6 * g.num_edges * (pulses + 2)

@@ -1,0 +1,49 @@
+"""RunMetrics composition and PhaseBreakdown."""
+
+from repro.sim import PhaseBreakdown, RunMetrics
+from repro.sim.model import Envelope
+
+
+def metrics_with(rounds, messages, max_words=2):
+    m = RunMetrics()
+    m.rounds = rounds
+    for i in range(messages):
+        m.traffic.record(Envelope(0, 1, tuple(range(max_words)), i))
+    return m
+
+
+class TestRunMetrics:
+    def test_merged_with_adds_rounds_and_traffic(self):
+        a = metrics_with(5, 3)
+        b = metrics_with(7, 4, max_words=3)
+        merged = a.merged_with(b)
+        assert merged.rounds == 12
+        assert merged.messages == 7
+        assert merged.max_message_words == 3
+
+    def test_properties(self):
+        m = metrics_with(1, 2, max_words=4)
+        assert m.messages == 2
+        assert m.total_words == 8
+        assert m.max_message_words == 4
+
+
+class TestPhaseBreakdown:
+    def test_accumulates(self):
+        pb = PhaseBreakdown()
+        pb.add("a", 3)
+        pb.add("b", 6)
+        pb.add("a", 2)
+        assert pb.total_rounds == 11
+        assert pb.dominant_phase() == "b"
+
+    def test_empty(self):
+        pb = PhaseBreakdown()
+        assert pb.total_rounds == 0
+        assert pb.dominant_phase() is None
+
+    def test_as_table(self):
+        pb = PhaseBreakdown()
+        pb.add("stage", 4)
+        text = pb.as_table()
+        assert "stage" in text and "TOTAL" in text

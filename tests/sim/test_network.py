@@ -1,0 +1,265 @@
+"""Network semantics: delivery timing, model enforcement, termination."""
+
+import pytest
+
+from repro.graphs import Graph, path_graph, star_graph
+from repro.sim import (
+    CongestionViolation,
+    HaltedNodeActed,
+    MessageTooLarge,
+    Network,
+    NodeProgram,
+    NotANeighbor,
+    RoundLimitExceeded,
+)
+
+
+def two_nodes() -> Graph:
+    g = Graph()
+    g.add_edge(0, 1)
+    return g
+
+
+class Echoer(NodeProgram):
+    """Node 0 pings; node 1 echoes; both record rounds."""
+
+    def on_start(self):
+        if self.node == 0:
+            self.send(1, "PING")
+
+    def on_round(self, inbox):
+        for e in inbox:
+            if e.tag() == "PING":
+                self.output["got_ping_round"] = self.round
+                self.send(e.sender, "PONG")
+                self.halt()
+            elif e.tag() == "PONG":
+                self.output["got_pong_round"] = self.round
+                self.halt()
+
+
+class TestDelivery:
+    def test_one_round_latency(self):
+        net = Network(two_nodes())
+        net.run(Echoer)
+        assert net.programs[1].output["got_ping_round"] == 1
+        assert net.programs[0].output["got_pong_round"] == 2
+
+    def test_rounds_counted(self):
+        net = Network(two_nodes())
+        metrics = net.run(Echoer)
+        assert metrics.rounds == 2
+        assert metrics.messages == 2
+        assert metrics.all_halted
+
+    def test_inbox_sorted_deterministically(self):
+        g = star_graph(6)
+
+        class LeafPing(NodeProgram):
+            def on_start(self):
+                if self.node != 0:
+                    self.send(0, "HI", self.node)
+                    self.halt()
+
+            def on_round(self, inbox):
+                self.output["order"] = [e.sender for e in inbox]
+                self.halt()
+
+        net = Network(g)
+        net.run(LeafPing)
+        order = net.programs[0].output["order"]
+        assert order == sorted(order, key=str)
+
+
+class TestEnforcement:
+    def test_congestion_raises(self):
+        class DoubleSend(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, "A")
+                    self.send(1, "B")
+
+            def on_round(self, inbox):
+                self.halt()
+
+        with pytest.raises(CongestionViolation):
+            Network(two_nodes()).run(DoubleSend)
+
+    def test_both_directions_allowed(self):
+        class CrossSend(NodeProgram):
+            def on_start(self):
+                other = 1 - self.node
+                self.send(other, "X")
+
+            def on_round(self, inbox):
+                assert len(inbox) == 1
+                self.halt()
+
+        Network(two_nodes()).run(CrossSend)
+
+    def test_oversized_message_raises(self):
+        class BigSend(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, *range(20))
+
+            def on_round(self, inbox):
+                self.halt()
+
+        with pytest.raises(MessageTooLarge):
+            Network(two_nodes()).run(BigSend)
+
+    def test_non_neighbor_raises(self):
+        class FarSend(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(2, "X")
+
+            def on_round(self, inbox):
+                self.halt()
+
+        with pytest.raises(NotANeighbor):
+            Network(path_graph(3)).run(FarSend)
+
+    def test_halted_node_cannot_send(self):
+        class ZombieSend(NodeProgram):
+            def on_start(self):
+                self.halt()
+                if self.node == 0:
+                    self.send(1, "X")
+
+            def on_round(self, inbox):  # pragma: no cover
+                pass
+
+        with pytest.raises(HaltedNodeActed):
+            Network(two_nodes()).run(ZombieSend)
+
+    def test_round_limit(self):
+        class Forever(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, "T")
+
+            def on_round(self, inbox):
+                for e in inbox:
+                    self.send(e.sender, "T")
+
+        with pytest.raises(RoundLimitExceeded):
+            Network(two_nodes()).run(Forever, max_rounds=50)
+
+    def test_word_limit_configurable(self):
+        class SixWords(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, 1, 2, 3, 4, 5, 6)
+
+            def on_round(self, inbox):
+                self.halt()
+
+        with pytest.raises(MessageTooLarge):
+            Network(two_nodes(), word_limit=4).run(SixWords)
+        Network(two_nodes(), word_limit=6).run(SixWords)
+
+
+class TestTermination:
+    def test_stop_when_quiet(self):
+        class Quiet(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, "X")
+
+            def on_round(self, inbox):
+                pass  # never halts, never sends again
+
+        net = Network(two_nodes())
+        metrics = net.run(Quiet, stop_when_quiet=True)
+        assert not metrics.all_halted
+        assert metrics.rounds <= 3
+
+    def test_until_predicate(self):
+        class Counter(NodeProgram):
+            def on_start(self):
+                self.count = 0
+
+            def on_round(self, inbox):
+                self.count += 1
+
+        net = Network(two_nodes())
+        net.run(Counter, until=lambda n: n.current_round >= 5)
+        assert net.current_round == 5
+
+    def test_outputs_collection(self):
+        class Out(NodeProgram):
+            def on_start(self):
+                self.output["id"] = self.node
+                if self.node == 0:
+                    self.output["extra"] = True
+                self.halt()
+
+            def on_round(self, inbox):  # pragma: no cover
+                pass
+
+        net = Network(two_nodes())
+        net.run(Out)
+        assert net.output_field("id") == {0: 0, 1: 1}
+        assert net.output_field("extra") == {0: True}
+
+    def test_context_exposes_weights(self):
+        g = Graph()
+        g.add_edge(0, 1, 7.5)
+
+        class W(NodeProgram):
+            def on_start(self):
+                other = 1 - self.node
+                self.output["w"] = self.ctx.weight(other)
+                self.halt()
+
+            def on_round(self, inbox):  # pragma: no cover
+                pass
+
+        net = Network(g)
+        net.run(W)
+        assert net.output_field("w") == {0: 7.5, 1: 7.5}
+
+    def test_n_exposed(self):
+        class N(NodeProgram):
+            def on_start(self):
+                self.output["n"] = self.n
+                self.halt()
+
+            def on_round(self, inbox):  # pragma: no cover
+                pass
+
+        net = Network(path_graph(5))
+        net.run(N)
+        assert set(net.output_field("n").values()) == {5}
+
+
+class TestPayloadValidation:
+    def test_unserializable_payload_raises(self):
+        from repro.sim import UnserializablePayload
+
+        class BadSend(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, {"a": 1})
+
+            def on_round(self, inbox):
+                self.halt()
+
+        with pytest.raises(UnserializablePayload):
+            Network(two_nodes()).run(BadSend)
+
+    def test_long_string_payload_raises(self):
+        from repro.sim import UnserializablePayload
+
+        class LongTag(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, "x" * 200)
+
+            def on_round(self, inbox):
+                self.halt()
+
+        with pytest.raises(UnserializablePayload):
+            Network(two_nodes()).run(LongTag)

@@ -1,0 +1,64 @@
+"""Orchestrator: sequential stage composition."""
+
+from repro.graphs import path_graph, random_tree
+from repro.primitives.bfs import BFSTreeProgram
+from repro.primitives.convergecast import ConvergecastProgram, sum_combiner
+from repro.sim import Network, Orchestrator
+
+
+class TestOrchestrator:
+    def test_two_stage_count(self):
+        g = random_tree(40, seed=2)
+        orch = Orchestrator()
+
+        orch.run_stage("bfs", g, lambda state: (
+            lambda ctx: BFSTreeProgram(ctx, 0)
+        ))
+
+        def census_factory(state):
+            parents = {v: out["parent"] for v, out in state["bfs"].items()}
+            return lambda ctx: ConvergecastProgram(
+                ctx, 0, parents, 1, sum_combiner
+            )
+
+        net = orch.run_stage("census", g, census_factory)
+        assert net.programs[0].output["aggregate"] == 40
+        assert orch.total_rounds == sum(orch.breakdown().values())
+        assert list(orch.breakdown()) == ["bfs", "census"]
+
+    def test_local_stage_and_charge(self):
+        orch = Orchestrator()
+        result = orch.run_local_stage("prep", lambda state: {"x": 1})
+        assert result == {"x": 1}
+        assert orch.state["prep"] == {"x": 1}
+        orch.charge("wave", 17)
+        assert orch.total_rounds == 17
+
+    def test_parallel_stage(self):
+        from repro.sim import NodeProgram
+
+        class Sleep(NodeProgram):
+            def __init__(self, ctx, rounds):
+                super().__init__(ctx)
+                self.remaining = rounds
+
+            def on_start(self):
+                pass
+
+            def on_round(self, inbox):
+                self.remaining -= 1
+                if self.remaining <= 0:
+                    self.halt()
+
+        orch = Orchestrator()
+        runs = [
+            (Network(path_graph(2)), lambda ctx: Sleep(ctx, 2)),
+            (Network(path_graph(2)), lambda ctx: Sleep(ctx, 9)),
+        ]
+        orch.run_parallel_stage("sleepers", runs)
+        assert orch.breakdown()["sleepers"] == 9
+
+    def test_log(self):
+        orch = Orchestrator()
+        orch.charge("x", 3)
+        assert any("x" in line for line in orch.log())

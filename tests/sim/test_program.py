@@ -1,0 +1,108 @@
+"""Program API: scripted programs, broadcast, tag splitting."""
+
+from repro.graphs import Graph, star_graph
+from repro.sim import Envelope, Network, NodeProgram, ScriptedProgram, split_by_tag
+
+
+def pair() -> Graph:
+    g = Graph()
+    g.add_edge(0, 1)
+    return g
+
+
+class TestScriptedProgram:
+    def test_yields_align_with_rounds(self):
+        class Script(ScriptedProgram):
+            def script(self):
+                self.output["rounds_seen"] = []
+                for _ in range(3):
+                    inbox = yield
+                    self.output["rounds_seen"].append(self.round)
+
+        net = Network(pair())
+        net.run(Script)
+        assert net.programs[0].output["rounds_seen"] == [1, 2, 3]
+
+    def test_halts_when_script_ends(self):
+        class Short(ScriptedProgram):
+            def script(self):
+                yield
+
+        net = Network(pair())
+        metrics = net.run(Short)
+        assert metrics.all_halted
+        # The single yield is consumed in round 1 and the generator
+        # finishes in the same on_round call, halting immediately.
+        assert metrics.rounds == 1
+
+    def test_empty_script_halts_immediately(self):
+        class Empty(ScriptedProgram):
+            def script(self):
+                return
+                yield  # pragma: no cover
+
+        net = Network(pair())
+        metrics = net.run(Empty)
+        assert metrics.all_halted
+
+    def test_messages_flow_between_scripts(self):
+        class PingPong(ScriptedProgram):
+            def script(self):
+                if self.node == 0:
+                    self.send(1, "PING")
+                inbox = yield
+                if self.node == 1:
+                    assert inbox and inbox[0].tag() == "PING"
+                    self.send(0, "PONG")
+                inbox = yield
+                if self.node == 0:
+                    self.output["pong"] = bool(
+                        inbox and inbox[0].tag() == "PONG"
+                    )
+
+        net = Network(pair())
+        net.run(PingPong)
+        assert net.programs[0].output["pong"] is True
+
+    def test_wait_rounds(self):
+        class Waiter(ScriptedProgram):
+            def script(self):
+                yield from self.wait_rounds(4)
+                self.output["done_at"] = self.round
+
+        net = Network(pair())
+        net.run(Waiter)
+        assert net.programs[0].output["done_at"] == 4
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_neighbors(self):
+        class Center(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.broadcast("HI")
+                    self.halt()
+
+            def on_round(self, inbox):
+                self.output["heard"] = len(inbox)
+                self.halt()
+
+        net = Network(star_graph(5))
+        net.run(Center)
+        for leaf in range(1, 5):
+            assert net.programs[leaf].output["heard"] == 1
+
+
+class TestSplitByTag:
+    def test_groups(self):
+        inbox = [
+            Envelope(1, 0, ("A", 1), 0),
+            Envelope(2, 0, ("B",), 0),
+            Envelope(3, 0, ("A", 2), 0),
+        ]
+        groups = split_by_tag(inbox)
+        assert {e.sender for e in groups["A"]} == {1, 3}
+        assert len(groups["B"]) == 1
+
+    def test_empty_inbox(self):
+        assert split_by_tag([]) == {}

@@ -1,0 +1,73 @@
+"""Parallel composition and staged-run accounting."""
+
+from repro.graphs import path_graph
+from repro.sim import Network, NodeProgram, RunMetrics, StagedRun, run_in_parallel
+
+
+class Countdown(NodeProgram):
+    def __init__(self, ctx, rounds):
+        super().__init__(ctx)
+        self.remaining = rounds
+
+    def on_start(self):
+        pass
+
+    def on_round(self, inbox):
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.halt()
+
+
+class TestRunInParallel:
+    def test_rounds_are_max(self):
+        runs = [
+            (Network(path_graph(2)), lambda ctx: Countdown(ctx, 3)),
+            (Network(path_graph(2)), lambda ctx: Countdown(ctx, 7)),
+        ]
+        _nets, combined = run_in_parallel(runs)
+        assert combined.rounds == 7
+
+    def test_traffic_is_summed(self):
+        class OneShot(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, "X")
+
+            def on_round(self, inbox):
+                self.halt()
+
+        runs = [
+            (Network(path_graph(2)), OneShot),
+            (Network(path_graph(2)), OneShot),
+        ]
+        _nets, combined = run_in_parallel(runs)
+        assert combined.traffic.messages == 2
+
+    def test_empty(self):
+        _nets, combined = run_in_parallel([])
+        assert combined.rounds == 0
+
+
+class TestStagedRun:
+    def test_rounds_accumulate(self):
+        staged = StagedRun()
+        staged.add_rounds("a", 5)
+        staged.add_rounds("b", 3)
+        staged.add_rounds("a", 2)
+        assert staged.total_rounds == 10
+        assert staged.breakdown() == {"a": 7, "b": 3}
+
+    def test_record_metrics(self):
+        staged = StagedRun()
+        metrics = RunMetrics()
+        metrics.rounds = 4
+        metrics.traffic.messages = 9
+        staged.record("stage", metrics)
+        assert staged.total_rounds == 4
+        assert staged.total_messages == 9
+
+    def test_order_preserved(self):
+        staged = StagedRun()
+        for name in ("z", "a", "m"):
+            staged.add_rounds(name, 1)
+        assert list(staged.breakdown()) == ["z", "a", "m"]

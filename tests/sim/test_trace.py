@@ -1,0 +1,71 @@
+"""Trace recorder and stall detection."""
+
+from repro.graphs import Graph
+from repro.sim import Network, NodeProgram, TraceRecorder, traced
+
+
+def pair() -> Graph:
+    g = Graph()
+    g.add_edge(0, 1)
+    return g
+
+
+class Bursty(NodeProgram):
+    """Node 0 sends in rounds 0, 1 and 3 (a stall at round 2)."""
+
+    def on_start(self):
+        if self.node == 0:
+            self.send(1, "A")
+
+    def on_round(self, inbox):
+        if self.node == 0:
+            if self.round == 1:
+                self.send(1, "B")
+            elif self.round == 3:
+                self.send(1, "C")
+                self.halt()
+        elif self.round >= 4:
+            self.halt()
+
+
+class TestTrace:
+    def test_sends_recorded(self):
+        recorder = TraceRecorder()
+        net = Network(pair())
+        net.run(traced(Bursty, recorder))
+        assert recorder.sends_by_node()[0] == [0, 1, 3]
+
+    def test_stall_detected(self):
+        recorder = TraceRecorder()
+        net = Network(pair())
+        net.run(traced(Bursty, recorder))
+        assert recorder.stalls(0) == [2]
+
+    def test_no_stall_for_single_send(self):
+        recorder = TraceRecorder()
+        net = Network(pair())
+
+        class Once(NodeProgram):
+            def on_start(self):
+                if self.node == 0:
+                    self.send(1, "X")
+                self.halt()
+
+            def on_round(self, inbox):  # pragma: no cover
+                pass
+
+        net.run(traced(Once, recorder))
+        assert recorder.stalls(0) == []
+
+    def test_halt_recorded(self):
+        recorder = TraceRecorder()
+        net = Network(pair())
+        net.run(traced(Bursty, recorder))
+        kinds = {e.kind for e in recorder.events}
+        assert "halt" in kinds and "round" in kinds
+
+    def test_rounds_active(self):
+        recorder = TraceRecorder()
+        net = Network(pair())
+        net.run(traced(Bursty, recorder))
+        assert recorder.rounds_active(0) == [1, 2, 3]

@@ -1,0 +1,73 @@
+"""Contracted graphs and virtual-round accounting."""
+
+import pytest
+
+from repro.graphs import path_graph, star_graph
+from repro.sim import ContractedGraph, IdleProgram, Network, VirtualNetwork
+
+
+class TestContractedGraph:
+    def test_basic_contraction(self):
+        g = path_graph(6)
+        clusters = {0: {0, 1}, 2: {2, 3}, 4: {4, 5}}
+        cg = ContractedGraph(g, clusters)
+        assert cg.nodes == [0, 2, 4]
+        assert cg.neighbors(2) == [0, 4]
+        assert cg.neighbors(0) == [2]
+
+    def test_rejects_overlap(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            ContractedGraph(g, {0: {0, 1}, 1: {1, 2, 3}})
+
+    def test_rejects_partial_cover(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            ContractedGraph(g, {0: {0, 1}})
+
+    def test_radius_of_cluster(self):
+        g = path_graph(7)
+        clusters = {3: {1, 2, 3, 4, 5}, 0: {0}, 6: {6}}
+        cg = ContractedGraph(g, clusters)
+        assert cg.radius_of(3) == 2
+        assert cg.radius_of(0) == 0
+        assert cg.max_radius() == 2
+
+    def test_disconnected_cluster_rejected(self):
+        g = path_graph(5)
+        clusters = {0: {0, 4}, 1: {1, 2, 3}}
+        cg = ContractedGraph(g, clusters)
+        with pytest.raises(ValueError):
+            cg.radius_of(0)
+
+    def test_tree_edges_only(self):
+        g = path_graph(4)
+        g.add_edge(0, 3)  # chord
+        clusters = {0: {0, 1}, 2: {2, 3}}
+        cg_all = ContractedGraph(g, clusters)
+        cg_tree = ContractedGraph(g, clusters, tree_edges_only=[(1, 2)])
+        assert cg_all.neighbors(0) == [2]
+        assert cg_tree.neighbors(0) == [2]
+
+
+class TestVirtualNetwork:
+    def test_round_cost_scales_with_radius(self):
+        g = path_graph(10)
+        clusters = {0: {0, 1, 2, 3, 4}, 5: {5, 6, 7, 8, 9}}
+        virtual = VirtualNetwork(ContractedGraph(g, clusters))
+        # top-anchored clusters of radius 4.
+        assert virtual.round_cost == 2 * 4 + 1
+
+    def test_physical_rounds(self):
+        g = path_graph(4)
+        clusters = {0: {0, 1}, 2: {2, 3}}
+        virtual = VirtualNetwork(ContractedGraph(g, clusters))
+        virtual.run(IdleProgram)
+        assert virtual.virtual_rounds == 0
+        assert virtual.physical_rounds == 0
+
+    def test_singleton_clusters_cost_one(self):
+        g = path_graph(3)
+        clusters = {v: {v} for v in g.nodes}
+        virtual = VirtualNetwork(ContractedGraph(g, clusters))
+        assert virtual.round_cost == 1

@@ -1,0 +1,106 @@
+"""Cole–Vishkin 6-colouring and shift-down 3-colouring."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import RootedTree, path_graph, random_tree, star_graph
+from repro.symmetry import (
+    cv_iterations,
+    cv_step,
+    cv_step_root,
+    six_color_forest,
+    three_color_forest,
+)
+from repro.verify import check_coloring
+
+from ..conftest import pruefer_trees
+
+
+class TestCvStep:
+    def test_reduces_and_stays_proper(self):
+        child, parent = 0b101101, 0b101001
+        new = cv_step(child, parent)
+        # differs at bit 2, child bit is 1 -> 2*2+1
+        assert new == 5
+
+    def test_equal_colors_rejected(self):
+        with pytest.raises(ValueError):
+            cv_step(7, 7)
+
+    def test_root_variant_no_collision_with_children(self):
+        for root_color in range(64):
+            for child_color in range(64):
+                if child_color == root_color:
+                    continue
+                assert cv_step(child_color, root_color) != cv_step_root(
+                    root_color
+                )
+
+
+class TestSixColoring:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (5, 1), (37, 2), (200, 3)])
+    def test_proper_and_small(self, n, seed):
+        g = random_tree(n, seed=seed)
+        rt = RootedTree.from_graph(g, 0)
+        colors, _net = six_color_forest(g, rt.parent)
+        assert check_coloring(g, colors, palette_size=6)
+
+    def test_rounds_follow_schedule(self):
+        g = random_tree(500, seed=4)
+        rt = RootedTree.from_graph(g, 0)
+        _colors, net = six_color_forest(g, rt.parent)
+        assert net.metrics.rounds <= cv_iterations(500) + 2
+
+    def test_forest_input(self):
+        g = random_tree(20, seed=5)
+        g2 = random_tree(15, seed=6).relabeled({i: 20 + i for i in range(15)})
+        forest = g.copy()
+        for u, v, w in g2.weighted_edges():
+            forest.add_edge(u, v, w)
+        parent = dict(RootedTree.from_graph(g, 0).parent)
+        parent.update(RootedTree.from_graph(g2, 20).parent)
+        colors, _net = six_color_forest(forest, parent)
+        assert check_coloring(forest, colors, palette_size=6)
+
+    def test_requires_int_ids(self):
+        from repro.graphs import Graph
+        from repro.sim import Network
+        from repro.symmetry import SixColoringProgram
+
+        g = Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            Network(g).run(lambda ctx: SixColoringProgram(ctx, {"a": None, "b": "a"}))
+
+
+class TestThreeColoring:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (9, 1), (64, 2), (300, 7)])
+    def test_proper_three_colors(self, n, seed):
+        g = random_tree(n, seed=seed)
+        rt = RootedTree.from_graph(g, 0)
+        colors, _net = three_color_forest(g, rt.parent)
+        assert check_coloring(g, colors, palette_size=3)
+
+    def test_path_and_star(self):
+        for g in (path_graph(50), star_graph(50)):
+            rt = RootedTree.from_graph(g, 0)
+            colors, _net = three_color_forest(g, rt.parent)
+            assert check_coloring(g, colors, palette_size=3)
+
+    def test_rounds_flat_in_n(self):
+        rounds = []
+        for n in (32, 256, 2048):
+            g = random_tree(n, seed=1)
+            rt = RootedTree.from_graph(g, 0)
+            _colors, net = three_color_forest(g, rt.parent)
+            rounds.append(net.metrics.rounds)
+        # O(log* n): growing n 64x adds at most a couple of rounds.
+        assert rounds[-1] - rounds[0] <= 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(pruefer_trees(max_nodes=35))
+def test_three_coloring_property(tree):
+    rt = RootedTree.from_graph(tree, 0)
+    colors, _net = three_color_forest(tree, rt.parent)
+    assert check_coloring(tree, colors, palette_size=3)

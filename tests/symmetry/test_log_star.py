@@ -1,0 +1,49 @@
+"""log* and Cole–Vishkin schedule arithmetic."""
+
+import pytest
+
+from repro.symmetry import (
+    cv_color_bits_after_step,
+    cv_iterations,
+    log2_ceil,
+    log_star,
+)
+
+
+class TestLogStar:
+    def test_known_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**65536 if False else 65537) == 5
+
+    def test_monotone(self):
+        values = [log_star(n) for n in range(1, 2000)]
+        assert values == sorted(values)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log_star(0)
+
+
+class TestSchedule:
+    def test_bits_shrink(self):
+        assert cv_color_bits_after_step(10) == 5  # 2*10-1=19 -> 5 bits
+        assert cv_color_bits_after_step(3) == 3  # fixed point
+
+    def test_iterations_grow_slowly(self):
+        assert cv_iterations(2) >= 1
+        assert cv_iterations(10**6) <= 6
+        assert cv_iterations(10**9) <= 7
+
+    def test_iterations_monotone(self):
+        values = [cv_iterations(n) for n in range(1, 5000)]
+        assert values == sorted(values)
+
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(1024) == 10

@@ -1,0 +1,69 @@
+"""Maximal matching on rooted trees (the Small-Dom-Set engine)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import RootedTree, path_graph, random_tree, star_graph
+from repro.symmetry import tree_maximal_matching
+from repro.verify import check_matching
+
+from ..conftest import pruefer_trees
+
+
+class TestMatching:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (9, 1), (60, 2), (350, 3)])
+    def test_valid_maximal_matching(self, n, seed):
+        g = random_tree(n, seed=seed)
+        rt = RootedTree.from_graph(g, 0)
+        partner, _net = tree_maximal_matching(g, rt.parent)
+        assert check_matching(g, partner)
+
+    def test_star_matches_exactly_one_pair(self):
+        g = star_graph(10)
+        rt = RootedTree.from_graph(g, 0)
+        partner, _net = tree_maximal_matching(g, rt.parent)
+        matched = {v for v, p in partner.items() if p is not None}
+        assert len(matched) == 2 and 0 in matched
+
+    def test_path_matching_large(self):
+        g = path_graph(21)
+        rt = RootedTree.from_graph(g, 0)
+        partner, _net = tree_maximal_matching(g, rt.parent)
+        assert check_matching(g, partner)
+        matched = sum(1 for p in partner.values() if p is not None)
+        assert matched >= 14  # maximal matching on P21 has >= 7 edges
+
+    def test_two_nodes(self):
+        g = path_graph(2)
+        partner, _net = tree_maximal_matching(g, {0: None, 1: 0})
+        assert partner == {0: 1, 1: 0}
+
+    def test_rounds_flat_in_n(self):
+        rounds = []
+        for n in (32, 2048):
+            g = random_tree(n, seed=4)
+            rt = RootedTree.from_graph(g, 0)
+            _p, net = tree_maximal_matching(g, rt.parent)
+            rounds.append(net.metrics.rounds)
+        assert rounds[1] - rounds[0] <= 3
+
+    def test_contracted_id_space(self):
+        """Ids above n are fine when id_bound is passed (the contracted
+        tree case that broke an early version of the library)."""
+        from repro.sim import Network
+        from repro.symmetry import TreeMatchingProgram
+
+        g = path_graph(4).relabeled({0: 10, 1: 20, 2: 40, 3: 80})
+        parent = {10: None, 20: 10, 40: 20, 80: 40}
+        net = Network(g)
+        net.run(lambda ctx: TreeMatchingProgram(ctx, parent, id_bound=81))
+        partner = net.output_field("partner")
+        assert check_matching(g, partner)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pruefer_trees(max_nodes=35))
+def test_matching_property(tree):
+    rt = RootedTree.from_graph(tree, 0)
+    partner, _net = tree_maximal_matching(tree, rt.parent)
+    assert check_matching(tree, partner)

@@ -1,0 +1,58 @@
+"""Tree MIS (the [GPS] black box of Lemma 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import RootedTree, path_graph, random_tree, star_graph
+from repro.symmetry import tree_mis
+from repro.verify import check_mis
+
+from ..conftest import pruefer_trees
+
+
+class TestTreeMIS:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (7, 1), (50, 2), (400, 3)])
+    def test_valid_mis(self, n, seed):
+        g = random_tree(n, seed=seed)
+        rt = RootedTree.from_graph(g, 0)
+        mis, _net = tree_mis(g, rt.parent)
+        assert check_mis(g, mis)
+
+    def test_star_center_or_leaves(self):
+        g = star_graph(20)
+        rt = RootedTree.from_graph(g, 0)
+        mis, _net = tree_mis(g, rt.parent)
+        assert check_mis(g, mis)
+        assert mis == {0} or mis == set(range(1, 20))
+
+    def test_path_alternation_size(self):
+        g = path_graph(20)
+        rt = RootedTree.from_graph(g, 0)
+        mis, _net = tree_mis(g, rt.parent)
+        assert check_mis(g, mis)
+        assert len(mis) >= 7  # any maximal IS on P20 has >= ceil(20/3)
+
+    def test_rounds_flat_in_n(self):
+        rounds = []
+        for n in (32, 2048):
+            g = random_tree(n, seed=4)
+            rt = RootedTree.from_graph(g, 0)
+            _mis, net = tree_mis(g, rt.parent)
+            rounds.append(net.metrics.rounds)
+        assert rounds[1] - rounds[0] <= 3
+
+    def test_single_node(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        g.add_node(0)
+        mis, _net = tree_mis(g, {0: None})
+        assert mis == {0}
+
+
+@settings(max_examples=25, deadline=None)
+@given(pruefer_trees(max_nodes=35))
+def test_mis_property(tree):
+    rt = RootedTree.from_graph(tree, 0)
+    mis, _net = tree_mis(tree, rt.parent)
+    assert check_mis(tree, mis)

@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import generate, main
+
+
+class TestGenerate:
+    def test_grid(self):
+        g = generate("grid:3x4")
+        assert g.num_nodes == 12
+
+    def test_ring(self):
+        assert generate("ring:9").num_edges == 9
+
+    def test_tree_seeded(self):
+        a = generate("tree:40", seed=3)
+        b = generate("tree:40", seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random(self):
+        g = generate("random:30:0.1", seed=1)
+        assert g.num_nodes == 30
+
+    def test_complete(self):
+        assert generate("complete:5").num_edges == 10
+
+    def test_bad_kind(self):
+        with pytest.raises(SystemExit):
+            generate("mobius:9")
+
+    def test_bad_spec(self):
+        with pytest.raises(SystemExit):
+            generate("grid:banana")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--generate", "grid:4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:    16" in out
+        assert "leader (max id): 15" in out
+
+    def test_kdom(self, capsys):
+        assert main(["kdom", "--generate", "ring:24", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "|D| =" in out and "domination radius = 2" in out
+
+    def test_kdom_verbose(self, capsys):
+        assert main(
+            ["kdom", "--generate", "ring:12", "--k", "1", "-v"]
+        ) == 0
+        assert "D = [" in capsys.readouterr().out
+
+    def test_partition(self, capsys):
+        assert main(["partition", "--generate", "tree:60", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "max radius" in out
+
+    @pytest.mark.parametrize("algorithm", ["fast", "ghs", "pipeline"])
+    def test_mst_exact(self, capsys, algorithm):
+        code = main(
+            ["mst", "--generate", "random:40:0.1", "--algorithm", algorithm]
+        )
+        assert code == 0
+        assert "exact vs sequential Kruskal" in capsys.readouterr().out
+
+    def test_graph_file(self, tmp_path, capsys):
+        edge_file = tmp_path / "g.edges"
+        edge_file.write_text("0 1 5\n1 2 3\n2 0 4\n")
+        assert main(["info", "--graph", str(edge_file)]) == 0
+        assert "nodes:    3" in capsys.readouterr().out
+
+    def test_missing_source(self):
+        with pytest.raises(SystemExit):
+            main(["info"])

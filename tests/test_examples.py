@@ -1,0 +1,26 @@
+"""The example scripts are part of the public surface: run them."""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "server_placement.py",
+    "sparse_routing.py",
+    "asynchronous_alpha.py",
+    "mst_construction.py",
+    "census_pipelining.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+    assert "Traceback" not in out

@@ -1,0 +1,63 @@
+"""Cross-family guarantee matrix.
+
+One compact net over the workload registries: every named tree family ×
+the tree pipeline, every named graph family × the graph pipeline, each
+checked against the paper's guarantees through the independent
+verifiers.  Catches family-specific regressions (deep paths, heavy
+stars, mixed caterpillars, wrap-around tori) that single-workload tests
+can miss.
+"""
+
+import pytest
+
+from repro.core import fastdom_graph, fastdom_tree
+from repro.graphs import (
+    GRAPH_FAMILIES,
+    TREE_FAMILIES,
+    RootedTree,
+    assign_unique_weights,
+    is_tree,
+)
+from repro.mst import fast_mst, kruskal_mst
+from repro.verify import (
+    check_partition,
+    is_k_dominating,
+    meets_size_bound,
+)
+
+TREE_N = 64
+GRAPH_N = 49  # grid/torus families round to a 7x7 side
+
+
+@pytest.mark.parametrize("family", sorted(TREE_FAMILIES))
+@pytest.mark.parametrize("k", [1, 3])
+def test_tree_family_fastdom(family, k):
+    tree = TREE_FAMILIES[family](TREE_N, seed=1)
+    assert is_tree(tree)
+    if tree.num_nodes < k + 1:
+        pytest.skip("family instance smaller than k+1")
+    rt = RootedTree.from_graph(tree, 0)
+    dominators, partition, _staged = fastdom_tree(tree, 0, rt.parent, k)
+    assert meets_size_bound(tree.num_nodes, k, len(dominators)), family
+    assert is_k_dominating(tree, dominators, k), family
+    report = check_partition(tree, partition, require_connected=False)
+    assert report, (family, report.problems)
+
+
+@pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+@pytest.mark.parametrize("k", [1, 3])
+def test_graph_family_fastdom(family, k):
+    graph = assign_unique_weights(GRAPH_FAMILIES[family](GRAPH_N, seed=2), seed=3)
+    dominators, partition, _staged = fastdom_graph(graph, k)
+    assert meets_size_bound(graph.num_nodes, k, len(dominators)), family
+    assert is_k_dominating(graph, dominators, k), family
+    assert partition.covers(graph.nodes), family
+
+
+@pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+def test_graph_family_fast_mst(family):
+    graph = assign_unique_weights(GRAPH_FAMILIES[family](GRAPH_N, seed=4), seed=5)
+    edges, _staged, diag = fast_mst(graph)
+    assert edges == kruskal_mst(graph), family
+    assert diag["pipelining_violations"] == 0, family
+    assert diag["order_violations"] == 0, family

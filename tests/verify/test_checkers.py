@@ -1,0 +1,147 @@
+"""The verification layer itself: positive and negative cases."""
+
+import pytest
+
+from repro.graphs import (
+    Cluster,
+    Partition,
+    cycle_graph,
+    assign_unique_weights,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.mst import kruskal_mst
+from repro.verify import (
+    check_coloring,
+    check_matching,
+    check_mis,
+    check_mst,
+    check_mst_fragments,
+    check_partition,
+    check_spanning_forest,
+    domination_radius,
+    every_dominator_has_outside_neighbor,
+    is_k_dominating,
+    meets_size_bound,
+)
+
+
+class TestDominating:
+    def test_radius(self):
+        g = path_graph(7)
+        assert domination_radius(g, {3}) == 3
+        assert domination_radius(g, {0, 6}) == 3
+        assert domination_radius(g, set()) is None
+
+    def test_is_k_dominating(self):
+        g = path_graph(7)
+        assert is_k_dominating(g, {3}, 3)
+        assert not is_k_dominating(g, {3}, 2)
+
+    def test_size_bound(self):
+        assert meets_size_bound(10, 4, 2)
+        assert not meets_size_bound(10, 4, 3)
+        assert meets_size_bound(3, 9, 1)  # max(1, ...) case
+
+    def test_outside_neighbor(self):
+        g = path_graph(4)
+        # D = V: no dominator has a neighbour outside D.
+        assert every_dominator_has_outside_neighbor(g, {0, 1, 2, 3}) is False
+        assert every_dominator_has_outside_neighbor(g, {1, 3})
+
+
+class TestPartitionChecker:
+    def test_valid(self):
+        g = path_graph(6)
+        p = Partition([Cluster(1, {0, 1, 2}), Cluster(4, {3, 4, 5})])
+        report = check_partition(g, p, min_cluster_size=3, max_cluster_radius=1)
+        assert report and report.min_size == 3 and report.max_radius == 1
+
+    def test_uncovered_detected(self):
+        g = path_graph(4)
+        p = Partition([Cluster(0, {0, 1})])
+        report = check_partition(g, p)
+        assert not report and "uncovered" in report.problems[0]
+
+    def test_radius_violation_detected(self):
+        g = path_graph(6)
+        p = Partition([Cluster(0, set(range(6)))])
+        report = check_partition(g, p, max_cluster_radius=2)
+        assert not report
+
+    def test_disconnected_cluster_detected(self):
+        g = path_graph(5)
+        p = Partition([Cluster(0, {0, 4}), Cluster(2, {1, 2, 3})])
+        report = check_partition(g, p)
+        assert not report
+
+
+class TestForestChecker:
+    def test_valid_forest(self):
+        g = path_graph(6)
+        report = check_spanning_forest(
+            g, [{0, 1, 2}, {3, 4, 5}], sigma=3, rho=2
+        )
+        assert report, report.problems
+
+    def test_small_fragment_detected(self):
+        g = path_graph(6)
+        report = check_spanning_forest(g, [{0, 1}, {2, 3, 4, 5}], sigma=3)
+        assert not report
+
+    def test_overlap_detected(self):
+        g = path_graph(4)
+        report = check_spanning_forest(g, [{0, 1, 2}, {2, 3}], sigma=1)
+        assert not report
+
+
+class TestMSTChecker:
+    def test_valid(self):
+        g = assign_unique_weights(grid_graph(4, 4), seed=1)
+        assert check_mst(g, kruskal_mst(g))
+
+    def test_spanning_but_not_minimum_detected(self):
+        g = cycle_graph(4)
+        g.set_weight(0, 1, 1)
+        g.set_weight(1, 2, 2)
+        g.set_weight(2, 3, 3)
+        g.set_weight(3, 0, 4)
+        # spanning tree that keeps the heaviest edge
+        assert not check_mst(g, [(1, 2), (2, 3), (3, 0)])
+        assert check_mst(g, [(0, 1), (1, 2), (2, 3)])
+
+    def test_non_spanning_detected(self):
+        g = assign_unique_weights(path_graph(4), seed=2)
+        assert not check_mst(g, [(0, 1), (1, 2)])
+
+    def test_fragments_subset(self):
+        g = assign_unique_weights(grid_graph(3, 3), seed=3)
+        mst = sorted(kruskal_mst(g))
+        assert check_mst_fragments(g, [mst[:3], mst[3:5]])
+        non_mst_edge = next(
+            e for e in g.edges() if (min(e), max(e)) not in kruskal_mst(g)
+        )
+        assert not check_mst_fragments(g, [[non_mst_edge]])
+
+
+class TestSymmetryCheckers:
+    def test_coloring(self):
+        g = path_graph(4)
+        assert check_coloring(g, {0: 0, 1: 1, 2: 0, 3: 1}, palette_size=2)
+        assert not check_coloring(g, {0: 0, 1: 0, 2: 1, 3: 0})
+        assert not check_coloring(g, {0: 0, 1: 5, 2: 0, 3: 1}, palette_size=3)
+        assert not check_coloring(g, {0: 0, 1: 1, 2: 0})  # missing node
+
+    def test_mis(self):
+        g = path_graph(5)
+        assert check_mis(g, {0, 2, 4})
+        assert not check_mis(g, {0, 1})  # dependent
+        assert not check_mis(g, {0})  # not maximal
+
+    def test_matching(self):
+        g = path_graph(4)
+        assert check_matching(g, {0: 1, 1: 0, 2: 3, 3: 2})
+        assert not check_matching(g, {0: 1, 1: 0, 2: None, 3: None})
+        assert not check_matching(g, {0: 2, 2: 0, 1: None, 3: None})
+        assert not check_matching(g, {0: 1, 1: 2, 2: 1, 3: None})
