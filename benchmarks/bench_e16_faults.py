@@ -1,0 +1,232 @@
+"""E16 — fault injection: degradation and the price of reliability.
+
+The paper's bounds assume a perfectly reliable synchronous network
+(§1.2).  This experiment measures what that assumption is worth: three
+workloads (the BFS engine of Procedure Initialize, the tree k-domination
+DP behind the partition stage, and the census-style convergecast that
+Pipeline generalises) run under seeded message loss, raw and wrapped in
+the ack/retransmit :class:`ReliableProgram` channels.  Reported per
+loss rate: round and message overhead of the reliable wrapper relative
+to the fault-free baseline, and whether the raw protocol survives at
+all.  A final scenario crashes a dominator and shows `verify.resilience`
+flagging the broken coverage bound.
+
+Fast mode (CI smoke): ``python benchmarks/bench_e16_faults.py --fast``.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.core.kdom_tree import TreeKDomProgram
+from repro.graphs import path_graph, random_connected_graph, random_tree
+from repro.graphs.distances import bfs_tree
+from repro.primitives.bfs import BFSTreeProgram
+from repro.primitives.convergecast import ConvergecastProgram, sum_combiner
+from repro.sim import (
+    DEFAULT_WORD_LIMIT,
+    RELIABLE_HEADER_WORDS,
+    FaultConfig,
+    FaultInjector,
+    Network,
+    make_reliable,
+)
+from repro.verify import is_k_dominating, surviving_kdomination
+
+if __package__:
+    from .harness import emit, note, run_once
+else:  # executed as a script (CI smoke mode)
+    sys.path.insert(0, os.path.dirname(__file__))
+    from harness import emit, note, run_once
+
+LOSS_RATES = (0.0, 0.02, 0.05, 0.10)
+FAST_LOSS_RATES = (0.0, 0.02, 0.05, 0.10)  # same sweep, smaller graphs
+K = 2
+RAW_BUDGET = 400
+RELIABLE_BUDGET = 20000
+
+
+def _fast() -> bool:
+    return os.environ.get("REPRO_FAST", "") not in ("", "0")
+
+
+def make_workloads(fast: bool):
+    """Return [(name, graph, program factory, checker)]."""
+    n_graph, n_tree = (36, 40) if fast else (96, 120)
+    workloads = []
+
+    g = random_connected_graph(n_graph, 4.0 / n_graph, seed=11)
+    root = min(g.nodes, key=str)
+
+    def check_bfs(net):
+        parents = net.output_field("parent")
+        assert len(parents) == g.num_nodes and parents[root] is None
+
+    workloads.append(
+        ("bfs", g, lambda ctx: BFSTreeProgram(ctx, root), check_bfs)
+    )
+
+    t = random_tree(n_tree, seed=12)
+    t_root = min(t.nodes, key=str)
+    _dist, t_parent = bfs_tree(t, t_root)
+
+    def check_partition(net):
+        flags = net.output_field("in_dominating_set")
+        dominators = {v for v, flag in flags.items() if flag}
+        assert is_k_dominating(t, dominators, K)
+        assert len(dominators) <= max(1, t.num_nodes // (K + 1))
+
+    workloads.append(
+        (
+            "partition",
+            t,
+            lambda ctx: TreeKDomProgram(ctx, t_root, t_parent, K),
+            check_partition,
+        )
+    )
+
+    t2 = random_tree(n_tree + 7, seed=13)
+    t2_root = min(t2.nodes, key=str)
+    _dist, t2_parent = bfs_tree(t2, t2_root)
+
+    def check_pipeline(net):
+        assert net.programs[t2_root].output["aggregate"] == t2.num_nodes
+
+    workloads.append(
+        (
+            "pipeline",
+            t2,
+            lambda ctx: ConvergecastProgram(
+                ctx, t2_root, t2_parent, 1, sum_combiner
+            ),
+            check_pipeline,
+        )
+    )
+    return workloads
+
+
+def run_case(graph, factory, loss, reliable, seed, max_rounds):
+    """One execution; returns (metrics, network, completed)."""
+    faults = (
+        FaultInjector(FaultConfig(drop_rate=loss, seed=seed))
+        if loss
+        else None
+    )
+    word_limit = DEFAULT_WORD_LIMIT + (
+        RELIABLE_HEADER_WORDS if reliable else 0
+    )
+    network = Network(graph, word_limit=word_limit, faults=faults)
+    wrapped = make_reliable(factory) if reliable else factory
+    result = network.run(wrapped, max_rounds=max_rounds)
+    if faults is None:
+        return result, network, result.all_halted
+    return result.metrics, network, result.completed
+
+
+def sweep(fast: bool):
+    rows = []
+    rates = FAST_LOSS_RATES if fast else LOSS_RATES
+    for name, graph, factory, check in make_workloads(fast):
+        base, base_net, base_ok = run_case(
+            graph, factory, 0.0, False, 0, RAW_BUDGET
+        )
+        assert base_ok
+        check(base_net)
+        for loss in rates:
+            _raw, _raw_net, raw_ok = run_case(
+                graph, factory, loss, False, 17, RAW_BUDGET
+            )
+            reliable, reliable_net, reliable_ok = run_case(
+                graph, factory, loss, True, 17, RELIABLE_BUDGET
+            )
+            # The reliable wrapper must mask every loss rate we sweep —
+            # completion AND a correct output are the regression gate.
+            assert reliable_ok
+            check(reliable_net)
+            rows.append(
+                [
+                    name,
+                    graph.num_nodes,
+                    loss,
+                    base.rounds,
+                    base.messages,
+                    reliable.rounds,
+                    reliable.messages,
+                    f"{reliable.rounds / base.rounds:.2f}x",
+                    f"{reliable.messages / base.messages:.2f}x",
+                    "yes" if raw_ok else "NO",
+                ]
+            )
+    return rows
+
+
+HEADERS = [
+    "workload",
+    "n",
+    "loss",
+    "base rounds",
+    "base msgs",
+    "rel rounds",
+    "rel msgs",
+    "round ovh",
+    "msg ovh",
+    "raw survives",
+]
+
+
+def crash_scenario():
+    """Crash a dominator: the raw output breaks the coverage bound."""
+    tree = path_graph(10)
+    _dist, parent_of = bfs_tree(tree, 0)
+    injector = FaultInjector(FaultConfig(crashes={7: 4}, seed=0))
+    network = Network(tree, faults=injector)
+    report = network.run(
+        lambda ctx: TreeKDomProgram(ctx, 0, parent_of, K), max_rounds=RAW_BUDGET
+    )
+    flags = network.output_field("in_dominating_set")
+    dominators = {v for v, flag in flags.items() if flag}
+    resilience = surviving_kdomination(
+        tree, dominators, K, crashed=report.crashed()
+    )
+    assert not resilience.ok, "crashing a dominator must break coverage"
+    return dominators, report, resilience
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_loss_sweep(benchmark):
+    rows = run_once(benchmark, lambda: sweep(_fast()))
+    emit(
+        "E16",
+        "reliable-channel overhead vs the fault-free baseline",
+        HEADERS,
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_crash_violation(benchmark):
+    dominators, report, resilience = run_once(benchmark, crash_scenario)
+    note(
+        "E16",
+        f"crash-stop of dominator 7 on path(10): raw output "
+        f"D={sorted(dominators)} -> {resilience.summary()}",
+    )
+
+
+if __name__ == "__main__":
+    fast = "--fast" in sys.argv or _fast()
+    emit(
+        "E16",
+        "reliable-channel overhead vs the fault-free baseline"
+        + (" [fast]" if fast else ""),
+        HEADERS,
+        sweep(fast),
+    )
+    dominators, _report, resilience = crash_scenario()
+    note(
+        "E16",
+        f"crash-stop of dominator 7 on path(10): raw output "
+        f"D={sorted(dominators)} -> {resilience.summary()}",
+    )
+    print("E16 ok")

@@ -8,6 +8,8 @@ Examples::
     python -m repro mst --generate random:200:0.05 --algorithm fast
     python -m repro mst --graph my_network.edges --algorithm ghs
     python -m repro partition --generate tree:500 --k 8
+    python -m repro faults --generate random:60:0.08 --workload kdom --k 2 \
+        --drop 0.05 --crash 7@3 --reliable
 
 Graph specs: ``grid:RxC``, ``torus:RxC``, ``ring:N``, ``tree:N``,
 ``random:N:P`` (random connected with extra-edge probability P),
@@ -39,7 +41,21 @@ from .graphs import (
 )
 from .graphs.graph import Graph
 from .mst import fast_mst, ghs_mst, kruskal_mst, pipeline_only_mst
-from .verify import domination_radius
+from .sim import (
+    DEFAULT_WORD_LIMIT,
+    RELIABLE_HEADER_WORDS,
+    FaultConfig,
+    FaultConfigError,
+    FaultInjector,
+    Network,
+    make_reliable,
+)
+from .verify import (
+    check_run_report,
+    domination_radius,
+    nontermination_detectors,
+    surviving_kdomination,
+)
 
 
 def build_graph(args: argparse.Namespace) -> Graph:
@@ -153,6 +169,108 @@ def cmd_mst(args: argparse.Namespace) -> int:
     return 0 if edges == reference else 1
 
 
+def parse_crash_spec(specs) -> list:
+    """Parse repeated ``--crash NODE@ROUND`` flags into (node, round)."""
+    crashes = []
+    for spec in specs or ():
+        node_text, sep, round_text = spec.partition("@")
+        if not sep:
+            raise SystemExit(
+                f"bad crash spec {spec!r}: expected NODE@ROUND, e.g. 7@3"
+            )
+        try:
+            round_number = int(round_text)
+        except ValueError:
+            raise SystemExit(f"bad crash round in {spec!r}")
+        node: object = node_text
+        try:
+            node = int(node_text)
+        except ValueError:
+            pass  # string node labels are legal in edge-list graphs
+        crashes.append((node, round_number))
+    return crashes
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    g = build_graph(args)
+    try:
+        config = FaultConfig(
+            drop_rate=args.drop,
+            duplicate_rate=args.duplicate,
+            delay_rate=args.delay,
+            max_delay=args.max_delay,
+            crashes=parse_crash_spec(args.crash),
+            seed=args.fault_seed,
+        )
+    except FaultConfigError as exc:
+        raise SystemExit(f"bad fault configuration: {exc}")
+
+    root = min(g.nodes, key=str)
+    if args.workload == "bfs":
+        from .primitives.bfs import BFSTreeProgram
+
+        workload_graph = g
+        factory = lambda ctx: BFSTreeProgram(ctx, root)  # noqa: E731
+    elif args.workload == "flood":
+        from .primitives.flooding import FloodProgram
+
+        workload_graph = g
+        factory = lambda ctx: FloodProgram(ctx, root, value=1)  # noqa: E731
+    else:  # kdom: the tree DP on a BFS spanning tree of the graph
+        from .core.kdom_tree import TreeKDomProgram
+        from .graphs.distances import bfs_tree
+
+        _dist, parent_of = bfs_tree(g, root)
+        workload_graph = g.edge_subgraph(
+            [(v, p) for v, p in parent_of.items() if p is not None]
+        )
+        factory = lambda ctx: TreeKDomProgram(  # noqa: E731
+            ctx, root, parent_of, args.k
+        )
+
+    word_limit = DEFAULT_WORD_LIMIT
+    if args.reliable:
+        if args.timeout < 3:
+            raise SystemExit(
+                f"bad --timeout: must be >= 3 rounds (the fault-free "
+                f"round trip is 2), got {args.timeout}"
+            )
+        factory = make_reliable(
+            factory, timeout=args.timeout, max_retries=args.retries
+        )
+        word_limit += RELIABLE_HEADER_WORDS
+    network = Network(
+        workload_graph, word_limit=word_limit, faults=FaultInjector(config)
+    )
+    report = network.run(factory, max_rounds=args.max_rounds)
+
+    print(f"workload = {args.workload} on n={workload_graph.num_nodes} "
+          f"(reliable={'yes' if args.reliable else 'no'})")
+    print(f"fault plan: {len(report.plan.events)} event(s), "
+          f"seed {config.seed}")
+    print(report.summary())
+
+    health = check_run_report(report)
+    if args.workload == "kdom":
+        flags = network.output_field("in_dominating_set")
+        dominators = {v for v, flag in flags.items() if flag}
+        health = health.merged_with(
+            surviving_kdomination(
+                workload_graph, dominators, args.k, crashed=report.crashed()
+            )
+        )
+    detectors = nontermination_detectors(network.outputs())
+    if detectors:
+        print(f"non-termination detected locally by: "
+              f"{sorted(detectors, key=str)}")
+    print(f"resilience: {health.summary()}")
+    if args.verbose:
+        for event in report.plan.events:
+            print(f"  round {event.round:>4}  {event.kind:<9} "
+                  f"{event.node} -> {event.target}  (+{event.detail})")
+    return 0 if health.ok else 1
+
+
 # ---------------------------------------------------------------------------
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -190,6 +308,36 @@ def make_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=("fast", "ghs", "pipeline"), default="fast"
     )
     p_mst.set_defaults(fn=cmd_mst)
+
+    p_faults = sub.add_parser(
+        "faults", help="run a workload under seeded fault injection"
+    )
+    common(p_faults)
+    p_faults.add_argument(
+        "--workload", choices=("bfs", "flood", "kdom"), default="bfs"
+    )
+    p_faults.add_argument("--k", type=int, default=2,
+                          help="k for the kdom workload")
+    p_faults.add_argument("--drop", type=float, default=0.0,
+                          help="per-message drop probability")
+    p_faults.add_argument("--duplicate", type=float, default=0.0,
+                          help="per-message duplication probability")
+    p_faults.add_argument("--delay", type=float, default=0.0,
+                          help="per-message delay probability")
+    p_faults.add_argument("--max-delay", type=int, default=3,
+                          help="maximum delay in rounds")
+    p_faults.add_argument("--crash", action="append", metavar="NODE@ROUND",
+                          help="crash-stop NODE at ROUND (repeatable)")
+    p_faults.add_argument("--fault-seed", type=int, default=0,
+                          help="seed for the fault adversary")
+    p_faults.add_argument("--reliable", action="store_true",
+                          help="wrap the workload in ack/retransmit channels")
+    p_faults.add_argument("--timeout", type=int, default=4,
+                          help="reliable-channel retransmit timeout (rounds)")
+    p_faults.add_argument("--retries", type=int, default=8,
+                          help="reliable-channel retransmissions per frame")
+    p_faults.add_argument("--max-rounds", type=int, default=2000)
+    p_faults.set_defaults(fn=cmd_faults)
     return parser
 
 

@@ -7,6 +7,7 @@ implemented and measured.  See DESIGN.md §3.
 from .errors import (
     ConfigurationError,
     CongestionViolation,
+    FaultConfigError,
     HaltedNodeActed,
     MessageTooLarge,
     ModelViolation,
@@ -15,11 +16,28 @@ from .errors import (
     SimulationError,
     UnserializablePayload,
 )
+from .faults import (
+    CRASH,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RunReport,
+)
 from .metrics import PhaseBreakdown, RunMetrics
 from .model import DEFAULT_WORD_LIMIT, Envelope, MessageStats, measure_words
 from .network import DEFAULT_MAX_ROUNDS, Network
 from .orchestrator import Orchestrator
 from .program import Context, IdleProgram, NodeProgram, ScriptedProgram, split_by_tag
+from .reliable import (
+    RELIABLE_HEADER_WORDS,
+    ReliableContext,
+    ReliableProgram,
+    make_reliable,
+)
 from .runner import StagedRun, run_in_parallel
 from .trace import TraceEvent, TraceRecorder, traced
 from .virtual import ContractedGraph, VirtualNetwork
@@ -31,13 +49,22 @@ __all__ = [
     "AsyncContext",
     "AsyncNetwork",
     "AsyncNodeProgram",
+    "CRASH",
     "ConfigurationError",
     "CongestionViolation",
     "ContractedGraph",
     "Context",
     "DEFAULT_MAX_ROUNDS",
     "DEFAULT_WORD_LIMIT",
+    "DELAY",
+    "DROP",
+    "DUPLICATE",
     "Envelope",
+    "FaultConfig",
+    "FaultConfigError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "HaltedNodeActed",
     "IdleProgram",
     "MessageStats",
@@ -48,8 +75,12 @@ __all__ = [
     "Orchestrator",
     "NotANeighbor",
     "PhaseBreakdown",
+    "RELIABLE_HEADER_WORDS",
+    "ReliableContext",
+    "ReliableProgram",
     "RoundLimitExceeded",
     "RunMetrics",
+    "RunReport",
     "ScriptedProgram",
     "SimulationError",
     "StagedRun",
@@ -57,6 +88,7 @@ __all__ = [
     "TraceRecorder",
     "UnserializablePayload",
     "VirtualNetwork",
+    "make_reliable",
     "measure_words",
     "run_in_parallel",
     "run_synchronized",

@@ -92,3 +92,7 @@ class HaltedNodeActed(SimulationError):
 
 class ConfigurationError(SimulationError):
     """The network or program was configured inconsistently."""
+
+
+class FaultConfigError(ConfigurationError):
+    """A fault-injection configuration or replay plan was invalid."""

@@ -9,7 +9,7 @@ the congestion behaviour the paper reasons about informally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from .model import MessageStats
 
@@ -26,6 +26,11 @@ class RunMetrics:
     all_halted: bool = False
     #: Number of nodes that had halted when the run ended.
     halted_nodes: int = 0
+    #: Fault-injection counters (all zero on fault-free runs).
+    dropped_messages: int = 0
+    duplicated_messages: int = 0
+    delayed_messages: int = 0
+    crashed_nodes: int = 0
 
     @property
     def messages(self) -> int:
@@ -52,6 +57,41 @@ class RunMetrics:
         )
         merged.all_halted = other.all_halted
         merged.halted_nodes = other.halted_nodes
+        merged.dropped_messages = self.dropped_messages + other.dropped_messages
+        merged.duplicated_messages = (
+            self.duplicated_messages + other.duplicated_messages
+        )
+        merged.delayed_messages = self.delayed_messages + other.delayed_messages
+        merged.crashed_nodes = self.crashed_nodes + other.crashed_nodes
+        return merged
+
+    @classmethod
+    def merge(cls, runs: "Iterable[RunMetrics]") -> "RunMetrics":
+        """Parallel composition over vertex-disjoint runs.
+
+        Rounds take the maximum (the runs execute simultaneously);
+        traffic, halt counts and fault counters are summed; the
+        composite halted iff every constituent run halted.
+        """
+        merged = cls()
+        merged.all_halted = True
+        for metrics in runs:
+            merged.rounds = max(merged.rounds, metrics.rounds)
+            merged.traffic.messages += metrics.traffic.messages
+            merged.traffic.total_words += metrics.traffic.total_words
+            merged.traffic.max_words = max(
+                merged.traffic.max_words, metrics.traffic.max_words
+            )
+            for round_number, count in metrics.traffic.per_round.items():
+                merged.traffic.per_round[round_number] = (
+                    merged.traffic.per_round.get(round_number, 0) + count
+                )
+            merged.all_halted = merged.all_halted and metrics.all_halted
+            merged.halted_nodes += metrics.halted_nodes
+            merged.dropped_messages += metrics.dropped_messages
+            merged.duplicated_messages += metrics.duplicated_messages
+            merged.delayed_messages += metrics.delayed_messages
+            merged.crashed_nodes += metrics.crashed_nodes
         return merged
 
 

@@ -24,6 +24,13 @@ from .errors import (
     NotANeighbor,
     RoundLimitExceeded,
 )
+from .faults import (
+    STATE_CRASHED,
+    STATE_HALTED,
+    STATE_RUNNING,
+    FaultInjector,
+    RunReport,
+)
 from .metrics import RunMetrics
 from .model import DEFAULT_WORD_LIMIT, Envelope, measure_words
 from .program import Context, NodeProgram
@@ -41,15 +48,31 @@ class Network:
     ``graph`` may be any object exposing ``nodes`` (iterable),
     ``neighbors(v)`` (iterable) and optionally ``weight(u, v)``;
     :class:`repro.graphs.Graph` is the canonical implementation.
+
+    ``faults`` optionally attaches a :class:`~repro.sim.faults.
+    FaultInjector`; when present, :meth:`run` returns a structured
+    :class:`~repro.sim.faults.RunReport` instead of bare metrics and
+    converts round-budget exhaustion into a report rather than an
+    exception.  When absent, every fault-handling branch is skipped and
+    the network behaves exactly as the fault-free simulator.
     """
 
-    def __init__(self, graph, word_limit: int = DEFAULT_WORD_LIMIT):
+    def __init__(
+        self,
+        graph,
+        word_limit: int = DEFAULT_WORD_LIMIT,
+        faults: Optional[FaultInjector] = None,
+    ):
         self.graph = graph
         self.word_limit = word_limit
+        self.faults = faults
         self.nodes: List[Any] = sorted(graph.nodes)
         self.n = len(self.nodes)
         self._neighbors: Dict[Any, tuple] = {
             v: tuple(sorted(graph.neighbors(v))) for v in self.nodes
+        }
+        self._neighbor_sets: Dict[Any, frozenset] = {
+            v: frozenset(neighbors) for v, neighbors in self._neighbors.items()
         }
         self._weights: Dict[Any, Dict[Any, float]] = {}
         weight = getattr(graph, "weight", None)
@@ -74,7 +97,7 @@ class Network:
         program = self.programs.get(sender)
         if program is not None and program.halted:
             raise HaltedNodeActed(sender)
-        if receiver not in self._weights[sender] and receiver not in self._neighbors[sender]:
+        if receiver not in self._neighbor_sets[sender]:
             raise NotANeighbor(sender, receiver)
         channel = (sender, receiver)
         if channel in self._channels_used:
@@ -97,6 +120,8 @@ class Network:
         self._outbox = []
         self._channels_used = set()
         self.programs = {}
+        if self.faults is not None:
+            self.faults.reset()
         for v in self.nodes:
             ctx = Context(v, self._neighbors[v], self._weights[v], self.n, self)
             self.programs[v] = program_factory(ctx)
@@ -111,17 +136,26 @@ class Network:
         A network is live while some node has not halted or a message is
         in flight toward a live node.
         """
-        inboxes: Dict[Any, List[Envelope]] = {}
-        for envelope in self._outbox:
-            inboxes.setdefault(envelope.receiver, []).append(envelope)
+        delivering = self._outbox
         self._outbox = []
         self._channels_used = set()
         self.current_round += 1
+        crashed = None
+        if self.faults is not None:
+            self.faults.crashes_at(self.current_round)
+            crashed = self.faults.crashed
+            delivering = self.faults.deliveries(delivering, self.current_round)
+
+        inboxes: Dict[Any, List[Envelope]] = {}
+        for envelope in delivering:
+            inboxes.setdefault(envelope.receiver, []).append(envelope)
 
         progressed = False
         for v in self.nodes:
             program = self.programs[v]
             if program.halted:
+                continue
+            if crashed is not None and v in crashed:
                 continue
             inbox = inboxes.get(v, [])
             inbox.sort(key=lambda e: (str(e.sender), str(e.payload)))
@@ -136,30 +170,51 @@ class Network:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         stop_when_quiet: bool = False,
         until: Optional[Callable[["Network"], bool]] = None,
-    ) -> RunMetrics:
-        """Run to completion and return metrics.
+    ) -> "RunMetrics | RunReport":
+        """Run to completion; return metrics (or a report under faults).
 
         Termination: every program halted; or ``until(network)`` becomes
         true; or (if ``stop_when_quiet``) a round passes with no message
         in flight and none sent.  Exceeding ``max_rounds`` raises
-        :class:`RoundLimitExceeded`.
+        :class:`RoundLimitExceeded` — unless faults are active, in which
+        case a :class:`~repro.sim.faults.RunReport` with the error noted
+        is returned instead (a crash leaving peers waiting forever is an
+        expected outcome there, not a driver bug).
         """
         if program_factory is not None:
             self.setup(program_factory)
-        while not self.all_halted():
-            if until is not None and until(self):
-                break
-            if stop_when_quiet and not self._outbox and self.current_round > 0:
-                break
-            if self.current_round >= max_rounds:
-                raise RoundLimitExceeded(max_rounds)
-            self.step()
+        faults = self.faults
+        error: Optional[str] = None
+        try:
+            while not self._settled():
+                if until is not None and until(self):
+                    break
+                if (
+                    stop_when_quiet
+                    and not self._outbox
+                    and self.current_round > 0
+                    and (faults is None or not faults.has_pending())
+                ):
+                    break
+                if self.current_round >= max_rounds:
+                    raise RoundLimitExceeded(max_rounds)
+                self.step()
+        except RoundLimitExceeded as exc:
+            if faults is None:
+                raise
+            error = str(exc)
         self.metrics.rounds = self.current_round
         self.metrics.all_halted = self.all_halted()
         self.metrics.halted_nodes = sum(
             1 for p in self.programs.values() if p.halted
         )
-        return self.metrics
+        if faults is None:
+            return self.metrics
+        self.metrics.dropped_messages = faults.dropped
+        self.metrics.duplicated_messages = faults.duplicated
+        self.metrics.delayed_messages = faults.delayed
+        self.metrics.crashed_nodes = len(faults.crashed)
+        return self.report(error=error)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -168,6 +223,46 @@ class Network:
         if not self.programs:
             return False
         return all(program.halted for program in self.programs.values())
+
+    def _settled(self) -> bool:
+        """Run-loop termination: every node halted or crash-stopped."""
+        if self.faults is None or not self.faults.crashed:
+            return self.all_halted()
+        if not self.programs:
+            return False
+        crashed = self.faults.crashed
+        return all(
+            program.halted or v in crashed
+            for v, program in self.programs.items()
+        )
+
+    @property
+    def crashed_nodes(self) -> frozenset:
+        """Nodes crash-stopped so far (empty without an injector)."""
+        if self.faults is None:
+            return frozenset()
+        return frozenset(self.faults.crashed)
+
+    def report(self, error: Optional[str] = None) -> RunReport:
+        """Build the structured :class:`RunReport` for a faulty run."""
+        if self.faults is None:
+            raise ValueError("report() requires a fault injector")
+        crashed = self.faults.crashed
+        node_states = {}
+        for v, program in self.programs.items():
+            if v in crashed:
+                node_states[v] = STATE_CRASHED
+            elif program.halted:
+                node_states[v] = STATE_HALTED
+            else:
+                node_states[v] = STATE_RUNNING
+        return RunReport(
+            metrics=self.metrics,
+            plan=self.faults.plan,
+            node_states=node_states,
+            completed=error is None and self._settled(),
+            error=error,
+        )
 
     def outputs(self) -> Dict[Any, Dict[str, Any]]:
         """Collect every node's ``output`` dictionary."""

@@ -1,0 +1,272 @@
+"""Reliable delivery on top of a faulty network: ack + retransmit.
+
+:class:`ReliableProgram` hosts an ordinary :class:`~repro.sim.program.
+NodeProgram` and gives it exactly-once, in-order per-edge delivery over
+a lossy channel.  The inner program is constructed against a
+:class:`ReliableContext` whose sends are captured into per-neighbour
+queues; the wrapper runs a stop-and-wait protocol per edge:
+
+* each application message is framed ``("RDT", seq, ack, *payload)``
+  with a cumulative piggybacked ack for the reverse direction;
+* an unacknowledged frame is retransmitted every ``timeout`` rounds, at
+  most ``max_retries`` times; exhausting the budget marks the neighbour
+  as unreachable (``output["reliable_gave_up"]``) — the bounded-retry
+  rule that lets nodes *detect* non-termination instead of hanging;
+* pure acknowledgements travel as ``("RACK", ack)`` when the channel
+  would otherwise be idle;
+* duplicates (from the adversary or from spurious retransmits) are
+  discarded by sequence number, so the inner program sees each message
+  exactly once.
+
+CONGEST compliance: the wrapper emits at most one frame per edge per
+round (retransmissions occupy the same one-message budget as fresh
+sends) and the frame header is a constant :data:`RELIABLE_HEADER_WORDS`
+words — sequence numbers are bounded by the round count, hence still
+``O(log n)`` bits for polynomially long runs.  Create the hosting
+network with ``word_limit=base + RELIABLE_HEADER_WORDS`` to give inner
+payloads their usual budget.
+
+The wrapper changes *timing*, not content: messages may arrive rounds
+late, so inner programs must be event-driven (fire on message arrival,
+like the BFS/echo/convergecast family) rather than slot-counted
+(``ScriptedProgram`` protocols that rely on "exactly 2^i + 1 rounds
+later" alignment degrade under retransmission delays).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from .errors import NotANeighbor
+from .model import Envelope
+from .program import Context, NodeProgram
+
+#: Words the wrapper adds to every frame: tag, sequence number, ack.
+RELIABLE_HEADER_WORDS = 3
+
+#: Rounds to wait for an ack before retransmitting.  The fault-free
+#: round trip is 2 rounds (frame out, ack back), so anything >= 3 avoids
+#: spurious retransmissions on a clean channel.
+DEFAULT_TIMEOUT = 4
+
+#: Retransmissions per frame before declaring the neighbour unreachable.
+DEFAULT_MAX_RETRIES = 8
+
+_DATA = "RDT"
+_ACK = "RACK"
+
+
+class _ReliableShim:
+    """Stands in for the network inside the inner program's context.
+
+    Captures the inner program's sends into the host's queues and
+    forwards round queries to the real network, so ``ctx.round`` keeps
+    working inside the wrapped program.
+    """
+
+    __slots__ = ("_host",)
+
+    def __init__(self, host: "ReliableProgram"):
+        self._host = host
+
+    @property
+    def current_round(self) -> int:
+        return self._host.ctx._network.current_round
+
+    def _enqueue(self, sender, receiver, payload) -> None:
+        self._host._queue_send(receiver, payload)
+
+
+class ReliableContext(Context):
+    """The context handed to a program hosted by :class:`ReliableProgram`.
+
+    Identical surface to :class:`~repro.sim.program.Context`; the only
+    difference is that sends are buffered for reliable delivery instead
+    of hitting the wire directly.
+    """
+
+    def __init__(self, base: Context, host: "ReliableProgram"):
+        super().__init__(
+            base.node, base.neighbors, base.edge_weights, base.n,
+            _ReliableShim(host),
+        )
+
+
+class _Outstanding:
+    """One in-flight (sent, unacknowledged) frame on an edge."""
+
+    __slots__ = ("seq", "body", "sent_round", "attempts")
+
+    def __init__(self, seq: int, body: Tuple[Any, ...], sent_round: int):
+        self.seq = seq
+        self.body = body
+        self.sent_round = sent_round
+        self.attempts = 0
+
+
+class ReliableProgram(NodeProgram):
+    """Host an inner program behind ack/retransmit channels.
+
+    The inner program's ``output`` dictionary is shared with the
+    wrapper, so drivers collect results exactly as they would from the
+    unwrapped program; the wrapper adds ``reliable_retransmissions``
+    and ``reliable_gave_up`` entries.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        inner_factory: Callable[[Context], NodeProgram],
+        timeout: int = DEFAULT_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ):
+        super().__init__(ctx)
+        if timeout < 3:
+            raise ValueError(
+                f"timeout must be >= 3 rounds (the fault-free RTT is 2), "
+                f"got {timeout}"
+            )
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.inner = inner_factory(ReliableContext(ctx, self))
+        self.output = self.inner.output
+        self.retransmissions = 0
+        self.gave_up: Set[Any] = set()
+        self._neighbor_set = frozenset(self.neighbors)
+        self._queues: Dict[Any, Deque[Tuple[Any, ...]]] = {
+            u: deque() for u in self.neighbors
+        }
+        self._next_seq: Dict[Any, int] = {u: 0 for u in self.neighbors}
+        self._outstanding: Dict[Any, Optional[_Outstanding]] = {
+            u: None for u in self.neighbors
+        }
+        self._recv_expected: Dict[Any, int] = {u: 0 for u in self.neighbors}
+        self._recv_buffer: Dict[Any, Dict[int, Tuple[Any, ...]]] = {
+            u: {} for u in self.neighbors
+        }
+        self._ack_pending: Set[Any] = set()
+
+    # -- capture of inner sends -------------------------------------------
+    def _queue_send(self, receiver, payload) -> None:
+        if receiver not in self._neighbor_set:
+            raise NotANeighbor(self.node, receiver)
+        if receiver in self.gave_up:
+            return  # unreachable neighbour; delivery already abandoned
+        self._queues[receiver].append(tuple(payload))
+
+    # -- event hooks --------------------------------------------------------
+    def on_start(self) -> None:
+        self.inner.on_start()
+        self._flush()
+        self._maybe_halt()
+
+    def on_round(self, inbox: List[Envelope]) -> None:
+        delivered: List[Tuple[Any, Tuple[Any, ...]]] = []
+        for envelope in inbox:
+            tag = envelope.tag()
+            if tag == _DATA:
+                seq, ack = envelope.payload[1], envelope.payload[2]
+                body = tuple(envelope.payload[3:])
+                self._handle_ack(envelope.sender, ack)
+                self._handle_data(envelope.sender, seq, body, delivered)
+            elif tag == _ACK:
+                self._handle_ack(envelope.sender, envelope.payload[1])
+        delivered.sort(key=lambda item: (str(item[0]), str(item[1])))
+        inner_inbox = [
+            Envelope(sender, self.node, body, self.round - 1)
+            for sender, body in delivered
+        ]
+        if not self.inner.halted:
+            self.inner.on_round(inner_inbox)
+        self._flush()
+        self._maybe_halt()
+
+    # -- receive path -------------------------------------------------------
+    def _handle_ack(self, sender, ack: int) -> None:
+        outstanding = self._outstanding[sender]
+        if outstanding is not None and outstanding.seq <= ack:
+            self._outstanding[sender] = None
+
+    def _handle_data(self, sender, seq, body, delivered) -> None:
+        expected = self._recv_expected[sender]
+        if seq == expected:
+            delivered.append((sender, body))
+            expected += 1
+            buffered = self._recv_buffer[sender]
+            while expected in buffered:
+                delivered.append((sender, buffered.pop(expected)))
+                expected += 1
+            self._recv_expected[sender] = expected
+        elif seq > expected:
+            self._recv_buffer[sender][seq] = body
+        # Duplicates (seq < expected) carry no data but still need a
+        # re-ack: the sender is retransmitting because our ack was lost.
+        self._ack_pending.add(sender)
+
+    # -- send path ----------------------------------------------------------
+    def _flush(self) -> None:
+        """Emit at most one frame per neighbour for this round."""
+        for u in self.neighbors:
+            frame: Optional[Tuple[Any, ...]] = None
+            outstanding = self._outstanding[u]
+            if outstanding is not None:
+                if self.round - outstanding.sent_round >= self.timeout:
+                    if outstanding.attempts >= self.max_retries:
+                        self._abandon(u)
+                    else:
+                        outstanding.attempts += 1
+                        outstanding.sent_round = self.round
+                        self.retransmissions += 1
+                        frame = (
+                            _DATA, outstanding.seq, self._ack_for(u),
+                        ) + outstanding.body
+            if frame is None and self._outstanding[u] is None and self._queues[u]:
+                body = self._queues[u].popleft()
+                seq = self._next_seq[u]
+                self._next_seq[u] = seq + 1
+                self._outstanding[u] = _Outstanding(seq, body, self.round)
+                frame = (_DATA, seq, self._ack_for(u)) + body
+            if frame is None and u in self._ack_pending:
+                frame = (_ACK, self._ack_for(u))
+            if frame is not None:
+                self.send(u, *frame)
+                self._ack_pending.discard(u)
+
+    def _ack_for(self, u) -> int:
+        return self._recv_expected[u] - 1
+
+    def _abandon(self, u) -> None:
+        self.gave_up.add(u)
+        self._outstanding[u] = None
+        self._queues[u].clear()
+        self.output["reliable_gave_up"] = tuple(sorted(self.gave_up, key=str))
+
+    # -- termination ----------------------------------------------------------
+    def _maybe_halt(self) -> None:
+        if not self.inner.halted:
+            return
+        if any(self._queues[u] for u in self.neighbors):
+            return
+        if any(self._outstanding[u] is not None for u in self.neighbors):
+            return
+        if self._ack_pending:
+            return
+        self.output["reliable_retransmissions"] = self.retransmissions
+        self.output.setdefault("reliable_gave_up", ())
+        self.halt()
+
+
+def make_reliable(
+    inner_factory: Callable[[Context], NodeProgram],
+    timeout: int = DEFAULT_TIMEOUT,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> Callable[[Context], ReliableProgram]:
+    """Wrap a program factory in :class:`ReliableProgram` channels."""
+
+    def factory(ctx: Context) -> ReliableProgram:
+        return ReliableProgram(
+            ctx, inner_factory, timeout=timeout, max_retries=max_retries
+        )
+
+    return factory

@@ -21,28 +21,19 @@ def run_in_parallel(
 ) -> Tuple[List[Network], RunMetrics]:
     """Run several disjoint sub-networks "simultaneously".
 
-    Returns the list of networks (for output collection) and combined
-    metrics: ``rounds`` is the maximum across runs (they execute in
-    parallel), traffic is summed.
+    Returns the list of networks (for output collection) and the full
+    parallel composition of their metrics via :meth:`RunMetrics.merge`:
+    ``rounds`` is the maximum across runs (they execute in parallel);
+    traffic, halt counts and fault counters are summed.
     """
     networks: List[Network] = []
-    combined = RunMetrics()
-    max_round_count = 0
+    collected: List[RunMetrics] = []
     for network, factory in runs:
-        metrics = network.run(factory, max_rounds=max_rounds)
+        result = network.run(factory, max_rounds=max_rounds)
         networks.append(network)
-        max_round_count = max(max_round_count, metrics.rounds)
-        combined.traffic.messages += metrics.traffic.messages
-        combined.traffic.total_words += metrics.traffic.total_words
-        combined.traffic.max_words = max(
-            combined.traffic.max_words, metrics.traffic.max_words
-        )
-    combined.rounds = max_round_count
-    combined.all_halted = all(net.all_halted() for net in networks)
-    combined.halted_nodes = sum(
-        sum(1 for p in net.programs.values() if p.halted) for net in networks
-    )
-    return networks, combined
+        # A faulty sub-network returns a RunReport; merge its metrics.
+        collected.append(getattr(result, "metrics", result))
+    return networks, RunMetrics.merge(collected)
 
 
 class StagedRun:

@@ -9,21 +9,33 @@ from .dominating import (
 )
 from .mst import check_mst, check_mst_fragments, spanning_tree_weight
 from .partition import PartitionReport, check_partition, check_spanning_forest
+from .resilience import (
+    ResilienceReport,
+    check_run_report,
+    nontermination_detectors,
+    surviving_kdomination,
+    surviving_partition,
+)
 from .symmetry import check_coloring, check_matching, check_mis
 
 __all__ = [
     "PartitionReport",
+    "ResilienceReport",
     "check_coloring",
     "check_matching",
     "check_mis",
     "check_mst",
     "check_mst_fragments",
     "check_partition",
+    "check_run_report",
     "check_spanning_forest",
     "domination_radius",
     "every_dominator_has_outside_neighbor",
     "is_dominating",
     "is_k_dominating",
     "meets_size_bound",
+    "nontermination_detectors",
     "spanning_tree_weight",
+    "surviving_kdomination",
+    "surviving_partition",
 ]

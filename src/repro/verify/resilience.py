@@ -1,0 +1,268 @@
+"""Resilience checkers: the paper's guarantees, restricted to survivors.
+
+The paper proves |D| <= max(1, floor(n/(k+1))) and radius-<=k clusters
+in a failure-free network.  Under crash-stop faults those bounds are
+*not* promised — these checkers make the degradation observable.  Given
+an algorithm's outputs and the set of crashed nodes, they re-evaluate
+the claims on the surviving subgraph (coverage per surviving component,
+distances measured through surviving nodes only, the size bound against
+the surviving population) and report every violation, instead of
+raising, so tests and benchmarks can assert either "still holds" or
+"correctly detected as broken".
+
+Like the rest of :mod:`repro.verify`, nothing here shares code with
+the algorithms being checked.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from ..graphs.graph import Graph
+
+
+@dataclass
+class ResilienceReport:
+    """Outcome of one resilience check: what held, what broke."""
+
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def note(self, message: str) -> None:
+        self.checks.append(message)
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    def merged_with(self, other: "ResilienceReport") -> "ResilienceReport":
+        return ResilienceReport(
+            checks=self.checks + other.checks,
+            failures=self.failures + other.failures,
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"OK ({len(self.checks)} checks)"
+        lines = [f"VIOLATIONS ({len(self.failures)}):"]
+        lines.extend(f"  - {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def _surviving_components(graph: Graph, alive: Set[Any]) -> List[Set[Any]]:
+    """Connected components of the subgraph induced by ``alive``."""
+    seen: Set[Any] = set()
+    components: List[Set[Any]] = []
+    for start in sorted(alive, key=str):
+        if start in seen:
+            continue
+        component = {start}
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u in alive and u not in component:
+                    component.add(u)
+                    seen.add(u)
+                    queue.append(u)
+        components.append(component)
+    return components
+
+
+def _distances_from(
+    graph: Graph, sources: Iterable[Any], alive: Set[Any]
+) -> Dict[Any, int]:
+    """BFS distances from ``sources`` through surviving nodes only."""
+    dist: Dict[Any, int] = {}
+    queue = deque()
+    for source in sources:
+        dist[source] = 0
+        queue.append(source)
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u in alive and u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def surviving_kdomination(
+    graph: Graph,
+    dominators: Set[Any],
+    k: int,
+    crashed: Iterable[Any] = (),
+    check_size_bound: bool = True,
+) -> ResilienceReport:
+    """Do the paper's k-domination claims hold on the survivors?
+
+    Checks, per surviving connected component: some dominator survived
+    there, and every survivor is within ``k`` hops of a surviving
+    dominator *through surviving nodes*.  Optionally re-checks Lemma
+    2.1's size bound against the surviving population.
+    """
+    report = ResilienceReport()
+    crashed_set = set(crashed)
+    alive = {v for v in graph.nodes if v not in crashed_set}
+    live_dominators = {d for d in dominators if d in alive}
+    if not alive:
+        report.note("no survivors: claims hold vacuously")
+        return report
+
+    components = _surviving_components(graph, alive)
+    report.note(
+        f"{len(alive)} survivors in {len(components)} component(s), "
+        f"{len(live_dominators)} surviving dominator(s)"
+    )
+    for component in components:
+        local = live_dominators & component
+        label = sorted(component, key=str)[:4]
+        if not local:
+            report.fail(
+                f"surviving component containing {label} "
+                f"({len(component)} nodes) has no surviving dominator"
+            )
+            continue
+        dist = _distances_from(graph, sorted(local, key=str), component)
+        uncovered = sorted(
+            (v for v in component if dist.get(v, k + 1) > k), key=str
+        )
+        if uncovered:
+            report.fail(
+                f"nodes {uncovered} are farther than k={k} from every "
+                f"surviving dominator (through surviving nodes)"
+            )
+        else:
+            report.note(
+                f"component containing {label}: all {len(component)} "
+                f"nodes within {k} of a surviving dominator"
+            )
+    if check_size_bound:
+        bound = max(1, len(alive) // (k + 1))
+        if len(live_dominators) > bound:
+            report.fail(
+                f"|D| = {len(live_dominators)} among survivors exceeds "
+                f"max(1, floor({len(alive)}/{k + 1})) = {bound}"
+            )
+        else:
+            report.note(
+                f"size bound holds: {len(live_dominators)} <= {bound}"
+            )
+    return report
+
+
+def surviving_partition(
+    graph: Graph,
+    center_of: Dict[Any, Any],
+    k: int,
+    crashed: Iterable[Any] = (),
+) -> ResilienceReport:
+    """Is every survivor assigned to a surviving centre within k hops?"""
+    report = ResilienceReport()
+    crashed_set = set(crashed)
+    alive = {v for v in graph.nodes if v not in crashed_set}
+    unassigned = sorted(
+        (v for v in alive if center_of.get(v) is None), key=str
+    )
+    if unassigned:
+        report.fail(f"surviving nodes {unassigned} have no cluster centre")
+    orphaned = sorted(
+        (
+            v
+            for v in alive
+            if center_of.get(v) is not None and center_of[v] in crashed_set
+        ),
+        key=str,
+    )
+    if orphaned:
+        report.fail(
+            f"surviving nodes {orphaned} are assigned to crashed centres"
+        )
+    centers: Dict[Any, List[Any]] = {}
+    for v in alive:
+        center = center_of.get(v)
+        if center is not None and center not in crashed_set:
+            centers.setdefault(center, []).append(v)
+    for center in sorted(centers, key=str):
+        members = centers[center]
+        if center not in alive:
+            report.fail(f"centre {center} is not a surviving graph node")
+            continue
+        dist = _distances_from(graph, [center], alive)
+        far = sorted(
+            (v for v in members if dist.get(v, k + 1) > k), key=str
+        )
+        if far:
+            report.fail(
+                f"cluster of {center}: members {far} are farther than "
+                f"k={k} through surviving nodes"
+            )
+    if not report.failures:
+        report.note(
+            f"{len(alive)} survivors correctly clustered around "
+            f"{len(centers)} surviving centres (radius <= {k})"
+        )
+    return report
+
+
+def check_run_report(report) -> ResilienceReport:
+    """Sanity-check a :class:`~repro.sim.faults.RunReport`.
+
+    Fault-free runs (empty plan) must have completed with every node
+    halted.  Faulty runs must leave no node silently stuck: a node may
+    halt, crash, or remain running *only if* the run itself reports the
+    failure (``completed`` false), which is what "detecting
+    non-termination" means at the system level.
+    """
+    result = ResilienceReport()
+    stuck = sorted(
+        (v for v, s in report.node_states.items() if s == "running"), key=str
+    )
+    if not report.plan.events:
+        if not report.completed or stuck:
+            result.fail(
+                f"fault-free run did not terminate cleanly: "
+                f"completed={report.completed}, stuck={stuck}"
+            )
+        else:
+            result.note("fault-free run completed with all nodes halted")
+        return result
+    if stuck and report.completed:
+        result.fail(
+            f"run claims completion but nodes {stuck} neither halted "
+            f"nor crashed"
+        )
+    elif stuck:
+        result.note(
+            f"non-termination detected: {len(stuck)} node(s) stuck after "
+            f"{len(report.plan.events)} injected fault(s)"
+        )
+    else:
+        result.note(
+            f"all survivors terminated despite "
+            f"{len(report.plan.events)} injected fault(s)"
+        )
+    return result
+
+
+def nontermination_detectors(outputs: Dict[Any, Dict[str, Any]]) -> Set[Any]:
+    """Nodes whose reliable channels flagged an unreachable neighbour.
+
+    ``outputs`` is ``Network.outputs()``; a node that exhausted its
+    retransmission budget exposes ``reliable_gave_up`` — the local,
+    in-model signal that the computation will not terminate globally.
+    """
+    return {
+        v
+        for v, output in outputs.items()
+        if output.get("reliable_gave_up")
+    }

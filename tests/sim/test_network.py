@@ -263,3 +263,64 @@ class TestPayloadValidation:
 
         with pytest.raises(UnserializablePayload):
             Network(two_nodes()).run(LongTag)
+
+
+class TestDeterministicTraces:
+    """Property-style: same seed in, same execution out.
+
+    The simulator promises a deterministic schedule — inbox ordering by
+    ``(str(sender), str(payload))``, nodes processed in sorted order —
+    so two runs built from identical seeds must produce identical
+    per-node traces, message for message.
+    """
+
+    class GossipRecorder(NodeProgram):
+        """Every node broadcasts a value derived from its id each round
+        and records the exact inbox it observed."""
+
+        ROUNDS = 4
+
+        def on_start(self):
+            self.output["trace"] = []
+            for u in self.neighbors:
+                self.send(u, "GOSSIP", self.node, 0)
+
+        def on_round(self, inbox):
+            self.output["trace"].append(
+                [(e.sender, e.payload) for e in inbox]
+            )
+            if self.round >= self.ROUNDS:
+                self.halt()
+                return
+            for u in self.neighbors:
+                self.send(u, "GOSSIP", self.node, self.round)
+
+    @staticmethod
+    def _run(seed: int):
+        from repro.graphs import random_connected_graph
+
+        # 12 nodes guarantees ids 2 and 10 exist, where numeric order
+        # (2 < 10) and the string order the simulator uses ("10" < "2")
+        # disagree — the regression this test guards.
+        g = random_connected_graph(12, 0.3, seed=seed)
+        net = Network(g)
+        metrics = net.run(TestDeterministicTraces.GossipRecorder)
+        return metrics, {v: p.output["trace"] for v, p in net.programs.items()}
+
+    def test_identical_seeds_identical_traces(self):
+        for seed in (0, 1, 7):
+            metrics_a, traces_a = self._run(seed)
+            metrics_b, traces_b = self._run(seed)
+            assert metrics_a == metrics_b
+            assert traces_a == traces_b
+
+    def test_inbox_order_is_string_order(self):
+        _metrics, traces = self._run(3)
+        saw_inversion = False
+        for trace in traces.values():
+            for inbox in trace:
+                senders = [sender for sender, _payload in inbox]
+                assert senders == sorted(senders, key=str)
+                if senders != sorted(senders):  # numeric != string order
+                    saw_inversion = True
+        assert saw_inversion, "test graph never exercised 2-vs-10 ordering"

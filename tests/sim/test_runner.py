@@ -71,3 +71,60 @@ class TestStagedRun:
         for name in ("z", "a", "m"):
             staged.add_rounds(name, 1)
         assert list(staged.breakdown()) == ["z", "a", "m"]
+
+
+class TestMetricsMerge:
+    def test_halt_accounting_is_combined(self):
+        # One sub-network halts everywhere; in the other a crash leaves
+        # a node un-halted.  The parallel composition must expose both
+        # the summed halt count and the conjunction of all_halted.
+        from repro.sim import FaultConfig, FaultInjector
+
+        runs = [
+            (Network(path_graph(2)), lambda ctx: Countdown(ctx, 3)),
+            (
+                Network(
+                    path_graph(2),
+                    faults=FaultInjector(FaultConfig(crashes={1: 1})),
+                ),
+                lambda ctx: Countdown(ctx, 3),
+            ),
+        ]
+        _nets, combined = run_in_parallel(runs)
+        assert combined.halted_nodes == 3  # 2 + 1 (the crashed node never halts)
+        assert combined.all_halted is False
+        assert combined.crashed_nodes == 1
+        assert combined.rounds == 3
+
+    def test_merge_classmethod_semantics(self):
+        a = RunMetrics()
+        a.rounds, a.all_halted, a.halted_nodes = 5, True, 4
+        a.traffic.messages, a.traffic.total_words = 10, 30
+        a.traffic.max_words = 3
+        a.traffic.per_round = {1: 6, 2: 4}
+        a.dropped_messages = 2
+        b = RunMetrics()
+        b.rounds, b.all_halted, b.halted_nodes = 8, True, 6
+        b.traffic.messages, b.traffic.total_words = 1, 2
+        b.traffic.max_words = 2
+        b.traffic.per_round = {2: 1}
+        b.delayed_messages = 1
+
+        merged = RunMetrics.merge([a, b])
+        assert merged.rounds == 8  # parallel: max, not sum
+        assert merged.halted_nodes == 10
+        assert merged.all_halted is True
+        assert merged.traffic.messages == 11
+        assert merged.traffic.total_words == 32
+        assert merged.traffic.max_words == 3
+        assert merged.traffic.per_round == {1: 6, 2: 5}
+        assert merged.dropped_messages == 2
+        assert merged.delayed_messages == 1
+
+    def test_merge_differs_from_sequential(self):
+        a = RunMetrics()
+        a.rounds, a.all_halted = 5, True
+        b = RunMetrics()
+        b.rounds, b.all_halted = 8, True
+        assert RunMetrics.merge([a, b]).rounds == 8
+        assert a.merged_with(b).rounds == 13

@@ -74,3 +74,60 @@ class TestCommands:
     def test_missing_source(self):
         with pytest.raises(SystemExit):
             main(["info"])
+
+
+class TestFaultsCommand:
+    def test_clean_run_is_healthy(self, capsys):
+        assert main(["faults", "--generate", "ring:12", "--workload", "flood"]) == 0
+        out = capsys.readouterr().out
+        assert "completed: True" in out
+        assert "resilience: OK" in out
+
+    def test_crashed_dominator_fails_health_check(self, capsys):
+        # Node 9 is in the DP's dominating set on ring:12's BFS spanning
+        # tree; crashing it after the run strands a survivor component.
+        code = main(
+            [
+                "faults", "--generate", "ring:12", "--workload", "kdom",
+                "--k", "2", "--crash", "9@6",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out
+        assert "no surviving dominator" in out
+
+    def test_reliable_masks_loss(self, capsys):
+        code = main(
+            [
+                "faults", "--generate", "ring:12", "--workload", "bfs",
+                "--drop", "0.1", "--reliable", "--max-rounds", "5000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed: True" in out
+        assert "reliable=yes" in out
+
+    def test_verbose_prints_plan(self, capsys):
+        assert main(
+            [
+                "faults", "--generate", "ring:8", "--workload", "flood",
+                "--crash", "3@2", "-v",
+            ]
+        ) in (0, 1)
+        assert "crash" in capsys.readouterr().out
+
+    def test_bad_crash_spec(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--generate", "ring:8", "--crash", "3"])
+
+    def test_bad_rates(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--generate", "ring:8", "--drop", "0.7",
+                  "--duplicate", "0.7"])
+
+    def test_bad_timeout(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--generate", "ring:8", "--reliable",
+                  "--timeout", "2"])

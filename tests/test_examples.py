@@ -14,6 +14,7 @@ EXAMPLES = [
     "asynchronous_alpha.py",
     "mst_construction.py",
     "census_pipelining.py",
+    "faulty_run.py",
 ]
 
 

@@ -1,0 +1,152 @@
+"""Resilience checkers: paper claims restricted to crash survivors."""
+
+from repro.core.kdom_tree import TreeKDomProgram
+from repro.graphs import path_graph
+from repro.graphs.distances import bfs_tree
+from repro.sim import FaultConfig, FaultInjector, Network
+from repro.verify import (
+    check_run_report,
+    nontermination_detectors,
+    surviving_kdomination,
+    surviving_partition,
+)
+
+K = 2
+
+
+def run_kdom(crashes=None):
+    """Tree k-dom DP on path(10) rooted at 0; returns (report, D)."""
+    tree = path_graph(10)
+    _dist, parent_of = bfs_tree(tree, 0)
+    faults = FaultInjector(FaultConfig(crashes=crashes or {}))
+    net = Network(tree, faults=faults)
+    report = net.run(
+        lambda ctx: TreeKDomProgram(ctx, 0, parent_of, K), max_rounds=500
+    )
+    flags = net.output_field("in_dominating_set")
+    return report, {v for v, flag in flags.items() if flag}
+
+
+class TestSurvivingKDomination:
+    def test_fault_free_output_passes(self):
+        report, dominators = run_kdom()
+        assert dominators == {2, 7}
+        resilience = surviving_kdomination(path_graph(10), dominators, K)
+        assert resilience.ok
+        assert check_run_report(report).ok
+
+    def test_crashed_dominator_breaks_coverage(self):
+        # Crashing dominator 7 after it halts splits the guarantee: the
+        # surviving component {8, 9} has no dominator, and 5, 6 are now
+        # farther than k from 2.  The checker must flag it.
+        report, dominators = run_kdom(crashes={7: 4})
+        assert dominators == {2, 7}
+        resilience = surviving_kdomination(
+            path_graph(10), dominators, K, crashed=report.crashed()
+        )
+        assert not resilience.ok
+        text = resilience.summary()
+        assert "VIOLATIONS" in text
+        assert "no surviving dominator" in text
+
+    def test_crashed_nondominator_is_tolerated(self):
+        # Losing a mid-path non-dominator only splits the line where a
+        # dominator survives on each side: both components stay covered.
+        dominators = {2, 7}
+        resilience = surviving_kdomination(
+            path_graph(10), dominators, K, crashed=[4]
+        )
+        assert resilience.ok
+
+    def test_size_bound_checked_against_survivors(self):
+        # Five dominators on a 6-node path: floor(6/3) = 2 is exceeded.
+        resilience = surviving_kdomination(
+            path_graph(6), {0, 1, 2, 3, 4}, K
+        )
+        assert not resilience.ok
+        assert any("|D|" in f for f in resilience.failures)
+        # The bound check can be disabled for coverage-only questions.
+        assert surviving_kdomination(
+            path_graph(6), {0, 1, 2, 3, 4}, K, check_size_bound=False
+        ).ok
+
+    def test_no_survivors_is_vacuous(self):
+        resilience = surviving_kdomination(
+            path_graph(3), {1}, K, crashed=[0, 1, 2]
+        )
+        assert resilience.ok
+
+
+class TestSurvivingPartition:
+    CENTER_OF = {0: 2, 1: 2, 2: 2, 3: 2, 4: 2, 5: 7, 6: 7, 7: 7, 8: 7, 9: 7}
+
+    def test_intact_partition_passes(self):
+        resilience = surviving_partition(path_graph(10), self.CENTER_OF, K)
+        assert resilience.ok
+
+    def test_crashed_center_orphans_members(self):
+        resilience = surviving_partition(
+            path_graph(10), self.CENTER_OF, K, crashed=[7]
+        )
+        assert not resilience.ok
+        assert any("crashed centres" in f for f in resilience.failures)
+
+    def test_unassigned_survivor_flagged(self):
+        center_of = dict(self.CENTER_OF)
+        del center_of[9]
+        resilience = surviving_partition(path_graph(10), center_of, K)
+        assert not resilience.ok
+        assert any("no cluster centre" in f for f in resilience.failures)
+
+    def test_cut_cluster_flagged(self):
+        # Crashing 3 leaves member 4 unable to reach its centre 2
+        # through survivors, even though both endpoints survive.
+        resilience = surviving_partition(
+            path_graph(10), self.CENTER_OF, K, crashed=[3]
+        )
+        assert not resilience.ok
+        assert any("farther than" in f for f in resilience.failures)
+
+
+class TestCheckRunReport:
+    def test_wedged_faulty_run_is_reported_not_failed(self):
+        # A lossy run that wedges is a *detected* outcome: completed is
+        # False and the checker records it as such.
+        net = Network(
+            path_graph(4),
+            faults=FaultInjector(FaultConfig(drop_rate=1.0, seed=0)),
+        )
+        from repro.primitives.flooding import FloodProgram
+
+        report = net.run(
+            lambda ctx: FloodProgram(ctx, 0, value=1), max_rounds=50
+        )
+        assert not report.completed
+        health = check_run_report(report)
+        assert health.ok
+        assert any("non-termination detected" in c for c in health.checks)
+
+    def test_inconsistent_completion_claim_fails(self):
+        from repro.sim import FaultEvent
+
+        report, _ = run_kdom()
+        # Forge a report that claims completion with a stuck node.
+        report.node_states[3] = "running"
+        report.plan.record(FaultEvent(1, "drop", 0, 1, 0))
+        health = check_run_report(report)
+        assert not health.ok
+
+    def test_fault_free_wedge_fails(self):
+        report, _ = run_kdom()
+        report.node_states[3] = "running"  # empty plan, yet a stuck node
+        assert not check_run_report(report).ok
+
+
+class TestNonterminationDetectors:
+    def test_detectors_extracted_from_outputs(self):
+        outputs = {
+            0: {"reliable_gave_up": ()},
+            1: {"reliable_gave_up": (2,)},
+            2: {},
+        }
+        assert nontermination_detectors(outputs) == {1}
