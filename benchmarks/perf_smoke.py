@@ -1,0 +1,18 @@
+"""Engine perf smoke suite — thin wrapper over :mod:`repro.perf`.
+
+Run from a checkout::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--fast] [--profile]
+
+Equivalent to ``python -m repro perf``; see docs/performance.md for the
+workload definitions and the BENCH_sim.json schema.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["perf"] + sys.argv[1:]))

@@ -33,6 +33,12 @@ class MaxIdFloodProgram(NodeProgram):
     Output: ``leader`` (the node's current belief).
     """
 
+    # Message-driven: a node re-broadcasts only when its belief improves,
+    # which can only happen on receipt.  (The driver's quiescence rule is
+    # unaffected: scheduling never changes what is sent, only which idle
+    # programs are invoked.)
+    TICK_EVERY_ROUND = False
+
     def __init__(self, ctx: Context):
         super().__init__(ctx)
         self.best = ctx.node

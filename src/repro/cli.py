@@ -271,6 +271,26 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if health.ok else 1
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from . import perf
+
+    return perf.main(
+        fast=args.fast,
+        reps=args.reps,
+        output=args.output if args.output is not None else perf.DEFAULT_OUTPUT,
+        baseline_path=(
+            args.baseline if args.baseline is not None else perf.DEFAULT_BASELINE
+        ),
+        gate_factor=(
+            args.gate_factor
+            if args.gate_factor is not None
+            else perf.DEFAULT_GATE_FACTOR
+        ),
+        profile=args.profile,
+        no_gate=args.no_gate,
+    )
+
+
 # ---------------------------------------------------------------------------
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -338,6 +358,27 @@ def make_parser() -> argparse.ArgumentParser:
                           help="reliable-channel retransmissions per frame")
     p_faults.add_argument("--max-rounds", type=int, default=2000)
     p_faults.set_defaults(fn=cmd_faults)
+
+    p_perf = sub.add_parser(
+        "perf", help="engine perf smoke suite (writes BENCH_sim.json)"
+    )
+    p_perf.add_argument("--fast", action="store_true",
+                        help="CI-sized workloads")
+    p_perf.add_argument("--reps", type=int, default=3,
+                        help="repetitions per workload (best is reported)")
+    p_perf.add_argument("--output", default=None,
+                        help="report path (default: BENCH_sim.json)")
+    p_perf.add_argument("--baseline", default=None,
+                        help="baseline JSON for the regression gate "
+                             "(default: benchmarks/perf_baseline.json)")
+    p_perf.add_argument("--gate-factor", type=float, default=None,
+                        help="fail when a workload exceeds this multiple "
+                             "of its baseline best (default 2.0)")
+    p_perf.add_argument("--no-gate", action="store_true",
+                        help="skip the baseline comparison")
+    p_perf.add_argument("--profile", action="store_true",
+                        help="cProfile the workloads instead of timing them")
+    p_perf.set_defaults(fn=cmd_perf)
     return parser
 
 

@@ -47,6 +47,12 @@ class DiamDOMProgram(BFSTreeProgram):
     the quantity Lemma 2.3 bounds by ``5 * Diam + k``).
     """
 
+    # Opt out of event-driven scheduling (the documented escape hatch,
+    # see docs/performance.md): census emissions are keyed to absolute
+    # round numbers (``t1 + l + (M - i)``), so a node must observe every
+    # round even when its inbox is empty.
+    TICK_EVERY_ROUND = True
+
     def __init__(
         self,
         ctx: Context,

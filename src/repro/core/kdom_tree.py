@@ -42,6 +42,10 @@ class TreeKDomProgram(NodeProgram):
     dominator (capped at ``k + 1`` = "unusable").
     """
 
+    # Message-driven convergecast: a node fires exactly once, when the
+    # last child DP state arrives (leaves fire at start).
+    TICK_EVERY_ROUND = False
+
     def __init__(
         self,
         ctx: Context,
@@ -105,6 +109,11 @@ class NearestDominatorProgram(ScriptedProgram):
     a genuinely k-dominating input) and ``dominator_distance``.
     """
 
+    # Event-driven: the wave acts only on DOM arrivals; the one
+    # spontaneous action is finishing at distance k, booked as a wakeup
+    # so uncovered stretches of the wait cost no invocations.
+    TICK_EVERY_ROUND = False
+
     def __init__(self, ctx: Context, is_dominator: bool, k: int):
         super().__init__(ctx)
         _require_k(k)
@@ -114,13 +123,19 @@ class NearestDominatorProgram(ScriptedProgram):
         self.dominator_distance: Optional[int] = None
 
     def script(self):
+        start = self.round
         if self.is_dominator:
             self.dominator = self.node
             self.dominator_distance = 0
             if self.k > 0:
                 self.broadcast("DOM", self.node, 1)
-        for distance in range(1, self.k + 1):
+        if self.k > 0:
+            # Everyone resumes at distance k to write outputs and halt,
+            # whether or not the wave ever reached them.
+            self.request_wakeup(self.k)
+        while self.round - start < self.k:
             inbox = yield
+            distance = self.round - start
             if self.dominator is None:
                 offers = sorted(
                     envelope.payload[1]

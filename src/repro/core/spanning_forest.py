@@ -59,6 +59,15 @@ class SimpleMSTProgram(ScriptedProgram):
     faithful to §4.2's discussion), ``tree_edges`` (incident MST edges).
     """
 
+    # Event-driven scheduling: the phase schedule is pure slot
+    # arithmetic, so the slot of every spontaneous action (one taken on
+    # an empty inbox) is computable the moment the state it depends on
+    # is learned — and that state always arrives in a message, while the
+    # node is awake.  ``run_phase`` derives the current slot from
+    # ``self.round`` instead of counting yields, and each handler books
+    # a wakeup for the next slot at which this node must act.
+    TICK_EVERY_ROUND = False
+
     def __init__(self, ctx: Context, k: int):
         super().__init__(ctx)
         if k < 0:
@@ -97,16 +106,39 @@ class SimpleMSTProgram(ScriptedProgram):
         self._sent_connect_to: Optional[Any] = None
         self._got_connect_from: Set[Any] = set()
 
+        # Slot bookkeeping for event-driven wakeups: slot = round offset
+        # from the start of the phase, exactly the yield count of the
+        # original lockstep loop.
+        self._L = L
+        self._phase_start = self.round
+        end = 5 * L + 3
+        # Children are stable until the transfer/merge slots (>= 4L+2),
+        # well after the last PRB/ACT forward; sort them once per phase.
+        self._kids = sorted(self.children, key=str)
+
         # Slot 0: roots launch the probe.
         if self.is_root:
             self.depth = 0
             self.fragment_id = self.node
             if L >= 1:
-                for child in sorted(self.children, key=str):
+                for child in self._kids:
                     self.send(child, "PRB", self.node, 1)
-        for slot in range(1, 5 * L + 4):
+            self._wake_at(2 * L + 1)  # activity verdict
+        # Every node resumes at the phase boundary: merge resolution
+        # runs there and the next phase's slot 0 follows immediately.
+        self._wake_at(end)
+        while True:
             inbox = yield
+            slot = self.round - self._phase_start
             self._phase_slot(slot, L, inbox)
+            if slot >= end:
+                break
+
+    def _wake_at(self, slot: int) -> None:
+        """Book an invocation at phase slot ``slot`` (no-op if current)."""
+        delay = self._phase_start + slot - self.round
+        if delay >= 1:
+            self.request_wakeup(delay)
 
     # ------------------------------------------------------------------
     def _phase_slot(self, slot: int, L: int, inbox: List[Envelope]) -> None:
@@ -138,15 +170,23 @@ class SimpleMSTProgram(ScriptedProgram):
         if self.is_root and slot == 2 * L + 1:
             self.active = not (self._too_deep or self._echo_too_deep)
             if self.active:
-                for child in sorted(self.children, key=str):
+                for child in self._kids:
                     self.send(child, "ACT")
+                self._wake_at(3 * L + 1)
         # Fragment-id exchange at slot 3L + 1.
         if slot == 3 * L + 1 and self.active:
             for neighbor in self.neighbors:
                 self.send(neighbor, "FID", self.fragment_id)
+            # Classification must run next slot even if every neighbour
+            # is inactive and sends no FID.
+            self._wake_at(3 * L + 2)
         # Edge classification at slot 3L + 2.
         if slot == 3 * L + 2 and self.active:
             self._classify_edges(inbox)
+            # Own convergecast / transfer-launch slot; leaves (and the
+            # root of a singleton fragment) hear no MOE beforehand.
+            if self.depth is not None:
+                self._wake_at(4 * L + 2 - self.depth)
         # Convergecast schedule: depth-d nodes upcast at slot 4L + 2 - d.
         if (
             self.active
@@ -171,16 +211,19 @@ class SimpleMSTProgram(ScriptedProgram):
         self.depth = depth
         self.fragment_id = root_id
         if depth < L:
-            for child in sorted(self.children, key=str):
+            for child in self._kids:
                 self.send(child, "PRB", root_id, depth + 1)
         elif self.children:
             # The fragment continues below the probe horizon.
             self._too_deep = True
+        # Echo slot: leaves (and horizon nodes) hear nothing in between.
+        self._wake_at(2 * L + 1 - depth)
 
     def _handle_active(self, envelope: Envelope) -> None:
         self.active = True
-        for child in sorted(self.children, key=str):
+        for child in self._kids:
             self.send(child, "ACT")
+        self._wake_at(3 * self._L + 1)
 
     # -- minimum outgoing edge ---------------------------------------------
     def _classify_edges(self, inbox: List[Envelope]) -> None:
@@ -214,6 +257,7 @@ class SimpleMSTProgram(ScriptedProgram):
             return  # no outgoing edge anywhere: the fragment spans G
         if self._best_source == _SELF:
             self._is_vstar = True
+            self._wake_at(5 * self._L + 2)  # CONNECT slot
             return
         self._pass_rootship(self._best_source)
 
@@ -224,6 +268,7 @@ class SimpleMSTProgram(ScriptedProgram):
         if self._best_source == _SELF or self._best_source is None:
             self._is_vstar = True
             self.is_root = True
+            self._wake_at(5 * self._L + 2)  # CONNECT slot
         else:
             self._pass_rootship(self._best_source)
 

@@ -1,0 +1,217 @@
+"""Performance smoke suite for the CONGEST simulation engine.
+
+Times the repository's representative workloads — BFS tree construction
+on a path and a grid, ``FastDOM_T`` on a random tree, and ``Fast-MST``
+end to end — and writes a machine-readable report (``BENCH_sim.json``
+by default).  The suite exists to catch *engine* regressions: each
+workload is deterministic, so wall-clock changes track engine overhead,
+not algorithmic variance.
+
+Two sizes are provided: the full suite (the numbers quoted in
+``docs/performance.md``) and ``--fast``, a seconds-scale variant meant
+for CI.  A committed baseline (``benchmarks/perf_baseline.json``) gives
+the regression gate: the run fails if any workload is slower than
+``gate_factor`` (default 2.0) times its baseline best.  The generous
+factor absorbs machine-to-machine variance while still catching
+order-of-magnitude mistakes like losing the active-set scheduler.
+
+Usage::
+
+    python -m repro perf              # full suite -> BENCH_sim.json
+    python -m repro perf --fast       # CI-sized, gated against baseline
+    python -m repro perf --profile    # cProfile the hottest workload
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .core.fastdom_tree import fastdom_tree
+from .graphs import (
+    RootedTree,
+    assign_unique_weights,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+)
+from .mst import fast_mst
+from .primitives.bfs import build_bfs_tree
+
+SCHEMA = "repro-perf-smoke/1"
+
+#: Default report location (repository root when run from a checkout).
+DEFAULT_OUTPUT = "BENCH_sim.json"
+
+#: Default committed baseline used by the regression gate.
+DEFAULT_BASELINE = "benchmarks/perf_baseline.json"
+
+DEFAULT_GATE_FACTOR = 2.0
+
+
+def _bfs_path(n: int) -> Tuple[Callable[[], Any], Dict[str, Any]]:
+    graph = path_graph(n)
+    return lambda: build_bfs_tree(graph, 0), {"n": n, "root": 0}
+
+
+def _bfs_grid(side: int) -> Tuple[Callable[[], Any], Dict[str, Any]]:
+    graph = grid_graph(side, side)
+    return lambda: build_bfs_tree(graph, 0), {"side": side, "root": 0}
+
+
+def _fastdom_tree(n: int, k: int) -> Tuple[Callable[[], Any], Dict[str, Any]]:
+    tree = random_tree(n, seed=1)
+    rooted = RootedTree.from_graph(tree, 0)
+    parent = rooted.parent
+    return lambda: fastdom_tree(tree, 0, parent, k), {"n": n, "k": k, "seed": 1}
+
+
+def _fast_mst(n: int) -> Tuple[Callable[[], Any], Dict[str, Any]]:
+    graph = assign_unique_weights(
+        random_connected_graph(n, 6.0 / n, seed=3), seed=4
+    )
+    return lambda: fast_mst(graph), {"n": n, "extra_edge_p": 6.0 / n, "seed": 3}
+
+
+#: name -> (builder, full-size kwargs, fast-size kwargs).  Builders take
+#: the size parameters and return (callable, recorded params).
+WORKLOADS: Dict[str, Tuple[Callable[..., Any], Dict[str, Any], Dict[str, Any]]] = {
+    "bfs_path": (_bfs_path, {"n": 2000}, {"n": 600}),
+    "bfs_grid": (_bfs_grid, {"side": 45}, {"side": 20}),
+    "fastdom_tree": (_fastdom_tree, {"n": 1500, "k": 4}, {"n": 400, "k": 4}),
+    "fast_mst": (_fast_mst, {"n": 512}, {"n": 192}),
+}
+
+
+def time_workload(fn: Callable[[], Any], reps: int) -> List[float]:
+    """Run ``fn`` ``reps`` times; return the wall-clock time of each run."""
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def run_suite(
+    fast: bool = False,
+    reps: int = 3,
+    echo: Callable[[str], None] = lambda line: None,
+) -> Dict[str, Any]:
+    """Run every workload; return the report dictionary."""
+    mode = "fast" if fast else "full"
+    workloads: Dict[str, Any] = {}
+    for name, (builder, full_kwargs, fast_kwargs) in WORKLOADS.items():
+        kwargs = fast_kwargs if fast else full_kwargs
+        fn, params = builder(**kwargs)
+        times = time_workload(fn, reps)
+        best = min(times)
+        workloads[name] = {
+            "best_seconds": round(best, 6),
+            "times": [round(t, 6) for t in times],
+            "params": params,
+        }
+        echo(f"{name:<14} best {best:.3f}s over {reps} reps  {params}")
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "reps": reps,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": workloads,
+    }
+
+
+def profile_suite(fast: bool = False, top: int = 25) -> str:
+    """cProfile one pass over every workload; return the hot-frame table."""
+    profiler = cProfile.Profile()
+    for name, (builder, full_kwargs, fast_kwargs) in WORKLOADS.items():
+        fn, _params = builder(**(fast_kwargs if fast else full_kwargs))
+        profiler.enable()
+        fn()
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+
+
+def check_regressions(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    gate_factor: float = DEFAULT_GATE_FACTOR,
+) -> List[str]:
+    """Compare a report against a baseline of the same mode.
+
+    Returns a list of human-readable regression descriptions (empty when
+    the gate passes).  Workloads absent from the baseline are skipped —
+    adding a workload must not retroactively fail the gate.
+    """
+    mode = report.get("mode")
+    reference = baseline.get(mode, {}) if mode else {}
+    failures = []
+    for name, result in report.get("workloads", {}).items():
+        base = reference.get(name)
+        if not base:
+            continue
+        allowed = base["best_seconds"] * gate_factor
+        current = result["best_seconds"]
+        if current > allowed:
+            failures.append(
+                f"{name}: {current:.3f}s exceeds {gate_factor:.1f}x "
+                f"baseline ({base['best_seconds']:.3f}s -> allowed "
+                f"{allowed:.3f}s)"
+            )
+    return failures
+
+
+def main(
+    fast: bool = False,
+    reps: int = 3,
+    output: str = DEFAULT_OUTPUT,
+    baseline_path: str = DEFAULT_BASELINE,
+    gate_factor: float = DEFAULT_GATE_FACTOR,
+    profile: bool = False,
+    no_gate: bool = False,
+) -> int:
+    """Run the suite, write the report, apply the regression gate."""
+    if profile:
+        print(profile_suite(fast=fast))
+        return 0
+    report = run_suite(fast=fast, reps=reps, echo=print)
+    write_report(report, output)
+    print(f"wrote {output}")
+    if no_gate:
+        return 0
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; gate skipped")
+        return 0
+    failures = check_regressions(report, baseline, gate_factor)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION  {failure}", file=sys.stderr)
+        return 1
+    print(f"gate passed ({gate_factor:.1f}x vs {baseline_path})")
+    return 0

@@ -39,6 +39,14 @@ class BFSTreeProgram(NodeProgram):
     ``t1`` (first round strictly after global completion).
     """
 
+    # Message-driven: every transition reacts to an inbox message.  The
+    # one timed action — a just-adopted node's deferred echo, whose
+    # channel to the parent is occupied by this round's ACCEPT — is
+    # scheduled with an explicit wakeup in on_round.  (DiamDOMProgram
+    # reinstates every-round ticking: its censuses fire on round
+    # numbers, not messages.)
+    TICK_EVERY_ROUND = False
+
     def __init__(self, ctx: Context, root: Any):
         super().__init__(ctx)
         self.root = root
@@ -70,8 +78,10 @@ class BFSTreeProgram(NodeProgram):
             self._adopt(offers)
             # The ACCEPT to the parent occupies this round's channel; a
             # leaf's ECHO to the same parent must wait for the next round
-            # (one message per edge per direction per round).
+            # (one message per edge per direction per round) — which may
+            # deliver us nothing, so ask the scheduler for it explicitly.
             just_adopted = True
+            self.request_wakeup()
         elif offers:
             for envelope in offers:
                 self.send(envelope.sender, "REJECT")

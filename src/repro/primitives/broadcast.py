@@ -20,6 +20,9 @@ class BroadcastProgram(NodeProgram):
     ``value`` at every node.
     """
 
+    # Message-driven: a node forwards once, on receipt from its parent.
+    TICK_EVERY_ROUND = False
+
     def __init__(
         self,
         ctx: Context,

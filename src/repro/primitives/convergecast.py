@@ -37,6 +37,10 @@ class ConvergecastProgram(NodeProgram):
     root's aggregate is the global answer.
     """
 
+    # Message-driven: leaves fire at start, inner nodes fire on the
+    # arrival of their last child's aggregate.
+    TICK_EVERY_ROUND = False
+
     def __init__(
         self,
         ctx: Context,

@@ -33,6 +33,10 @@ class HopLimitedEchoProgram(NodeProgram):
     ``aggregate`` (over the explored region) and ``too_deep``.
     """
 
+    # Message-driven: probes and echoes both fire on receipt; nodes
+    # beyond the probe horizon hear nothing and correctly do nothing.
+    TICK_EVERY_ROUND = False
+
     def __init__(
         self,
         ctx: Context,

@@ -17,6 +17,9 @@ from ..sim.program import Context, NodeProgram
 class FloodProgram(NodeProgram):
     """Flood ``value`` from ``source``; output ``value`` and ``hops``."""
 
+    # Message-driven: a node acts exactly once, on first receipt.
+    TICK_EVERY_ROUND = False
+
     def __init__(self, ctx: Context, source: Any, value: Any = None):
         super().__init__(ctx)
         self.is_source = ctx.node == source

@@ -45,7 +45,13 @@ class RunMetrics:
         return self.traffic.max_words
 
     def merged_with(self, other: "RunMetrics") -> "RunMetrics":
-        """Sequential composition: rounds add, traffic accumulates."""
+        """Sequential composition: rounds add, traffic accumulates.
+
+        ``other`` executes after ``self``, so its per-round traffic
+        profile is shifted by ``self.rounds`` before merging — a phase
+        breakdown over the composite timeline survives composition
+        instead of being silently discarded.
+        """
         merged = RunMetrics()
         merged.rounds = self.rounds + other.rounds
         merged.traffic.messages = self.traffic.messages + other.traffic.messages
@@ -55,6 +61,13 @@ class RunMetrics:
         merged.traffic.max_words = max(
             self.traffic.max_words, other.traffic.max_words
         )
+        merged.traffic.per_round = dict(self.traffic.per_round)
+        shift = self.rounds
+        for round_number, count in other.traffic.per_round.items():
+            shifted = round_number + shift
+            merged.traffic.per_round[shifted] = (
+                merged.traffic.per_round.get(shifted, 0) + count
+            )
         merged.all_halted = other.all_halted
         merged.halted_nodes = other.halted_nodes
         merged.dropped_messages = self.dropped_messages + other.dropped_messages

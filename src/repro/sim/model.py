@@ -39,6 +39,22 @@ def measure_words(payload: Any) -> int:
     ``O(log n)``-bit encoding could not carry (long strings, arbitrary
     objects, deeply nested structures).
     """
+    # Fast path: the overwhelmingly common payload is a flat tuple of
+    # scalars (tag plus a couple of ids/counters).  Handle it without
+    # recursing; anything unusual falls through to the general walk.
+    if type(payload) is tuple:
+        total = 0
+        for item in payload:
+            kind = type(item)
+            if kind is str:
+                if len(item) > MAX_TAG_LENGTH:
+                    raise UnserializablePayload(item)
+                total += 1
+            elif kind is int or kind is float or item is None or kind is bool:
+                total += 1
+            else:
+                total += _measure(item, depth=1)
+        return total
     return _measure(payload, depth=0)
 
 
@@ -66,6 +82,11 @@ class Envelope:
 
     ``sent_round`` is the round in which the sender emitted the message;
     it is delivered at the start of round ``sent_round + 1``.
+
+    ``words`` is measured once, at construction; the envelope is frozen,
+    so the size can never go stale.  (Constructing an envelope therefore
+    raises :class:`~repro.sim.errors.UnserializablePayload` for payloads
+    no ``O(log n)``-bit encoding could carry.)
     """
 
     sender: int
@@ -73,9 +94,8 @@ class Envelope:
     payload: Tuple[Any, ...]
     sent_round: int
 
-    @property
-    def words(self) -> int:
-        return measure_words(self.payload)
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "words", measure_words(self.payload))
 
     def tag(self) -> Any:
         """Return the first payload field, conventionally a protocol tag."""

@@ -11,13 +11,39 @@ enforcing the communication model the paper assumes:
 * nodes may only talk to graph neighbours.
 
 Any violation raises, so a green test suite certifies model compliance.
+
+Engine internals (docs/performance.md has the full story):
+
+* **Dense indexing** — node ids are mapped to contiguous integers
+  ``0..n-1`` at construction; programs, inbox buckets and neighbour
+  tables live in flat lists indexed by that integer, so the per-round
+  sweep does list indexing instead of hash lookups on arbitrary ids.
+* **Bucketed delivery** — each round's in-flight messages are appended
+  directly into per-receiver buckets.  Deterministic inbox order (by
+  ``str(sender)``, then ``str(payload)``) comes from a *precomputed*
+  integer rank per (receiver, sender) pair instead of building string
+  sort keys per message per round; the sort is skipped entirely for the
+  overwhelmingly common zero/one-message inbox.
+* **Active-set scheduling** — ``step()`` invokes only the programs that
+  can possibly act this round: those that received a message, requested
+  a wakeup, or declare ``TICK_EVERY_ROUND`` (the default, and the
+  opt-out for round-counting protocols).  Message-driven algorithms
+  therefore cost O(messages) engine work rather than O(n · rounds).
+* **Incremental liveness** — the engine tracks the set of un-halted
+  nodes as halts are observed, so ``all_halted()`` and the run loop's
+  settledness check are O(1) instead of an O(n) rescan per round.
+
+All of this is invisible to programs: scheduling mode, indexing and
+bucketing change *how fast* a round executes, never *what* it computes
+(see tests/sim/test_scheduler_equivalence.py).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from .errors import (
+    ConfigurationError,
     CongestionViolation,
     HaltedNodeActed,
     MessageTooLarge,
@@ -32,12 +58,15 @@ from .faults import (
     RunReport,
 )
 from .metrics import RunMetrics
-from .model import DEFAULT_WORD_LIMIT, Envelope, measure_words
+from .model import DEFAULT_WORD_LIMIT, Envelope
 from .program import Context, NodeProgram
 
 #: Default round budget.  Generous; real algorithms in this repository
 #: terminate far earlier, and hitting the budget indicates a livelock.
 DEFAULT_MAX_ROUNDS = 1_000_000
+
+#: Scheduling modes accepted by :class:`Network`.
+SCHEDULING_MODES = ("active", "full")
 
 ProgramFactory = Callable[[Context], NodeProgram]
 
@@ -55,19 +84,44 @@ class Network:
     converts round-budget exhaustion into a report rather than an
     exception.  When absent, every fault-handling branch is skipped and
     the network behaves exactly as the fault-free simulator.
+
+    ``scheduling`` selects the round scheduler: ``"active"`` (the
+    default) honours each program's ``TICK_EVERY_ROUND`` declaration and
+    skips idle message-driven programs; ``"full"`` forces the classic
+    every-program-every-round sweep.  The two are observationally
+    identical for correct programs — ``"full"`` exists as the reference
+    the equivalence suite compares against (and as a big hammer when
+    debugging a mis-declared program).  ``None`` falls back to
+    :attr:`Network.default_scheduling`, which tests may patch to force a
+    mode through drivers that build their networks internally.
     """
+
+    #: Class-wide fallback for the ``scheduling`` constructor argument.
+    default_scheduling = "active"
 
     def __init__(
         self,
         graph,
         word_limit: int = DEFAULT_WORD_LIMIT,
         faults: Optional[FaultInjector] = None,
+        scheduling: Optional[str] = None,
     ):
+        if scheduling is None:
+            scheduling = type(self).default_scheduling
+        if scheduling not in SCHEDULING_MODES:
+            raise ConfigurationError(
+                f"scheduling must be one of {SCHEDULING_MODES}, "
+                f"got {scheduling!r}"
+            )
         self.graph = graph
         self.word_limit = word_limit
         self.faults = faults
+        self.scheduling = scheduling
         self.nodes: List[Any] = sorted(graph.nodes)
         self.n = len(self.nodes)
+        # Dense indexing: node id -> contiguous index, in sorted order,
+        # so iterating indices ascending IS the deterministic node sweep.
+        self._index: Dict[Any, int] = {v: i for i, v in enumerate(self.nodes)}
         self._neighbors: Dict[Any, tuple] = {
             v: tuple(sorted(graph.neighbors(v))) for v in self.nodes
         }
@@ -81,34 +135,81 @@ class Network:
                 self._weights[v] = {}
             else:
                 self._weights[v] = {u: weight(v, u) for u in self._neighbors[v]}
+        # Delivery rank: position of each sender in the receiver's
+        # neighbour list sorted by str(sender) — precomputed once, so
+        # deterministic inbox ordering never builds string keys again.
+        # (At most one message per channel per round, so ranking senders
+        # fully orders a fault-free inbox.)
+        self._rank: List[Dict[Any, int]] = [
+            {u: rank for rank, u in enumerate(sorted(self._neighbors[v], key=str))}
+            for v in self.nodes
+        ]
 
         self.current_round = 0
         self.programs: Dict[Any, NodeProgram] = {}
         self.metrics = RunMetrics()
         # Messages sent this round, delivered next round.
         self._outbox: List[Envelope] = []
-        # (sender, receiver) pairs used this round, for congestion checks.
-        self._channels_used: set = set()
+        # Dense (sender_idx * n + receiver_idx) keys used this round,
+        # for congestion checks.
+        self._channels_used: Set[int] = set()
+        # Flat program table, parallel to self.nodes.
+        self._progs: List[NodeProgram] = []
+        # Per-receiver inbox buckets (index-parallel); buckets that
+        # received something this round are listed in _touched and
+        # replaced with fresh lists after the sweep (programs may keep
+        # references to their inbox).
+        self._inboxes: List[List[Envelope]] = []
+        self._touched: List[int] = []
+        # Scheduling state: indices that tick every round, indices not
+        # yet halted, and requested wakeups keyed by target round.
+        self._always: Set[int] = set()
+        self._unhalted: Set[int] = set()
+        self._wakeups: Dict[int, Set[int]] = {}
+        self._crashed_idx: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Sending (called by programs through their context)
     # ------------------------------------------------------------------
     def _enqueue(self, sender, receiver, payload) -> None:
-        program = self.programs.get(sender)
-        if program is not None and program.halted:
-            raise HaltedNodeActed(sender)
+        index = self._index
+        si = index.get(sender)
+        if si is not None:
+            progs = self._progs
+            if si < len(progs) and progs[si].halted:
+                raise HaltedNodeActed(sender)
         if receiver not in self._neighbor_sets[sender]:
             raise NotANeighbor(sender, receiver)
-        channel = (sender, receiver)
-        if channel in self._channels_used:
+        channel = si * self.n + index[receiver]
+        used = self._channels_used
+        if channel in used:
             raise CongestionViolation(sender, receiver, self.current_round)
-        words = measure_words(payload)
+        round_number = self.current_round
+        envelope = Envelope(sender, receiver, payload, round_number)
+        words = envelope.words  # measured once, at construction
         if words > self.word_limit:
             raise MessageTooLarge(sender, receiver, payload, words, self.word_limit)
-        self._channels_used.add(channel)
-        envelope = Envelope(sender, receiver, payload, self.current_round)
+        used.add(channel)
         self._outbox.append(envelope)
-        self.metrics.traffic.record(envelope)
+        # Traffic accounting, inlined from MessageStats.record: this is
+        # the hottest statement in the send path.
+        traffic = self.metrics.traffic
+        traffic.messages += 1
+        traffic.total_words += words
+        if words > traffic.max_words:
+            traffic.max_words = words
+        per_round = traffic.per_round
+        per_round[round_number] = per_round.get(round_number, 0) + 1
+
+    def request_wakeup(self, node, delay: int = 1) -> None:
+        """Schedule ``node`` for invocation ``delay`` rounds from now
+        even if it receives no message (the event-driven program's
+        replacement for ticking every round)."""
+        target = self.current_round + delay
+        pending = self._wakeups.get(target)
+        if pending is None:
+            pending = self._wakeups[target] = set()
+        pending.add(self._index[node])
 
     # ------------------------------------------------------------------
     # Execution
@@ -119,16 +220,37 @@ class Network:
         self.metrics = RunMetrics()
         self._outbox = []
         self._channels_used = set()
-        self.programs = {}
+        self._wakeups = {}
+        self._crashed_idx = set()
+        self._touched = []
         if self.faults is not None:
             self.faults.reset()
+        progs: List[NodeProgram] = []
+        self.programs = {}
         for v in self.nodes:
             ctx = Context(v, self._neighbors[v], self._weights[v], self.n, self)
-            self.programs[v] = program_factory(ctx)
-        for v in self.nodes:
-            program = self.programs[v]
+            program = program_factory(ctx)
+            progs.append(program)
+            self.programs[v] = program
+        self._progs = progs
+        self._inboxes = [[] for _ in range(self.n)]
+        full_sweep = self.scheduling == "full"
+        self._unhalted = set(range(self.n))
+        self._always = {
+            i
+            for i, program in enumerate(progs)
+            if full_sweep or program.TICK_EVERY_ROUND
+        }
+        for i, program in enumerate(progs):
             if not program.halted:
                 program.on_start()
+            if program.halted:
+                self._note_halt(i)
+
+    def _note_halt(self, i: int) -> None:
+        """Sync scheduler state after observing ``programs[i].halted``."""
+        self._unhalted.discard(i)
+        self._always.discard(i)
 
     def step(self) -> bool:
         """Execute one round; return True if the network is still live.
@@ -138,31 +260,79 @@ class Network:
         """
         delivering = self._outbox
         self._outbox = []
-        self._channels_used = set()
+        self._channels_used.clear()
         self.current_round += 1
-        crashed = None
-        if self.faults is not None:
-            self.faults.crashes_at(self.current_round)
-            crashed = self.faults.crashed
+        crashed_idx = self._crashed_idx
+        faulty = self.faults is not None
+        if faulty:
+            for node in self.faults.crashes_at(self.current_round):
+                i = self._index[node]
+                crashed_idx.add(i)
+                self._always.discard(i)
             delivering = self.faults.deliveries(delivering, self.current_round)
+        # Liveness before the sweep: some program un-halted and un-crashed
+        # (the old engine's "did anything get invoked" bit, computed
+        # without sweeping).
+        unhalted = self._unhalted
+        if crashed_idx:
+            progressed = any(i not in crashed_idx for i in unhalted)
+        else:
+            progressed = bool(unhalted)
 
-        inboxes: Dict[Any, List[Envelope]] = {}
+        # Bucketed delivery: append each envelope to its receiver's
+        # bucket.  Buckets preserve arrival order; per-sender rank sorts
+        # them deterministically below, but only when len > 1.
+        index = self._index
+        inboxes = self._inboxes
+        touched = self._touched
         for envelope in delivering:
-            inboxes.setdefault(envelope.receiver, []).append(envelope)
+            ri = index[envelope.receiver]
+            bucket = inboxes[ri]
+            if not bucket:
+                touched.append(ri)
+            bucket.append(envelope)
 
-        progressed = False
-        for v in self.nodes:
-            program = self.programs[v]
+        # Active set: messages in, matured wakeups, always-tickers.
+        active = self._wakeups.pop(self.current_round, None)
+        if active is None:
+            active = set(touched)
+        else:
+            active.update(touched)
+        if self._always:
+            active.update(self._always)
+
+        progs = self._progs
+        ranks = self._rank
+        # Full-sweep rounds visit every index; skip the redundant sort.
+        schedule = range(self.n) if len(active) == self.n else sorted(active)
+        for i in schedule:
+            program = progs[i]
             if program.halted:
+                self._note_halt(i)
                 continue
-            if crashed is not None and v in crashed:
+            if i in crashed_idx:
                 continue
-            inbox = inboxes.get(v, [])
-            inbox.sort(key=lambda e: (str(e.sender), str(e.payload)))
+            inbox = inboxes[i]
+            if len(inbox) > 1:
+                rank = ranks[i]
+                if faulty:
+                    # Duplicates/delays can put two messages from one
+                    # sender in the same inbox; break the tie exactly as
+                    # the classic (str(sender), str(payload)) key did.
+                    inbox.sort(key=lambda e: (rank[e.sender], str(e.payload)))
+                else:
+                    inbox.sort(key=lambda e: rank[e.sender])
+            elif not inbox:
+                inbox = []  # fresh list per invocation, as ever
             program.on_round(inbox)
-            progressed = True
+            if program.halted:
+                self._note_halt(i)
+        if touched:
+            for ri in touched:
+                inboxes[ri] = []
+            self._touched = []
         self.metrics.rounds = self.current_round
-        return progressed and not self.all_halted()
+        return progressed and bool(self._unhalted)
 
     def run(
         self,
@@ -192,6 +362,7 @@ class Network:
                 if (
                     stop_when_quiet
                     and not self._outbox
+                    and not self._wakeups
                     and self.current_round > 0
                     and (faults is None or not faults.has_pending())
                 ):
@@ -222,19 +393,18 @@ class Network:
     def all_halted(self) -> bool:
         if not self.programs:
             return False
-        return all(program.halted for program in self.programs.values())
+        return not self._unhalted
 
     def _settled(self) -> bool:
         """Run-loop termination: every node halted or crash-stopped."""
-        if self.faults is None or not self.faults.crashed:
-            return self.all_halted()
         if not self.programs:
             return False
-        crashed = self.faults.crashed
-        return all(
-            program.halted or v in crashed
-            for v, program in self.programs.items()
-        )
+        unhalted = self._unhalted
+        if not unhalted:
+            return True
+        if self.faults is None or not self._crashed_idx:
+            return False
+        return unhalted <= self._crashed_idx
 
     @property
     def crashed_nodes(self) -> frozenset:

@@ -52,9 +52,46 @@ class Context:
         """The current round number (0 during ``on_start``)."""
         return self._network.current_round
 
+    def request_wakeup(self, delay: int = 1) -> None:
+        """Ask the scheduler to invoke this program ``delay`` rounds from
+        now even if no message arrives (see docs/performance.md).
+
+        Event-driven programs (``TICK_EVERY_ROUND = False``) are only
+        invoked when a message lands in their inbox; a program that
+        needs a *timed* action — a timeout, a phase boundary — requests
+        an explicit wakeup instead of burning a sweep slot every round.
+        Requesting a wakeup is idempotent per round and never *prevents*
+        an invocation; programs that tick every round may call it freely
+        (it is then a no-op).
+
+        Hosted execution environments that tick their guest every round
+        anyway (the reliable-channel wrapper, synchroniser α) accept and
+        ignore the request.
+        """
+        if delay < 1:
+            raise ValueError(f"wakeup delay must be >= 1 round, got {delay}")
+        request = getattr(self._network, "request_wakeup", None)
+        if request is not None:
+            request(self.node, delay)
+
 
 class NodeProgram:
     """Base class for synchronous message-passing node programs."""
+
+    #: Scheduling contract (see docs/performance.md).  ``True`` — the
+    #: default, and the opt-out for round-counting protocols — means the
+    #: scheduler invokes ``on_round`` every round, delivered messages or
+    #: not, exactly like a naive full sweep.  Purely *message-driven*
+    #: programs (every action is a reaction to an inbox message; an
+    #: empty-inbox round is a no-op) declare ``TICK_EVERY_ROUND = False``
+    #: and are then invoked only when a message arrives or a requested
+    #: wakeup (:meth:`Context.request_wakeup`) matures — which is what
+    #: lets the engine do O(messages) work instead of O(n · rounds).
+    #: The flag is an implementation hint with no model-visible effect:
+    #: a correct message-driven program behaves identically either way
+    #: (the equivalence suite in tests/sim/test_scheduler_equivalence.py
+    #: enforces this for every flagged program in the repository).
+    TICK_EVERY_ROUND = True
 
     def __init__(self, ctx: Context):
         self.ctx = ctx
@@ -92,6 +129,11 @@ class NodeProgram:
         """Stop participating; the node receives no further events."""
         self.halted = True
 
+    def request_wakeup(self, delay: int = 1) -> None:
+        """Schedule an ``on_round`` invocation ``delay`` rounds from now
+        regardless of traffic (see :meth:`Context.request_wakeup`)."""
+        self.ctx.request_wakeup(delay)
+
     # -- event hooks (override these) --------------------------------------
     def on_start(self) -> None:
         """Round-0 hook; may send messages."""
@@ -112,6 +154,15 @@ class ScriptedProgram(NodeProgram):
     the same yield structure.
 
     When the generator returns, the node halts automatically.
+
+    Scripted programs default to ``TICK_EVERY_ROUND = True``: a script
+    whose yield structure *is* its round counter (``wait_rounds``
+    literally counts empty rounds) must be resumed every round.  A
+    subclass may opt out with ``TICK_EVERY_ROUND = False`` **only** if
+    its script derives slot numbers from ``self.round`` instead of
+    counting resumes, and books a :meth:`~NodeProgram.request_wakeup`
+    for every slot at which it must act on an empty inbox (see
+    ``SimpleMSTProgram`` for the pattern).
     """
 
     def on_start(self) -> None:

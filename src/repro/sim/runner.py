@@ -48,10 +48,17 @@ class StagedRun:
         self.stage_rounds: Dict[str, int] = {}
         self.stage_order: List[str] = []
         self.total_messages = 0
+        #: Sequential composition of every recorded stage's metrics
+        #: (:meth:`RunMetrics.merged_with`): rounds add, traffic
+        #: accumulates, and per-round counts are shifted onto the
+        #: composite timeline, so ``combined.traffic.per_round`` is the
+        #: full traffic profile of the staged execution.
+        self.combined = RunMetrics()
 
     def record(self, name: str, metrics: RunMetrics) -> None:
         self.add_rounds(name, metrics.rounds)
         self.total_messages += metrics.traffic.messages
+        self.combined = self.combined.merged_with(metrics)
 
     def add_rounds(self, name: str, rounds: int) -> None:
         if name not in self.stage_rounds:
