@@ -12,7 +12,7 @@ Run:  python examples/census_pipelining.py
 
 from repro.core.diam_dom import DiamDOMProgram
 from repro.graphs import path_graph
-from repro.sim import Network, TraceRecorder, traced
+from repro.sim import Network, TraceRecorder
 
 
 def main() -> None:
@@ -20,7 +20,8 @@ def main() -> None:
     graph = path_graph(n)
     recorder = TraceRecorder()
     network = Network(graph)
-    network.run(traced(lambda ctx: DiamDOMProgram(ctx, 0, k), recorder))
+    network.attach_subscriber(recorder)
+    network.run(lambda ctx: DiamDOMProgram(ctx, 0, k))
 
     # Collect census sends: (round, sender) -> census level.
     sends = {}

@@ -10,17 +10,23 @@ Examples::
     python -m repro partition --generate tree:500 --k 8
     python -m repro faults --generate random:60:0.08 --workload kdom --k 2 \
         --drop 0.05 --crash 7@3 --reliable
+    python -m repro trace --graph tree:n=64 --algo fast-mst --out trace.jsonl
+    python -m repro report trace.jsonl
 
 Graph specs: ``grid:RxC``, ``torus:RxC``, ``ring:N``, ``tree:N``,
 ``random:N:P`` (random connected with extra-edge probability P),
 ``complete:N``; or ``--graph FILE`` with a ``u v [weight]`` edge list.
-Weights are auto-assigned (distinct, polynomial) when missing and an
-algorithm needs them.
+Every kind also accepts key=value segments (``tree:n=64``,
+``grid:rows=3,cols=5``, ``random:n=50,p=0.1``), and ``--graph`` falls
+back to spec parsing when its value is not a file.  Weights are
+auto-assigned (distinct, polynomial) when missing and an algorithm
+needs them.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -60,33 +66,68 @@ from .verify import (
 
 def build_graph(args: argparse.Namespace) -> Graph:
     if args.graph:
-        with open(args.graph) as handle:
-            return load_edge_list(handle.read())
+        # A --graph value that is not a file but looks like a generator
+        # spec (contains ':') is treated as one, so
+        # `repro trace --graph tree:n=64 ...` works without --generate.
+        if os.path.exists(args.graph):
+            with open(args.graph) as handle:
+                return load_edge_list(handle.read())
+        if ":" in args.graph:
+            return generate(args.graph, seed=args.seed)
+        raise SystemExit(
+            f"--graph {args.graph!r}: no such file (expected an edge list, "
+            f"or a spec like tree:n=64 / grid:4x4)"
+        )
     if args.generate:
         return generate(args.generate, seed=args.seed)
     raise SystemExit("one of --graph or --generate is required")
 
 
+def _spec_params(rest: str) -> Optional[dict]:
+    """Parse ``n=64`` / ``n=50,p=0.1`` style spec arguments, or None
+    when ``rest`` uses the positional form (``12x12``, ``200:0.05``)."""
+    if "=" not in rest:
+        return None
+    params = {}
+    for part in rest.replace(":", ",").split(","):
+        key, sep, value = part.partition("=")
+        if not sep or not key or not value:
+            raise ValueError(f"malformed key=value segment {part!r}")
+        params[key.strip()] = value.strip()
+    return params
+
+
 def generate(spec: str, seed: int = 0) -> Graph:
+    """Build a graph from a spec like ``grid:12x12`` or ``tree:n=64``.
+
+    Each kind accepts either the positional form from the module
+    docstring or explicit key=value segments: ``tree:n=64``,
+    ``grid:rows=3,cols=5``, ``random:n=50,p=0.1``, ``ring:n=12``.
+    """
     kind, _, rest = spec.partition(":")
     try:
+        params = _spec_params(rest)
         if kind == "grid":
-            rows, cols = rest.split("x")
+            rows, cols = (
+                (params["rows"], params["cols"]) if params else rest.split("x")
+            )
             return grid_graph(int(rows), int(cols))
         if kind == "torus":
-            rows, cols = rest.split("x")
+            rows, cols = (
+                (params["rows"], params["cols"]) if params else rest.split("x")
+            )
             return torus_graph(int(rows), int(cols))
         if kind == "ring":
-            return cycle_graph(int(rest))
+            return cycle_graph(int(params["n"] if params else rest))
         if kind == "tree":
-            return random_tree(int(rest), seed=seed)
+            return random_tree(int(params["n"] if params else rest), seed=seed)
         if kind == "complete":
-            return complete_graph(int(rest))
+            return complete_graph(int(params["n"] if params else rest))
         if kind == "random":
-            n, p = rest.split(":")
+            n, p = (params["n"], params["p"]) if params else rest.split(":")
             return random_connected_graph(int(n), float(p), seed=seed)
-    except (ValueError, TypeError) as exc:
-        raise SystemExit(f"bad graph spec {spec!r}: {exc}")
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SystemExit(f"bad graph spec {spec!r}: {exc!r}")
     raise SystemExit(
         f"unknown graph kind {kind!r} (grid/torus/ring/tree/complete/random)"
     )
@@ -271,6 +312,140 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if health.ok else 1
 
 
+def _trace_fault_injector(args: argparse.Namespace) -> Optional[FaultInjector]:
+    """Build the optional fault injector for ``repro trace``."""
+    if not (
+        args.drop or args.duplicate or args.delay or args.crash
+    ):
+        return None
+    if args.algo not in ("bfs", "flood"):
+        raise SystemExit(
+            f"fault flags are only supported for the bfs/flood workloads, "
+            f"not {args.algo!r} (composite drivers build internal networks "
+            f"the injector cannot follow)"
+        )
+    try:
+        config = FaultConfig(
+            drop_rate=args.drop,
+            duplicate_rate=args.duplicate,
+            delay_rate=args.delay,
+            max_delay=args.max_delay,
+            crashes=parse_crash_spec(args.crash),
+            seed=args.fault_seed,
+        )
+    except FaultConfigError as exc:
+        raise SystemExit(f"bad fault configuration: {exc}")
+    return FaultInjector(config)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        JsonlTraceWriter,
+        MetricsCollector,
+        ascii_timeline,
+        channel_heatmap,
+        observe,
+        read_trace,
+        summary_lines,
+        validate_trace,
+    )
+
+    g = build_graph(args)
+    injector = _trace_fault_injector(args)
+    meta = {
+        "algo": args.algo,
+        "spec": args.graph or args.generate,
+        "seed": args.seed,
+        "nodes": g.num_nodes,
+        "edges": g.num_edges,
+    }
+    writer = JsonlTraceWriter(args.out, meta=meta)
+    collector = MetricsCollector()
+    staged = None
+    with observe(writer, collector) as obs:
+        if args.algo == "fast-mst":
+            ensure_weights(g, args.seed)
+            _edges, staged, _diag = fast_mst(g)
+        elif args.algo == "kdom":
+            ensure_weights(g, args.seed)
+            _dominators, _partition, staged = fastdom_graph(g, args.k)
+        else:
+            root = min(g.nodes, key=str)
+            if args.algo == "bfs":
+                from .primitives.bfs import BFSTreeProgram
+
+                factory = lambda ctx: BFSTreeProgram(ctx, root)  # noqa: E731
+            else:  # flood
+                from .primitives.flooding import FloodProgram
+
+                factory = lambda ctx: FloodProgram(ctx, root, value=1)  # noqa: E731
+            network = Network(g, faults=injector)
+            network.run(factory, max_rounds=args.max_rounds)
+        if staged is not None:
+            obs.record_phases(staged)
+
+    trace = read_trace(args.out)
+    problems = validate_trace(trace)
+    print(f"wrote {args.out} ({len(trace.events)} events, "
+          f"schema {trace.schema})")
+    for line in summary_lines(trace, collector):
+        print(line)
+    if staged is not None:
+        breakdown = trace.phase_breakdown()
+        matches = breakdown == dict(staged.breakdown())
+        print(f"phase totals match StagedRun breakdown: "
+              f"{'yes' if matches else 'NO — ' + repr(breakdown)}")
+        if not matches:
+            problems.append("trace phases disagree with StagedRun")
+    print()
+    print(ascii_timeline(trace, width=args.width))
+    print()
+    print(channel_heatmap(trace, channels=args.channels, width=args.width))
+    if problems:
+        print(f"\ntrace INVALID: {len(problems)} problem(s)")
+        for problem in problems[:10]:
+            print(f"  - {problem}")
+        return 1
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs import (
+        TraceValidationError,
+        ascii_timeline,
+        channel_heatmap,
+        read_trace,
+        summary_lines,
+        validate_trace,
+    )
+
+    try:
+        trace = read_trace(args.trace)
+    except TraceValidationError as exc:
+        print(f"unreadable trace {args.trace!r}:")
+        for problem in exc.problems[:10]:
+            print(f"  - {problem}")
+        return 1
+    problems = validate_trace(trace)
+    meta = ", ".join(f"{k}={v}" for k, v in sorted(trace.meta.items()))
+    print(f"trace {args.trace} (schema {trace.schema})")
+    if meta:
+        print(f"meta: {meta}")
+    for line in summary_lines(trace):
+        print(line)
+    print()
+    print(ascii_timeline(trace, width=args.width))
+    print()
+    print(channel_heatmap(trace, channels=args.channels, width=args.width))
+    if problems:
+        print(f"\ntrace INVALID: {len(problems)} problem(s)")
+        for problem in problems[:10]:
+            print(f"  - {problem}")
+        return 1
+    print("\ntrace valid")
+    return 0
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     from . import perf
 
@@ -288,6 +463,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         ),
         profile=args.profile,
         no_gate=args.no_gate,
+        obs=args.obs,
     )
 
 
@@ -359,6 +535,47 @@ def make_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--max-rounds", type=int, default=2000)
     p_faults.set_defaults(fn=cmd_faults)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run an algorithm with observability on; write a JSONL trace",
+    )
+    common(p_trace)
+    p_trace.add_argument(
+        "--algo", choices=("bfs", "flood", "kdom", "fast-mst"), default="bfs"
+    )
+    p_trace.add_argument("--k", type=int, default=2,
+                         help="k for the kdom workload")
+    p_trace.add_argument("--out", default="trace.jsonl",
+                         help="trace output path (JSONL)")
+    p_trace.add_argument("--width", type=int, default=60,
+                         help="view width in columns")
+    p_trace.add_argument("--channels", type=int, default=12,
+                         help="rows in the congestion heatmap")
+    p_trace.add_argument("--drop", type=float, default=0.0,
+                         help="per-message drop probability (bfs/flood)")
+    p_trace.add_argument("--duplicate", type=float, default=0.0,
+                         help="per-message duplication probability")
+    p_trace.add_argument("--delay", type=float, default=0.0,
+                         help="per-message delay probability")
+    p_trace.add_argument("--max-delay", type=int, default=3,
+                         help="maximum delay in rounds")
+    p_trace.add_argument("--crash", action="append", metavar="NODE@ROUND",
+                         help="crash-stop NODE at ROUND (repeatable)")
+    p_trace.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the fault adversary")
+    p_trace.add_argument("--max-rounds", type=int, default=2000)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report", help="validate and summarize a saved JSONL trace"
+    )
+    p_report.add_argument("trace", help="trace file written by `repro trace`")
+    p_report.add_argument("--width", type=int, default=60,
+                          help="view width in columns")
+    p_report.add_argument("--channels", type=int, default=12,
+                          help="rows in the congestion heatmap")
+    p_report.set_defaults(fn=cmd_report)
+
     p_perf = sub.add_parser(
         "perf", help="engine perf smoke suite (writes BENCH_sim.json)"
     )
@@ -378,6 +595,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="skip the baseline comparison")
     p_perf.add_argument("--profile", action="store_true",
                         help="cProfile the workloads instead of timing them")
+    p_perf.add_argument("--obs", action="store_true",
+                        help="also measure observability overhead "
+                             "(no-subscriber gate at 5%% over baseline)")
     p_perf.set_defaults(fn=cmd_perf)
     return parser
 

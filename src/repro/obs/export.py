@@ -1,0 +1,278 @@
+"""Streaming JSONL trace export, reading, and schema validation.
+
+A trace file is one JSON object per line.  Every line has a
+``"record"`` discriminator:
+
+* ``header`` — first line; carries ``"schema"`` (:data:`TRACE_SCHEMA`)
+  and a free-form deterministic ``"meta"`` dict (algo, graph spec, seed
+  — never timestamps or platform info, so traces of seeded runs are
+  byte-identical across machines and scheduling modes);
+* ``event`` — one engine event (see :mod:`repro.obs.events`), streamed
+  as it happens;
+* ``phase`` — one composite-timeline span (written when the driver
+  calls :meth:`Observation.record_phases`);
+* ``run`` — per-network summary, written at observation close;
+* ``summary`` — last line; event counts by kind (a cheap integrity
+  check for the validator).
+
+Serialization is canonical: ``sort_keys=True``, compact separators, and
+tuples encode as JSON arrays.  Anything non-JSON (exotic node ids)
+falls back to ``str``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Union
+
+from .events import EVENT_KINDS, TRACE_SCHEMA, Event, Subscriber
+
+#: Required fields per event kind (beyond "record"/"kind"/"round"/"run").
+_EVENT_FIELDS = {
+    "send": ("node", "peer", "words", "payload"),
+    "deliver": ("node", "peer", "words", "sent_round", "tag"),
+    "drop": ("node", "peer", "seq", "plan_index"),
+    "duplicate": ("node", "peer", "seq", "plan_index"),
+    "delay": ("node", "peer", "seq", "detail", "plan_index"),
+    "crash": ("node", "plan_index"),
+    "wakeup": ("node", "target"),
+    "halt": ("node",),
+}
+
+
+class TraceValidationError(ValueError):
+    """A trace failed schema validation; ``problems`` lists why."""
+
+    def __init__(self, problems: List[str]):
+        super().__init__(
+            f"{len(problems)} schema problem(s): " + "; ".join(problems[:5])
+        )
+        self.problems = problems
+
+
+def _encode(obj: Any) -> str:
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+class JsonlTraceWriter(Subscriber):
+    """Subscriber that streams the observation to a JSONL file.
+
+    ``target`` is a path (the writer owns and closes the handle) or an
+    open file-like object (left open; handy for in-memory buffers).
+    The header is written immediately so even a crashed run leaves a
+    parseable prefix.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.counts: Dict[str, int] = {}
+        self.events = 0
+        self.closed = False
+        self._write(
+            {"record": "header", "schema": TRACE_SCHEMA, "meta": meta or {}}
+        )
+
+    def _write(self, obj: Dict[str, Any]) -> None:
+        self._handle.write(_encode(obj))
+        self._handle.write("\n")
+
+    # -- Subscriber interface ----------------------------------------------
+    def on_event(self, event: Event) -> None:
+        kind = event["kind"]
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.events += 1
+        self._write({"record": "event", **event})
+
+    def on_phase(self, record: Event) -> None:
+        self._write({"record": "phase", **record})
+
+    def on_close(self, run_records: List[Event]) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for record in run_records:
+            self._write({"record": "run", **record})
+        self._write(
+            {
+                "record": "summary",
+                "events": self.events,
+                "by_kind": dict(sorted(self.counts.items())),
+            }
+        )
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+class Trace:
+    """A parsed trace: header plus record lists, with drill-down helpers."""
+
+    def __init__(
+        self,
+        header: Dict[str, Any],
+        events: List[Dict[str, Any]],
+        phases: List[Dict[str, Any]],
+        runs: List[Dict[str, Any]],
+        summary: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.header = header
+        self.events = events
+        self.phases = phases
+        self.runs = runs
+        self.summary = summary
+
+    @property
+    def schema(self) -> Any:
+        return self.header.get("schema")
+
+    @property
+    def meta(self) -> Dict[str, Any]:
+        return self.header.get("meta", {})
+
+    def by_kind(self, kind: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e.get("kind") == kind]
+
+    def phase_breakdown(self) -> Dict[str, int]:
+        """Per-phase round totals (matches ``PhaseBreakdown.phases``)."""
+        totals: Dict[str, int] = {}
+        for record in self.phases:
+            name = record["phase"]
+            totals[name] = totals.get(name, 0) + record["rounds"]
+        return totals
+
+    @property
+    def total_rounds(self) -> int:
+        """Composite rounds: phase total when phases were recorded,
+        else the sum of per-run rounds (sequential composition)."""
+        if self.phases:
+            return sum(r["rounds"] for r in self.phases)
+        return sum(r.get("rounds", 0) for r in self.runs)
+
+    @classmethod
+    def from_buffer(cls, buffer: Any, meta: Optional[Dict] = None) -> "Trace":
+        """Build a Trace from an in-memory :class:`TraceBuffer`."""
+        return cls(
+            header={"schema": TRACE_SCHEMA, "meta": meta or {}},
+            events=list(buffer.events),
+            phases=list(buffer.phases),
+            runs=list(buffer.runs),
+        )
+
+
+def read_trace(source: Union[str, IO[str]]) -> Trace:
+    """Parse a JSONL trace file (path or handle) into a :class:`Trace`.
+
+    Raises :class:`TraceValidationError` on structurally unreadable
+    input (bad JSON, missing header); use :func:`validate_trace` for
+    the full schema check.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = source.read().splitlines()
+    header: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = []
+    phases: List[Dict[str, Any]] = []
+    runs: List[Dict[str, Any]] = []
+    summary: Optional[Dict[str, Any]] = None
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceValidationError([f"line {index + 1}: bad JSON ({exc})"])
+        record = obj.get("record")
+        if index == 0 and record != "header":
+            raise TraceValidationError(["first line is not a header record"])
+        if record == "header":
+            header = obj
+        elif record == "event":
+            events.append(obj)
+        elif record == "phase":
+            phases.append(obj)
+        elif record == "run":
+            runs.append(obj)
+        elif record == "summary":
+            summary = obj
+        else:
+            raise TraceValidationError(
+                [f"line {index + 1}: unknown record type {record!r}"]
+            )
+    if header is None:
+        raise TraceValidationError(["empty trace: no header record"])
+    return Trace(header, events, phases, runs, summary)
+
+
+def validate_trace(trace: Union[Trace, str, IO[str]]) -> List[str]:
+    """Validate a trace against :data:`TRACE_SCHEMA`.
+
+    Accepts a :class:`Trace`, a path, or a handle.  Returns the list of
+    problems — empty means valid.
+    """
+    if not isinstance(trace, Trace):
+        try:
+            trace = read_trace(trace)
+        except TraceValidationError as exc:
+            return list(exc.problems)
+    problems: List[str] = []
+    if trace.schema != TRACE_SCHEMA:
+        problems.append(
+            f"unknown schema {trace.schema!r} (expected {TRACE_SCHEMA!r})"
+        )
+    for index, event in enumerate(trace.events):
+        kind = event.get("kind")
+        if kind not in EVENT_KINDS:
+            problems.append(f"event {index}: unknown kind {kind!r}")
+            continue
+        for key in ("round", "run"):
+            value = event.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"event {index} ({kind}): {key}={value!r} is not a "
+                    f"non-negative integer"
+                )
+        for key in _EVENT_FIELDS[kind]:
+            if key not in event:
+                problems.append(f"event {index} ({kind}): missing {key!r}")
+    for index, record in enumerate(trace.phases):
+        for key in ("phase", "start", "end", "rounds"):
+            if key not in record:
+                problems.append(f"phase {index}: missing {key!r}")
+        if (
+            all(k in record for k in ("start", "end", "rounds"))
+            and record["end"] - record["start"] != record["rounds"]
+        ):
+            problems.append(
+                f"phase {index} ({record.get('phase')!r}): end - start != "
+                f"rounds"
+            )
+    for index, record in enumerate(trace.runs):
+        for key in ("run", "rounds", "messages", "nodes"):
+            if key not in record:
+                problems.append(f"run {index}: missing {key!r}")
+    if trace.summary is not None:
+        if trace.summary.get("events") != len(trace.events):
+            problems.append(
+                f"summary counts {trace.summary.get('events')} events, "
+                f"trace has {len(trace.events)}"
+            )
+        by_kind: Dict[str, int] = {}
+        for event in trace.events:
+            kind = event.get("kind")
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        if trace.summary.get("by_kind") != by_kind:
+            problems.append("summary by_kind does not match the events")
+    return problems

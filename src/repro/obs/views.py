@@ -1,0 +1,202 @@
+"""Deterministic ASCII renderings of a trace.
+
+All three views are pure functions of the trace contents — no
+timestamps, no terminal queries, no locale dependence — so their output
+is golden-file testable (``tests/obs/golden/``) and stable across
+machines.
+
+* :func:`ascii_timeline` — per-run sends-per-round sparkline, one row
+  per network run, with the phase table appended when the trace has
+  phase records;
+* :func:`channel_heatmap` — the busiest directed channels as rows, the
+  composite round axis bucketed into columns, message volume rendered
+  on the :data:`_RAMP` intensity ramp;
+* :func:`phase_table` — the :class:`~repro.sim.runner.StagedRun` spans
+  as an aligned table (name, start, end, rounds, share).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Intensity ramp, blank to saturated.  Index 0 renders empty buckets.
+_RAMP = " .:-=+*#%@"
+
+
+def _bucketize(
+    per_round: Dict[int, int], span: int, width: int
+) -> List[int]:
+    """Fold a ``{round: count}`` profile over ``span`` rounds into
+    ``width`` buckets (bucket value = sum of its rounds' counts)."""
+    buckets = [0] * width
+    if span <= 0:
+        return buckets
+    for round_number, count in per_round.items():
+        index = min(width - 1, round_number * width // span)
+        buckets[index] += count
+    return buckets
+
+
+def _ramp_row(buckets: List[int], peak: int) -> str:
+    if peak <= 0:
+        return " " * len(buckets)
+    top = len(_RAMP) - 1
+    row = []
+    for value in buckets:
+        if value <= 0:
+            row.append(_RAMP[0])
+        else:
+            # Non-empty buckets always render at least the faintest mark.
+            row.append(_RAMP[max(1, value * top // peak)])
+    return "".join(row)
+
+
+def _events_of(trace: Any) -> List[Dict[str, Any]]:
+    return list(getattr(trace, "events", []) or [])
+
+
+def _phases_of(trace: Any) -> List[Dict[str, Any]]:
+    return list(getattr(trace, "phases", []) or [])
+
+
+def ascii_timeline(trace: Any, width: int = 60) -> str:
+    """Render sends-per-round as one sparkline row per network run.
+
+    ``trace`` is anything with ``.events`` / ``.phases`` lists of event
+    dicts — a :class:`~repro.obs.export.Trace` or a
+    :class:`~repro.obs.events.TraceBuffer`.
+    """
+    events = _events_of(trace)
+    sends = [e for e in events if e.get("kind") == "send"]
+    lines: List[str] = []
+    if not sends:
+        lines.append("(no send events)")
+    else:
+        per_run: Dict[int, Dict[int, int]] = {}
+        for event in sends:
+            profile = per_run.setdefault(event.get("run", 0), {})
+            rnd = event["round"]
+            profile[rnd] = profile.get(rnd, 0) + 1
+        run_rows: List[Tuple[int, List[int], int]] = []
+        peak = 0
+        for run in sorted(per_run):
+            profile = per_run[run]
+            span = max(profile) + 1
+            buckets = _bucketize(profile, span, min(width, span))
+            peak = max(peak, max(buckets))
+            run_rows.append((run, buckets, span))
+        lines.append(
+            f"sends per round ({len(sends)} total, peak bucket {peak})"
+        )
+        for run, buckets, span in run_rows:
+            row = _ramp_row(buckets, peak)
+            lines.append(f"run {run:>2} |{row}| rounds 0..{span - 1}")
+    phases = _phases_of(trace)
+    if phases:
+        lines.append("")
+        lines.append(phase_table(trace))
+    return "\n".join(lines)
+
+
+def phase_table(trace: Any) -> str:
+    """The composite phase spans as an aligned ASCII table."""
+    phases = _phases_of(trace)
+    if not phases:
+        return "(no phase records)"
+    total = sum(p["rounds"] for p in phases) or 1
+    name_width = max(len("phase"), max(len(str(p["phase"])) for p in phases))
+    lines = [
+        f"{'phase':<{name_width}}  {'start':>6}  {'end':>6}  "
+        f"{'rounds':>6}  share"
+    ]
+    for record in phases:
+        share = 100.0 * record["rounds"] / total
+        lines.append(
+            f"{record['phase']:<{name_width}}  {record['start']:>6}  "
+            f"{record['end']:>6}  {record['rounds']:>6}  {share:5.1f}%"
+        )
+    lines.append(
+        f"{'total':<{name_width}}  {'':>6}  {'':>6}  "
+        f"{sum(p['rounds'] for p in phases):>6}"
+    )
+    return "\n".join(lines)
+
+
+def channel_heatmap(
+    trace: Any, channels: int = 12, width: int = 60
+) -> str:
+    """Per-channel congestion heatmap over the round axis.
+
+    Rows are the ``channels`` busiest directed channels (by sends, then
+    stable key order); columns bucket the round axis of the busiest run
+    window; cell intensity is message volume on the shared ramp
+    ``{_RAMP!r}``.  Runs are overlaid on one axis — for composite
+    algorithms each run restarts at round 0, which is the natural way
+    to compare the same physical link across stages.
+    """
+    events = _events_of(trace)
+    sends = [e for e in events if e.get("kind") == "send"]
+    if not sends:
+        return "(no send events)"
+    profiles: Dict[Tuple[str, str], Dict[int, int]] = {}
+    for event in sends:
+        key = (str(event["node"]), str(event["peer"]))
+        profile = profiles.setdefault(key, {})
+        rnd = event["round"]
+        profile[rnd] = profile.get(rnd, 0) + 1
+    span = max(e["round"] for e in sends) + 1
+    cols = min(width, span)
+    ordered = sorted(
+        profiles.items(), key=lambda kv: (-sum(kv[1].values()), kv[0])
+    )
+    shown = ordered[:channels]
+    rows: List[Tuple[str, List[int], int]] = []
+    peak = 0
+    for (sender, receiver), profile in shown:
+        buckets = _bucketize(profile, span, cols)
+        peak = max(peak, max(buckets))
+        rows.append((f"{sender}->{receiver}", buckets, sum(profile.values())))
+    label_width = max(len(label) for label, _, _ in rows)
+    lines = [
+        f"channel congestion: top {len(rows)} of {len(profiles)} "
+        f"channels, rounds 0..{span - 1}, ramp '{_RAMP}'"
+    ]
+    for label, buckets, total in rows:
+        lines.append(
+            f"{label:<{label_width}} |{_ramp_row(buckets, peak)}| "
+            f"{total} msg"
+        )
+    if len(ordered) > len(shown):
+        hidden = len(ordered) - len(shown)
+        lines.append(f"... {hidden} more channel(s) not shown")
+    return "\n".join(lines)
+
+
+def summary_lines(
+    trace: Any, collector: Optional[Any] = None
+) -> List[str]:
+    """Headline numbers for ``repro trace`` / ``repro report`` output."""
+    events = _events_of(trace)
+    by_kind: Dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    lines = [f"events: {len(events)}"]
+    if by_kind:
+        parts = ", ".join(f"{k}={by_kind[k]}" for k in sorted(by_kind))
+        lines.append(f"by kind: {parts}")
+    runs = list(getattr(trace, "runs", []) or [])
+    for record in runs:
+        lines.append(
+            f"run {record.get('run')}: {record.get('nodes')} nodes, "
+            f"{record.get('rounds')} rounds, "
+            f"{record.get('messages')} messages"
+        )
+    if collector is not None and collector.channels:
+        busiest = collector.top_channels(1)[0]
+        lines.append(
+            f"busiest channel: {busiest.sender}->{busiest.receiver} "
+            f"({busiest.messages} messages, "
+            f"utilization {busiest.utilization():.2f})"
+        )
+    return lines

@@ -15,10 +15,21 @@ the regression gate: the run fails if any workload is slower than
 factor absorbs machine-to-machine variance while still catching
 order-of-magnitude mistakes like losing the active-set scheduler.
 
+The engine carries observability hook points (:mod:`repro.obs`) that
+are supposed to cost nothing when no subscriber is attached.  ``--obs``
+turns that claim into a measurement: it times every workload twice —
+bare (no subscriber; the default numbers already are this
+configuration) and with a :class:`~repro.obs.CountingSubscriber`
+attached — records both in an ``"observability"`` report section, and
+gates the bare numbers at :data:`OBS_GATE_FACTOR` (1.05, i.e. <= 5%
+overhead) against the committed baseline instead of the loose default
+factor.
+
 Usage::
 
     python -m repro perf              # full suite -> BENCH_sim.json
     python -m repro perf --fast       # CI-sized, gated against baseline
+    python -m repro perf --fast --obs # + observability overhead check
     python -m repro perf --profile    # cProfile the hottest workload
 """
 
@@ -54,6 +65,11 @@ DEFAULT_OUTPUT = "BENCH_sim.json"
 DEFAULT_BASELINE = "benchmarks/perf_baseline.json"
 
 DEFAULT_GATE_FACTOR = 2.0
+
+#: The no-subscriber observability overhead contract: with ``--obs``,
+#: each workload's bare best must stay within 5% of the committed
+#: baseline best (which was recorded on the same class of machine).
+OBS_GATE_FACTOR = 1.05
 
 
 def _bfs_path(n: int) -> Tuple[Callable[[], Any], Dict[str, Any]]:
@@ -129,6 +145,84 @@ def run_suite(
     }
 
 
+def measure_observability(
+    report: Dict[str, Any],
+    fast: bool = False,
+    reps: int = 3,
+    echo: Callable[[str], None] = lambda line: None,
+) -> Dict[str, Any]:
+    """Time every workload with a subscriber attached; return the
+    ``"observability"`` report section.
+
+    The bare (no-subscriber) reference is the suite result already in
+    ``report`` — those timings run with the hook points compiled in but
+    no tap bound, which is exactly the configuration the <= 5% contract
+    is about.  ``observed_seconds`` adds a
+    :class:`~repro.obs.CountingSubscriber`, the cheapest real consumer,
+    so the ratio bounds the event stream's dispatch cost from below.
+    """
+    from .obs import CountingSubscriber, observe
+
+    section: Dict[str, Any] = {}
+    for name, (builder, full_kwargs, fast_kwargs) in WORKLOADS.items():
+        kwargs = fast_kwargs if fast else full_kwargs
+        fn, _params = builder(**kwargs)
+        counter = CountingSubscriber()
+
+        def observed() -> None:
+            with observe(counter):
+                fn()
+
+        times = time_workload(observed, reps)
+        best = min(times)
+        base = report["workloads"][name]["best_seconds"]
+        ratio = best / base if base > 0 else float("inf")
+        section[name] = {
+            "base_seconds": base,
+            "observed_seconds": round(best, 6),
+            "observed_times": [round(t, 6) for t in times],
+            "events": counter.total,
+            "overhead_ratio": round(ratio, 3),
+        }
+        echo(
+            f"{name:<14} observed {best:.3f}s vs bare {base:.3f}s "
+            f"({ratio:.2f}x, {counter.total} events)"
+        )
+    return section
+
+
+def check_obs_overhead(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    factor: float = OBS_GATE_FACTOR,
+) -> List[str]:
+    """Gate the no-subscriber configuration at ``factor`` x baseline.
+
+    This is the enforcement of the observability overhead contract: the
+    report's bare workload timings (hooks present, no subscriber) must
+    stay within ``factor`` (default 1.05) of the committed baseline
+    best.  Same skip rule as :func:`check_regressions` for workloads
+    missing from the baseline.
+    """
+    mode = report.get("mode")
+    reference = baseline.get(mode, {}) if mode else {}
+    failures = []
+    for name, result in report.get("workloads", {}).items():
+        base = reference.get(name)
+        if not base:
+            continue
+        allowed = base["best_seconds"] * factor
+        current = result["best_seconds"]
+        if current > allowed:
+            failures.append(
+                f"{name}: no-subscriber {current:.3f}s exceeds "
+                f"{factor:.2f}x baseline ({base['best_seconds']:.3f}s -> "
+                f"allowed {allowed:.3f}s) — instrumentation overhead "
+                f"contract (docs/observability.md) violated"
+            )
+    return failures
+
+
 def profile_suite(fast: bool = False, top: int = 25) -> str:
     """cProfile one pass over every workload; return the hot-frame table."""
     profiler = cProfile.Profile()
@@ -194,12 +288,17 @@ def main(
     gate_factor: float = DEFAULT_GATE_FACTOR,
     profile: bool = False,
     no_gate: bool = False,
+    obs: bool = False,
 ) -> int:
     """Run the suite, write the report, apply the regression gate."""
     if profile:
         print(profile_suite(fast=fast))
         return 0
     report = run_suite(fast=fast, reps=reps, echo=print)
+    if obs:
+        report["observability"] = measure_observability(
+            report, fast=fast, reps=reps, echo=print
+        )
     write_report(report, output)
     print(f"wrote {output}")
     if no_gate:
@@ -209,9 +308,14 @@ def main(
         print(f"no baseline at {baseline_path}; gate skipped")
         return 0
     failures = check_regressions(report, baseline, gate_factor)
+    if obs:
+        failures += check_obs_overhead(report, baseline)
     if failures:
         for failure in failures:
             print(f"REGRESSION  {failure}", file=sys.stderr)
         return 1
-    print(f"gate passed ({gate_factor:.1f}x vs {baseline_path})")
+    gates = f"{gate_factor:.1f}x"
+    if obs:
+        gates += f" + obs {OBS_GATE_FACTOR:.2f}x"
+    print(f"gate passed ({gates} vs {baseline_path})")
     return 0

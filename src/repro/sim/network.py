@@ -60,6 +60,7 @@ from .faults import (
 from .metrics import RunMetrics
 from .model import DEFAULT_WORD_LIMIT, Envelope
 from .program import Context, NodeProgram
+from ..obs.session import Tap, bind as _obs_bind
 
 #: Default round budget.  Generous; real algorithms in this repository
 #: terminate far earlier, and hitting the budget indicates a livelock.
@@ -167,6 +168,23 @@ class Network:
         self._unhalted: Set[int] = set()
         self._wakeups: Dict[int, Set[int]] = {}
         self._crashed_idx: Set[int] = set()
+        # Observability tap: None unless an observation session is
+        # active (repro.obs.observe) or attach_subscriber() is called.
+        # Every hook below is a single `is not None` check when off —
+        # that is the whole no-subscriber overhead contract.
+        self._obs: Optional[Tap] = _obs_bind(self)
+
+    def attach_subscriber(self, subscriber) -> Any:
+        """Attach ``subscriber`` directly to this network's event stream.
+
+        Works with or without an ambient :func:`repro.obs.observe`
+        session; without one, the network gets a session-less tap with
+        run id 0.  Returns the subscriber (handy for one-liners)."""
+        if self._obs is None:
+            self._obs = Tap(None, 0, [subscriber])
+        else:
+            self._obs.sinks.append(subscriber)
+        return subscriber
 
     # ------------------------------------------------------------------
     # Sending (called by programs through their context)
@@ -200,6 +218,18 @@ class Network:
             traffic.max_words = words
         per_round = traffic.per_round
         per_round[round_number] = per_round.get(round_number, 0) + 1
+        obs = self._obs
+        if obs is not None:
+            obs.emit(
+                {
+                    "kind": "send",
+                    "round": round_number,
+                    "node": sender,
+                    "peer": receiver,
+                    "words": words,
+                    "payload": payload,
+                }
+            )
 
     def request_wakeup(self, node, delay: int = 1) -> None:
         """Schedule ``node`` for invocation ``delay`` rounds from now
@@ -210,6 +240,16 @@ class Network:
         if pending is None:
             pending = self._wakeups[target] = set()
         pending.add(self._index[node])
+        obs = self._obs
+        if obs is not None:
+            obs.emit(
+                {
+                    "kind": "wakeup",
+                    "round": self.current_round,
+                    "node": node,
+                    "target": target,
+                }
+            )
 
     # ------------------------------------------------------------------
     # Execution
@@ -249,8 +289,39 @@ class Network:
 
     def _note_halt(self, i: int) -> None:
         """Sync scheduler state after observing ``programs[i].halted``."""
-        self._unhalted.discard(i)
+        if i in self._unhalted:
+            self._unhalted.discard(i)
+            obs = self._obs
+            if obs is not None:
+                obs.emit(
+                    {
+                        "kind": "halt",
+                        "round": self.current_round,
+                        "node": self.nodes[i],
+                    }
+                )
         self._always.discard(i)
+
+    def _emit_faults(self, obs: Tap, plan_events, plan_mark: int) -> None:
+        """Mirror FaultEvents recorded this round into the event stream.
+
+        ``plan_index`` is the event's index in the run's
+        :class:`~repro.sim.faults.FaultPlan`, so a trace line can be
+        joined back to the replayable plan exactly.
+        """
+        for plan_index in range(plan_mark, len(plan_events)):
+            fault = plan_events[plan_index]
+            event = {
+                "kind": fault.kind,
+                "round": fault.round,
+                "node": fault.node,
+                "plan_index": plan_index,
+            }
+            if fault.target is not None:
+                event["peer"] = fault.target
+                event["seq"] = fault.seq
+                event["detail"] = fault.detail
+            obs.emit(event)
 
     def step(self) -> bool:
         """Execute one round; return True if the network is still live.
@@ -263,13 +334,18 @@ class Network:
         self._channels_used.clear()
         self.current_round += 1
         crashed_idx = self._crashed_idx
+        obs = self._obs
         faulty = self.faults is not None
         if faulty:
+            plan_events = self.faults.plan.events
+            plan_mark = len(plan_events)
             for node in self.faults.crashes_at(self.current_round):
                 i = self._index[node]
                 crashed_idx.add(i)
                 self._always.discard(i)
             delivering = self.faults.deliveries(delivering, self.current_round)
+            if obs is not None and len(plan_events) > plan_mark:
+                self._emit_faults(obs, plan_events, plan_mark)
         # Liveness before the sweep: some program un-halted and un-crashed
         # (the old engine's "did anything get invoked" bit, computed
         # without sweeping).
@@ -285,12 +361,34 @@ class Network:
         index = self._index
         inboxes = self._inboxes
         touched = self._touched
-        for envelope in delivering:
-            ri = index[envelope.receiver]
-            bucket = inboxes[ri]
-            if not bucket:
-                touched.append(ri)
-            bucket.append(envelope)
+        if obs is None:
+            for envelope in delivering:
+                ri = index[envelope.receiver]
+                bucket = inboxes[ri]
+                if not bucket:
+                    touched.append(ri)
+                bucket.append(envelope)
+        else:
+            # Observed twin of the loop above, kept separate so the
+            # unobserved path pays nothing per message.
+            round_number = self.current_round
+            for envelope in delivering:
+                ri = index[envelope.receiver]
+                bucket = inboxes[ri]
+                if not bucket:
+                    touched.append(ri)
+                bucket.append(envelope)
+                obs.emit(
+                    {
+                        "kind": "deliver",
+                        "round": round_number,
+                        "node": envelope.receiver,
+                        "peer": envelope.sender,
+                        "words": envelope.words,
+                        "sent_round": envelope.sent_round,
+                        "tag": envelope.tag(),
+                    }
+                )
 
         # Active set: messages in, matured wakeups, always-tickers.
         active = self._wakeups.pop(self.current_round, None)

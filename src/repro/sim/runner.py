@@ -73,6 +73,31 @@ class StagedRun:
     def breakdown(self) -> Dict[str, int]:
         return {name: self.stage_rounds[name] for name in self.stage_order}
 
+    def spans(self) -> List[Dict[str, int]]:
+        """The stages as half-open spans on the composite timeline.
+
+        Stages run sequentially, so stage *i* occupies rounds
+        ``[start, end)`` where ``start`` is the sum of all earlier
+        stages.  This is the hand-off format for
+        :meth:`repro.obs.Observation.record_phases`: per-phase round
+        totals derived from the spans reproduce :meth:`breakdown`
+        exactly.
+        """
+        spans: List[Dict[str, int]] = []
+        cursor = 0
+        for name in self.stage_order:
+            rounds = self.stage_rounds[name]
+            spans.append(
+                {
+                    "name": name,
+                    "start": cursor,
+                    "end": cursor + rounds,
+                    "rounds": rounds,
+                }
+            )
+            cursor += rounds
+        return spans
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(
             f"{name}={self.stage_rounds[name]}" for name in self.stage_order

@@ -3,13 +3,28 @@
 Lemma 5.3 of the paper is a statement about *when* nodes send: once a
 node starts upcasting it never stalls.  Verifying it requires observing
 per-round send behaviour, which is what :class:`TraceRecorder` captures.
+
+The recorder is an :class:`~repro.obs.Subscriber` over the engine's
+native event stream (:mod:`repro.obs`).  It used to be driven by
+:func:`traced`, a factory wrapper that monkey-patched ``send`` /
+``on_round`` / ``halt`` on each program — which silently under-reported
+``rounds_active()`` and ``stalls()`` under ``scheduling="active"``,
+because the engine legitimately skips idle programs there, so "was
+invoked" stopped being a proxy for "was active".  The recorder now sees
+exactly what the engine does, in either scheduling mode, and "active"
+means *model-visibly* active: the node sent, received, woke, or halted
+that round.  Attach it with :meth:`~repro.sim.network.Network.
+attach_subscriber` (or :func:`repro.obs.observe`); :func:`traced`
+remains as a thin deprecated shim for old call sites.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
+from ..obs.events import Event, Subscriber
 from .program import Context, NodeProgram
 
 
@@ -17,17 +32,56 @@ from .program import Context, NodeProgram
 class TraceEvent:
     round: int
     node: Any
-    kind: str  # "send" | "round" | "halt"
+    kind: str  # "send" | "deliver" | "wakeup" | "halt"
     detail: Tuple[Any, ...]
 
 
-class TraceRecorder:
-    """Collects :class:`TraceEvent`s emitted by traced programs."""
+class TraceRecorder(Subscriber):
+    """Collects :class:`TraceEvent`s from the engine event stream.
+
+    Detail shapes (chosen for continuity with the old recorder — a
+    ``send`` detail is still ``(receiver, payload_tuple)``):
+
+    * ``send`` — ``(receiver, payload)``;
+    * ``deliver`` — ``(sender, tag)``;
+    * ``wakeup`` — ``(target_round,)``;
+    * ``halt`` — ``()``.
+    """
+
+    #: Engine event kinds this recorder keeps.
+    KINDS = ("send", "deliver", "wakeup", "halt")
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
+        self._attached: List[Any] = []
 
+    # -- Subscriber interface ----------------------------------------------
+    def on_event(self, event: Event) -> None:
+        kind = event["kind"]
+        if kind == "send":
+            detail = (event["peer"], tuple(event["payload"]))
+        elif kind == "deliver":
+            detail = (event["peer"], event["tag"])
+        elif kind == "wakeup":
+            detail = (event["target"],)
+        elif kind == "halt":
+            detail = ()
+        else:  # fault events; MetricsCollector is the tool for those
+            return
+        self.events.append(
+            TraceEvent(event["round"], event["node"], kind, detail)
+        )
+
+    def attach_to(self, network: Any) -> "TraceRecorder":
+        """Subscribe to ``network`` (idempotent per network)."""
+        if not any(network is seen for seen in self._attached):
+            self._attached.append(network)
+            network.attach_subscriber(self)
+        return self
+
+    # -- queries --------------------------------------------------------------
     def record(self, round_number: int, node: Any, kind: str, *detail: Any) -> None:
+        """Append an event by hand (kept for external callers)."""
         self.events.append(TraceEvent(round_number, node, kind, tuple(detail)))
 
     def sends_by_node(self) -> Dict[Any, List[int]]:
@@ -41,9 +95,14 @@ class TraceRecorder:
         return sends
 
     def rounds_active(self, node: Any) -> List[int]:
-        return sorted(
-            {e.round for e in self.events if e.node == node and e.kind == "round"}
-        )
+        """Rounds in which ``node`` was model-visibly active (sent,
+        received, requested a wakeup, or halted).
+
+        Unlike the old invocation-based definition this is identical
+        under ``scheduling="full"`` and ``scheduling="active"`` — an
+        empty-inbox no-op invocation never was meaningful activity.
+        """
+        return sorted({e.round for e in self.events if e.node == node})
 
     def stalls(self, node: Any) -> List[int]:
         """Rounds strictly between a node's first and last send in which
@@ -59,29 +118,23 @@ class TraceRecorder:
 def traced(
     program_factory: Callable[[Context], NodeProgram], recorder: TraceRecorder
 ) -> Callable[[Context], NodeProgram]:
-    """Wrap a program factory so every send/round/halt is recorded."""
+    """Deprecated: attach ``recorder`` to the network running ``factory``.
+
+    Prefer ``network.attach_subscriber(recorder)`` (or an ambient
+    :func:`repro.obs.observe` session) — this shim only exists so old
+    call sites keep working.  It no longer wraps program methods; it
+    subscribes the recorder to the constructing network the first time
+    the factory runs, so the engine's event stream does the recording.
+    """
+    warnings.warn(
+        "traced() is deprecated; use Network.attach_subscriber(recorder) "
+        "or repro.obs.observe() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     def factory(ctx: Context) -> NodeProgram:
-        program = program_factory(ctx)
-        original_send = program.send
-        original_on_round = program.on_round
-        original_halt = program.halt
-
-        def send(neighbor, *fields):
-            recorder.record(ctx.round, ctx.node, "send", neighbor, fields)
-            return original_send(neighbor, *fields)
-
-        def on_round(inbox):
-            recorder.record(ctx.round, ctx.node, "round", len(inbox))
-            return original_on_round(inbox)
-
-        def halt():
-            recorder.record(ctx.round, ctx.node, "halt")
-            return original_halt()
-
-        program.send = send  # type: ignore[method-assign]
-        program.on_round = on_round  # type: ignore[method-assign]
-        program.halt = halt  # type: ignore[method-assign]
-        return program
+        recorder.attach_to(ctx._network)
+        return program_factory(ctx)
 
     return factory

@@ -129,13 +129,14 @@ class TestCensusScheduleFidelity:
     t1 + l + (M - i), verified via the send trace."""
 
     def test_send_rounds_match_schedule(self):
-        from repro.sim import Network, TraceRecorder, traced
+        from repro.sim import Network, TraceRecorder
 
         g = random_tree(60, seed=9)
         k = 3
         recorder = TraceRecorder()
         net = Network(g)
-        net.run(traced(lambda ctx: DiamDOMProgram(ctx, 0, k), recorder))
+        net.attach_subscriber(recorder)
+        net.run(lambda ctx: DiamDOMProgram(ctx, 0, k))
 
         t1 = net.programs[0].output["t1"] if "t1" in net.programs[0].output else None
         depths = net.output_field("depth")
@@ -152,13 +153,14 @@ class TestCensusScheduleFidelity:
             assert round_sent == expected, (node, level, round_sent, expected)
 
     def test_every_nonroot_sends_every_census(self):
-        from repro.sim import Network, TraceRecorder, traced
+        from repro.sim import Network, TraceRecorder
 
         g = random_tree(40, seed=10)
         k = 2
         recorder = TraceRecorder()
         net = Network(g)
-        net.run(traced(lambda ctx: DiamDOMProgram(ctx, 0, k), recorder))
+        net.attach_subscriber(recorder)
+        net.run(lambda ctx: DiamDOMProgram(ctx, 0, k))
         counts = {}
         for event in recorder.events:
             if event.kind == "send" and event.detail[1][0] == "CEN":

@@ -1,0 +1,109 @@
+"""Event stream basics: subscriber protocol, buffers, session plumbing."""
+
+from repro.graphs import path_graph
+from repro.obs import (
+    EVENT_KINDS,
+    FAULT_KINDS,
+    CountingSubscriber,
+    Subscriber,
+    TraceBuffer,
+    current_observation,
+    observe,
+)
+from repro.primitives.flooding import FloodProgram
+from repro.sim import Network
+
+
+def flood(graph, **net_kwargs):
+    net = Network(graph, **net_kwargs)
+    net.run(lambda ctx: FloodProgram(ctx, 0, value=1))
+    return net
+
+
+class TestSubscriberProtocol:
+    def test_base_class_hooks_are_noops(self):
+        sub = Subscriber()
+        sub.on_event({"kind": "send", "round": 0})
+        sub.on_phase({"phase": "p", "start": 0, "end": 1, "rounds": 1})
+        sub.on_close([])
+
+    def test_fault_kinds_are_event_kinds(self):
+        assert set(FAULT_KINDS) <= set(EVENT_KINDS)
+
+
+class TestTraceBuffer:
+    def test_collects_model_visible_events(self):
+        buffer = TraceBuffer()
+        with observe(buffer):
+            flood(path_graph(5))
+        kinds = {e["kind"] for e in buffer.events}
+        assert "send" in kinds and "deliver" in kinds and "halt" in kinds
+        assert kinds <= set(EVENT_KINDS)
+        # Every node floods once and halts once.
+        assert len(buffer.by_kind("halt")) == 5
+
+    def test_events_carry_round_and_run(self):
+        buffer = TraceBuffer()
+        with observe(buffer):
+            flood(path_graph(4))
+        for event in buffer.events:
+            assert event["round"] >= 0
+            assert event["run"] == 0
+
+    def test_run_ids_increment_per_network(self):
+        buffer = TraceBuffer()
+        with observe(buffer):
+            flood(path_graph(3))
+            flood(path_graph(3))
+        assert {e["run"] for e in buffer.events} == {0, 1}
+        assert [r["run"] for r in buffer.runs] == [0, 1]
+
+    def test_run_records_summarise_each_network(self):
+        buffer = TraceBuffer()
+        with observe(buffer):
+            net = flood(path_graph(6))
+        (record,) = buffer.runs
+        assert record["nodes"] == 6
+        assert record["rounds"] == net.current_round
+        assert record["messages"] == net.metrics.traffic.messages
+
+
+class TestCountingSubscriber:
+    def test_counts_match_buffer(self):
+        buffer, counter = TraceBuffer(), CountingSubscriber()
+        with observe(buffer, counter):
+            flood(path_graph(5))
+        assert counter.total == len(buffer.events)
+        for kind, count in counter.counts.items():
+            assert count == len(buffer.by_kind(kind))
+
+
+class TestSessionScoping:
+    def test_no_session_no_observation(self):
+        assert current_observation() is None
+        net = flood(path_graph(3))
+        assert net._obs is None
+
+    def test_network_outside_session_stays_silent(self):
+        quiet = Network(path_graph(3))
+        buffer = TraceBuffer()
+        with observe(buffer):
+            quiet.run(lambda ctx: FloodProgram(ctx, 0, value=1))
+        # The network was constructed before the session began, so it
+        # never registered a tap.
+        assert buffer.events == []
+
+    def test_nested_sessions_bind_innermost(self):
+        outer, inner = TraceBuffer(), TraceBuffer()
+        with observe(outer):
+            with observe(inner):
+                flood(path_graph(3))
+        assert inner.events and not outer.events
+
+    def test_attach_subscriber_without_session(self):
+        buffer = TraceBuffer()
+        net = Network(path_graph(4))
+        net.attach_subscriber(buffer)
+        net.run(lambda ctx: FloodProgram(ctx, 0, value=1))
+        assert buffer.by_kind("send")
+        assert all(e["run"] == 0 for e in buffer.events)

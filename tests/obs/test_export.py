@@ -1,0 +1,176 @@
+"""JSONL trace export: writer round-trip, reader, schema validation."""
+
+import io
+import json
+
+import pytest
+
+from repro.graphs import path_graph
+from repro.obs import (
+    TRACE_SCHEMA,
+    JsonlTraceWriter,
+    Trace,
+    TraceBuffer,
+    TraceValidationError,
+    observe,
+    read_trace,
+    validate_trace,
+)
+from repro.primitives.flooding import FloodProgram
+from repro.sim import Network
+
+
+def flood_trace(meta=None):
+    """Run a small flood under a JSONL writer; return the raw text."""
+    sink = io.StringIO()
+    writer = JsonlTraceWriter(sink, meta=meta)
+    with observe(writer):
+        Network(path_graph(5)).run(lambda ctx: FloodProgram(ctx, 0, value=1))
+    return sink.getvalue()
+
+
+class TestWriter:
+    def test_header_first_summary_last(self):
+        lines = flood_trace(meta={"algo": "flood"}).splitlines()
+        first, last = json.loads(lines[0]), json.loads(lines[-1])
+        assert first["record"] == "header"
+        assert first["schema"] == TRACE_SCHEMA
+        assert first["meta"] == {"algo": "flood"}
+        assert last["record"] == "summary"
+
+    def test_canonical_encoding(self):
+        for line in flood_trace().splitlines():
+            obj = json.loads(line)
+            assert line == json.dumps(
+                obj, sort_keys=True, separators=(",", ":"), default=str
+            )
+
+    def test_path_target_owns_handle(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(str(out))
+        with observe(writer):
+            Network(path_graph(3)).run(
+                lambda ctx: FloodProgram(ctx, 0, value=1)
+            )
+        assert writer.closed
+        assert out.exists()
+        assert validate_trace(str(out)) == []
+
+    def test_summary_counts_match(self):
+        trace = read_trace(io.StringIO(flood_trace()))
+        assert trace.summary["events"] == len(trace.events)
+
+
+class TestRoundTrip:
+    def test_read_back_equals_buffer(self):
+        sink = io.StringIO()
+        buffer = TraceBuffer()
+        with observe(JsonlTraceWriter(sink), buffer):
+            Network(path_graph(5)).run(
+                lambda ctx: FloodProgram(ctx, 0, value=1)
+            )
+        trace = read_trace(io.StringIO(sink.getvalue()))
+        # JSON round-trip turns payload tuples into lists, so compare
+        # per-field rather than by dict equality.
+        assert len(trace.events) == len(buffer.events)
+        for parsed, emitted in zip(trace.events, buffer.events):
+            assert parsed["kind"] == emitted["kind"]
+            assert parsed["round"] == emitted["round"]
+            assert parsed["run"] == emitted["run"]
+
+    def test_validate_round_trip_is_clean(self):
+        assert validate_trace(io.StringIO(flood_trace())) == []
+
+    def test_from_buffer(self):
+        buffer = TraceBuffer()
+        with observe(buffer):
+            Network(path_graph(4)).run(
+                lambda ctx: FloodProgram(ctx, 0, value=1)
+            )
+        trace = Trace.from_buffer(buffer, meta={"src": "buffer"})
+        assert trace.schema == TRACE_SCHEMA
+        assert trace.meta == {"src": "buffer"}
+        assert len(trace.events) == len(buffer.events)
+        assert trace.total_rounds == buffer.runs[0]["rounds"]
+
+
+class TestReaderErrors:
+    def test_missing_header(self):
+        with pytest.raises(TraceValidationError):
+            read_trace(io.StringIO('{"record":"event","kind":"send"}\n'))
+
+    def test_bad_json(self):
+        with pytest.raises(TraceValidationError) as exc:
+            read_trace(io.StringIO("not json\n"))
+        assert "bad JSON" in exc.value.problems[0]
+
+    def test_unknown_record(self):
+        header = json.dumps({"record": "header", "schema": TRACE_SCHEMA})
+        with pytest.raises(TraceValidationError):
+            read_trace(io.StringIO(header + '\n{"record":"mystery"}\n'))
+
+    def test_empty_input(self):
+        with pytest.raises(TraceValidationError):
+            read_trace(io.StringIO(""))
+
+
+class TestValidator:
+    def header(self):
+        return {"record": "header", "schema": TRACE_SCHEMA, "meta": {}}
+
+    def test_wrong_schema_flagged(self):
+        trace = Trace({"schema": "bogus/9"}, [], [], [])
+        assert any("unknown schema" in p for p in validate_trace(trace))
+
+    def test_unknown_kind_flagged(self):
+        trace = Trace(
+            self.header(),
+            [{"kind": "teleport", "round": 0, "run": 0}],
+            [], [],
+        )
+        assert any("unknown kind" in p for p in validate_trace(trace))
+
+    def test_missing_field_flagged(self):
+        trace = Trace(
+            self.header(),
+            [{"kind": "send", "round": 0, "run": 0, "node": 1}],
+            [], [],
+        )
+        problems = validate_trace(trace)
+        assert any("missing 'peer'" in p for p in problems)
+        assert any("missing 'payload'" in p for p in problems)
+
+    def test_negative_round_flagged(self):
+        trace = Trace(
+            self.header(),
+            [{"kind": "halt", "round": -1, "run": 0, "node": 1}],
+            [], [],
+        )
+        assert any("non-negative" in p for p in validate_trace(trace))
+
+    def test_inconsistent_phase_flagged(self):
+        trace = Trace(
+            self.header(), [],
+            [{"phase": "p", "start": 0, "end": 5, "rounds": 3}], [],
+        )
+        assert any("end - start" in p for p in validate_trace(trace))
+
+    def test_summary_mismatch_flagged(self):
+        trace = Trace(
+            self.header(), [], [], [],
+            summary={"record": "summary", "events": 7, "by_kind": {}},
+        )
+        assert any("summary counts" in p for p in validate_trace(trace))
+
+    def test_phase_breakdown_helper(self):
+        trace = Trace(
+            self.header(), [],
+            [
+                {"phase": "a", "start": 0, "end": 4, "rounds": 4},
+                {"phase": "b", "start": 4, "end": 9, "rounds": 5},
+                {"phase": "a", "start": 9, "end": 10, "rounds": 1},
+            ],
+            [],
+        )
+        assert trace.phase_breakdown() == {"a": 5, "b": 5}
+        assert trace.total_rounds == 10

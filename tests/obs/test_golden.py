@@ -1,0 +1,77 @@
+"""Golden-file tests: the exported JSONL and the ASCII views are
+byte-stable for a seeded run.
+
+Regenerate after an intentional schema or rendering change::
+
+    PYTHONPATH=src python tests/obs/test_golden.py
+
+(running the module as a script rewrites both golden files).
+"""
+
+import io
+import os
+
+from repro.graphs import path_graph
+from repro.obs import (
+    JsonlTraceWriter,
+    ascii_timeline,
+    channel_heatmap,
+    observe,
+    read_trace,
+    summary_lines,
+    validate_trace,
+)
+from repro.primitives.flooding import FloodProgram
+from repro.sim import Network
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_JSONL = os.path.join(GOLDEN_DIR, "flood_path8.jsonl")
+GOLDEN_VIEWS = os.path.join(GOLDEN_DIR, "flood_path8_views.txt")
+
+
+def render_trace() -> str:
+    sink = io.StringIO()
+    writer = JsonlTraceWriter(
+        sink, meta={"algo": "flood", "spec": "path:8", "seed": 0}
+    )
+    with observe(writer) as obs:
+        Network(path_graph(8)).run(lambda ctx: FloodProgram(ctx, 0, value=1))
+        obs.record_phase("flood", 0, 8)
+    return sink.getvalue()
+
+
+def render_views(jsonl_text: str) -> str:
+    trace = read_trace(io.StringIO(jsonl_text))
+    return (
+        "\n".join(summary_lines(trace))
+        + "\n\n"
+        + ascii_timeline(trace, width=40)
+        + "\n\n"
+        + channel_heatmap(trace, channels=6, width=40)
+        + "\n"
+    )
+
+
+def test_jsonl_matches_golden():
+    with open(GOLDEN_JSONL) as handle:
+        assert render_trace() == handle.read()
+
+
+def test_views_match_golden():
+    with open(GOLDEN_JSONL) as handle:
+        jsonl_text = handle.read()
+    with open(GOLDEN_VIEWS) as handle:
+        assert render_views(jsonl_text) == handle.read()
+
+
+def test_golden_trace_is_schema_valid():
+    assert validate_trace(GOLDEN_JSONL) == []
+
+
+if __name__ == "__main__":
+    jsonl_text = render_trace()
+    with open(GOLDEN_JSONL, "w") as handle:
+        handle.write(jsonl_text)
+    with open(GOLDEN_VIEWS, "w") as handle:
+        handle.write(render_views(jsonl_text))
+    print(f"rewrote {GOLDEN_JSONL} and {GOLDEN_VIEWS}")

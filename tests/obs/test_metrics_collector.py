@@ -1,0 +1,153 @@
+"""MetricsCollector: per-node / per-channel accounting, sent vs delivered."""
+
+from repro.graphs import Graph, path_graph
+from repro.obs import MetricsCollector, observe
+from repro.primitives.flooding import FloodProgram
+from repro.sim import FaultConfig, FaultInjector, Network, NodeProgram
+
+
+def two_nodes():
+    g = Graph()
+    g.add_edge(0, 1)
+    return g
+
+
+class SendOnce(NodeProgram):
+    def on_start(self):
+        if self.node == 0:
+            self.send(1, "X")
+            self.halt()
+
+    def on_round(self, inbox):
+        if inbox:
+            self.output["got"] = self.round
+            self.halt()
+
+
+class Bursty(NodeProgram):
+    """Node 0 sends in rounds 0, 1 and 3 — a stall at round 2."""
+
+    def on_start(self):
+        if self.node == 0:
+            self.send(1, "A")
+
+    def on_round(self, inbox):
+        if self.node == 0:
+            if self.round == 1:
+                self.send(1, "B")
+            elif self.round == 3:
+                self.send(1, "C")
+                self.halt()
+        elif self.round >= 4:
+            self.halt()
+
+
+def collect(graph, factory, **net_kwargs):
+    collector = MetricsCollector()
+    with observe(collector):
+        net = Network(graph, **net_kwargs)
+        net.run(factory, max_rounds=100)
+    return collector, net
+
+
+class TestNodeMetrics:
+    def test_flood_traffic_totals(self):
+        collector, net = collect(
+            path_graph(5), lambda ctx: FloodProgram(ctx, 0, value=1)
+        )
+        assert collector.messages == net.metrics.traffic.messages
+        assert collector.total_words == net.metrics.traffic.total_words
+        sent = sum(n.sent_messages for n in collector.nodes.values())
+        recv = sum(n.recv_messages for n in collector.nodes.values())
+        assert sent == collector.messages
+        # No faults: everything sent is delivered.
+        assert recv == collector.messages
+
+    def test_halt_round_recorded(self):
+        collector, net = collect(
+            path_graph(4), lambda ctx: FloodProgram(ctx, 0, value=1)
+        )
+        for node in range(4):
+            assert collector.node(node).halt_round is not None
+
+    def test_stall_intervals(self):
+        collector, _net = collect(two_nodes(), Bursty)
+        node = collector.node(0)
+        assert sorted(node.send_rounds) == [0, 1, 3]
+        assert node.stall_intervals() == [(2, 2)]
+        assert node.stalls() == [2]
+        assert collector.node(1).stall_intervals() == []
+
+
+class TestChannelMetrics:
+    def test_per_round_sent_and_delivered(self):
+        collector, _net = collect(two_nodes(), SendOnce)
+        channel = collector.channel(0, 1)
+        assert channel.messages == 1
+        assert channel.per_round_sent == {0: 1}
+        # Synchronous delivery: sent in round t arrives in round t + 1.
+        assert channel.per_round_delivered == {1: 1}
+        assert channel.first_sent == channel.last_sent == 0
+        assert channel.utilization() == 1.0
+
+    def test_delay_books_delivery_later_than_send(self):
+        # MessageStats.per_round books only the sent round; the
+        # collector records both sides, so a fault delay is visible.
+        injector = FaultInjector(FaultConfig(delay_rate=1.0, max_delay=1))
+        collector = MetricsCollector()
+        with observe(collector):
+            net = Network(two_nodes(), faults=injector)
+            net.run(SendOnce, max_rounds=50)
+        channel = collector.channel(0, 1)
+        assert channel.per_round_sent == {0: 1}
+        # delay_rate=1, max_delay=1: delivery slips from round 1 to 2.
+        assert channel.per_round_delivered == {2: 1}
+        assert channel.delayed == 1
+        assert net.programs[1].output["got"] == 2
+        # The engine's own books still only know the sent round.
+        assert net.metrics.traffic.per_round == {0: 1}
+
+    def test_drop_counts_on_channel(self):
+        injector = FaultInjector(FaultConfig(drop_rate=1.0))
+        collector = MetricsCollector()
+        with observe(collector):
+            net = Network(two_nodes(), faults=injector)
+            net.run(SendOnce, max_rounds=10)
+        channel = collector.channel(0, 1)
+        assert channel.dropped == 1
+        assert channel.delivered == 0
+        assert channel.per_round_delivered == {}
+
+    def test_crash_round_recorded(self):
+        injector = FaultInjector(FaultConfig(crashes={1: 1}))
+        collector = MetricsCollector()
+        with observe(collector):
+            net = Network(two_nodes(), faults=injector)
+            net.run(SendOnce, max_rounds=10)
+        assert collector.node(1).crash_round == 1
+
+
+class TestDrillDown:
+    def test_top_channels_ordering(self):
+        collector, _net = collect(
+            path_graph(6), lambda ctx: FloodProgram(ctx, 0, value=1)
+        )
+        top = collector.top_channels(3)
+        counts = [c.messages for c in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_unknown_node_and_channel_are_zero(self):
+        collector = MetricsCollector()
+        assert collector.node(99).sent_messages == 0
+        assert collector.channel(98, 99).messages == 0
+        assert collector.busiest_round_sent() == 0
+        assert collector.busiest_round_delivered() == 0
+
+    def test_busiest_rounds(self):
+        collector, _net = collect(
+            path_graph(5), lambda ctx: FloodProgram(ctx, 0, value=1)
+        )
+        busiest = collector.busiest_round_sent()
+        assert collector.per_round_sent[busiest] == max(
+            collector.per_round_sent.values()
+        )

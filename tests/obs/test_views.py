@@ -1,0 +1,100 @@
+"""ASCII views: deterministic, golden-file-stable renderings."""
+
+from repro.graphs import path_graph
+from repro.obs import (
+    Trace,
+    TraceBuffer,
+    ascii_timeline,
+    channel_heatmap,
+    observe,
+    phase_table,
+    summary_lines,
+)
+from repro.primitives.flooding import FloodProgram
+from repro.sim import Network
+
+
+def flood_buffer(n=6):
+    buffer = TraceBuffer()
+    with observe(buffer) as obs:
+        Network(path_graph(n)).run(lambda ctx: FloodProgram(ctx, 0, value=1))
+        obs.record_phase("flood", 0, n - 1)
+    return buffer
+
+
+class TestTimeline:
+    def test_renders_one_row_per_run(self):
+        buffer = TraceBuffer()
+        with observe(buffer):
+            for _ in range(2):
+                Network(path_graph(4)).run(
+                    lambda ctx: FloodProgram(ctx, 0, value=1)
+                )
+        text = ascii_timeline(buffer)
+        assert "run  0 |" in text and "run  1 |" in text
+
+    def test_includes_phase_table_when_present(self):
+        text = ascii_timeline(flood_buffer())
+        assert "sends per round" in text
+        assert "phase" in text and "flood" in text
+
+    def test_empty_trace(self):
+        assert "(no send events)" in ascii_timeline(TraceBuffer())
+
+    def test_deterministic(self):
+        assert ascii_timeline(flood_buffer()) == ascii_timeline(flood_buffer())
+
+
+class TestPhaseTable:
+    def test_shares_sum_to_total(self):
+        trace = Trace(
+            {"schema": "repro-trace/1"}, [],
+            [
+                {"phase": "a", "start": 0, "end": 4, "rounds": 4},
+                {"phase": "b", "start": 4, "end": 10, "rounds": 6},
+            ],
+            [],
+        )
+        text = phase_table(trace)
+        assert "a" in text and "b" in text
+        assert text.splitlines()[-1].split()[-1] == "10"
+
+    def test_no_phases(self):
+        assert phase_table(TraceBuffer()) == "(no phase records)"
+
+
+class TestHeatmap:
+    def test_rows_are_busiest_channels(self):
+        text = channel_heatmap(flood_buffer(), channels=3)
+        lines = text.splitlines()
+        assert "channel congestion" in lines[0]
+        # 3 channel rows plus the header and the "not shown" footer.
+        assert len([l for l in lines if "|" in l]) == 3
+        assert "more channel(s) not shown" in lines[-1]
+
+    def test_all_channels_shown_when_few(self):
+        text = channel_heatmap(flood_buffer(3), channels=50)
+        assert "not shown" not in text
+
+    def test_empty_trace(self):
+        assert channel_heatmap(TraceBuffer()) == "(no send events)"
+
+
+class TestSummaryLines:
+    def test_headline_counts(self):
+        buffer = flood_buffer()
+        lines = summary_lines(buffer)
+        assert lines[0] == f"events: {len(buffer.events)}"
+        assert any(line.startswith("by kind:") for line in lines)
+        assert any(line.startswith("run 0:") for line in lines)
+
+    def test_collector_adds_busiest_channel(self):
+        from repro.obs import MetricsCollector
+
+        collector = MetricsCollector()
+        with observe(collector):
+            Network(path_graph(5)).run(
+                lambda ctx: FloodProgram(ctx, 0, value=1)
+            )
+        lines = summary_lines(TraceBuffer(), collector)
+        assert any("busiest channel" in line for line in lines)

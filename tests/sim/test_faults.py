@@ -15,7 +15,6 @@ from repro.sim import (
     RunMetrics,
     RunReport,
     TraceRecorder,
-    traced,
 )
 
 
@@ -203,8 +202,9 @@ def _traced_run(config):
     net = Network(
         path_graph(8), faults=FaultInjector(config)
     )
+    net.attach_subscriber(recorder)
     report = net.run(
-        traced(lambda ctx: FloodProgram(ctx, 0, value=7), recorder),
+        lambda ctx: FloodProgram(ctx, 0, value=7),
         max_rounds=200,
     )
     return report, recorder.events
@@ -234,8 +234,9 @@ class TestDeterminismAndReplay:
         report, events = _traced_run(FaultConfig(**self.CONFIG))
         recorder = TraceRecorder()
         net = Network(path_graph(8), faults=FaultInjector.replay(report.plan))
+        net.attach_subscriber(recorder)
         replayed = net.run(
-            traced(lambda ctx: FloodProgram(ctx, 0, value=7), recorder),
+            lambda ctx: FloodProgram(ctx, 0, value=7),
             max_rounds=200,
         )
         assert replayed == report

@@ -1,4 +1,14 @@
-"""Trace recorder and stall detection."""
+"""Trace recorder and stall detection.
+
+The recorder rides the engine's native event stream, so "activity" here
+means model-visible activity (send / deliver / wakeup / halt) — the
+definition that is identical under ``scheduling="full"`` and
+``scheduling="active"``.  The old invocation-counting recorder reported
+different ``rounds_active()`` per mode, which is exactly the bug this
+suite now pins the absence of.
+"""
+
+import pytest
 
 from repro.graphs import Graph
 from repro.sim import Network, NodeProgram, TraceRecorder, traced
@@ -28,22 +38,26 @@ class Bursty(NodeProgram):
             self.halt()
 
 
+def traced_run(factory, recorder, graph=None):
+    net = Network(graph if graph is not None else pair())
+    with pytest.deprecated_call():
+        net.run(traced(factory, recorder))
+    return net
+
+
 class TestTrace:
     def test_sends_recorded(self):
         recorder = TraceRecorder()
-        net = Network(pair())
-        net.run(traced(Bursty, recorder))
+        traced_run(Bursty, recorder)
         assert recorder.sends_by_node()[0] == [0, 1, 3]
 
     def test_stall_detected(self):
         recorder = TraceRecorder()
-        net = Network(pair())
-        net.run(traced(Bursty, recorder))
+        traced_run(Bursty, recorder)
         assert recorder.stalls(0) == [2]
 
     def test_no_stall_for_single_send(self):
         recorder = TraceRecorder()
-        net = Network(pair())
 
         class Once(NodeProgram):
             def on_start(self):
@@ -54,18 +68,47 @@ class TestTrace:
             def on_round(self, inbox):  # pragma: no cover
                 pass
 
-        net.run(traced(Once, recorder))
+        traced_run(Once, recorder)
         assert recorder.stalls(0) == []
 
     def test_halt_recorded(self):
         recorder = TraceRecorder()
-        net = Network(pair())
-        net.run(traced(Bursty, recorder))
+        traced_run(Bursty, recorder)
         kinds = {e.kind for e in recorder.events}
-        assert "halt" in kinds and "round" in kinds
+        assert "halt" in kinds and "deliver" in kinds
 
-    def test_rounds_active(self):
+    def test_send_detail_shape(self):
+        # Compatibility contract: send detail is (receiver, payload).
+        recorder = TraceRecorder()
+        traced_run(Bursty, recorder)
+        first = [e for e in recorder.events if e.kind == "send"][0]
+        assert first.detail == (1, ("A",))
+
+    def test_rounds_active_is_model_visible(self):
+        # Node 0 acts in rounds 0, 1 and 3; round 2 is a genuine stall
+        # and must NOT be reported as active (the old invocation-based
+        # recorder listed it under scheduling="full").
+        recorder = TraceRecorder()
+        traced_run(Bursty, recorder)
+        assert recorder.rounds_active(0) == [0, 1, 3]
+
+    def test_rounds_active_same_in_both_modes(self):
+        per_mode = {}
+        for mode in ("full", "active"):
+            recorder = TraceRecorder()
+            net = Network(pair(), scheduling=mode)
+            with pytest.deprecated_call():
+                net.run(traced(Bursty, recorder))
+            per_mode[mode] = {
+                node: recorder.rounds_active(node) for node in (0, 1)
+            }
+        assert per_mode["full"] == per_mode["active"]
+
+    def test_attach_subscriber_replaces_traced(self):
+        # The non-deprecated spelling records the identical stream.
         recorder = TraceRecorder()
         net = Network(pair())
-        net.run(traced(Bursty, recorder))
-        assert recorder.rounds_active(0) == [1, 2, 3]
+        net.attach_subscriber(recorder)
+        net.run(Bursty)
+        assert recorder.sends_by_node()[0] == [0, 1, 3]
+        assert recorder.stalls(0) == [2]

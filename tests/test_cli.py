@@ -33,6 +33,30 @@ class TestGenerate:
         with pytest.raises(SystemExit):
             generate("grid:banana")
 
+    def test_keyvalue_tree(self):
+        a = generate("tree:n=40", seed=3)
+        b = generate("tree:40", seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_keyvalue_grid(self):
+        assert generate("grid:rows=3,cols=5").num_nodes == 15
+
+    def test_keyvalue_random(self):
+        g = generate("random:n=30,p=0.1", seed=1)
+        assert g.num_nodes == 30
+        assert sorted(g.edges()) == sorted(
+            generate("random:30:0.1", seed=1).edges()
+        )
+
+    def test_keyvalue_ring(self):
+        assert generate("ring:n=12").num_edges == 12
+
+    def test_bad_keyvalue(self):
+        with pytest.raises(SystemExit):
+            generate("grid:rows=3")  # missing cols
+        with pytest.raises(SystemExit):
+            generate("tree:n=")
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -131,3 +155,116 @@ class TestFaultsCommand:
         with pytest.raises(SystemExit):
             main(["faults", "--generate", "ring:8", "--reliable",
                   "--timeout", "2"])
+
+
+class TestTraceCommand:
+    def test_flood_trace_is_valid(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = main(
+            ["trace", "--generate", "ring:8", "--algo", "flood",
+             "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "events" in text and "sends per round" in text
+        from repro.obs import validate_trace
+
+        assert validate_trace(str(out)) == []
+
+    def test_graph_spec_fallback(self, tmp_path, capsys):
+        # --graph accepts a generator spec when the value is not a file.
+        out = tmp_path / "t.jsonl"
+        code = main(
+            ["trace", "--graph", "tree:n=16", "--algo", "bfs",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_fast_mst_phases_match_staged(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = main(
+            ["trace", "--graph", "tree:n=16", "--algo", "fast-mst",
+             "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "phase totals match StagedRun breakdown: yes" in text
+
+    def test_kdom_phases_match_staged(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = main(
+            ["trace", "--generate", "tree:20", "--algo", "kdom",
+             "--k", "2", "--out", str(out)]
+        )
+        assert code == 0
+        assert "phase totals match StagedRun breakdown: yes" in (
+            capsys.readouterr().out
+        )
+
+    def test_faulted_trace_records_fault_events(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = main(
+            ["trace", "--generate", "ring:10", "--algo", "flood",
+             "--drop", "0.3", "--fault-seed", "5", "--out", str(out)]
+        )
+        assert code == 0
+        from repro.obs import read_trace
+
+        trace = read_trace(str(out))
+        assert trace.by_kind("drop")
+        assert all("plan_index" in e for e in trace.by_kind("drop"))
+
+    def test_fault_flags_rejected_for_composites(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["trace", "--generate", "tree:16", "--algo", "fast-mst",
+                 "--drop", "0.5", "--out", str(tmp_path / "t.jsonl")]
+            )
+
+    def test_bad_graph_value(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["trace", "--graph", "nosuchfile", "--algo", "flood",
+                 "--out", str(tmp_path / "t.jsonl")]
+            )
+
+
+class TestReportCommand:
+    def trace_file(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(
+            ["trace", "--generate", "ring:8", "--algo", "flood",
+             "--out", str(out)]
+        ) == 0
+        capsys.readouterr()  # discard trace output
+        return out
+
+    def test_valid_trace(self, tmp_path, capsys):
+        out = self.trace_file(tmp_path, capsys)
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "trace valid" in text
+        assert "algo=flood" in text
+
+    def test_corrupt_trace_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["report", str(bad)]) == 1
+        assert "unreadable trace" in capsys.readouterr().out
+
+    def test_schema_violation_fails(self, tmp_path, capsys):
+        out = self.trace_file(tmp_path, capsys)
+        lines = out.read_text().splitlines()
+        # Corrupt one event record: strip a required field.
+        import json
+
+        for index, line in enumerate(lines):
+            obj = json.loads(line)
+            if obj.get("record") == "event" and obj["kind"] == "send":
+                del obj["payload"]
+                lines[index] = json.dumps(obj, sort_keys=True)
+                break
+        out.write_text("\n".join(lines) + "\n")
+        assert main(["report", str(out)]) == 1
+        assert "INVALID" in capsys.readouterr().out
