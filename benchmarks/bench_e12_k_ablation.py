@@ -13,9 +13,27 @@ import pytest
 from repro.graphs import assign_unique_weights, random_connected_graph
 from repro.mst import fast_mst, kruskal_mst
 
-from .harness import emit, note, run_once
+from .harness import emit, note, run_once, sweep_map
 
 N = 400
+
+KS = (2, 5, 10, 20, 40, 80)
+
+
+def _e12_cell(args):
+    """One k of the ablation (module-level so the cell is picklable and
+    the sweep can fan across workers via REPRO_SWEEP_BACKEND=process)."""
+    g, want, k = args
+    edges, staged, diag = fast_mst(g, k=k)
+    breakdown = staged.breakdown()
+    stage1 = (
+        breakdown.get("simple-mst", 0)
+        + breakdown.get("dom-partition", 0)
+        + breakdown.get("cluster-id-wave", 0)
+    )
+    stage2 = breakdown.get("bfs-tree", 0) + breakdown.get("pipeline", 0)
+    return [k, diag["clusters"], stage1, stage2, staged.total_rounds,
+            edges == want]
 
 
 def sweep():
@@ -23,22 +41,13 @@ def sweep():
         random_connected_graph(N, 6.0 / N, seed=9), seed=10
     )
     want = kruskal_mst(g)
+    cells = sweep_map(_e12_cell, [(g, want, k) for k in KS])
     rows = []
     totals = {}
-    for k in (2, 5, 10, 20, 40, 80):
-        edges, staged, diag = fast_mst(g, k=k)
-        assert edges == want
-        breakdown = staged.breakdown()
-        stage1 = (
-            breakdown.get("simple-mst", 0)
-            + breakdown.get("dom-partition", 0)
-            + breakdown.get("cluster-id-wave", 0)
-        )
-        stage2 = breakdown.get("bfs-tree", 0) + breakdown.get("pipeline", 0)
-        totals[k] = staged.total_rounds
-        rows.append(
-            [k, diag["clusters"], stage1, stage2, staged.total_rounds]
-        )
+    for k, clusters, stage1, stage2, total, exact in cells:
+        assert exact
+        totals[k] = total
+        rows.append([k, clusters, stage1, stage2, total])
     sqrt_n = round(math.sqrt(N))
     best_k = min(totals, key=totals.get)
     note(

@@ -10,7 +10,7 @@ even with captured output.
 from __future__ import annotations
 
 import os
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, List, Sequence
 
 from repro.analysis import banner, format_table
 
@@ -33,6 +33,29 @@ def note(experiment: str, message: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "a") as handle:
         handle.write(f"[{experiment}] {message}\n")
+
+
+def sweep_map(fn: Callable[[Any], Any], cells: Iterable[Any]) -> List[Any]:
+    """Map a benchmark's cell function over its parameter grid.
+
+    The experiments' sweeps (E01–E16) opt into process-parallel
+    execution through the environment, keeping default runs inline and
+    deterministic:
+
+    * ``REPRO_SWEEP_BACKEND=process`` fans cells across a pool
+      (:mod:`repro.batch.pool`); ``fn`` and the cells must then be
+      picklable (module-level functions, plain data).
+    * ``REPRO_SWEEP_WORKERS=N`` bounds the pool (default: CPU count).
+
+    Results always come back in submission order, so tables render
+    identically under either backend.
+    """
+    backend = os.environ.get("REPRO_SWEEP_BACKEND", "inline")
+    workers_text = os.environ.get("REPRO_SWEEP_WORKERS", "")
+    workers = int(workers_text) if workers_text else None
+    from repro.batch import map_submission_order
+
+    return map_submission_order(fn, cells, backend=backend, workers=workers)
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,51 @@
+"""Process-parallel batch execution: pools, caches, sweeps, stores.
+
+The scaling layer the ROADMAP calls for: a process-pool backend for
+:func:`repro.sim.run_in_parallel` (vertex-disjoint cluster runs on
+separate cores) and a sharded sweep runner that fans a
+(graph-spec × seed × k) grid across workers with graph-generation
+caching and a checkpoint/resume JSONL result store.  See
+docs/performance.md ("Batch execution and sweeps").
+"""
+
+from .cache import GraphCache
+from .pool import (
+    imap_completion_order,
+    map_submission_order,
+    resolve_workers,
+    run_networks_in_pool,
+)
+from .store import SCHEMA, StoreError, SweepStore, canonical_line, cell_key
+from .sweep import (
+    SWEEP_BACKENDS,
+    SweepCell,
+    SweepCellError,
+    SweepGrid,
+    SweepSummary,
+    WORKLOADS,
+    fast_grid,
+    run_cell,
+    run_sweep,
+)
+
+__all__ = [
+    "GraphCache",
+    "SCHEMA",
+    "SWEEP_BACKENDS",
+    "StoreError",
+    "SweepCell",
+    "SweepCellError",
+    "SweepGrid",
+    "SweepStore",
+    "SweepSummary",
+    "WORKLOADS",
+    "canonical_line",
+    "cell_key",
+    "fast_grid",
+    "imap_completion_order",
+    "map_submission_order",
+    "resolve_workers",
+    "run_cell",
+    "run_networks_in_pool",
+    "run_sweep",
+]

@@ -1,0 +1,59 @@
+"""Graph/weight-generation cache for sweep cells.
+
+Sweep grids repeat the same (spec, seed) pair across every value of
+``k``, and generation — especially ``random:`` connectivity retries
+and the distinct-weight assignment — is a real fraction of small-cell
+runtime.  The cache generates each (spec, seed, weighted) combination
+once and hands the same object to every later cell.
+
+Cached graphs are therefore **shared and must be treated read-only**
+by workloads.  Weight assignment is the one sanctioned mutation and it
+happens here, at generation time, so a weighted and an unweighted
+request for the same (spec, seed) get *separate* objects.
+
+In the process backend each worker holds its own cache (initialized by
+:func:`repro.batch.sweep._init_worker`), so repeated cells never
+regenerate within a worker and workers never contend on shared state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graphs import (
+    Graph,
+    assign_unique_weights,
+    has_unique_weights,
+    parse_graph_spec,
+)
+
+
+class GraphCache:
+    """Memoized (spec, seed, weighted) -> graph generation."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, int, bool], Graph] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec: str, seed: int, weighted: bool = False) -> Graph:
+        """The graph for ``spec`` at ``seed``; generated at most once.
+
+        ``weighted=True`` additionally assigns distinct polynomial edge
+        weights (seeded by the same ``seed``) unless the generator
+        already produced unique weights.
+        """
+        key = (spec, int(seed), bool(weighted))
+        graph = self._entries.get(key)
+        if graph is not None:
+            self.hits += 1
+            return graph
+        self.misses += 1
+        graph = parse_graph_spec(spec, seed=seed)
+        if weighted and not has_unique_weights(graph):
+            assign_unique_weights(graph, seed=seed)
+        self._entries[key] = graph
+        return graph
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,172 @@
+"""Process-pool execution: the one place that touches ``multiprocessing``.
+
+Two consumers share this module:
+
+* :func:`repro.sim.run_in_parallel` with ``backend="process"`` ships
+  whole (network, factory) runs to workers via
+  :func:`run_networks_in_pool`;
+* the sweep runner (:mod:`repro.batch.sweep`) fans grid cells across
+  workers via :func:`imap_completion_order`, consuming results as they
+  finish so it can checkpoint them immediately.
+
+Determinism contract: results are *tagged with their submission index*
+inside the worker, so callers can always reassemble submission order
+regardless of completion order.  Everything that crosses the process
+boundary (task functions, items, results) must be picklable; task
+functions must be module-level (or picklable callables), which is why
+the sweep and runner keep theirs at module scope.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Number of pool processes: ``workers`` or the CPU count."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives pickling, else a faithful stand-in
+    (an unpicklable exception must not take the whole pool down)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _invoke(task: Tuple[Callable[[Any], Any], int, Any]) -> Tuple[int, str, Any]:
+    """Worker-side trampoline: run one task, tag it with its index."""
+    fn, index, item = task
+    try:
+        return index, "ok", fn(item)
+    except Exception as exc:  # shipped back, re-raised caller-side
+        return index, "error", _portable_exception(exc)
+
+
+def imap_completion_order(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    workers: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+) -> Iterator[Tuple[int, str, Any]]:
+    """Yield ``(submission_index, status, payload)`` as tasks finish.
+
+    ``status`` is ``"ok"`` (payload = result) or ``"error"`` (payload =
+    the exception; the caller decides whether to raise).  The pool is
+    torn down when the iterator is exhausted or closed.
+    """
+    tasks = [(fn, index, item) for index, item in enumerate(items)]
+    if not tasks:
+        return
+    processes = min(resolve_workers(workers), len(tasks))
+    ctx = multiprocessing.get_context()
+    pool = ctx.Pool(processes=processes, initializer=initializer, initargs=initargs)
+    try:
+        for result in pool.imap_unordered(_invoke, tasks):
+            yield result
+        pool.close()
+        pool.join()
+    finally:
+        pool.terminate()
+
+
+def map_submission_order(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    backend: str = "inline",
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Map ``fn`` over ``items``; results in submission order.
+
+    ``backend="inline"`` runs in this process; ``"process"`` fans out
+    and reassembles.  The first failing item's exception is re-raised
+    either way.  This is the benchmark harness's opt-in hook.
+    """
+    items = list(items)
+    if backend == "inline" or len(items) <= 1:
+        return [fn(item) for item in items]
+    if backend != "process":
+        raise ValueError(f"backend must be 'inline' or 'process', got {backend!r}")
+    results: List[Any] = [None] * len(items)
+    failures = {}
+    for index, status, payload in imap_completion_order(fn, items, workers):
+        if status == "error":
+            failures[index] = payload
+        else:
+            results[index] = payload
+    if failures:
+        raise failures[min(failures)]
+    return results
+
+
+# ---------------------------------------------------------------------------
+# run_in_parallel's process backend
+# ---------------------------------------------------------------------------
+def _run_network_task(task: Tuple[Any, Any, int]) -> Tuple[Any, dict, dict]:
+    """Execute one (network, factory) run inside a worker.
+
+    Returns what parent-side drivers consume — the run result (metrics
+    or fault report), per-node outputs and halt flags — rather than the
+    mutated network: finished programs may hold generator frames
+    (:class:`~repro.sim.program.ScriptedProgram`), which do not pickle.
+    """
+    network, factory, max_rounds = task
+    result = network.run(factory, max_rounds=max_rounds)
+    outputs = {v: program.output for v, program in network.programs.items()}
+    halted = {v: program.halted for v, program in network.programs.items()}
+    return result, outputs, halted
+
+
+def run_networks_in_pool(
+    runs: List[Tuple[Any, Any]],
+    max_rounds: int,
+    workers: Optional[int] = None,
+) -> Tuple[List[Any], Any]:
+    """Process backend for :func:`repro.sim.run_in_parallel`.
+
+    Ships each pre-run network + factory to a worker, adopts the
+    results back into the caller's network objects, and merges metrics
+    in submission order (deterministic regardless of completion
+    order).  On failure, completed runs are preserved and re-raised as
+    :class:`~repro.sim.runner.ParallelRunError`, matching the inline
+    backend's contract.
+    """
+    from ..sim.metrics import RunMetrics
+    from ..sim.runner import ParallelRunError
+
+    tasks = [(network, factory, max_rounds) for network, factory in runs]
+    outcomes: List[Optional[Tuple[Any, dict, dict]]] = [None] * len(tasks)
+    failures = {}
+    for index, status, payload in imap_completion_order(_run_network_task, tasks):
+        if status == "error":
+            failures[index] = payload
+        else:
+            outcomes[index] = payload
+    networks: List[Any] = []
+    collected: List[RunMetrics] = []
+    for run, outcome in zip(runs, outcomes):
+        if outcome is None:  # the failed run (or one lost with it)
+            continue
+        network = run[0]
+        result, outputs, halted = outcome
+        metrics = getattr(result, "metrics", result)
+        network.adopt_results(metrics, outputs, halted)
+        networks.append(network)
+        collected.append(metrics)
+    if failures:
+        first = min(failures)
+        raise ParallelRunError(
+            first, networks, RunMetrics.merge(collected), failures[first]
+        ) from failures[first]
+    return networks, RunMetrics.merge(collected)

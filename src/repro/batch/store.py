@@ -1,0 +1,115 @@
+"""JSONL result store for sweeps: checkpoint, resume, canonical form.
+
+Lifecycle of a store file:
+
+* **Checkpointing** — while a sweep runs, each finished cell's row is
+  appended (and flushed) immediately, in *completion* order.  An
+  interrupted sweep therefore keeps everything it finished.
+* **Resume** — :meth:`SweepStore.load` reads rows back keyed by cell,
+  so a re-run executes only the missing cells (the meta line pins the
+  grid; resuming against a different grid is refused).
+* **Canonical finalize** — when every cell is present the store is
+  atomically rewritten in *grid* order with sorted-key, fixed-separator
+  JSON.  Two completed sweeps over the same grid are byte-identical,
+  whatever backend or worker count produced them — that is the
+  determinism contract tests/batch/test_sweep.py enforces.
+
+Rows deliberately contain no wall-clock data; timing lives in the
+sweep summary (and ``BENCH_sim.json``), never in the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+#: Store schema tag, written into the meta line.
+SCHEMA = "repro-sweep/1"
+
+
+def canonical_line(obj: Dict[str, Any]) -> str:
+    """The one true serialization of a row (or meta) object."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(cell: Dict[str, Any]) -> str:
+    """Stable identity of a grid cell, as stored in a row's ``cell``."""
+    return (
+        f"{cell['workload']}|{cell['spec']}"
+        f"|seed={cell['seed']}|k={cell['k']}"
+    )
+
+
+class StoreError(ValueError):
+    """A store file does not match the sweep trying to use it."""
+
+
+class SweepStore:
+    """One JSONL file holding a sweep's meta line and result rows."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- reading -----------------------------------------------------------
+    def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[str, Dict[str, Any]]]:
+        """Read (meta, rows-by-cell-key); (None, {}) when absent.
+
+        Tolerates a truncated trailing line (the run may have been
+        killed mid-append); anything else malformed raises.
+        """
+        if not self.exists():
+            return None, {}
+        meta: Optional[Dict[str, Any]] = None
+        rows: Dict[str, Dict[str, Any]] = {}
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) - 1:
+                    break  # torn final append from an interrupted run
+                raise StoreError(
+                    f"{self.path}:{number + 1}: unparsable store line"
+                )
+            if "schema" in record and "cell" not in record:
+                meta = record
+            elif "cell" in record:
+                rows[cell_key(record["cell"])] = record
+            else:
+                raise StoreError(
+                    f"{self.path}:{number + 1}: neither meta nor row"
+                )
+        return meta, rows
+
+    # -- writing -----------------------------------------------------------
+    def begin(self, meta: Dict[str, Any], fresh: bool) -> None:
+        """Open the store for a run: write the meta line if the file is
+        new (or ``fresh`` forces a truncate)."""
+        if fresh or not self.exists():
+            with open(self.path, "w") as handle:
+                handle.write(canonical_line(meta) + "\n")
+
+    def append(self, row: Dict[str, Any]) -> None:
+        """Checkpoint one finished cell (appended and flushed)."""
+        with open(self.path, "a") as handle:
+            handle.write(canonical_line(row) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def finalize(
+        self, meta: Dict[str, Any], rows: Iterable[Dict[str, Any]]
+    ) -> None:
+        """Atomically rewrite the store in canonical (grid) order."""
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(canonical_line(meta) + "\n")
+            for row in rows:
+                handle.write(canonical_line(row) + "\n")
+        os.replace(tmp, self.path)

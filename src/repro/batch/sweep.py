@@ -1,0 +1,365 @@
+"""Sharded parameter sweeps over a (graph-spec × seed × k) grid.
+
+The paper's experiments (EXPERIMENTS.md, E01–E16) are parameter
+sweeps: the same deterministic workload at many ``(spec, seed, k)``
+cells.  This module turns that shape into a first-class runner:
+
+* a :class:`SweepGrid` enumerates cells in a fixed, documented order
+  (spec-major, then seed, then k) — the canonical order of the result
+  store and of metric merging;
+* cells fan across worker processes (``backend="process"``) or run in
+  this process (``"inline"``), behind the same function;
+* each worker keeps a :class:`~repro.batch.cache.GraphCache`, so the
+  cells sharing a (spec, seed) pair regenerate nothing;
+* results checkpoint into a :class:`~repro.batch.store.SweepStore`
+  as they finish, and a resumed sweep executes only missing cells;
+* per-cell metrics are merged with
+  :meth:`~repro.sim.metrics.RunMetrics.merge` in grid order, so the
+  summary is identical whatever backend or worker count ran the cells.
+
+Workloads are looked up by name (``kdom``, ``partition``, ``mst``) and
+must stay deterministic: a result row may contain nothing that varies
+run to run (no timing, no pids), because completed stores are compared
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..graphs import RootedTree
+from ..sim.metrics import RunMetrics
+from .cache import GraphCache
+from .pool import imap_completion_order, resolve_workers
+from .store import SCHEMA, SweepStore, StoreError, cell_key
+
+#: Execution backends accepted by :func:`run_sweep`.
+SWEEP_BACKENDS = ("inline", "process")
+
+
+# ---------------------------------------------------------------------------
+# Grid
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the grid: a workload at (spec, seed, k)."""
+
+    workload: str
+    spec: str
+    seed: int
+    k: int
+    verify: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "spec": self.spec,
+            "seed": self.seed,
+            "k": self.k,
+        }
+
+    @property
+    def key(self) -> str:
+        return cell_key(self.as_dict())
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A (spec × seed × k) grid for one workload.
+
+    ``verify`` adds the per-cell correctness checks (domination radius,
+    MST exactness) — more expensive, still deterministic.
+    """
+
+    workload: str
+    specs: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    ks: Tuple[int, ...]
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r} "
+                f"(one of {'/'.join(sorted(WORKLOADS))})"
+            )
+        if not (self.specs and self.seeds and self.ks):
+            raise ValueError("grid needs at least one spec, seed and k")
+
+    def cells(self) -> List[SweepCell]:
+        """Grid cells in canonical order: spec-major, then seed, then k."""
+        return [
+            SweepCell(self.workload, spec, seed, k, self.verify)
+            for spec in self.specs
+            for seed in self.seeds
+            for k in self.ks
+        ]
+
+    def meta(self) -> Dict[str, Any]:
+        """The store's meta line: schema plus the full grid definition."""
+        return {
+            "schema": SCHEMA,
+            "workload": self.workload,
+            "specs": list(self.specs),
+            "seeds": list(self.seeds),
+            "ks": list(self.ks),
+            "verify": self.verify,
+            "cells": len(self.specs) * len(self.seeds) * len(self.ks),
+        }
+
+
+def fast_grid(workload: str = "kdom") -> SweepGrid:
+    """The CI-sized grid behind ``repro sweep --fast`` (8 small cells)."""
+    return SweepGrid(
+        workload=workload,
+        specs=("tree:n=40", "random:n=36,p=0.12"),
+        seeds=(0, 1),
+        ks=(2, 3),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workloads (deterministic; rows must carry nothing run-varying)
+# ---------------------------------------------------------------------------
+def _workload_kdom(graph, cell: SweepCell) -> Dict[str, Any]:
+    """``FastDOM_G``: k-dominating set on a general graph (§4.5)."""
+    from ..core import fastdom_graph
+    from ..verify import domination_radius
+
+    dominators, partition, staged = fastdom_graph(graph, cell.k)
+    bound = max(1, graph.num_nodes // (cell.k + 1))
+    result = {
+        "n": graph.num_nodes,
+        "edges": graph.num_edges,
+        "dominators": len(dominators),
+        "bound": bound,
+        "clusters": partition.num_clusters,
+        "rounds": staged.total_rounds,
+        "breakdown": staged.breakdown(),
+        "metrics": staged.combined.to_dict(per_round=False),
+    }
+    if cell.verify:
+        result["radius"] = domination_radius(graph, dominators)
+        result["ok"] = (
+            len(dominators) <= bound and result["radius"] <= cell.k
+        )
+    return result
+
+
+def _workload_partition(graph, cell: SweepCell) -> Dict[str, Any]:
+    """Fast ``DOM_Partition`` on the BFS tree rooted at the min node."""
+    from ..core import dom_partition
+
+    root = min(graph.nodes, key=str)
+    rooted = RootedTree.from_graph(graph, root)
+    partition, staged = dom_partition(graph, root, rooted.parent, cell.k)
+    sizes = sorted(cluster.size for cluster in partition.clusters)
+    result = {
+        "n": graph.num_nodes,
+        "clusters": partition.num_clusters,
+        "min_size": sizes[0],
+        "max_size": sizes[-1],
+        "rounds": staged.total_rounds,
+        "breakdown": staged.breakdown(),
+        "metrics": staged.combined.to_dict(per_round=False),
+    }
+    if cell.verify:
+        max_radius = max(
+            cluster.radius_in(graph) for cluster in partition.clusters
+        )
+        result["max_radius"] = max_radius
+        result["ok"] = (
+            sizes[0] >= cell.k + 1 and max_radius <= 5 * cell.k + 2
+        )
+    return result
+
+
+def _workload_mst(graph, cell: SweepCell) -> Dict[str, Any]:
+    """``Fast-MST`` end to end; the cell's k overrides sqrt(n)."""
+    from ..mst import fast_mst, kruskal_mst
+
+    edges, staged, diag = fast_mst(graph, k=cell.k)
+    result = {
+        "n": graph.num_nodes,
+        "edges": graph.num_edges,
+        "k_used": diag["k"],
+        "clusters": diag["clusters"],
+        "mst_edges": len(edges),
+        "mst_weight": int(sum(graph.weight(u, v) for u, v in edges)),
+        "rounds": staged.total_rounds,
+        "breakdown": staged.breakdown(),
+        "metrics": staged.combined.to_dict(per_round=False),
+    }
+    if cell.verify:
+        result["ok"] = edges == kruskal_mst(graph)
+    return result
+
+
+#: workload name -> (cell runner, needs distinct edge weights).
+WORKLOADS: Dict[str, Tuple[Callable[[Any, SweepCell], Dict[str, Any]], bool]] = {
+    "kdom": (_workload_kdom, True),
+    "partition": (_workload_partition, False),
+    "mst": (_workload_mst, True),
+}
+
+
+def run_cell(cell: SweepCell, cache: Optional[GraphCache] = None) -> Dict[str, Any]:
+    """Execute one cell; return its store row (fully deterministic)."""
+    runner, weighted = WORKLOADS[cell.workload]
+    cache = cache if cache is not None else GraphCache()
+    graph = cache.get(cell.spec, cell.seed, weighted=weighted)
+    return {"cell": cell.as_dict(), "result": runner(graph, cell)}
+
+
+# Worker-process state: one graph cache per worker, installed by the
+# pool initializer so repeated (spec, seed) cells never regenerate.
+_WORKER_CACHE: Optional[GraphCache] = None
+
+
+def _init_worker() -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = GraphCache()
+
+
+def _process_cell(cell: SweepCell) -> Dict[str, Any]:
+    return run_cell(cell, _WORKER_CACHE)
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+class SweepCellError(RuntimeError):
+    """A cell failed; checkpointed rows survive for resume."""
+
+    def __init__(self, cell: SweepCell, cause: BaseException) -> None:
+        super().__init__(f"sweep cell {cell.key} failed: {cause!r}")
+        self.cell = cell
+
+
+@dataclass
+class SweepSummary:
+    """What a sweep did: counts, timing, and grid-order merged metrics."""
+
+    total: int
+    ran: int
+    skipped: int
+    complete: bool
+    elapsed: float
+    merged: RunMetrics
+    rows: List[Dict[str, Any]] = field(repr=False, default_factory=list)
+
+    @property
+    def cells_per_second(self) -> float:
+        return self.ran / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def run_sweep(
+    grid: SweepGrid,
+    store_path: Optional[str] = None,
+    backend: str = "inline",
+    workers: Optional[int] = None,
+    resume: bool = True,
+    max_cells: Optional[int] = None,
+    echo: Callable[[str], None] = lambda line: None,
+) -> SweepSummary:
+    """Run (or resume) a sweep; return its summary.
+
+    * ``store_path=None`` keeps results in memory only.
+    * ``resume=True`` (default) skips cells already present in the
+      store; ``False`` truncates and starts fresh.
+    * ``max_cells`` bounds how many *pending* cells execute — the
+      hook the interrupt/resume tests and the CI smoke job use.
+    * On full completion the store is rewritten in canonical grid
+      order (byte-identical across backends and worker counts).
+    """
+    if backend not in SWEEP_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {SWEEP_BACKENDS}, got {backend!r}"
+        )
+    cells = grid.cells()
+    store = SweepStore(store_path) if store_path else None
+    rows_by_index: Dict[int, Dict[str, Any]] = {}
+    if store is not None:
+        if resume:
+            meta, existing = store.load()
+            if meta is not None and _grid_mismatch(meta, grid.meta()):
+                raise StoreError(
+                    f"{store.path} was written for a different grid; "
+                    f"pass resume=False (or a new path) to overwrite"
+                )
+            for index, cell in enumerate(cells):
+                if cell.key in existing:
+                    rows_by_index[index] = existing[cell.key]
+        store.begin(grid.meta(), fresh=not resume)
+
+    pending = [
+        (index, cell)
+        for index, cell in enumerate(cells)
+        if index not in rows_by_index
+    ]
+    skipped = len(cells) - len(pending)
+    if max_cells is not None:
+        pending = pending[:max_cells]
+
+    start = time.perf_counter()
+    if backend == "inline" or len(pending) <= 1 or resolve_workers(workers) == 1:
+        cache = GraphCache()
+        for index, cell in pending:
+            try:
+                row = run_cell(cell, cache)
+            except Exception as exc:
+                raise SweepCellError(cell, exc) from exc
+            rows_by_index[index] = row
+            if store is not None:
+                store.append(row)
+            echo(_cell_line(row))
+    else:
+        items = [cell for _index, cell in pending]
+        for position, status, payload in imap_completion_order(
+            _process_cell, items, workers=workers, initializer=_init_worker
+        ):
+            index, cell = pending[position]
+            if status == "error":
+                raise SweepCellError(cell, payload) from payload
+            rows_by_index[index] = payload
+            if store is not None:
+                store.append(payload)
+            echo(_cell_line(payload))
+    elapsed = time.perf_counter() - start
+
+    complete = len(rows_by_index) == len(cells)
+    ordered = [rows_by_index[i] for i in sorted(rows_by_index)]
+    if complete and store is not None:
+        store.finalize(grid.meta(), ordered)
+    merged = RunMetrics.merge(
+        RunMetrics.from_dict(row["result"]["metrics"])
+        for row in ordered
+        if "metrics" in row.get("result", {})
+    )
+    return SweepSummary(
+        total=len(cells),
+        ran=len(pending),
+        skipped=skipped,
+        complete=complete,
+        elapsed=elapsed,
+        merged=merged,
+        rows=ordered,
+    )
+
+
+def _grid_mismatch(meta: Dict[str, Any], expected: Dict[str, Any]) -> bool:
+    """Compare the grid-defining fields of two meta records."""
+    keys = ("schema", "workload", "specs", "seeds", "ks", "verify")
+    return any(meta.get(key) != expected.get(key) for key in keys)
+
+
+def _cell_line(row: Dict[str, Any]) -> str:
+    cell = row["cell"]
+    result = row["result"]
+    return (
+        f"{cell['workload']} {cell['spec']} seed={cell['seed']} "
+        f"k={cell['k']}: rounds={result.get('rounds')} "
+        f"messages={result.get('metrics', {}).get('messages')}"
+    )

@@ -12,6 +12,8 @@ Examples::
         --drop 0.05 --crash 7@3 --reliable
     python -m repro trace --graph tree:n=64 --algo fast-mst --out trace.jsonl
     python -m repro report trace.jsonl
+    python -m repro sweep --workload kdom --spec tree:n=200 --spec grid:12x12 \
+        --seeds 0,1,2 --ks 2,4,8 --workers 4 --out sweep.jsonl
 
 Graph specs: ``grid:RxC``, ``torus:RxC``, ``ring:N``, ``tree:N``,
 ``random:N:P`` (random connected with extra-edge probability P),
@@ -33,17 +35,13 @@ from typing import List, Optional
 from .applications.aggregates import count_nodes, leader_election
 from .core import dom_partition, fastdom_graph
 from .graphs import (
+    GraphSpecError,
     RootedTree,
     assign_unique_weights,
-    complete_graph,
-    cycle_graph,
     diameter,
-    grid_graph,
     has_unique_weights,
     load_edge_list,
-    random_connected_graph,
-    random_tree,
-    torus_graph,
+    parse_graph_spec,
 )
 from .graphs.graph import Graph
 from .mst import fast_mst, ghs_mst, kruskal_mst, pipeline_only_mst
@@ -83,54 +81,17 @@ def build_graph(args: argparse.Namespace) -> Graph:
     raise SystemExit("one of --graph or --generate is required")
 
 
-def _spec_params(rest: str) -> Optional[dict]:
-    """Parse ``n=64`` / ``n=50,p=0.1`` style spec arguments, or None
-    when ``rest`` uses the positional form (``12x12``, ``200:0.05``)."""
-    if "=" not in rest:
-        return None
-    params = {}
-    for part in rest.replace(":", ",").split(","):
-        key, sep, value = part.partition("=")
-        if not sep or not key or not value:
-            raise ValueError(f"malformed key=value segment {part!r}")
-        params[key.strip()] = value.strip()
-    return params
-
-
 def generate(spec: str, seed: int = 0) -> Graph:
     """Build a graph from a spec like ``grid:12x12`` or ``tree:n=64``.
 
-    Each kind accepts either the positional form from the module
-    docstring or explicit key=value segments: ``tree:n=64``,
-    ``grid:rows=3,cols=5``, ``random:n=50,p=0.1``, ``ring:n=12``.
+    Thin CLI wrapper over :func:`repro.graphs.parse_graph_spec` (the
+    parser proper lives in the graph layer so the sweep subsystem can
+    share it); parse errors become the usual ``SystemExit``.
     """
-    kind, _, rest = spec.partition(":")
     try:
-        params = _spec_params(rest)
-        if kind == "grid":
-            rows, cols = (
-                (params["rows"], params["cols"]) if params else rest.split("x")
-            )
-            return grid_graph(int(rows), int(cols))
-        if kind == "torus":
-            rows, cols = (
-                (params["rows"], params["cols"]) if params else rest.split("x")
-            )
-            return torus_graph(int(rows), int(cols))
-        if kind == "ring":
-            return cycle_graph(int(params["n"] if params else rest))
-        if kind == "tree":
-            return random_tree(int(params["n"] if params else rest), seed=seed)
-        if kind == "complete":
-            return complete_graph(int(params["n"] if params else rest))
-        if kind == "random":
-            n, p = (params["n"], params["p"]) if params else rest.split(":")
-            return random_connected_graph(int(n), float(p), seed=seed)
-    except (KeyError, ValueError, TypeError) as exc:
-        raise SystemExit(f"bad graph spec {spec!r}: {exc!r}")
-    raise SystemExit(
-        f"unknown graph kind {kind!r} (grid/torus/ring/tree/complete/random)"
-    )
+        return parse_graph_spec(spec, seed=seed)
+    except GraphSpecError as exc:
+        raise SystemExit(str(exc))
 
 
 def ensure_weights(graph: Graph, seed: int) -> Graph:
@@ -446,6 +407,90 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str, flag: str) -> tuple:
+    """Parse a ``--seeds 0,1,2`` style comma list of integers."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"bad {flag} {text!r}: expected a comma list of ints")
+    if not values:
+        raise SystemExit(f"bad {flag} {text!r}: at least one value required")
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .batch import (
+        StoreError,
+        SweepCellError,
+        SweepGrid,
+        fast_grid,
+        run_sweep,
+    )
+
+    if args.fast:
+        grid = fast_grid(args.workload)
+    else:
+        if not args.spec:
+            raise SystemExit(
+                "at least one --spec is required (or use --fast for the "
+                "built-in CI grid)"
+            )
+        try:
+            grid = SweepGrid(
+                workload=args.workload,
+                specs=tuple(args.spec),
+                seeds=_parse_int_list(args.seeds, "--seeds"),
+                ks=_parse_int_list(args.ks, "--ks"),
+                verify=args.verify,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad sweep grid: {exc}")
+
+    echo = print if args.verbose else (lambda line: None)
+    try:
+        summary = run_sweep(
+            grid,
+            store_path=args.out,
+            backend=args.backend,
+            workers=args.workers,
+            resume=not args.no_resume,
+            max_cells=args.max_cells,
+            echo=echo,
+        )
+    except (StoreError, SweepCellError) as exc:
+        raise SystemExit(str(exc))
+
+    merged = summary.merged
+    print(
+        f"sweep {grid.workload}: {summary.total} cell(s) — "
+        f"ran {summary.ran}, skipped {summary.skipped} "
+        f"({'complete' if summary.complete else 'INCOMPLETE'})"
+    )
+    print(
+        f"backend={args.backend} workers={args.workers or 'auto'} "
+        f"elapsed={summary.elapsed:.2f}s "
+        f"({summary.cells_per_second:.1f} cells/s)"
+    )
+    print(
+        f"merged: rounds(max)={merged.rounds} "
+        f"messages={merged.traffic.messages} "
+        f"words={merged.traffic.total_words}"
+    )
+    if args.out:
+        print(f"store: {args.out}")
+    if grid.verify:
+        bad = [
+            row["cell"]
+            for row in summary.rows
+            if row["result"].get("ok") is False
+        ]
+        if bad:
+            print(f"VERIFY FAILED for {len(bad)} cell(s): {bad[:5]}")
+            return 1
+        print("verify: all cells ok")
+    return 0 if summary.complete else 1
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     from . import perf
 
@@ -575,6 +620,40 @@ def make_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--channels", type=int, default=12,
                           help="rows in the congestion heatmap")
     p_report.set_defaults(fn=cmd_report)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a (spec x seed x k) grid, sharded across workers",
+    )
+    p_sweep.add_argument("--workload", choices=("kdom", "partition", "mst"),
+                         default="kdom")
+    p_sweep.add_argument("--spec", action="append", metavar="SPEC",
+                         help="graph spec, e.g. tree:n=64 (repeatable)")
+    p_sweep.add_argument("--seeds", default="0",
+                         help="comma list of seeds, e.g. 0,1,2")
+    p_sweep.add_argument("--ks", default="2",
+                         help="comma list of k values, e.g. 2,4")
+    p_sweep.add_argument("--out", default=None,
+                         help="JSONL result store (checkpoint/resume)")
+    p_sweep.add_argument("--backend", choices=("inline", "process"),
+                         default="process",
+                         help="where cells execute (default: process)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: CPU count)")
+    p_sweep.add_argument("--no-resume", action="store_true",
+                         help="overwrite an existing store instead of "
+                              "skipping its finished cells")
+    p_sweep.add_argument("--max-cells", type=int, default=None,
+                         help="stop after N pending cells (interrupt "
+                              "simulation; resume later)")
+    p_sweep.add_argument("--verify", action="store_true",
+                         help="per-cell correctness checks (radius, MST "
+                              "exactness)")
+    p_sweep.add_argument("--fast", action="store_true",
+                         help="built-in CI-sized 8-cell grid")
+    p_sweep.add_argument("-v", "--verbose", action="store_true",
+                         help="print one line per finished cell")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_perf = sub.add_parser(
         "perf", help="engine perf smoke suite (writes BENCH_sim.json)"

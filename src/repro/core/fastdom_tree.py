@@ -45,11 +45,18 @@ def fastdom_tree(
     t_parent: Dict[Any, Optional[Any]],
     k: int,
     method: str = "kdom-dp",
+    backend: str = "inline",
+    workers: Optional[int] = None,
 ) -> Tuple[Set[Any], Partition, StagedRun]:
     """Run ``FastDOM_T`` on a rooted tree with ``n >= k + 1`` nodes.
 
     Returns (k-dominating set D, the radius-<=k partition P around D,
     per-stage round accounting).
+
+    ``backend``/``workers`` select the execution backend for the
+    per-cluster parallel stages (see :func:`repro.sim.run_in_parallel`):
+    ``"process"`` really fans the vertex-disjoint clusters across
+    cores, with identical results and metrics.
     """
     if method not in METHODS:
         raise ValueError(f"method must be one of {METHODS}")
@@ -82,7 +89,9 @@ def fastdom_tree(
             factory = _diamdom_factory(sub_root, k)
         dom_runs.append((network, factory))
         cluster_info.append((cluster, sub, sub_parent, sub_root))
-    networks, combined = run_in_parallel(dom_runs)
+    networks, combined = run_in_parallel(
+        dom_runs, backend=backend, workers=workers
+    )
     staged.record("cluster-domination", combined)
 
     wave_runs = []
@@ -103,7 +112,9 @@ def fastdom_tree(
                 _wave_factory(cluster_dominators, k),
             )
         )
-    wave_networks, wave_combined = run_in_parallel(wave_runs)
+    wave_networks, wave_combined = run_in_parallel(
+        wave_runs, backend=backend, workers=workers
+    )
     staged.record("cluster-partition", wave_combined)
 
     for wave_network, (cluster, _sub, _p, _r) in zip(wave_networks, cluster_info):
@@ -119,15 +130,30 @@ def fastdom_tree(
     return dominators, Partition.from_center_map(center_map), staged
 
 
-def _dp_factory(sub_root, sub_parent, k):
-    return lambda ctx: TreeKDomProgram(ctx, sub_root, sub_parent, k)
+# Program factories are picklable callables (not closures) so the
+# per-cluster runs can be shipped to worker processes under
+# backend="process".
+class _dp_factory:
+    def __init__(self, sub_root, sub_parent, k):
+        self.sub_root, self.sub_parent, self.k = sub_root, sub_parent, k
+
+    def __call__(self, ctx):
+        return TreeKDomProgram(ctx, self.sub_root, self.sub_parent, self.k)
 
 
-def _diamdom_factory(sub_root, k):
-    return lambda ctx: DiamDOMProgram(ctx, sub_root, k)
+class _diamdom_factory:
+    def __init__(self, sub_root, k):
+        self.sub_root, self.k = sub_root, k
+
+    def __call__(self, ctx):
+        return DiamDOMProgram(ctx, self.sub_root, self.k)
 
 
-def _wave_factory(cluster_dominators, k):
-    return lambda ctx: NearestDominatorProgram(
-        ctx, ctx.node in cluster_dominators, k
-    )
+class _wave_factory:
+    def __init__(self, cluster_dominators, k):
+        self.cluster_dominators, self.k = frozenset(cluster_dominators), k
+
+    def __call__(self, ctx):
+        return NearestDominatorProgram(
+            ctx, ctx.node in self.cluster_dominators, self.k
+        )

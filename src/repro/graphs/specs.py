@@ -1,0 +1,84 @@
+"""Textual graph specs: ``grid:12x12``, ``tree:n=64``, ``random:n=50,p=0.1``.
+
+The CLI has always accepted compact generator specs; the sweep
+subsystem (:mod:`repro.batch`) keys its graph cache and its result
+rows by the same strings, so the parser lives here in the graph layer
+where both can import it without touching the CLI.
+
+Supported kinds: ``grid:RxC``, ``torus:RxC``, ``ring:N``, ``tree:N``,
+``random:N:P`` (random connected with extra-edge probability P) and
+``complete:N``.  Every kind also accepts key=value segments
+(``tree:n=64``, ``grid:rows=3,cols=5``, ``random:n=50,p=0.1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    random_tree,
+    torus_graph,
+)
+from .graph import Graph
+
+#: Graph kinds understood by :func:`parse_graph_spec`.
+SPEC_KINDS = ("grid", "torus", "ring", "tree", "complete", "random")
+
+
+class GraphSpecError(ValueError):
+    """A graph spec string could not be parsed."""
+
+
+def _spec_params(rest: str) -> Optional[Dict[str, str]]:
+    """Parse ``n=64`` / ``n=50,p=0.1`` style spec arguments, or None
+    when ``rest`` uses the positional form (``12x12``, ``200:0.05``)."""
+    if "=" not in rest:
+        return None
+    params: Dict[str, str] = {}
+    for part in rest.replace(":", ",").split(","):
+        key, sep, value = part.partition("=")
+        if not sep or not key or not value:
+            raise ValueError(f"malformed key=value segment {part!r}")
+        params[key.strip()] = value.strip()
+    return params
+
+
+def parse_graph_spec(spec: str, seed: int = 0) -> Graph:
+    """Build a graph from a spec like ``grid:12x12`` or ``tree:n=64``.
+
+    ``seed`` feeds the randomized generators (``tree``, ``random``);
+    the same (spec, seed) pair always yields the same graph, which is
+    the contract the sweep cache relies on.  Raises
+    :class:`GraphSpecError` on malformed or unknown specs.
+    """
+    kind, _, rest = spec.partition(":")
+    try:
+        params = _spec_params(rest)
+        if kind == "grid":
+            rows, cols = (
+                (params["rows"], params["cols"]) if params else rest.split("x")
+            )
+            return grid_graph(int(rows), int(cols))
+        if kind == "torus":
+            rows, cols = (
+                (params["rows"], params["cols"]) if params else rest.split("x")
+            )
+            return torus_graph(int(rows), int(cols))
+        if kind == "ring":
+            return cycle_graph(int(params["n"] if params else rest))
+        if kind == "tree":
+            return random_tree(int(params["n"] if params else rest), seed=seed)
+        if kind == "complete":
+            return complete_graph(int(params["n"] if params else rest))
+        if kind == "random":
+            n, p = (params["n"], params["p"]) if params else rest.split(":")
+            return random_connected_graph(int(n), float(p), seed=seed)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise GraphSpecError(f"bad graph spec {spec!r}: {exc!r}") from exc
+    raise GraphSpecError(
+        f"unknown graph kind {kind!r} (one of {'/'.join(SPEC_KINDS)})"
+    )

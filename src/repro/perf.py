@@ -1,9 +1,10 @@
 """Performance smoke suite for the CONGEST simulation engine.
 
 Times the repository's representative workloads — BFS tree construction
-on a path and a grid, ``FastDOM_T`` on a random tree, and ``Fast-MST``
-end to end — and writes a machine-readable report (``BENCH_sim.json``
-by default).  The suite exists to catch *engine* regressions: each
+on a path and a grid, ``FastDOM_T`` on a random tree, ``Fast-MST``
+end to end, and a kdom sweep through :mod:`repro.batch` (the
+sweep-throughput number) — and writes a machine-readable report
+(``BENCH_sim.json`` by default).  The suite exists to catch *engine* regressions: each
 workload is deterministic, so wall-clock changes track engine overhead,
 not algorithmic variance.
 
@@ -96,6 +97,30 @@ def _fast_mst(n: int) -> Tuple[Callable[[], Any], Dict[str, Any]]:
     return lambda: fast_mst(graph), {"n": n, "extra_edge_p": 6.0 / n, "seed": 3}
 
 
+def _sweep_kdom(n: int, cells: int) -> Tuple[Callable[[], Any], Dict[str, Any]]:
+    """Sweep-throughput smoke: a kdom grid through repro.batch, inline.
+
+    The inline backend is what a timing workload wants — no pool
+    startup noise — and it shares every per-cell code path (cache,
+    workload, metric merge) with the sharded backend, so a regression
+    here is a regression in sweep throughput.  ``cells`` is
+    seeds × ks on one tree spec.
+    """
+    from .batch import SweepGrid, run_sweep
+
+    seeds = tuple(range(cells // 2))
+    grid = SweepGrid(
+        workload="kdom",
+        specs=(f"tree:n={n}",),
+        seeds=seeds,
+        ks=(2, 4),
+    )
+    return (
+        lambda: run_sweep(grid, store_path=None, backend="inline"),
+        {"n": n, "cells": len(seeds) * 2, "workload": "kdom"},
+    )
+
+
 #: name -> (builder, full-size kwargs, fast-size kwargs).  Builders take
 #: the size parameters and return (callable, recorded params).
 WORKLOADS: Dict[str, Tuple[Callable[..., Any], Dict[str, Any], Dict[str, Any]]] = {
@@ -103,6 +128,7 @@ WORKLOADS: Dict[str, Tuple[Callable[..., Any], Dict[str, Any], Dict[str, Any]]] 
     "bfs_grid": (_bfs_grid, {"side": 45}, {"side": 20}),
     "fastdom_tree": (_fastdom_tree, {"n": 1500, "k": 4}, {"n": 400, "k": 4}),
     "fast_mst": (_fast_mst, {"n": 512}, {"n": 192}),
+    "sweep_kdom": (_sweep_kdom, {"n": 300, "cells": 8}, {"n": 80, "cells": 4}),
 }
 
 

@@ -38,7 +38,12 @@ from .reliable import (
     ReliableProgram,
     make_reliable,
 )
-from .runner import StagedRun, run_in_parallel
+from .runner import (
+    PARALLEL_BACKENDS,
+    ParallelRunError,
+    StagedRun,
+    run_in_parallel,
+)
 from .trace import TraceEvent, TraceRecorder, traced
 from .virtual import ContractedGraph, VirtualNetwork
 from .events import AsyncContext, AsyncNetwork, AsyncNodeProgram
@@ -74,6 +79,8 @@ __all__ = [
     "NodeProgram",
     "Orchestrator",
     "NotANeighbor",
+    "PARALLEL_BACKENDS",
+    "ParallelRunError",
     "PhaseBreakdown",
     "RELIABLE_HEADER_WORDS",
     "ReliableContext",

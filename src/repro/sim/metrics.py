@@ -51,6 +51,14 @@ class RunMetrics:
         profile is shifted by ``self.rounds`` before merging — a phase
         breakdown over the composite timeline survives composition
         instead of being silently discarded.
+
+        Halt accounting: the repository's staged drivers build a fresh
+        network per stage, so ``halted_nodes`` counts halt events
+        *across* stages and therefore sums (it used to be overwritten
+        with only ``other``'s value, silently dropping earlier-stage
+        halts from :attr:`StagedRun.combined`).  ``all_halted`` reflects
+        the final stage: the composite "ended halted" iff its last
+        stage did.
         """
         merged = RunMetrics()
         merged.rounds = self.rounds + other.rounds
@@ -69,7 +77,7 @@ class RunMetrics:
                 merged.traffic.per_round.get(shifted, 0) + count
             )
         merged.all_halted = other.all_halted
-        merged.halted_nodes = other.halted_nodes
+        merged.halted_nodes = self.halted_nodes + other.halted_nodes
         merged.dropped_messages = self.dropped_messages + other.dropped_messages
         merged.duplicated_messages = (
             self.duplicated_messages + other.duplicated_messages
@@ -84,11 +92,17 @@ class RunMetrics:
 
         Rounds take the maximum (the runs execute simultaneously);
         traffic, halt counts and fault counters are summed; the
-        composite halted iff every constituent run halted.
+        composite halted iff every constituent run halted **and there
+        was at least one run**.  An empty composition returns the
+        zero/default metrics (``all_halted=False``): the partition
+        drivers merge per-cluster lists, and an empty cluster list must
+        not vacuously claim a fully-halted execution.
         """
         merged = cls()
+        seen_any = False
         merged.all_halted = True
         for metrics in runs:
+            seen_any = True
             merged.rounds = max(merged.rounds, metrics.rounds)
             merged.traffic.messages += metrics.traffic.messages
             merged.traffic.total_words += metrics.traffic.total_words
@@ -105,7 +119,57 @@ class RunMetrics:
             merged.duplicated_messages += metrics.duplicated_messages
             merged.delayed_messages += metrics.delayed_messages
             merged.crashed_nodes += metrics.crashed_nodes
+        if not seen_any:
+            merged.all_halted = False
         return merged
+
+    # -- JSON transport (worker results, sweep stores) ---------------------
+    def to_dict(self, per_round: bool = True) -> Dict[str, object]:
+        """A JSON-serializable snapshot of these metrics.
+
+        ``per_round=False`` drops the per-round traffic profile — sweep
+        result rows keep only the aggregate numbers so stores stay
+        small.  Round-trips through :meth:`from_dict`.
+        """
+        data: Dict[str, object] = {
+            "rounds": self.rounds,
+            "messages": self.traffic.messages,
+            "total_words": self.traffic.total_words,
+            "max_words": self.traffic.max_words,
+            "all_halted": self.all_halted,
+            "halted_nodes": self.halted_nodes,
+            "dropped_messages": self.dropped_messages,
+            "duplicated_messages": self.duplicated_messages,
+            "delayed_messages": self.delayed_messages,
+            "crashed_nodes": self.crashed_nodes,
+        }
+        if per_round:
+            data["per_round"] = {
+                str(r): count for r, count in sorted(self.traffic.per_round.items())
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunMetrics":
+        """Rebuild metrics written by :meth:`to_dict` (JSON keys for the
+        per-round profile come back as strings and are re-int-ed)."""
+        metrics = cls()
+        metrics.rounds = int(data.get("rounds", 0))
+        metrics.traffic.messages = int(data.get("messages", 0))
+        metrics.traffic.total_words = int(data.get("total_words", 0))
+        metrics.traffic.max_words = int(data.get("max_words", 0))
+        metrics.all_halted = bool(data.get("all_halted", False))
+        metrics.halted_nodes = int(data.get("halted_nodes", 0))
+        metrics.dropped_messages = int(data.get("dropped_messages", 0))
+        metrics.duplicated_messages = int(data.get("duplicated_messages", 0))
+        metrics.delayed_messages = int(data.get("delayed_messages", 0))
+        metrics.crashed_nodes = int(data.get("crashed_nodes", 0))
+        per_round = data.get("per_round")
+        if per_round:
+            metrics.traffic.per_round = {
+                int(r): int(count) for r, count in per_round.items()
+            }
+        return metrics
 
 
 @dataclass

@@ -174,6 +174,52 @@ class Network:
         # that is the whole no-subscriber overhead contract.
         self._obs: Optional[Tap] = _obs_bind(self)
 
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support for the process execution backend.
+
+        Observability taps hold session and subscriber objects (file
+        handles, collectors) that must not cross a process boundary;
+        a network arrives in the worker unobserved.  Everything else —
+        topology tables, scheduling state, fault injector — is plain
+        picklable data.
+        """
+        state = self.__dict__.copy()
+        state["_obs"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    def adopt_results(
+        self,
+        metrics: RunMetrics,
+        outputs: Dict[Any, Dict[str, Any]],
+        halted: Dict[Any, bool],
+    ) -> None:
+        """Install a completed run's results executed elsewhere.
+
+        The process backend runs a pickled copy of this network in a
+        worker and ships back only what drivers consume: final metrics,
+        per-node ``output`` dictionaries and halt flags.  After
+        adoption, :meth:`outputs`, :meth:`output_field` and
+        :meth:`all_halted` answer exactly as if the run had happened
+        here; transient engine state (inboxes, wakeups) is not
+        transferred.
+        """
+        self.metrics = metrics
+        self.current_round = metrics.rounds
+        self.programs = {
+            v: _CompletedProgram(outputs.get(v, {}), bool(halted.get(v)))
+            for v in self.nodes
+        }
+        self._progs = [self.programs[v] for v in self.nodes]
+        self._unhalted = {
+            i for i, v in enumerate(self.nodes) if not self.programs[v].halted
+        }
+        self._always = set()
+        self._wakeups = {}
+        self._outbox = []
+
     def attach_subscriber(self, subscriber) -> Any:
         """Attach ``subscriber`` directly to this network's event stream.
 
@@ -546,3 +592,18 @@ class Network:
 
     def neighbors(self, v) -> tuple:
         return self._neighbors[v]
+
+
+class _CompletedProgram:
+    """Stand-in program holding a worker run's per-node results.
+
+    Exposes the two attributes drivers read after a run — ``output``
+    and ``halted`` — so a parent-side :class:`Network` can answer
+    output queries for an execution that happened in a worker process.
+    """
+
+    __slots__ = ("output", "halted")
+
+    def __init__(self, output: Dict[str, Any], halted: bool) -> None:
+        self.output = output
+        self.halted = halted

@@ -5,31 +5,97 @@ separately".  Because clusters are vertex-disjoint, the executions do
 not interact, and running them on independent sub-networks while taking
 the *maximum* round count is an exact model of the parallel composition.
 :func:`run_in_parallel` packages that argument.
+
+Two execution backends are available:
+
+* ``backend="inline"`` (the default) runs the sub-networks one after
+  another in this process.  The *accounting* is still parallel (rounds
+  are the max), and every byte of engine state stays observable, which
+  is what the determinism and observability suites rely on.
+* ``backend="process"`` fans the runs across a pool of worker
+  processes (:mod:`repro.batch.pool`), so disjoint clusters really do
+  execute concurrently on separate cores.  Run specs must be picklable:
+  the networks are shipped to the workers pre-run, and each worker
+  sends back its metrics and node outputs, which are adopted into the
+  caller's :class:`~repro.sim.network.Network` objects.  Results are
+  merged in submission order, so the combined metrics are byte-for-byte
+  identical to the inline backend regardless of completion order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .metrics import RunMetrics
 from .network import DEFAULT_MAX_ROUNDS, Network, ProgramFactory
+
+#: Execution backends accepted by :func:`run_in_parallel`.
+PARALLEL_BACKENDS = ("inline", "process")
+
+
+class ParallelRunError(RuntimeError):
+    """A sub-run of :func:`run_in_parallel` raised.
+
+    The networks and metrics of every run that *did* complete are kept
+    (``networks``, ``metrics``) instead of being lost with the
+    exception; ``index`` is the position of the first failing run in
+    the submission order, and the original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        networks: List[Network],
+        metrics: RunMetrics,
+        cause: BaseException,
+    ) -> None:
+        super().__init__(
+            f"parallel run {index} failed: {cause!r} "
+            f"({len(networks)} completed run(s) preserved)"
+        )
+        self.index = index
+        self.networks = networks
+        self.metrics = metrics
 
 
 def run_in_parallel(
     runs: Iterable[Tuple[Network, ProgramFactory]],
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    backend: str = "inline",
+    workers: Optional[int] = None,
 ) -> Tuple[List[Network], RunMetrics]:
-    """Run several disjoint sub-networks "simultaneously".
+    """Run several disjoint sub-networks simultaneously.
 
     Returns the list of networks (for output collection) and the full
     parallel composition of their metrics via :meth:`RunMetrics.merge`:
     ``rounds`` is the maximum across runs (they execute in parallel);
     traffic, halt counts and fault counters are summed.
+
+    ``backend`` selects where the runs execute (see the module
+    docstring); ``workers`` bounds the process pool (default: the CPU
+    count).  If a run raises, the completed runs are preserved and the
+    failure is re-raised as :class:`ParallelRunError` with the original
+    exception chained.
     """
+    if backend not in PARALLEL_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {PARALLEL_BACKENDS}, got {backend!r}"
+        )
+    run_list = list(runs)
+    if backend == "process" and len(run_list) > 1:
+        from ..batch.pool import run_networks_in_pool
+
+        return run_networks_in_pool(run_list, max_rounds, workers)
     networks: List[Network] = []
     collected: List[RunMetrics] = []
-    for network, factory in runs:
-        result = network.run(factory, max_rounds=max_rounds)
+    for index, (network, factory) in enumerate(run_list):
+        try:
+            result = network.run(factory, max_rounds=max_rounds)
+        except Exception as exc:
+            raise ParallelRunError(
+                index, networks, RunMetrics.merge(collected), exc
+            ) from exc
         networks.append(network)
         # A faulty sub-network returns a RunReport; merge its metrics.
         collected.append(getattr(result, "metrics", result))

@@ -1,0 +1,41 @@
+"""GraphCache: one generation per (spec, seed, weighted)."""
+
+import pytest
+
+from repro.batch import GraphCache
+from repro.graphs import GraphSpecError, has_unique_weights
+
+
+class TestGraphCache:
+    def test_same_key_same_object(self):
+        cache = GraphCache()
+        a = cache.get("tree:n=12", 0)
+        b = cache.get("tree:n=12", 0)
+        assert a is b
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_distinct_seeds_distinct_entries(self):
+        cache = GraphCache()
+        cache.get("tree:n=12", 0)
+        cache.get("tree:n=12", 1)
+        assert len(cache) == 2
+        assert cache.misses == 2
+
+    def test_weighted_is_a_separate_entry(self):
+        cache = GraphCache()
+        plain = cache.get("tree:n=12", 0)
+        weighted = cache.get("tree:n=12", 0, weighted=True)
+        assert plain is not weighted
+        assert has_unique_weights(weighted)
+        assert len(cache) == 2
+
+    def test_weighted_generation_is_deterministic(self):
+        a = GraphCache().get("random:n=20,p=0.3", 5, weighted=True)
+        b = GraphCache().get("random:n=20,p=0.3", 5, weighted=True)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert all(a.weight(u, v) == b.weight(u, v) for u, v in a.edges())
+
+    def test_bad_spec_propagates(self):
+        with pytest.raises(GraphSpecError):
+            GraphCache().get("nosuch:n=4", 0)

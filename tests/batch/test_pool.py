@@ -1,0 +1,99 @@
+"""Process-pool plumbing: ordering, failure transport, worker sizing."""
+
+import pytest
+
+from repro.batch import map_submission_order, resolve_workers
+from repro.batch.pool import imap_completion_order
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError(f"bad cell {x}")
+    return x * 10
+
+
+class _Unpicklable(Exception):
+    def __init__(self):
+        super().__init__("nope")
+        self.handle = lambda: None  # lambdas do not pickle
+
+
+def _raise_unpicklable(_x):
+    raise _Unpicklable()
+
+
+class TestResolveWorkers:
+    def test_default_is_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit(self):
+        assert resolve_workers(3) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestMapSubmissionOrder:
+    def test_inline_order(self):
+        assert map_submission_order(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_process_matches_inline(self):
+        items = list(range(7))
+        inline = map_submission_order(_square, items)
+        for workers in (1, 2, 3):
+            assert (
+                map_submission_order(
+                    _square, items, backend="process", workers=workers
+                )
+                == inline
+            )
+
+    def test_empty(self):
+        assert map_submission_order(_square, [], backend="process") == []
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            map_submission_order(_square, [1, 2], backend="threads")
+
+    def test_first_failure_reraised(self):
+        with pytest.raises(ValueError, match="bad cell 3"):
+            map_submission_order(
+                _fail_on_three, [1, 2, 3, 4], backend="process", workers=2
+            )
+
+    def test_unpicklable_exception_transported(self):
+        # An exception that cannot cross the process boundary must come
+        # back as a faithful stand-in, not hang or kill the pool.
+        with pytest.raises(RuntimeError, match="_Unpicklable"):
+            map_submission_order(
+                _raise_unpicklable, [1, 2], backend="process", workers=2
+            )
+
+
+class TestImapCompletionOrder:
+    def test_tags_carry_submission_index(self):
+        seen = {}
+        for index, status, payload in imap_completion_order(
+            _square, [5, 6, 7], workers=2
+        ):
+            assert status == "ok"
+            seen[index] = payload
+        assert seen == {0: 25, 1: 36, 2: 49}
+
+    def test_errors_are_yielded_not_raised(self):
+        statuses = {}
+        for index, status, payload in imap_completion_order(
+            _fail_on_three, [3, 4], workers=2
+        ):
+            statuses[index] = (status, payload)
+        assert statuses[0][0] == "error"
+        assert isinstance(statuses[0][1], ValueError)
+        assert statuses[1] == ("ok", 40)
+
+    def test_empty_yields_nothing(self):
+        assert list(imap_completion_order(_square, [])) == []

@@ -1,0 +1,119 @@
+"""SweepStore: checkpoint appends, torn-line tolerance, canonical finalize."""
+
+import json
+
+import pytest
+
+from repro.batch import SweepStore
+from repro.batch.store import SCHEMA, StoreError, canonical_line, cell_key
+
+META = {"schema": SCHEMA, "workload": "kdom", "cells": 2}
+
+
+def _row(seed, payload):
+    return {
+        "cell": {"workload": "kdom", "spec": "tree:n=8", "seed": seed, "k": 2},
+        "result": payload,
+    }
+
+
+class TestCanonicalLine:
+    def test_sorted_keys_fixed_separators(self):
+        assert canonical_line({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_stable_across_insertion_order(self):
+        assert canonical_line({"x": 1, "y": 2}) == canonical_line(
+            {"y": 2, "x": 1}
+        )
+
+
+class TestCellKey:
+    def test_shape(self):
+        cell = {"workload": "mst", "spec": "random:n=30,p=0.2", "seed": 4, "k": 6}
+        assert cell_key(cell) == "mst|random:n=30,p=0.2|seed=4|k=6"
+
+
+class TestSweepStore:
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = SweepStore(str(tmp_path / "none.jsonl"))
+        assert store.load() == (None, {})
+
+    def test_begin_append_load_roundtrip(self, tmp_path):
+        store = SweepStore(str(tmp_path / "s.jsonl"))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        store.append(_row(1, {"rounds": 5}))
+        meta, rows = store.load()
+        assert meta == META
+        assert len(rows) == 2
+        key = cell_key(_row(1, {})["cell"])
+        assert rows[key]["result"]["rounds"] == 5
+
+    def test_begin_without_fresh_preserves_rows(self, tmp_path):
+        store = SweepStore(str(tmp_path / "s.jsonl"))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        store.begin(META, fresh=False)  # a resumed run re-opens the store
+        _meta, rows = store.load()
+        assert len(rows) == 1
+
+    def test_fresh_truncates(self, tmp_path):
+        store = SweepStore(str(tmp_path / "s.jsonl"))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        store.begin(META, fresh=True)
+        _meta, rows = store.load()
+        assert rows == {}
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        with open(path, "a") as handle:
+            handle.write('{"cell": {"workload": "kd')  # killed mid-append
+        meta, rows = store.load()
+        assert meta == META
+        assert len(rows) == 1
+
+    def test_garbage_mid_file_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+            handle.write(canonical_line(_row(0, {"rounds": 1})) + "\n")
+        with pytest.raises(StoreError, match="unparsable"):
+            store.load()
+
+    def test_unclassifiable_record_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        with open(path, "a") as handle:
+            handle.write('{"neither": true}\n')
+            handle.write(canonical_line(_row(0, {"rounds": 1})) + "\n")
+        with pytest.raises(StoreError, match="neither meta nor row"):
+            store.load()
+
+    def test_finalize_is_canonical_and_atomic(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        # Checkpointed out of grid order...
+        store.append(_row(1, {"rounds": 5}))
+        store.append(_row(0, {"rounds": 3}))
+        # ...finalized in grid order.
+        store.finalize(META, [_row(0, {"rounds": 3}), _row(1, {"rounds": 5})])
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == META
+        assert json.loads(lines[1])["cell"]["seed"] == 0
+        assert json.loads(lines[2])["cell"]["seed"] == 1
+        assert not (tmp_path / "s.jsonl.tmp").exists()
+
+    def test_finalize_output_is_byte_stable(self, tmp_path):
+        rows = [_row(0, {"z": 1, "a": 2}), _row(1, {"rounds": 5})]
+        a, b = (SweepStore(str(tmp_path / name)) for name in ("a", "b"))
+        a.finalize(META, rows)
+        b.finalize(dict(reversed(META.items())), list(rows))
+        assert (tmp_path / "a").read_bytes() == (tmp_path / "b").read_bytes()

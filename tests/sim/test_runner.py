@@ -1,7 +1,16 @@
 """Parallel composition and staged-run accounting."""
 
+import pytest
+
 from repro.graphs import path_graph
-from repro.sim import Network, NodeProgram, RunMetrics, StagedRun, run_in_parallel
+from repro.sim import (
+    Network,
+    NodeProgram,
+    ParallelRunError,
+    RunMetrics,
+    StagedRun,
+    run_in_parallel,
+)
 
 
 class Countdown(NodeProgram):
@@ -16,6 +25,34 @@ class Countdown(NodeProgram):
         self.remaining -= 1
         if self.remaining <= 0:
             self.halt()
+
+
+class PingAndTell(NodeProgram):
+    """Module-level (hence picklable) program for the process backend:
+    node 0 pings its neighbour, everyone records an output."""
+
+    def on_start(self):
+        if self.node == 0:
+            self.send(1, "PING")
+
+    def on_round(self, inbox):
+        self.output["got"] = sorted(e.tag() for e in inbox)
+        self.output["node"] = self.node
+        self.halt()
+
+
+class CountdownFive(Countdown):
+    """Picklable zero-arg-beyond-ctx factory for process-backend tests."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx, 5)
+
+
+class ExplodingFactory:
+    """Factory that raises for the failing-run regression tests."""
+
+    def __call__(self, ctx):
+        raise RuntimeError("deliberately failing factory")
 
 
 class TestRunInParallel:
@@ -128,3 +165,128 @@ class TestMetricsMerge:
         b.rounds, b.all_halted = 8, True
         assert RunMetrics.merge([a, b]).rounds == 8
         assert a.merged_with(b).rounds == 13
+
+    def test_merge_empty_is_not_all_halted(self):
+        # Vacuous truth is wrong here: "every node of zero runs halted"
+        # must not report a successful termination.
+        merged = RunMetrics.merge([])
+        assert merged.all_halted is False
+        assert merged.rounds == 0
+        assert merged.halted_nodes == 0
+
+    def test_merged_with_accumulates_halted_nodes(self):
+        a = RunMetrics()
+        a.rounds, a.all_halted, a.halted_nodes = 5, True, 4
+        b = RunMetrics()
+        b.rounds, b.all_halted, b.halted_nodes = 3, True, 7
+        merged = a.merged_with(b)
+        # Sequential stages run on stage-local networks; the composed
+        # run halted 4 nodes in stage 1 and 7 in stage 2.
+        assert merged.halted_nodes == 11
+        assert merged.all_halted is True
+        assert merged.rounds == 8
+
+    def test_staged_composition_halt_counts(self):
+        # Three stages recorded through StagedRun must accumulate halt
+        # counts instead of keeping only the last stage's.
+        staged = StagedRun()
+        for name, halted in (("a", 2), ("b", 3), ("c", 5)):
+            m = RunMetrics()
+            m.rounds, m.all_halted, m.halted_nodes = 1, True, halted
+            staged.record(name, m)
+        assert staged.combined.halted_nodes == 10
+        assert staged.combined.rounds == 3
+
+    def test_roundtrip_dict(self):
+        a = RunMetrics()
+        a.rounds, a.all_halted, a.halted_nodes = 5, True, 4
+        a.traffic.messages, a.traffic.total_words = 10, 30
+        a.traffic.max_words = 3
+        a.traffic.per_round = {1: 6, 2: 4}
+        back = RunMetrics.from_dict(a.to_dict())
+        assert back.rounds == a.rounds
+        assert back.all_halted is a.all_halted
+        assert back.halted_nodes == a.halted_nodes
+        assert back.traffic.per_round == {1: 6, 2: 4}
+
+
+class TestParallelFailure:
+    def test_partial_results_preserved_inline(self):
+        runs = [
+            (Network(path_graph(2)), lambda ctx: Countdown(ctx, 3)),
+            (Network(path_graph(2)), lambda ctx: Countdown(ctx, 7)),
+            (Network(path_graph(2)), ExplodingFactory()),
+        ]
+        with pytest.raises(ParallelRunError) as excinfo:
+            run_in_parallel(runs)
+        err = excinfo.value
+        assert err.index == 2
+        assert isinstance(err.__cause__, RuntimeError)
+        # The two completed runs are preserved with their metrics.
+        assert len(err.networks) == 2
+        assert err.metrics.rounds == 7
+        assert all(net.metrics.all_halted for net in err.networks)
+
+    def test_partial_results_preserved_process(self):
+        runs = [
+            (Network(path_graph(2)), CountdownFive),
+            (Network(path_graph(2)), ExplodingFactory()),
+            (Network(path_graph(2)), CountdownFive),
+        ]
+        with pytest.raises(ParallelRunError) as excinfo:
+            run_in_parallel(runs, backend="process", workers=2)
+        err = excinfo.value
+        assert err.index == 1
+        # Completed runs (whichever finished before the error surfaced)
+        # still carry adopted metrics.
+        for net in err.networks:
+            assert net.metrics.all_halted
+
+
+class TestProcessBackend:
+    def test_matches_inline(self):
+        def build():
+            return [
+                (Network(path_graph(3)), PingAndTell),
+                (Network(path_graph(2)), CountdownFive),
+                (Network(path_graph(4)), PingAndTell),
+            ]
+
+        inline_nets, inline_metrics = run_in_parallel(build())
+        proc_nets, proc_metrics = run_in_parallel(
+            build(), backend="process", workers=2
+        )
+        assert proc_metrics.rounds == inline_metrics.rounds
+        assert proc_metrics.traffic.messages == inline_metrics.traffic.messages
+        assert proc_metrics.halted_nodes == inline_metrics.halted_nodes
+        assert proc_metrics.all_halted is inline_metrics.all_halted
+        for a, b in zip(inline_nets, proc_nets):
+            assert a.outputs() == b.outputs()
+            assert a.metrics.rounds == b.metrics.rounds
+
+    def test_caller_networks_adopt_results(self):
+        net = Network(path_graph(2))
+        nets, _metrics = run_in_parallel(
+            [(net, PingAndTell), (Network(path_graph(2)), PingAndTell)],
+            backend="process",
+            workers=2,
+        )
+        # The same Network objects come back, mutated in place.
+        assert nets[0] is net
+        assert net.outputs()[1]["got"] == ["PING"]
+        assert net.metrics.all_halted
+
+    def test_single_run_stays_inline(self):
+        # One run gains nothing from a pool; factories need not pickle.
+        nets, metrics = run_in_parallel(
+            [(Network(path_graph(2)), lambda ctx: Countdown(ctx, 2))],
+            backend="process",
+        )
+        assert metrics.rounds == 2
+        assert nets[0].metrics.all_halted
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_in_parallel(
+                [(Network(path_graph(2)), CountdownFive)], backend="threads"
+            )

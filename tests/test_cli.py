@@ -230,6 +230,77 @@ class TestTraceCommand:
             )
 
 
+class TestSweepCommand:
+    def test_fast_grid_inline(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        code = main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "sweep kdom: 8 cell(s) — ran 8, skipped 0 (complete)" in text
+        assert "merged: rounds(max)=" in text
+        assert out.exists()
+
+    def test_resume_skips_everything(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        args = ["sweep", "--fast", "--backend", "inline", "--out", str(out)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "ran 0, skipped 8 (complete)" in capsys.readouterr().out
+
+    def test_partial_run_exits_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        code = main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out),
+             "--max-cells", "2"]
+        )
+        assert code == 1
+        assert "INCOMPLETE" in capsys.readouterr().out
+
+    def test_explicit_grid_with_verify(self, capsys):
+        code = main(
+            ["sweep", "--workload", "partition", "--spec", "tree:n=30",
+             "--seeds", "0,1", "--ks", "3", "--backend", "inline",
+             "--verify"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "sweep partition: 2 cell(s)" in text
+        assert "verify: all cells ok" in text
+
+    def test_verbose_echoes_cells(self, capsys):
+        code = main(
+            ["sweep", "--workload", "kdom", "--spec", "tree:n=20",
+             "--seeds", "0", "--ks", "2", "--backend", "inline", "-v"]
+        )
+        assert code == 0
+        assert "tree:n=20 seed=0 k=2: rounds=" in capsys.readouterr().out
+
+    def test_spec_required_without_fast(self):
+        with pytest.raises(SystemExit, match="--spec"):
+            main(["sweep", "--backend", "inline"])
+
+    def test_bad_seed_list(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--spec", "tree:n=20", "--seeds", "0,x",
+                  "--backend", "inline"])
+
+    def test_grid_mismatch_is_a_clean_error(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="different grid"):
+            main(
+                ["sweep", "--workload", "kdom", "--spec", "tree:n=20",
+                 "--seeds", "0", "--ks", "2", "--backend", "inline",
+                 "--out", str(out)]
+            )
+
+
 class TestReportCommand:
     def trace_file(self, tmp_path, capsys):
         out = tmp_path / "t.jsonl"
