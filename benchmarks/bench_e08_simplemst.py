@@ -13,7 +13,7 @@ from repro.graphs import (
 from repro.mst import kruskal_mst
 from repro.verify import check_spanning_forest
 
-from .harness import emit, note, run_once
+from .harness import emit, run_once
 
 GRAPHS = [
     ("grid-16x16", assign_unique_weights(grid_graph(16, 16), seed=1)),

@@ -17,7 +17,7 @@ from repro.graphs import (
 from repro.mst import kruskal_mst, run_pipeline
 from repro.obs import TraceBuffer, observe
 
-from .harness import emit, note, run_once
+from .harness import emit, run_once
 
 GRAPHS = [
     ("grid-14x14", assign_unique_weights(grid_graph(14, 14), seed=1)),

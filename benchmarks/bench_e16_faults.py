@@ -12,6 +12,15 @@ all.  A final scenario crashes a dominator and shows `verify.resilience`
 flagging the broken coverage bound.
 
 Fast mode (CI smoke): ``python benchmarks/bench_e16_faults.py --fast``.
+
+Importing this module also registers the ``e16-reliable`` sweep
+workload, so the same measurement runs under the grid runner::
+
+    python -m repro sweep --import benchmarks.bench_e16_faults \
+        --workload e16-reliable --spec random:n=36,p=0.12 \
+        --seeds 0,1 --ks 2,5 --out e16.jsonl
+
+(the cell's ``k`` encodes the loss rate as k percent).
 """
 
 import os
@@ -19,6 +28,7 @@ import sys
 
 import pytest
 
+from repro.batch.registry import register_workload
 from repro.core.kdom_tree import TreeKDomProgram
 from repro.graphs import path_graph, random_connected_graph, random_tree
 from repro.graphs.distances import bfs_tree
@@ -122,6 +132,31 @@ def run_case(graph, factory, loss, reliable, seed, max_rounds):
     if faults is None:
         return result, network, result.all_halted
     return result.metrics, network, result.completed
+
+
+@register_workload("e16-reliable")
+def _workload_e16_reliable(graph, cell):
+    """Reliable-wrapper overhead for BFS at drop rate ``cell.k`` percent."""
+    loss = cell.k / 100.0
+    root = min(graph.nodes, key=str)
+    factory = lambda ctx: BFSTreeProgram(ctx, root)  # noqa: E731
+    base, _base_net, base_ok = run_case(graph, factory, 0.0, False, 0, RAW_BUDGET)
+    assert base_ok
+    _raw, _raw_net, raw_ok = run_case(graph, factory, loss, False, 17, RAW_BUDGET)
+    reliable, _rel_net, reliable_ok = run_case(
+        graph, factory, loss, True, 17, RELIABLE_BUDGET
+    )
+    return {
+        "n": graph.num_nodes,
+        "loss": loss,
+        "base_rounds": base.rounds,
+        "base_messages": base.messages,
+        "reliable_rounds": reliable.rounds,
+        "reliable_messages": reliable.messages,
+        "reliable_ok": bool(reliable_ok),
+        "raw_survives": bool(raw_ok),
+        "round_overhead": round(reliable.rounds / base.rounds, 2),
+    }
 
 
 def sweep(fast: bool):

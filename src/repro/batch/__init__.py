@@ -1,51 +1,84 @@
 """Process-parallel batch execution: pools, caches, sweeps, stores.
 
-The scaling layer the ROADMAP calls for: a process-pool backend for
+The scaling layer the ROADMAP calls for: a persistent
+:class:`SharedPool` process backend for
 :func:`repro.sim.run_in_parallel` (vertex-disjoint cluster runs on
-separate cores) and a sharded sweep runner that fans a
-(graph-spec × seed × k) grid across workers with graph-generation
+separate cores, tasks shipped as graph-rebuild specs), a decorator
+registry of sweep workloads, and a sharded sweep runner that fans a
+(graph-spec × seed × k) grid across workers — or across hosts via
+``--shard i/N`` plus :func:`merge_stores` — with graph-generation
 caching and a checkpoint/resume JSONL result store.  See
 docs/performance.md ("Batch execution and sweeps").
 """
 
 from .cache import GraphCache
+from .dispatch import NetworkSpec, network_spec, task_pickle_bytes
 from .pool import (
+    PoolCrashError,
+    SharedPool,
     imap_completion_order,
     map_submission_order,
     resolve_workers,
     run_networks_in_pool,
 )
-from .store import SCHEMA, StoreError, SweepStore, canonical_line, cell_key
+from .registry import (
+    Workload,
+    WorkloadError,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+from .store import (
+    SCHEMA,
+    StoreError,
+    SweepStore,
+    canonical_line,
+    cell_key,
+    merge_stores,
+)
 from .sweep import (
     SWEEP_BACKENDS,
     SweepCell,
     SweepCellError,
     SweepGrid,
     SweepSummary,
-    WORKLOADS,
     fast_grid,
+    parse_shard,
     run_cell,
     run_sweep,
+    shard_cells,
 )
 
 __all__ = [
     "GraphCache",
+    "NetworkSpec",
+    "PoolCrashError",
     "SCHEMA",
     "SWEEP_BACKENDS",
+    "SharedPool",
     "StoreError",
     "SweepCell",
     "SweepCellError",
     "SweepGrid",
     "SweepStore",
     "SweepSummary",
-    "WORKLOADS",
+    "Workload",
+    "WorkloadError",
     "canonical_line",
     "cell_key",
     "fast_grid",
+    "get_workload",
     "imap_completion_order",
     "map_submission_order",
+    "merge_stores",
+    "network_spec",
+    "parse_shard",
+    "register_workload",
     "resolve_workers",
     "run_cell",
     "run_networks_in_pool",
     "run_sweep",
+    "shard_cells",
+    "task_pickle_bytes",
+    "workload_names",
 ]

@@ -11,14 +11,15 @@ by workloads.  Weight assignment is the one sanctioned mutation and it
 happens here, at generation time, so a weighted and an unweighted
 request for the same (spec, seed) get *separate* objects.
 
-In the process backend each worker holds its own cache (initialized by
-:func:`repro.batch.sweep._init_worker`), so repeated cells never
-regenerate within a worker and workers never contend on shared state.
+In the process backend each worker holds its own lazily-created cache
+(module state in :mod:`repro.batch.sweep` and
+:mod:`repro.batch.dispatch`), so repeated cells never regenerate
+within a worker and workers never contend on shared state.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..graphs import (
     Graph,
@@ -29,29 +30,40 @@ from ..graphs import (
 
 
 class GraphCache:
-    """Memoized (spec, seed, weighted) -> graph generation."""
+    """Memoized (spec, seed, weight seed) -> graph generation."""
 
     def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, int, bool], Graph] = {}
+        self._entries: Dict[Tuple[str, int, Optional[int]], Graph] = {}
         self.hits = 0
         self.misses = 0
 
-    def get(self, spec: str, seed: int, weighted: bool = False) -> Graph:
+    def get(
+        self,
+        spec: str,
+        seed: int,
+        weighted: bool = False,
+        weight_seed: Optional[int] = None,
+    ) -> Graph:
         """The graph for ``spec`` at ``seed``; generated at most once.
 
         ``weighted=True`` additionally assigns distinct polynomial edge
         weights (seeded by the same ``seed``) unless the generator
-        already produced unique weights.
+        already produced unique weights.  ``weight_seed`` decouples the
+        weight seed from the generation seed — the spec-dispatch replay
+        (:mod:`repro.batch.dispatch`) needs that, because a graph may
+        have been weighted with an unrelated seed.
         """
-        key = (spec, int(seed), bool(weighted))
+        if weight_seed is None and weighted:
+            weight_seed = int(seed)
+        key = (spec, int(seed), weight_seed)
         graph = self._entries.get(key)
         if graph is not None:
             self.hits += 1
             return graph
         self.misses += 1
         graph = parse_graph_spec(spec, seed=seed)
-        if weighted and not has_unique_weights(graph):
-            assign_unique_weights(graph, seed=seed)
+        if weight_seed is not None and not has_unique_weights(graph):
+            assign_unique_weights(graph, seed=weight_seed)
         self._entries[key] = graph
         return graph
 

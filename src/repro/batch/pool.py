@@ -1,13 +1,22 @@
 """Process-pool execution: the one place that touches ``multiprocessing``.
 
-Two consumers share this module:
+Three consumers share this module:
 
 * :func:`repro.sim.run_in_parallel` with ``backend="process"`` ships
-  whole (network, factory) runs to workers via
-  :func:`run_networks_in_pool`;
+  runs (a :class:`~repro.batch.dispatch.NetworkSpec` recipe, or a whole
+  network as fallback) via :func:`run_networks_in_pool`;
 * the sweep runner (:mod:`repro.batch.sweep`) fans grid cells across
   workers via :func:`imap_completion_order`, consuming results as they
-  finish so it can checkpoint them immediately.
+  finish so it can checkpoint them immediately;
+* :func:`benchmarks.harness.sweep_map` maps experiment cells through
+  :func:`map_submission_order`.
+
+All three routes go through one pool when a :class:`SharedPool` is
+active (entered as a context manager, or passed explicitly): the pool
+persists across calls, so repeated fan-outs pay worker startup once
+and worker-side caches (graph regeneration, imported workload modules)
+stay warm.  Without one, each call spins up a disposable pool — the
+PR 4 behaviour.
 
 Determinism contract: results are *tagged with their submission index*
 inside the worker, so callers can always reassemble submission order
@@ -22,6 +31,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 
@@ -53,32 +63,228 @@ def _invoke(task: Tuple[Callable[[Any], Any], int, Any]) -> Tuple[int, str, Any]
         return index, "error", _portable_exception(exc)
 
 
+# ---------------------------------------------------------------------------
+# The persistent shared pool
+# ---------------------------------------------------------------------------
+class PoolCrashError(RuntimeError):
+    """Workers kept dying faster than the pool could restart them.
+
+    Raised by :meth:`SharedPool.imap` after ``max_restarts`` pool
+    restarts within one call still left tasks unfinished — the signature
+    of a task that hard-kills its worker (``os._exit``, OOM kill,
+    segfault) every time it runs.  Results delivered before the crash
+    were already yielded; ``pending`` counts the tasks still unfinished.
+    """
+
+    def __init__(self, restarts: int, pending: int) -> None:
+        super().__init__(
+            f"worker pool crashed {restarts} time(s); giving up with "
+            f"{pending} task(s) unfinished (a task is killing its worker)"
+        )
+        self.restarts = restarts
+        self.pending = pending
+
+
+#: Stack of entered SharedPools; the innermost is the ambient pool that
+#: pool-agnostic call sites (run_in_parallel, run_sweep, sweep_map)
+#: route through.
+_ACTIVE: List["SharedPool"] = []
+
+#: Seconds between liveness/readiness polls while draining a batch.
+#: Tasks here are whole simulation runs (milliseconds at minimum), so a
+#: short sleep costs nothing measurable and keeps the parent responsive.
+_POLL_INTERVAL = 0.005
+
+
+class SharedPool:
+    """A persistent worker pool reused across batch calls.
+
+    ::
+
+        with SharedPool(workers=4) as pool:
+            run_sweep(grid_a, backend="process")   # same 4 workers
+            run_sweep(grid_b, backend="process")   # ...reused
+            fastdom_tree(tree, root, parent, k, backend="process")
+
+    Entering the context makes the pool *ambient*: every
+    ``backend="process"`` call inside the block routes through it
+    (innermost pool wins when nested).  Passing ``pool=...`` explicitly
+    works too and takes precedence.  Exiting shuts the workers down;
+    :meth:`close` is idempotent and also safe to call directly.
+
+    **Crash recovery.**  A worker that dies mid-task (hard exit, OOM
+    kill) would hang a plain ``multiprocessing.Pool`` consumer forever:
+    the pool replaces the worker but the task it held is silently lost.
+    ``SharedPool`` watches the worker pid set while draining; when it
+    changes, the pool is torn down, respawned, and every unfinished
+    task resubmitted.  Tasks must therefore be idempotent — true for
+    everything in this repository, where tasks are deterministic
+    simulations.  After ``max_restarts`` restarts within a single call
+    the pool raises :class:`PoolCrashError` instead of looping forever.
+    """
+
+    def __init__(
+        self, workers: Optional[int] = None, max_restarts: int = 2
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.max_restarts = max_restarts
+        #: Lifetime counters (telemetry for tests and perf reports).
+        self.restarts = 0
+        self.dispatched = 0
+        self.completed = 0
+        self._pool: Optional[Any] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure(self) -> Any:
+        if self._closed:
+            raise RuntimeError("SharedPool is closed")
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(self.workers)
+        return self._pool
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the workers down; the pool cannot be used afterwards."""
+        self._teardown()
+        self._closed = True
+
+    def __enter__(self) -> "SharedPool":
+        if self._closed:
+            raise RuntimeError("SharedPool is closed")
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        _ACTIVE.remove(self)
+        self.close()
+
+    @classmethod
+    def current(cls) -> Optional["SharedPool"]:
+        """The innermost entered pool, or ``None``."""
+        return _ACTIVE[-1] if _ACTIVE else None
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def worker_pids(self) -> Tuple[int, ...]:
+        """Pids of the live workers (empty before first use)."""
+        if self._pool is None:
+            return ()
+        return tuple(p.pid for p in self._pool._pool)
+
+    # -- execution ---------------------------------------------------------
+    def imap(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[Tuple[int, str, Any]]:
+        """Yield ``(submission_index, status, payload)`` as tasks finish.
+
+        Same contract as :func:`imap_completion_order`, executed on the
+        persistent workers, with crash-restart as described on the
+        class.
+        """
+        pending = {
+            index: (fn, index, item) for index, item in enumerate(items)
+        }
+        restarts_this_call = 0
+        while pending:
+            pool = self._ensure()
+            pids = set(p.pid for p in pool._pool)
+            inflight = {
+                index: pool.apply_async(_invoke, (task,))
+                for index, task in pending.items()
+            }
+            self.dispatched += len(inflight)
+            broken = False
+            while inflight and not broken:
+                done = [i for i, r in inflight.items() if r.ready()]
+                for index in done:
+                    outcome = inflight.pop(index).get()
+                    del pending[index]
+                    self.completed += 1
+                    yield outcome
+                if not inflight:
+                    break
+                # Liveness: the pool's maintenance thread replaces dead
+                # workers, so a changed pid set means a worker died and
+                # whatever task it held is lost.
+                if set(p.pid for p in pool._pool) != pids:
+                    broken = True
+                else:
+                    time.sleep(_POLL_INTERVAL)
+            if pending and broken:
+                restarts_this_call += 1
+                self.restarts += 1
+                self._teardown()
+                if restarts_this_call > self.max_restarts:
+                    raise PoolCrashError(restarts_this_call, len(pending))
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> List[Any]:
+        """Map ``fn`` over ``items``; results in submission order, the
+        first failing item's exception re-raised."""
+        items = list(items)
+        results: List[Any] = [None] * len(items)
+        failures = {}
+        for index, status, payload in self.imap(fn, items):
+            if status == "error":
+                failures[index] = payload
+            else:
+                results[index] = payload
+        if failures:
+            raise failures[min(failures)]
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Pool-agnostic entry points
+# ---------------------------------------------------------------------------
 def imap_completion_order(
     fn: Callable[[Any], Any],
     items: Iterable[Any],
     workers: Optional[int] = None,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple[Any, ...] = (),
+    pool: Optional[SharedPool] = None,
 ) -> Iterator[Tuple[int, str, Any]]:
     """Yield ``(submission_index, status, payload)`` as tasks finish.
 
     ``status`` is ``"ok"`` (payload = result) or ``"error"`` (payload =
-    the exception; the caller decides whether to raise).  The pool is
-    torn down when the iterator is exhausted or closed.
+    the exception; the caller decides whether to raise).  Routing: an
+    explicit ``pool``, else the ambient :meth:`SharedPool.current`, else
+    a disposable pool torn down when the iterator is exhausted or
+    closed.  ``initializer`` forces the disposable path (a shared pool's
+    workers were started long ago); in-repo callers use lazily-created
+    worker state instead.
     """
     tasks = [(fn, index, item) for index, item in enumerate(items)]
     if not tasks:
         return
+    if initializer is None:
+        shared = pool if pool is not None else SharedPool.current()
+        if shared is not None:
+            yield from shared.imap(fn, [item for _fn, _i, item in tasks])
+            return
     processes = min(resolve_workers(workers), len(tasks))
     ctx = multiprocessing.get_context()
-    pool = ctx.Pool(processes=processes, initializer=initializer, initargs=initargs)
+    one_shot = ctx.Pool(
+        processes=processes, initializer=initializer, initargs=initargs
+    )
     try:
-        for result in pool.imap_unordered(_invoke, tasks):
+        for result in one_shot.imap_unordered(_invoke, tasks):
             yield result
-        pool.close()
-        pool.join()
+        one_shot.close()
+        one_shot.join()
     finally:
-        pool.terminate()
+        one_shot.terminate()
 
 
 def map_submission_order(
@@ -86,10 +292,12 @@ def map_submission_order(
     items: Iterable[Any],
     backend: str = "inline",
     workers: Optional[int] = None,
+    pool: Optional[SharedPool] = None,
 ) -> List[Any]:
     """Map ``fn`` over ``items``; results in submission order.
 
     ``backend="inline"`` runs in this process; ``"process"`` fans out
+    (through ``pool``, the ambient shared pool, or a disposable one)
     and reassembles.  The first failing item's exception is re-raised
     either way.  This is the benchmark harness's opt-in hook.
     """
@@ -100,7 +308,9 @@ def map_submission_order(
         raise ValueError(f"backend must be 'inline' or 'process', got {backend!r}")
     results: List[Any] = [None] * len(items)
     failures = {}
-    for index, status, payload in imap_completion_order(fn, items, workers):
+    for index, status, payload in imap_completion_order(
+        fn, items, workers, pool=pool
+    ):
         if status == "error":
             failures[index] = payload
         else:
@@ -113,42 +323,37 @@ def map_submission_order(
 # ---------------------------------------------------------------------------
 # run_in_parallel's process backend
 # ---------------------------------------------------------------------------
-def _run_network_task(task: Tuple[Any, Any, int]) -> Tuple[Any, dict, dict]:
-    """Execute one (network, factory) run inside a worker.
-
-    Returns what parent-side drivers consume — the run result (metrics
-    or fault report), per-node outputs and halt flags — rather than the
-    mutated network: finished programs may hold generator frames
-    (:class:`~repro.sim.program.ScriptedProgram`), which do not pickle.
-    """
-    network, factory, max_rounds = task
-    result = network.run(factory, max_rounds=max_rounds)
-    outputs = {v: program.output for v, program in network.programs.items()}
-    halted = {v: program.halted for v, program in network.programs.items()}
-    return result, outputs, halted
-
-
 def run_networks_in_pool(
     runs: List[Tuple[Any, Any]],
     max_rounds: int,
     workers: Optional[int] = None,
+    pool: Optional[SharedPool] = None,
 ) -> Tuple[List[Any], Any]:
     """Process backend for :func:`repro.sim.run_in_parallel`.
 
-    Ships each pre-run network + factory to a worker, adopts the
-    results back into the caller's network objects, and merges metrics
-    in submission order (deterministic regardless of completion
-    order).  On failure, completed runs are preserved and re-raised as
-    :class:`~repro.sim.runner.ParallelRunError`, matching the inline
-    backend's contract.
+    Each run ships as the smallest thing that reproduces it: a
+    :class:`~repro.batch.dispatch.NetworkSpec` recipe when the network
+    is recipe-expressible, the whole network otherwise (see
+    :mod:`repro.batch.dispatch`).  Workers send back the run result,
+    outputs and halt flags; the caller's network objects adopt them,
+    and metrics merge in submission order (deterministic regardless of
+    completion order).  On failure, completed runs are preserved and
+    re-raised as :class:`~repro.sim.runner.ParallelRunError`, matching
+    the inline backend's contract.
     """
     from ..sim.metrics import RunMetrics
     from ..sim.runner import ParallelRunError
+    from .dispatch import parallel_task, run_parallel_task
 
-    tasks = [(network, factory, max_rounds) for network, factory in runs]
+    tasks = [
+        parallel_task(network, factory, max_rounds)
+        for network, factory in runs
+    ]
     outcomes: List[Optional[Tuple[Any, dict, dict]]] = [None] * len(tasks)
     failures = {}
-    for index, status, payload in imap_completion_order(_run_network_task, tasks):
+    for index, status, payload in imap_completion_order(
+        run_parallel_task, tasks, workers, pool=pool
+    ):
         if status == "error":
             failures[index] = payload
         else:

@@ -1,0 +1,150 @@
+"""Decorator-registered sweep workloads.
+
+PR 4 hard-coded the sweep's workloads (``kdom``/``partition``/``mst``)
+in a module-level dict, so a benchmark wanting its own sweep cells had
+to patch ``sweep.py``.  This registry inverts that: any module defines
+a workload with ::
+
+    from repro.batch.registry import register_workload
+
+    @register_workload("my-workload", weighted=True)
+    def _my_workload(graph, cell):
+        ...deterministic...
+        return {"n": graph.num_nodes, ...}
+
+and every consumer — ``run_sweep``, ``repro sweep --workload
+my-workload``, the stores — picks it up by name.  The function
+receives the cell's (cached, **read-only**) graph and the
+:class:`~repro.batch.sweep.SweepCell`, and must return a JSON-safe,
+fully deterministic row: completed stores are compared byte for byte,
+so nothing run-varying (timing, pids) may appear.  ``weighted=True``
+asks the cache for distinct polynomial edge weights.
+
+Worker processes resolve workloads by name too.  Registration is an
+import side effect, so each :class:`Workload` records its defining
+module (the *provider*); the sweep ships that name with each cell and
+workers import it before lookup.  Built-ins live in
+:mod:`repro.batch.sweep`, which workers always import; the provider
+hook is what lets *benchmark*-defined workloads (e.g.
+``benchmarks.bench_e16_faults``) run under start methods that do not
+inherit the parent's modules.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from difflib import get_close_matches
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+
+class WorkloadError(ValueError):
+    """Unknown workload name, or a conflicting registration."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered sweep workload."""
+
+    name: str
+    fn: Callable[[Any, Any], Dict[str, Any]]
+    #: Whether cells need distinct polynomial edge weights.
+    weighted: bool
+    #: Module whose import registers this workload (``None`` when
+    #: defined in an unimportable place, e.g. a ``__main__`` script).
+    provider: Optional[str]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register_workload(
+    name: str, *, weighted: bool = False
+) -> Callable[[Callable[[Any, Any], Dict[str, Any]]], Callable]:
+    """Decorator: register ``fn`` as the sweep workload ``name``.
+
+    Re-registering the *same* function under the same name is a no-op
+    (modules may be imported under two names — package and script);
+    registering a different function over an existing name raises
+    :class:`WorkloadError`, because silently replacing a workload would
+    change what stored rows mean.
+    """
+
+    def decorate(fn: Callable[[Any, Any], Dict[str, Any]]) -> Callable:
+        module = getattr(fn, "__module__", None)
+        provider = module if module not in (None, "__main__") else None
+        workload = Workload(
+            name=name,
+            fn=fn,
+            weighted=weighted,
+            provider=provider,
+            description=(fn.__doc__ or "").strip().splitlines()[0]
+            if fn.__doc__
+            else "",
+        )
+        existing = _REGISTRY.get(name)
+        if existing is not None and not _same_function(existing.fn, fn):
+            raise WorkloadError(
+                f"workload {name!r} is already registered by "
+                f"{existing.provider or 'an unimportable module'}; "
+                f"pick another name"
+            )
+        _REGISTRY[name] = workload
+        return fn
+
+    return decorate
+
+
+def _same_function(a: Callable, b: Callable) -> bool:
+    if a is b:
+        return True
+    qualname = getattr(a, "__qualname__", "")
+    # Nested functions share a qualname with every sibling closure, so
+    # only identity can prove sameness for them; for module-level
+    # functions, matching (module, qualname) means the same source
+    # definition imported again.
+    if "<locals>" in qualname:
+        return False
+    return (
+        qualname == getattr(b, "__qualname__", None)
+        and getattr(a, "__module__", None) == getattr(b, "__module__", None)
+    )
+
+
+def get_workload(name: str, provider: Optional[str] = None) -> Workload:
+    """Look ``name`` up, importing ``provider`` first if it is missing.
+
+    Raises :class:`WorkloadError` with the known names (and a
+    did-you-mean hint) when the lookup fails — the error the CLI shows
+    verbatim.
+    """
+    if name not in _REGISTRY and provider:
+        importlib.import_module(provider)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = sorted(_REGISTRY)
+        hint = get_close_matches(name, known, n=1)
+        suggestion = f" (did you mean {hint[0]!r}?)" if hint else ""
+        raise WorkloadError(
+            f"unknown workload {name!r}{suggestion}; registered: "
+            f"{', '.join(known) or 'none'} — define one with "
+            f"@register_workload and import its module "
+            f"(repro sweep --import MODULE)"
+        ) from None
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Registered workload names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def iter_workloads() -> Iterator[Workload]:
+    for name in workload_names():
+        yield _REGISTRY[name]
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (tests and interactive sessions)."""
+    _REGISTRY.pop(name, None)

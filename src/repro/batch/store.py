@@ -14,6 +14,12 @@ Lifecycle of a store file:
   whatever backend or worker count produced them — that is the
   determinism contract tests/batch/test_sweep.py enforces.
 
+* **Shard merge** — a grid swept as N shards (``repro sweep --shard
+  i/N`` on N hosts) yields N stores whose metas differ only in the
+  ``shard`` field.  :func:`merge_stores` recombines them into the
+  canonical one-shot store, byte for byte — the multi-host half of the
+  determinism contract.
+
 Rows deliberately contain no wall-clock data; timing lives in the
 sweep summary (and ``BENCH_sim.json``), never in the store.
 """
@@ -22,7 +28,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Store schema tag, written into the meta line.
 SCHEMA = "repro-sweep/1"
@@ -113,3 +119,97 @@ class SweepStore:
             for row in rows:
                 handle.write(canonical_line(row) + "\n")
         os.replace(tmp, self.path)
+
+
+# ---------------------------------------------------------------------------
+# Shard merge
+# ---------------------------------------------------------------------------
+def grid_cell_dicts(meta: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The grid's cells, in canonical order, from its meta line alone.
+
+    Mirrors ``SweepGrid.cells()`` (spec-major, then seed, then k) but
+    needs no workload lookup, so stores written by external workloads
+    merge without importing their provider modules.
+    """
+    return [
+        {"workload": meta["workload"], "spec": spec, "seed": seed, "k": k}
+        for spec in meta["specs"]
+        for seed in meta["seeds"]
+        for k in meta["ks"]
+    ]
+
+
+def merge_stores(shard_paths: Sequence[str], out_path: str) -> Dict[str, Any]:
+    """Merge N complete shard stores into the canonical one-shot store.
+
+    The inputs must be the N shards of one grid — same meta apart from
+    the ``shard`` field, shard indices covering ``0/N .. (N-1)/N``
+    exactly — and together they must supply every grid cell.  The
+    output is written with :meth:`SweepStore.finalize` under the
+    unsharded meta, so it is byte-identical to the store a single
+    unsharded sweep of the grid would have produced.
+
+    Returns the merged meta.  Raises :class:`StoreError` on any
+    mismatch (different grids, missing/duplicate shards, missing
+    cells).
+    """
+    if not shard_paths:
+        raise StoreError("merge_stores needs at least one shard store")
+    base_meta: Optional[Dict[str, Any]] = None
+    seen_shards: Dict[int, str] = {}
+    shard_count: Optional[int] = None
+    rows: Dict[str, Dict[str, Any]] = {}
+    for path in shard_paths:
+        meta, shard_rows = SweepStore(path).load()
+        if meta is None:
+            raise StoreError(f"{path}: missing or empty store")
+        shard_text = meta.get("shard")
+        if shard_text is None:
+            raise StoreError(
+                f"{path}: not a shard store (no shard field in meta)"
+            )
+        try:
+            index_text, count_text = str(shard_text).split("/", 1)
+            index, count = int(index_text), int(count_text)
+        except ValueError:
+            raise StoreError(
+                f"{path}: malformed shard field {shard_text!r}"
+            ) from None
+        unsharded = {key: val for key, val in meta.items() if key != "shard"}
+        if base_meta is None:
+            base_meta, shard_count = unsharded, count
+        elif unsharded != base_meta or count != shard_count:
+            raise StoreError(
+                f"{path}: shard belongs to a different grid than "
+                f"{shard_paths[0]}"
+            )
+        if index in seen_shards:
+            raise StoreError(
+                f"{path}: duplicate shard {index}/{count} "
+                f"(also in {seen_shards[index]})"
+            )
+        seen_shards[index] = path
+        rows.update(shard_rows)
+    assert base_meta is not None and shard_count is not None
+    missing_shards = sorted(set(range(shard_count)) - set(seen_shards))
+    if missing_shards:
+        raise StoreError(
+            f"missing shard store(s) for "
+            f"{', '.join(f'{i}/{shard_count}' for i in missing_shards)}"
+        )
+    ordered: List[Dict[str, Any]] = []
+    missing_cells = []
+    for cell in grid_cell_dicts(base_meta):
+        row = rows.get(cell_key(cell))
+        if row is None:
+            missing_cells.append(cell_key(cell))
+        else:
+            ordered.append(row)
+    if missing_cells:
+        raise StoreError(
+            f"{len(missing_cells)} grid cell(s) missing from the shards "
+            f"(first: {missing_cells[0]}) — finish every shard sweep "
+            f"before merging"
+        )
+    SweepStore(out_path).finalize(base_meta, ordered)
+    return base_meta

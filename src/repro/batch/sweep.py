@@ -8,19 +8,28 @@ cells.  This module turns that shape into a first-class runner:
   (spec-major, then seed, then k) — the canonical order of the result
   store and of metric merging;
 * cells fan across worker processes (``backend="process"``) or run in
-  this process (``"inline"``), behind the same function;
+  this process (``"inline"``), behind the same function; an entered
+  :class:`~repro.batch.pool.SharedPool` is reused instead of spawning
+  a pool per sweep;
 * each worker keeps a :class:`~repro.batch.cache.GraphCache`, so the
   cells sharing a (spec, seed) pair regenerate nothing;
 * results checkpoint into a :class:`~repro.batch.store.SweepStore`
   as they finish, and a resumed sweep executes only missing cells;
+* ``shard=(i, n)`` restricts one invocation to every n-th cell of the
+  canonical order — the multi-host protocol: run the same grid with
+  ``--shard 0/N .. (N-1)/N`` on N machines, then
+  :func:`~repro.batch.store.merge_stores` stitches the shard stores
+  into the byte-identical one-shot store;
 * per-cell metrics are merged with
   :meth:`~repro.sim.metrics.RunMetrics.merge` in grid order, so the
   summary is identical whatever backend or worker count ran the cells.
 
-Workloads are looked up by name (``kdom``, ``partition``, ``mst``) and
-must stay deterministic: a result row may contain nothing that varies
-run to run (no timing, no pids), because completed stores are compared
-byte for byte.
+Workloads are looked up by name in :mod:`repro.batch.registry`; the
+built-ins (``kdom``, ``partition``, ``mst``) are registered below, and
+benchmarks register their own (e.g. ``bench-e16-faults``).  Every
+workload must stay deterministic: a result row may contain nothing
+that varies run to run (no timing, no pids), because completed stores
+are compared byte for byte.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from ..graphs import RootedTree
 from ..sim.metrics import RunMetrics
 from .cache import GraphCache
 from .pool import imap_completion_order, resolve_workers
+from .registry import get_workload, register_workload
 from .store import SCHEMA, SweepStore, StoreError, cell_key
 
 #: Execution backends accepted by :func:`run_sweep`.
@@ -80,11 +90,7 @@ class SweepGrid:
     verify: bool = False
 
     def __post_init__(self) -> None:
-        if self.workload not in WORKLOADS:
-            raise ValueError(
-                f"unknown workload {self.workload!r} "
-                f"(one of {'/'.join(sorted(WORKLOADS))})"
-            )
+        get_workload(self.workload)  # raises WorkloadError when unknown
         if not (self.specs and self.seeds and self.ks):
             raise ValueError("grid needs at least one spec, seed and k")
 
@@ -121,8 +127,54 @@ def fast_grid(workload: str = "kdom") -> SweepGrid:
 
 
 # ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``"i/N"`` into a validated ``(i, n)`` shard selector."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like i/N (e.g. 0/4), got {text!r}"
+        ) from None
+    return validate_shard((index, count))
+
+
+def validate_shard(shard: Tuple[int, int]) -> Tuple[int, int]:
+    index, count = shard
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, {count}), got {index}"
+        )
+    return index, count
+
+
+def shard_cells(
+    cells: List[SweepCell], shard: Optional[Tuple[int, int]]
+) -> List[Tuple[int, SweepCell]]:
+    """The (canonical-index, cell) pairs shard ``(i, n)`` is responsible
+    for: every cell whose canonical-order index is ``i`` modulo ``n``.
+
+    Round-robin over the canonical order (rather than contiguous
+    blocks) so each shard gets a representative mix of specs and sizes
+    — the grid is spec-major, and a contiguous split would hand one
+    host all the big graphs.  Shards partition the grid exactly: over
+    ``i = 0..n-1`` every cell appears in precisely one shard.
+    """
+    indexed = list(enumerate(cells))
+    if shard is None:
+        return indexed
+    index, count = validate_shard(shard)
+    return [(i, cell) for i, cell in indexed if i % count == index]
+
+
+# ---------------------------------------------------------------------------
 # Workloads (deterministic; rows must carry nothing run-varying)
 # ---------------------------------------------------------------------------
+@register_workload("kdom", weighted=True)
 def _workload_kdom(graph, cell: SweepCell) -> Dict[str, Any]:
     """``FastDOM_G``: k-dominating set on a general graph (§4.5)."""
     from ..core import fastdom_graph
@@ -148,6 +200,7 @@ def _workload_kdom(graph, cell: SweepCell) -> Dict[str, Any]:
     return result
 
 
+@register_workload("partition")
 def _workload_partition(graph, cell: SweepCell) -> Dict[str, Any]:
     """Fast ``DOM_Partition`` on the BFS tree rooted at the min node."""
     from ..core import dom_partition
@@ -176,6 +229,7 @@ def _workload_partition(graph, cell: SweepCell) -> Dict[str, Any]:
     return result
 
 
+@register_workload("mst", weighted=True)
 def _workload_mst(graph, cell: SweepCell) -> Dict[str, Any]:
     """``Fast-MST`` end to end; the cell's k overrides sqrt(n)."""
     from ..mst import fast_mst, kruskal_mst
@@ -197,34 +251,39 @@ def _workload_mst(graph, cell: SweepCell) -> Dict[str, Any]:
     return result
 
 
-#: workload name -> (cell runner, needs distinct edge weights).
-WORKLOADS: Dict[str, Tuple[Callable[[Any, SweepCell], Dict[str, Any]], bool]] = {
-    "kdom": (_workload_kdom, True),
-    "partition": (_workload_partition, False),
-    "mst": (_workload_mst, True),
-}
+def run_cell(
+    cell: SweepCell,
+    cache: Optional[GraphCache] = None,
+    provider: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Execute one cell; return its store row (fully deterministic).
 
-
-def run_cell(cell: SweepCell, cache: Optional[GraphCache] = None) -> Dict[str, Any]:
-    """Execute one cell; return its store row (fully deterministic)."""
-    runner, weighted = WORKLOADS[cell.workload]
+    ``provider`` is the module to import when ``cell.workload`` is not
+    yet registered — how worker processes pick up benchmark-defined
+    workloads (see :mod:`repro.batch.registry`).
+    """
+    workload = get_workload(cell.workload, provider)
     cache = cache if cache is not None else GraphCache()
-    graph = cache.get(cell.spec, cell.seed, weighted=weighted)
-    return {"cell": cell.as_dict(), "result": runner(graph, cell)}
+    graph = cache.get(cell.spec, cell.seed, weighted=workload.weighted)
+    return {"cell": cell.as_dict(), "result": workload.fn(graph, cell)}
 
 
-# Worker-process state: one graph cache per worker, installed by the
-# pool initializer so repeated (spec, seed) cells never regenerate.
+# Worker-process graph cache: lazy module state rather than a pool
+# initializer, so sweep cells can route through a long-lived
+# SharedPool whose workers predate the sweep.
 _WORKER_CACHE: Optional[GraphCache] = None
 
 
-def _init_worker() -> None:
+def _worker_cache() -> GraphCache:
     global _WORKER_CACHE
-    _WORKER_CACHE = GraphCache()
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = GraphCache()
+    return _WORKER_CACHE
 
 
-def _process_cell(cell: SweepCell) -> Dict[str, Any]:
-    return run_cell(cell, _WORKER_CACHE)
+def _process_cell(task: Tuple[SweepCell, Optional[str]]) -> Dict[str, Any]:
+    cell, provider = task
+    return run_cell(cell, _worker_cache(), provider)
 
 
 # ---------------------------------------------------------------------------
@@ -262,6 +321,7 @@ def run_sweep(
     workers: Optional[int] = None,
     resume: bool = True,
     max_cells: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
     echo: Callable[[str], None] = lambda line: None,
 ) -> SweepSummary:
     """Run (or resume) a sweep; return its summary.
@@ -271,38 +331,47 @@ def run_sweep(
       store; ``False`` truncates and starts fresh.
     * ``max_cells`` bounds how many *pending* cells execute — the
       hook the interrupt/resume tests and the CI smoke job use.
-    * On full completion the store is rewritten in canonical grid
-      order (byte-identical across backends and worker counts).
+    * ``shard=(i, n)`` runs only this invocation's slice of the grid
+      (see :func:`shard_cells`); the store's meta records the shard,
+      and :func:`~repro.batch.store.merge_stores` recombines the n
+      shard stores into the one-shot store.
+    * On full completion (of the grid, or of the shard's slice) the
+      store is rewritten in canonical grid order (byte-identical
+      across backends and worker counts).
     """
     if backend not in SWEEP_BACKENDS:
         raise ValueError(
             f"backend must be one of {SWEEP_BACKENDS}, got {backend!r}"
         )
-    cells = grid.cells()
+    selected = shard_cells(grid.cells(), shard)
+    meta = dict(grid.meta())
+    if shard is not None:
+        meta["shard"] = f"{shard[0]}/{shard[1]}"
     store = SweepStore(store_path) if store_path else None
     rows_by_index: Dict[int, Dict[str, Any]] = {}
     if store is not None:
         if resume:
-            meta, existing = store.load()
-            if meta is not None and _grid_mismatch(meta, grid.meta()):
+            stored_meta, existing = store.load()
+            if stored_meta is not None and _grid_mismatch(stored_meta, meta):
                 raise StoreError(
                     f"{store.path} was written for a different grid; "
                     f"pass resume=False (or a new path) to overwrite"
                 )
-            for index, cell in enumerate(cells):
+            for index, cell in selected:
                 if cell.key in existing:
                     rows_by_index[index] = existing[cell.key]
-        store.begin(grid.meta(), fresh=not resume)
+        store.begin(meta, fresh=not resume)
 
     pending = [
         (index, cell)
-        for index, cell in enumerate(cells)
+        for index, cell in selected
         if index not in rows_by_index
     ]
-    skipped = len(cells) - len(pending)
+    skipped = len(selected) - len(pending)
     if max_cells is not None:
         pending = pending[:max_cells]
 
+    provider = get_workload(grid.workload).provider
     start = time.perf_counter()
     if backend == "inline" or len(pending) <= 1 or resolve_workers(workers) == 1:
         cache = GraphCache()
@@ -316,9 +385,9 @@ def run_sweep(
                 store.append(row)
             echo(_cell_line(row))
     else:
-        items = [cell for _index, cell in pending]
+        items = [(cell, provider) for _index, cell in pending]
         for position, status, payload in imap_completion_order(
-            _process_cell, items, workers=workers, initializer=_init_worker
+            _process_cell, items, workers=workers
         ):
             index, cell = pending[position]
             if status == "error":
@@ -329,17 +398,17 @@ def run_sweep(
             echo(_cell_line(payload))
     elapsed = time.perf_counter() - start
 
-    complete = len(rows_by_index) == len(cells)
+    complete = len(rows_by_index) == len(selected)
     ordered = [rows_by_index[i] for i in sorted(rows_by_index)]
     if complete and store is not None:
-        store.finalize(grid.meta(), ordered)
+        store.finalize(meta, ordered)
     merged = RunMetrics.merge(
         RunMetrics.from_dict(row["result"]["metrics"])
         for row in ordered
         if "metrics" in row.get("result", {})
     )
     return SweepSummary(
-        total=len(cells),
+        total=len(selected),
         ran=len(pending),
         skipped=skipped,
         complete=complete,
@@ -351,7 +420,7 @@ def run_sweep(
 
 def _grid_mismatch(meta: Dict[str, Any], expected: Dict[str, Any]) -> bool:
     """Compare the grid-defining fields of two meta records."""
-    keys = ("schema", "workload", "specs", "seeds", "ks", "verify")
+    keys = ("schema", "workload", "specs", "seeds", "ks", "verify", "shard")
     return any(meta.get(key) != expected.get(key) for key in keys)
 
 

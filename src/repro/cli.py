@@ -14,6 +14,8 @@ Examples::
     python -m repro report trace.jsonl
     python -m repro sweep --workload kdom --spec tree:n=200 --spec grid:12x12 \
         --seeds 0,1,2 --ks 2,4,8 --workers 4 --out sweep.jsonl
+    python -m repro sweep --fast --shard 0/2 --out shard0.jsonl
+    python -m repro merge-stores shard0.jsonl shard1.jsonl --out merged.jsonl
 
 Graph specs: ``grid:RxC``, ``torus:RxC``, ``ring:N``, ``tree:N``,
 ``random:N:P`` (random connected with extra-edge probability P),
@@ -418,24 +420,46 @@ def _parse_int_list(text: str, flag: str) -> tuple:
     return values
 
 
+#: ``repro sweep`` exit code for "ran fine but the grid (or shard) is
+#: not yet complete" — e.g. bounded by ``--max-cells``.  Distinct from
+#: 1 (a crash or verify failure) so CI can assert the difference.
+EXIT_SWEEP_INCOMPLETE = 3
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    import importlib
+
     from .batch import (
         StoreError,
         SweepCellError,
         SweepGrid,
+        WorkloadError,
         fast_grid,
+        parse_shard,
         run_sweep,
     )
 
-    if args.fast:
-        grid = fast_grid(args.workload)
-    else:
-        if not args.spec:
-            raise SystemExit(
-                "at least one --spec is required (or use --fast for the "
-                "built-in CI grid)"
-            )
+    for module in args.imports or ():
         try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise SystemExit(f"--import {module}: {exc}")
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            raise SystemExit(f"bad --shard: {exc}")
+
+    try:
+        if args.fast:
+            grid = fast_grid(args.workload)
+        else:
+            if not args.spec:
+                raise SystemExit(
+                    "at least one --spec is required (or use --fast for the "
+                    "built-in CI grid)"
+                )
             grid = SweepGrid(
                 workload=args.workload,
                 specs=tuple(args.spec),
@@ -443,8 +467,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 ks=_parse_int_list(args.ks, "--ks"),
                 verify=args.verify,
             )
-        except ValueError as exc:
-            raise SystemExit(f"bad sweep grid: {exc}")
+    except WorkloadError as exc:
+        raise SystemExit(str(exc))
+    except ValueError as exc:
+        raise SystemExit(f"bad sweep grid: {exc}")
 
     echo = print if args.verbose else (lambda line: None)
     try:
@@ -455,14 +481,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             resume=not args.no_resume,
             max_cells=args.max_cells,
+            shard=shard,
             echo=echo,
         )
     except (StoreError, SweepCellError) as exc:
         raise SystemExit(str(exc))
 
     merged = summary.merged
+    shard_note = f" [shard {args.shard}]" if shard is not None else ""
     print(
-        f"sweep {grid.workload}: {summary.total} cell(s) — "
+        f"sweep {grid.workload}{shard_note}: {summary.total} cell(s) — "
         f"ran {summary.ran}, skipped {summary.skipped} "
         f"({'complete' if summary.complete else 'INCOMPLETE'})"
     )
@@ -488,7 +516,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"VERIFY FAILED for {len(bad)} cell(s): {bad[:5]}")
             return 1
         print("verify: all cells ok")
-    return 0 if summary.complete else 1
+    return 0 if summary.complete else EXIT_SWEEP_INCOMPLETE
+
+
+def cmd_merge_stores(args: argparse.Namespace) -> int:
+    from .batch import StoreError, merge_stores
+
+    try:
+        meta = merge_stores(args.stores, args.out)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"merged {len(args.stores)} shard store(s) -> {args.out} "
+        f"({meta['cells']} cells, workload {meta['workload']})"
+    )
+    return 0
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -625,8 +667,15 @@ def make_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a (spec x seed x k) grid, sharded across workers",
     )
-    p_sweep.add_argument("--workload", choices=("kdom", "partition", "mst"),
-                         default="kdom")
+    p_sweep.add_argument("--workload", default="kdom", metavar="NAME",
+                         help="registered workload name (built-ins: kdom, "
+                              "partition, mst; benchmarks add more via "
+                              "--import)")
+    p_sweep.add_argument("--import", dest="imports", action="append",
+                         metavar="MODULE",
+                         help="import MODULE first so its "
+                              "@register_workload workloads are available "
+                              "(repeatable)")
     p_sweep.add_argument("--spec", action="append", metavar="SPEC",
                          help="graph spec, e.g. tree:n=64 (repeatable)")
     p_sweep.add_argument("--seeds", default="0",
@@ -645,7 +694,12 @@ def make_parser() -> argparse.ArgumentParser:
                               "skipping its finished cells")
     p_sweep.add_argument("--max-cells", type=int, default=None,
                          help="stop after N pending cells (interrupt "
-                              "simulation; resume later)")
+                              "simulation; resume later; exits 3 while "
+                              "cells remain)")
+    p_sweep.add_argument("--shard", default=None, metavar="I/N",
+                         help="run only every N-th grid cell starting at I "
+                              "(multi-host sweeps; combine the stores with "
+                              "`repro merge-stores`)")
     p_sweep.add_argument("--verify", action="store_true",
                          help="per-cell correctness checks (radius, MST "
                               "exactness)")
@@ -654,6 +708,17 @@ def make_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("-v", "--verbose", action="store_true",
                          help="print one line per finished cell")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_merge = sub.add_parser(
+        "merge-stores",
+        help="merge N complete shard sweep stores into the one-shot store",
+    )
+    p_merge.add_argument("stores", nargs="+", metavar="STORE",
+                         help="the shard JSONL stores (all N of them)")
+    p_merge.add_argument("--out", required=True,
+                         help="merged store path (byte-identical to an "
+                              "unsharded sweep of the same grid)")
+    p_merge.set_defaults(fn=cmd_merge_stores)
 
     p_perf = sub.add_parser(
         "perf", help="engine perf smoke suite (writes BENCH_sim.json)"

@@ -149,7 +149,7 @@ class DiamDOMProgram(BFSTreeProgram):
         # Lemma 2.1, where the root alone suffices): restrict the choice
         # to the nonempty classes l <= min(k, M).
         eligible = range(min(self.k, self.tree_depth) + 1)
-        best = min(eligible, key=lambda l: (self._level_counts[l], l))
+        best = min(eligible, key=lambda lvl: (self._level_counts[lvl], lvl))
         self.output["level_counts"] = dict(self._level_counts)
         self.output["decision_round"] = self.round
         self._announce(best)

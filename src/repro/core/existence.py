@@ -52,7 +52,7 @@ def level_class_construction(tree: RootedTree, k: int) -> Tuple[Set[Any], int]:
     if k >= tree.height:
         return {tree.root}, 0
     classes = level_classes(tree, k)
-    best = min(range(k + 1), key=lambda l: (len(classes[l]), l))
+    best = min(range(k + 1), key=lambda lvl: (len(classes[lvl]), lvl))
     return classes[best], best
 
 

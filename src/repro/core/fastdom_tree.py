@@ -47,6 +47,7 @@ def fastdom_tree(
     method: str = "kdom-dp",
     backend: str = "inline",
     workers: Optional[int] = None,
+    pool: Optional[Any] = None,
 ) -> Tuple[Set[Any], Partition, StagedRun]:
     """Run ``FastDOM_T`` on a rooted tree with ``n >= k + 1`` nodes.
 
@@ -56,7 +57,14 @@ def fastdom_tree(
     ``backend``/``workers`` select the execution backend for the
     per-cluster parallel stages (see :func:`repro.sim.run_in_parallel`):
     ``"process"`` really fans the vertex-disjoint clusters across
-    cores, with identical results and metrics.
+    cores, with identical results and metrics.  Both stages (cluster
+    domination, then the nearest-dominator wave) run on *one* worker
+    pool: ``pool`` if given, the ambient entered
+    :class:`~repro.batch.pool.SharedPool` if any, else a pool opened
+    here for the duration of the call.  When ``tree`` was built by a
+    seeded generator, the cluster sub-networks carry rebuild provenance
+    and ship to workers as specs, not pickled networks
+    (:mod:`repro.batch.dispatch`).
     """
     if method not in METHODS:
         raise ValueError(f"method must be one of {METHODS}")
@@ -66,6 +74,32 @@ def fastdom_tree(
         partition = Partition.from_center_map({v: v for v in tree.nodes})
         return dominators, partition, StagedRun()
 
+    own_pool = None
+    if backend == "process" and pool is None:
+        from ..batch.pool import SharedPool
+
+        pool = SharedPool.current()
+        if pool is None:
+            own_pool = pool = SharedPool(workers)
+    try:
+        return _fastdom_tree_staged(
+            tree, root, t_parent, k, method, backend, workers, pool
+        )
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+
+
+def _fastdom_tree_staged(
+    tree: Graph,
+    root: Any,
+    t_parent: Dict[Any, Optional[Any]],
+    k: int,
+    method: str,
+    backend: str,
+    workers: Optional[int],
+    pool: Optional[Any],
+) -> Tuple[Set[Any], Partition, StagedRun]:
     clusters_partition, staged = dom_partition(tree, root, t_parent, k)
 
     dominators: Set[Any] = set()
@@ -90,7 +124,7 @@ def fastdom_tree(
         dom_runs.append((network, factory))
         cluster_info.append((cluster, sub, sub_parent, sub_root))
     networks, combined = run_in_parallel(
-        dom_runs, backend=backend, workers=workers
+        dom_runs, backend=backend, workers=workers, pool=pool
     )
     staged.record("cluster-domination", combined)
 
@@ -113,7 +147,7 @@ def fastdom_tree(
             )
         )
     wave_networks, wave_combined = run_in_parallel(
-        wave_runs, backend=backend, workers=workers
+        wave_runs, backend=backend, workers=workers, pool=pool
     )
     staged.record("cluster-partition", wave_combined)
 

@@ -78,7 +78,7 @@ def dom_partition(
             break
         # Standing depth test (the §3.2.3 implementation note): clusters
         # whose depth counters exceeded k move to the output.
-        removed_any = _remove_deep_clusters(tree, live, out, k)
+        _remove_deep_clusters(tree, live, out, k)
         # (3-II/3-III) Participation probe: clusters with radius above
         # 2 * 2^i wait this phase out.  Cost: a probe to depth 2 * 2^i
         # and back.

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
-from .graph import Graph
+from .graph import Graph, GraphProvenance
 
 
 def path_graph(n: int) -> Graph:
@@ -30,6 +30,7 @@ def cycle_graph(n: int) -> Graph:
         raise ValueError("cycle needs at least 3 nodes")
     g = path_graph(n)
     g.add_edge(n - 1, 0)
+    g.provenance = GraphProvenance(f"ring:n={n}", 0)
     return g
 
 
@@ -51,6 +52,7 @@ def complete_graph(n: int) -> Graph:
     for u in range(n):
         for v in range(u + 1, n):
             g.add_edge(u, v)
+    g.provenance = GraphProvenance(f"complete:n={n}", 0)
     return g
 
 
@@ -118,14 +120,15 @@ def random_tree(n: int, seed: int = 0) -> Graph:
     if n == 1:
         g = Graph()
         g.add_node(0)
-        return g
-    if n == 2:
+    elif n == 2:
         g = Graph()
         g.add_edge(0, 1)
-        return g
-    rng = random.Random(seed)
-    pruefer = [rng.randrange(n) for _ in range(n - 2)]
-    return tree_from_pruefer(pruefer)
+    else:
+        rng = random.Random(seed)
+        pruefer = [rng.randrange(n) for _ in range(n - 2)]
+        g = tree_from_pruefer(pruefer)
+    g.provenance = GraphProvenance(f"tree:n={n}", seed)
+    return g
 
 
 def tree_from_pruefer(pruefer: Sequence[int]) -> Graph:
@@ -168,6 +171,7 @@ def grid_graph(rows: int, cols: int) -> Graph:
                 g.add_edge(v - 1, v)
             if r > 0:
                 g.add_edge(v - cols, v)
+    g.provenance = GraphProvenance(f"grid:rows={rows},cols={cols}", 0)
     return g
 
 
@@ -180,6 +184,7 @@ def torus_graph(rows: int, cols: int) -> Graph:
         g.add_edge(r * cols, r * cols + cols - 1)
     for c in range(cols):
         g.add_edge(c, (rows - 1) * cols + c)
+    g.provenance = GraphProvenance(f"torus:rows={rows},cols={cols}", 0)
     return g
 
 
@@ -209,6 +214,7 @@ def random_connected_graph(n: int, extra_edge_prob: float, seed: int = 0) -> Gra
         for v in range(u + 1, n):
             if not g.has_edge(u, v) and rng.random() < extra_edge_prob:
                 g.add_edge(u, v)
+    g.provenance = GraphProvenance(f"random:n={n},p={extra_edge_prob!r}", seed)
     return g
 
 

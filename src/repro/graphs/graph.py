@@ -9,7 +9,42 @@ this.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class GraphProvenance:
+    """How a graph can be rebuilt from scratch: the recipe, not the data.
+
+    The process-execution layer (:mod:`repro.batch.dispatch`) ships this
+    tiny record to worker processes instead of pickling whole adjacency
+    structures; the worker regenerates the graph through its
+    :class:`~repro.batch.cache.GraphCache`.  The contract: replaying
+
+    1. ``parse_graph_spec(spec, seed=seed)``,
+    2. ``assign_unique_weights(seed=weight_seed)`` if ``weight_seed``
+       is not ``None``, and
+    3. ``.subgraph(members)`` if ``members`` is not ``None``
+
+    yields a graph with exactly the same nodes, edges and weights.
+    Generators stamp provenance at construction time; any later
+    structural or weight mutation clears it (the recipe would lie).
+    """
+
+    spec: str
+    seed: int
+    weight_seed: Optional[int] = None
+    members: Optional[Tuple[Any, ...]] = None
+
+    def restricted_to(self, nodes: Iterable[Any]) -> "GraphProvenance":
+        """Provenance of the induced subgraph on ``nodes``.
+
+        Members are always node ids of the *base* generated graph, so
+        restricting an already-restricted provenance stays valid: the
+        new member set is a subset of the old one.
+        """
+        return replace(self, members=tuple(sorted(nodes, key=str)))
 
 
 class Graph:
@@ -22,11 +57,15 @@ class Graph:
 
     def __init__(self) -> None:
         self._adj: Dict[Any, Dict[Any, Optional[float]]] = {}
+        #: Rebuild recipe (:class:`GraphProvenance`) stamped by the
+        #: seeded generators; ``None`` for hand-built or mutated graphs.
+        self.provenance: Optional[GraphProvenance] = None
 
     # -- construction -----------------------------------------------------
     def add_node(self, v: Any) -> None:
         if v not in self._adj:
             self._adj[v] = {}
+            self.provenance = None
 
     def add_edge(self, u: Any, v: Any, weight: Optional[float] = None) -> None:
         if u == v:
@@ -39,18 +78,21 @@ class Graph:
             )
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self.provenance = None
 
     def set_weight(self, u: Any, v: Any, weight: float) -> None:
         if v not in self._adj.get(u, {}):
             raise KeyError(f"no edge ({u}, {v})")
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self.provenance = None
 
     def remove_edge(self, u: Any, v: Any) -> None:
         if v not in self._adj.get(u, {}):
             raise KeyError(f"no edge ({u}, {v})")
         del self._adj[u][v]
         del self._adj[v][u]
+        self.provenance = None
 
     # -- inspection ---------------------------------------------------------
     @property
@@ -104,10 +146,16 @@ class Graph:
             clone.add_node(v)
         for u, v, w in self.weighted_edges():
             clone.add_edge(u, v, w)
+        clone.provenance = self.provenance
         return clone
 
     def subgraph(self, nodes: Iterable[Any]) -> "Graph":
-        """The induced subgraph on ``nodes`` (weights preserved)."""
+        """The induced subgraph on ``nodes`` (weights preserved).
+
+        When this graph carries provenance, the subgraph does too —
+        restricted to ``nodes`` — so induced cluster sub-networks stay
+        spec-dispatchable (:mod:`repro.batch.dispatch`).
+        """
         keep: Set[Any] = set(nodes)
         sub = Graph()
         for v in keep:
@@ -117,6 +165,8 @@ class Graph:
         for u, v, w in self.weighted_edges():
             if u in keep and v in keep:
                 sub.add_edge(u, v, w)
+        if self.provenance is not None:
+            sub.provenance = self.provenance.restricted_to(keep)
         return sub
 
     def edge_subgraph(self, edge_list: Iterable[Tuple[Any, Any]]) -> "Graph":

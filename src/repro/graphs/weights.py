@@ -10,6 +10,7 @@ bounded by ``n ** 3`` by default.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Optional
 
 from .graph import Graph
@@ -28,6 +29,17 @@ def assign_unique_weights(
     """
     m = graph.num_edges
     n = graph.num_nodes
+    # The default assignment is replayable from (provenance, seed), so
+    # re-stamp provenance with the weight seed.  Two cases invalidate
+    # instead: a custom max_weight (not recorded in the recipe), and a
+    # members-restricted provenance (the replay order is parse ->
+    # assign -> subgraph, so weighting a subgraph directly would draw a
+    # different sample than weighting the base graph).
+    provenance = graph.provenance
+    if max_weight is not None or (
+        provenance is not None and provenance.members is not None
+    ):
+        provenance = None
     if max_weight is None:
         max_weight = max(n, 2) ** 3
     if max_weight < m:
@@ -38,6 +50,8 @@ def assign_unique_weights(
     weights = rng.sample(range(1, max_weight + 1), m)
     for (u, v), w in zip(sorted(graph.edges(), key=str), weights):
         graph.set_weight(u, v, w)
+    if provenance is not None:
+        graph.provenance = replace(provenance, weight_seed=seed)
     return graph
 
 

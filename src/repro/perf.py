@@ -26,6 +26,12 @@ gates the bare numbers at :data:`OBS_GATE_FACTOR` (1.05, i.e. <= 5%
 overhead) against the committed baseline instead of the loose default
 factor.
 
+The report also carries a ``"spec_dispatch"`` section
+(:func:`measure_spec_dispatch`): the pickle bytes the process backend
+ships per task under spec-based dispatch versus whole-network
+shipping, keeping the saving quoted in ``docs/performance.md`` a
+measured number rather than a claim.
+
 Usage::
 
     python -m repro perf              # full suite -> BENCH_sim.json
@@ -217,6 +223,43 @@ def measure_observability(
     return section
 
 
+def measure_spec_dispatch(
+    fast: bool = False,
+    echo: Callable[[str], None] = lambda line: None,
+) -> Dict[str, Any]:
+    """Measure what the process backend ships per task; return the
+    ``"spec_dispatch"`` report section.
+
+    Builds the same ``(network, factory)`` runs ``FastDOM_T`` hands to
+    :func:`~repro.batch.pool.run_networks_in_pool` — level-DP programs
+    over random trees — and asks
+    :func:`~repro.batch.dispatch.task_pickle_bytes` what each dispatch
+    path would serialise.  ``spec_bytes`` is the recipe the rewritten
+    dispatcher actually sends, ``network_bytes`` the whole-network
+    fallback it replaced; the ratio is the per-task IPC saving quoted
+    in ``docs/performance.md``.
+    """
+    from .batch.dispatch import task_pickle_bytes
+    from .core.fastdom_tree import _dp_factory
+    from .sim import Network
+
+    sizes = (60, 120) if fast else (200, 400, 800)
+    runs = []
+    for i, n in enumerate(sizes):
+        tree = random_tree(n, seed=11 + i)
+        rooted = RootedTree.from_graph(tree, 0)
+        runs.append((Network(tree), _dp_factory(0, rooted.parent, 3)))
+    stats = task_pickle_bytes(runs)
+    stats["tree_sizes"] = list(sizes)
+    echo(
+        f"{'spec_dispatch':<14} ships {stats['spec_bytes']} B vs "
+        f"{stats['network_bytes']} B whole-network "
+        f"({stats['ratio']:.2f}x, {stats['spec_tasks']}/{stats['runs']} "
+        f"recipe-expressible)"
+    )
+    return stats
+
+
 def check_obs_overhead(
     report: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -321,6 +364,7 @@ def main(
         print(profile_suite(fast=fast))
         return 0
     report = run_suite(fast=fast, reps=reps, echo=print)
+    report["spec_dispatch"] = measure_spec_dispatch(fast=fast, echo=print)
     if obs:
         report["observability"] = measure_observability(
             report, fast=fast, reps=reps, echo=print

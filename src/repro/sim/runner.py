@@ -14,17 +14,22 @@ Two execution backends are available:
   is what the determinism and observability suites rely on.
 * ``backend="process"`` fans the runs across a pool of worker
   processes (:mod:`repro.batch.pool`), so disjoint clusters really do
-  execute concurrently on separate cores.  Run specs must be picklable:
-  the networks are shipped to the workers pre-run, and each worker
-  sends back its metrics and node outputs, which are adopted into the
-  caller's :class:`~repro.sim.network.Network` objects.  Results are
-  merged in submission order, so the combined metrics are byte-for-byte
-  identical to the inline backend regardless of completion order.
+  execute concurrently on separate cores.  Each run ships as a
+  :class:`~repro.batch.dispatch.NetworkSpec` rebuild recipe when its
+  graph carries provenance (spec-based dispatch; a few hundred bytes),
+  falling back to pickling the whole pre-run network otherwise.  Each
+  worker sends back its metrics and node outputs, which are adopted
+  into the caller's :class:`~repro.sim.network.Network` objects.
+  Results are merged in submission order, so the combined metrics are
+  byte-for-byte identical to the inline backend regardless of
+  completion order.  Passing ``pool=`` (or entering a
+  :class:`~repro.batch.pool.SharedPool` context) reuses one persistent
+  pool across calls instead of spawning workers per call.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .metrics import RunMetrics
 from .network import DEFAULT_MAX_ROUNDS, Network, ProgramFactory
@@ -64,6 +69,7 @@ def run_in_parallel(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     backend: str = "inline",
     workers: Optional[int] = None,
+    pool: Optional[Any] = None,
 ) -> Tuple[List[Network], RunMetrics]:
     """Run several disjoint sub-networks simultaneously.
 
@@ -74,9 +80,12 @@ def run_in_parallel(
 
     ``backend`` selects where the runs execute (see the module
     docstring); ``workers`` bounds the process pool (default: the CPU
-    count).  If a run raises, the completed runs are preserved and the
-    failure is re-raised as :class:`ParallelRunError` with the original
-    exception chained.
+    count) and ``pool`` reuses a persistent
+    :class:`~repro.batch.pool.SharedPool` instead of spawning one (an
+    ambient entered SharedPool is picked up automatically).  If a run
+    raises, the completed runs are preserved and the failure is
+    re-raised as :class:`ParallelRunError` with the original exception
+    chained.
     """
     if backend not in PARALLEL_BACKENDS:
         raise ValueError(
@@ -86,7 +95,7 @@ def run_in_parallel(
     if backend == "process" and len(run_list) > 1:
         from ..batch.pool import run_networks_in_pool
 
-        return run_networks_in_pool(run_list, max_rounds, workers)
+        return run_networks_in_pool(run_list, max_rounds, workers, pool=pool)
     networks: List[Network] = []
     collected: List[RunMetrics] = []
     for index, (network, factory) in enumerate(run_list):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.applications import place_servers, random_placement
-from repro.graphs import assign_unique_weights, grid_graph, random_connected_graph
+from repro.graphs import assign_unique_weights, grid_graph
 
 
 @pytest.fixture

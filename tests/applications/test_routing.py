@@ -8,7 +8,6 @@ from repro.applications import build_routing, full_table_size
 from repro.graphs import (
     assign_unique_weights,
     grid_graph,
-    random_connected_graph,
     torus_graph,
 )
 

@@ -1,0 +1,144 @@
+"""Spec-based dispatch: task kinds, rebuild exactness, pickle savings."""
+
+import pickle
+
+from repro.batch import GraphCache, NetworkSpec, network_spec, task_pickle_bytes
+from repro.batch.dispatch import (
+    NETWORK_TASK,
+    SPEC_TASK,
+    build_network,
+    parallel_task,
+    run_parallel_task,
+)
+from repro.graphs import RootedTree, random_tree
+from repro.graphs.generators import cycle_graph
+from repro.sim import FaultConfig, FaultInjector, Network
+from repro.sim.runner import run_in_parallel
+
+
+class _FloodFactory:  # minimal picklable program factory
+    def __call__(self, ctx):
+        from repro.primitives.flooding import FloodProgram
+
+        return FloodProgram(ctx, 0, value=1)
+
+
+_factory = _FloodFactory()
+
+
+def _tree_runs(k=3, count=4):
+    """Disjoint per-tree runs, like fastdom_tree's per-cluster stage."""
+    from repro.core.fastdom_tree import _dp_factory
+
+    runs = []
+    for i in range(count):
+        tree = random_tree(24 + i, seed=11 + i)
+        rt = RootedTree.from_graph(tree, 0)
+        runs.append((Network(tree), _dp_factory(0, rt.parent, k)))
+    return runs
+
+
+class TestNetworkSpec:
+    def test_generated_network_is_recipe_expressible(self):
+        network = Network(cycle_graph(10))
+        spec = network_spec(network)
+        assert isinstance(spec, NetworkSpec)
+        assert spec.provenance.spec == "ring:n=10"
+
+    def test_mutated_graph_falls_back(self):
+        graph = cycle_graph(10)
+        graph.add_edge(0, 5)
+        assert network_spec(Network(graph)) is None
+
+    def test_faulty_network_falls_back(self):
+        injector = FaultInjector(FaultConfig(drop_rate=0.1, seed=0))
+        network = Network(cycle_graph(10), faults=injector)
+        assert network_spec(network) is None
+
+    def test_spec_preserves_network_options(self):
+        network = Network(cycle_graph(10), word_limit=4, scheduling="full")
+        spec = network_spec(network)
+        assert spec.word_limit == 4
+        assert spec.scheduling == "full"
+
+    def test_rebuild_matches_original(self):
+        network = Network(cycle_graph(10), word_limit=4)
+        rebuilt = build_network(network_spec(network), GraphCache())
+        assert set(rebuilt.graph.nodes) == set(network.graph.nodes)
+        assert rebuilt.word_limit == 4
+
+
+class TestParallelTask:
+    def test_spec_task_for_generated_graph(self):
+        network = Network(cycle_graph(10))
+        kind, _payload = parallel_task(network, _factory, 100)
+        assert kind == SPEC_TASK
+
+    def test_network_task_for_hand_built_graph(self):
+        graph = cycle_graph(10)
+        graph.add_edge(0, 5)
+        kind, payload = parallel_task(Network(graph), _factory, 100)
+        assert kind == NETWORK_TASK
+        assert payload[0].graph is graph
+
+    def test_both_kinds_execute_identically(self):
+        """The fallback path and the spec path produce the same run."""
+        from repro.core.fastdom_tree import _dp_factory
+
+        tree = random_tree(16, seed=3)
+        rt = RootedTree.from_graph(tree, 0)
+        factory = _dp_factory(0, rt.parent, 2)
+
+        spec_task = parallel_task(Network(tree), factory, 1000)
+        assert spec_task[0] == SPEC_TASK
+        mutated = tree.copy()
+        mutated.provenance = None
+        network_task = parallel_task(Network(mutated), factory, 1000)
+        assert network_task[0] == NETWORK_TASK
+
+        result_a, outputs_a, halted_a = run_parallel_task(spec_task)
+        result_b, outputs_b, halted_b = run_parallel_task(network_task)
+        assert outputs_a == outputs_b
+        assert halted_a == halted_b
+        assert result_a.to_dict() == result_b.to_dict()
+
+
+class TestProcessBackendEquality:
+    def test_inline_and_process_agree(self):
+        runs_a = _tree_runs()
+        runs_b = _tree_runs()
+        nets_inline, metrics_inline = run_in_parallel(runs_a, backend="inline")
+        nets_proc, metrics_proc = run_in_parallel(
+            runs_b, backend="process", workers=2
+        )
+        assert metrics_inline.to_dict() == metrics_proc.to_dict()
+        for a, b in zip(nets_inline, nets_proc):
+            assert a.output_field("in_dominating_set") == b.output_field(
+                "in_dominating_set"
+            )
+
+
+class TestPickleBytes:
+    def test_spec_dispatch_shrinks_tasks(self):
+        """The tentpole's measurable claim: shipping recipes beats
+        shipping networks by a wide margin."""
+        stats = task_pickle_bytes(_tree_runs())
+        assert stats["runs"] == 4
+        assert stats["spec_tasks"] == 4
+        assert stats["spec_bytes"] < stats["network_bytes"] / 2
+        assert stats["ratio"] < 0.5
+
+    def test_fallback_counts_zero_spec_tasks(self):
+        graph = cycle_graph(12)
+        graph.add_edge(0, 6)
+        stats = task_pickle_bytes([(Network(graph), _factory)])
+        assert stats["spec_tasks"] == 0
+        assert stats["ratio"] == 1.0
+
+    def test_spec_task_is_picklable_and_small(self):
+        network = Network(random_tree(200, seed=1))
+        task = parallel_task(network, _factory, 1000)
+        spec_bytes = len(pickle.dumps(task))
+        network_bytes = len(pickle.dumps((NETWORK_TASK, (network, _factory, 1000))))
+        assert spec_bytes < 1000
+        assert spec_bytes < network_bytes / 10

@@ -1,0 +1,116 @@
+"""Workload registry: registration, lookup, conflicts, provider import."""
+
+import sys
+
+import pytest
+
+from repro.batch.registry import (
+    Workload,
+    WorkloadError,
+    get_workload,
+    iter_workloads,
+    register_workload,
+    unregister,
+    workload_names,
+)
+
+
+@pytest.fixture
+def scratch_workload():
+    """Register a throwaway workload; always unregister afterwards."""
+    names = []
+
+    def make(name, fn=None, **kwargs):
+        names.append(name)
+        if fn is None:
+            def fn(graph, cell):  # noqa: ARG001
+                """Scratch workload."""
+                return {"n": graph.num_nodes}
+        return register_workload(name, **kwargs)(fn)
+
+    yield make
+    for name in names:
+        unregister(name)
+
+
+class TestRegistration:
+    def test_builtins_are_registered(self):
+        # Importing the sweep module registers the three built-ins.
+        import repro.batch.sweep  # noqa: F401
+
+        assert {"kdom", "partition", "mst"} <= set(workload_names())
+        assert get_workload("kdom").weighted
+        assert not get_workload("partition").weighted
+        assert get_workload("mst").provider == "repro.batch.sweep"
+
+    def test_register_and_lookup(self, scratch_workload):
+        scratch_workload("scratch-a", weighted=True)
+        workload = get_workload("scratch-a")
+        assert isinstance(workload, Workload)
+        assert workload.weighted
+        assert workload.description == "Scratch workload."
+
+    def test_reregistering_same_function_is_noop(self, scratch_workload):
+        def fn(graph, cell):
+            return {}
+
+        scratch_workload("scratch-b", fn)
+        register_workload("scratch-b")(fn)  # same fn: allowed
+        assert get_workload("scratch-b").fn is fn
+
+    def test_conflicting_registration_refused(self, scratch_workload):
+        scratch_workload("scratch-c")
+        with pytest.raises(WorkloadError, match="already registered"):
+            scratch_workload("scratch-c")
+
+    def test_decorator_returns_function_unchanged(self):
+        def fn(graph, cell):
+            return {}
+
+        try:
+            assert register_workload("scratch-d")(fn) is fn
+        finally:
+            unregister("scratch-d")
+
+
+class TestLookupErrors:
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            get_workload("no-such-workload")
+        with pytest.raises(WorkloadError, match="kdom"):
+            get_workload("no-such-workload")
+
+    def test_typo_gets_suggestion(self):
+        with pytest.raises(WorkloadError, match="did you mean 'kdom'"):
+            get_workload("kdon")
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            get_workload("no-such-workload")
+
+    def test_provider_imported_on_miss(self):
+        # Drop any cached copy so import_module re-executes the module
+        # body (and with it the @register_workload decorators), the way
+        # a fresh worker process would.
+        sys.modules.pop("benchmarks.bench_e16_faults", None)
+        unregister("e16-reliable")
+        workload = get_workload(
+            "e16-reliable", provider="benchmarks.bench_e16_faults"
+        )
+        assert workload.provider == "benchmarks.bench_e16_faults"
+
+    def test_bad_provider_propagates(self):
+        with pytest.raises(ImportError):
+            get_workload("whatever", provider="no.such.module")
+
+
+class TestIteration:
+    def test_names_sorted(self):
+        names = workload_names()
+        assert list(names) == sorted(names)
+
+    def test_iter_matches_names(self):
+        assert tuple(w.name for w in iter_workloads()) == workload_names()
+
+    def test_unregister_missing_is_noop(self):
+        unregister("never-registered")

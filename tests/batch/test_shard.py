@@ -1,0 +1,175 @@
+"""Multi-host sharding: deterministic partition, byte-identical merge.
+
+The contract (ISSUE 5 tentpole): ``repro sweep --shard i/N`` runs a
+deterministic slice of the canonical grid, and merging the N shard
+stores with ``merge_stores`` reproduces, byte for byte, the store a
+single unsharded sweep would have written.
+"""
+
+import pytest
+
+from repro.batch import (
+    StoreError,
+    SweepGrid,
+    SweepStore,
+    merge_stores,
+    parse_shard,
+    run_sweep,
+    shard_cells,
+)
+
+GRID = SweepGrid(
+    workload="partition",
+    specs=("tree:n=24", "tree:n=31", "tree:n=18"),
+    seeds=(0, 1),
+    ks=(2, 3),
+)
+
+
+class TestParseShard:
+    def test_parses(self):
+        assert parse_shard("0/4") == (0, 4)
+        assert parse_shard("3/4") == (3, 4)
+        assert parse_shard("0/1") == (0, 1)
+
+    @pytest.mark.parametrize("text", ["x/4", "4", "1-4", "", "0/0", "4/4", "-1/4"])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+
+class TestShardCells:
+    def test_no_shard_is_identity(self):
+        cells = GRID.cells()
+        assert shard_cells(cells, None) == list(enumerate(cells))
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 12, 13])
+    def test_shards_partition_the_grid_exactly(self, count):
+        """Union over all shards == the full grid, with no overlaps."""
+        cells = GRID.cells()
+        seen = {}
+        for index in range(count):
+            for position, cell in shard_cells(cells, (index, count)):
+                assert position not in seen, "cell assigned to two shards"
+                seen[position] = cell
+        assert sorted(seen) == list(range(len(cells)))
+        assert [seen[i] for i in sorted(seen)] == cells
+
+    def test_shard_selection_is_deterministic(self):
+        cells = GRID.cells()
+        assert shard_cells(cells, (1, 3)) == shard_cells(cells, (1, 3))
+
+    def test_round_robin_mixes_specs(self):
+        """Each shard of a 3-spec grid sees more than one spec."""
+        for index in range(2):
+            specs = {
+                cell.spec for _i, cell in shard_cells(GRID.cells(), (index, 2))
+            }
+            assert len(specs) > 1
+
+
+class TestShardedSweep:
+    def test_merge_matches_one_shot_byte_for_byte(self, tmp_path):
+        one_shot = tmp_path / "full.jsonl"
+        run_sweep(GRID, store_path=str(one_shot))
+        count = 3
+        shard_paths = []
+        for index in range(count):
+            path = tmp_path / f"shard{index}.jsonl"
+            summary = run_sweep(
+                GRID, store_path=str(path), shard=(index, count)
+            )
+            assert summary.complete
+            shard_paths.append(str(path))
+        merged = tmp_path / "merged.jsonl"
+        meta = merge_stores(shard_paths, str(merged))
+        assert merged.read_bytes() == one_shot.read_bytes()
+        assert meta["cells"] == 12
+
+    def test_merge_order_independent(self, tmp_path):
+        shard_paths = []
+        for index in range(2):
+            path = tmp_path / f"s{index}.jsonl"
+            run_sweep(GRID, store_path=str(path), shard=(index, 2))
+            shard_paths.append(str(path))
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        merge_stores(shard_paths, str(a))
+        merge_stores(list(reversed(shard_paths)), str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_shard_totals_cover_grid(self, tmp_path):
+        totals = 0
+        for index in range(5):
+            summary = run_sweep(GRID, shard=(index, 5))
+            assert summary.complete
+            totals += summary.total
+        assert totals == len(GRID.cells())
+
+    def test_shard_store_resumes(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        partial = run_sweep(
+            GRID, store_path=str(path), shard=(0, 2), max_cells=2
+        )
+        assert not partial.complete
+        resumed = run_sweep(GRID, store_path=str(path), shard=(0, 2))
+        assert resumed.skipped == 2
+        assert resumed.complete
+
+    def test_shard_store_refuses_other_shard(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        run_sweep(GRID, store_path=str(path), shard=(0, 2), max_cells=1)
+        with pytest.raises(StoreError, match="different grid"):
+            run_sweep(GRID, store_path=str(path), shard=(1, 2))
+
+
+class TestMergeErrors:
+    def shard_store(self, tmp_path, index, count, name=None):
+        path = tmp_path / (name or f"shard{index}.jsonl")
+        run_sweep(GRID, store_path=str(path), shard=(index, count))
+        return str(path)
+
+    def test_missing_shard_refused(self, tmp_path):
+        s0 = self.shard_store(tmp_path, 0, 3)
+        s1 = self.shard_store(tmp_path, 1, 3)
+        with pytest.raises(StoreError, match="missing shard"):
+            merge_stores([s0, s1], str(tmp_path / "out.jsonl"))
+
+    def test_duplicate_shard_refused(self, tmp_path):
+        s0 = self.shard_store(tmp_path, 0, 2)
+        s0b = self.shard_store(tmp_path, 0, 2, name="again.jsonl")
+        with pytest.raises(StoreError, match="duplicate shard"):
+            merge_stores([s0, s0b], str(tmp_path / "out.jsonl"))
+
+    def test_unsharded_store_refused(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        run_sweep(GRID, store_path=str(full))
+        with pytest.raises(StoreError, match="not a shard store"):
+            merge_stores([str(full)], str(tmp_path / "out.jsonl"))
+
+    def test_mixed_grids_refused(self, tmp_path):
+        s0 = self.shard_store(tmp_path, 0, 2)
+        other = SweepGrid("partition", ("tree:n=24",), (0,), (2,))
+        path = tmp_path / "other.jsonl"
+        run_sweep(other, store_path=str(path), shard=(1, 2))
+        with pytest.raises(StoreError, match="different grid"):
+            merge_stores([s0, str(path)], str(tmp_path / "out.jsonl"))
+
+    def test_incomplete_shard_refused(self, tmp_path):
+        s0 = self.shard_store(tmp_path, 0, 2)
+        partial = tmp_path / "partial.jsonl"
+        run_sweep(GRID, store_path=str(partial), shard=(1, 2), max_cells=1)
+        with pytest.raises(StoreError, match="missing from the shards"):
+            merge_stores([s0, str(partial)], str(tmp_path / "out.jsonl"))
+
+    def test_empty_input_refused(self, tmp_path):
+        with pytest.raises(StoreError, match="at least one"):
+            merge_stores([], str(tmp_path / "out.jsonl"))
+
+    def test_meta_returned_is_unsharded(self, tmp_path):
+        paths = [self.shard_store(tmp_path, i, 2) for i in range(2)]
+        out = tmp_path / "out.jsonl"
+        meta = merge_stores(paths, str(out))
+        assert "shard" not in meta
+        stored_meta, rows = SweepStore(str(out)).load()
+        assert stored_meta == meta
+        assert len(rows) == 12

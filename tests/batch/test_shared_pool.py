@@ -1,0 +1,139 @@
+"""SharedPool: reuse across calls, ambient routing, crash recovery."""
+
+import os
+
+import pytest
+
+from repro.batch import (
+    PoolCrashError,
+    SharedPool,
+    imap_completion_order,
+    map_submission_order,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _pid(_x):
+    return os.getpid()
+
+
+def _crash_once(marker_path):
+    """Hard-kill the worker on first sight of the marker's absence."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write("crashed")
+        os._exit(13)
+    return "survived"
+
+
+def _crash_always(_x):
+    os._exit(13)
+
+
+class TestReuse:
+    def test_same_workers_across_calls(self):
+        with SharedPool(workers=2) as pool:
+            first = set(pool.map(_pid, range(8)))
+            second = set(pool.map(_pid, range(8)))
+            assert first & second, "no worker survived between calls"
+            assert pool.restarts == 0
+            assert pool.completed == 16
+
+    def test_map_preserves_submission_order(self):
+        with SharedPool(workers=2) as pool:
+            assert pool.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_ambient_pool_is_picked_up(self):
+        """Pool-agnostic entry points route through the entered pool."""
+        with SharedPool(workers=2) as pool:
+            results = map_submission_order(
+                _pid, range(6), backend="process"
+            )
+            assert set(results) <= set(pool.worker_pids())
+            assert pool.completed == 6
+
+    def test_explicit_pool_beats_ambient(self):
+        with SharedPool(workers=2) as ambient:
+            with SharedPool(workers=2) as inner:
+                # inner is ambient now; pass the outer one explicitly
+                list(imap_completion_order(_square, [1, 2], pool=ambient))
+                assert ambient.completed == 2
+                assert inner.completed == 0
+
+    def test_current_tracks_nesting(self):
+        assert SharedPool.current() is None
+        with SharedPool(workers=1) as outer:
+            assert SharedPool.current() is outer
+            with SharedPool(workers=1) as inner:
+                assert SharedPool.current() is inner
+            assert SharedPool.current() is outer
+        assert SharedPool.current() is None
+
+    def test_lazy_start(self):
+        with SharedPool(workers=1) as pool:
+            assert not pool.started
+            pool.map(_square, [3])
+            assert pool.started
+
+    def test_closed_pool_refuses_use(self):
+        pool = SharedPool(workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_square, [1])
+        with pytest.raises(RuntimeError, match="closed"):
+            with pool:
+                pass
+
+    def test_close_is_idempotent(self):
+        pool = SharedPool(workers=1)
+        pool.map(_square, [1])
+        pool.close()
+        pool.close()
+
+
+class TestCrashRecovery:
+    def test_worker_crash_restarts_and_finishes(self, tmp_path):
+        """A task that hard-kills its worker once still completes after
+        the pool restart resubmits it."""
+        marker = str(tmp_path / "crashed")
+        with SharedPool(workers=2) as pool:
+            results = pool.map(_crash_once, [marker])
+            assert results == ["survived"]
+            assert pool.restarts == 1
+
+    def test_permanent_crasher_raises_pool_crash_error(self):
+        with SharedPool(workers=2, max_restarts=1) as pool:
+            with pytest.raises(PoolCrashError) as err:
+                pool.map(_crash_always, [1])
+            assert err.value.pending == 1
+            assert pool.restarts == 2
+
+    def test_pool_usable_after_crash_error(self, tmp_path):
+        with SharedPool(workers=2, max_restarts=0) as pool:
+            with pytest.raises(PoolCrashError):
+                pool.map(_crash_always, [1])
+            assert pool.map(_square, [4]) == [16]
+
+    def test_healthy_siblings_survive_a_crash(self, tmp_path):
+        """Results completed before the crash are kept; the lost task
+        reruns after restart."""
+        marker = str(tmp_path / "crashed")
+        items = [("ok", i) for i in range(6)] + [("crash", marker)]
+
+        with SharedPool(workers=2) as pool:
+            outcomes = dict()
+            for index, status, payload in pool.imap(_mixed, items):
+                assert status == "ok"
+                outcomes[index] = payload
+            assert len(outcomes) == 7
+            assert outcomes[6] == "survived"
+
+
+def _mixed(item):
+    kind, value = item
+    if kind == "crash":
+        return _crash_once(value)
+    return value

@@ -173,18 +173,22 @@ class TestRunSweep:
         assert len(rows) == 8
 
     def test_failing_cell_keeps_checkpoints(self, tmp_path, monkeypatch):
-        import repro.batch.sweep as sweep_mod
+        from dataclasses import replace
 
-        real = sweep_mod.WORKLOADS["kdom"][0]
+        import repro.batch.registry as registry
+
+        real = registry.get_workload("kdom")
         calls = {"n": 0}
 
         def flaky(graph, cell):
             calls["n"] += 1
             if calls["n"] > 3:
                 raise RuntimeError("simulated crash")
-            return real(graph, cell)
+            return real.fn(graph, cell)
 
-        monkeypatch.setitem(sweep_mod.WORKLOADS, "kdom", (flaky, True))
+        monkeypatch.setitem(
+            registry._REGISTRY, "kdom", replace(real, fn=flaky)
+        )
         path = tmp_path / "s.jsonl"
         with pytest.raises(SweepCellError):
             run_sweep(GRID, store_path=str(path))

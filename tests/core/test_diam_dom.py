@@ -23,7 +23,7 @@ class TestCensusCorrectness:
         dominating, level, counts, _net = diam_dom(g, 0, k)
         rt = RootedTree.from_graph(g, 0)
         classes = level_classes(rt, k)
-        assert counts == {l: len(classes[l]) for l in range(k + 1)}
+        assert counts == {lvl: len(classes[lvl]) for lvl in range(k + 1)}
         assert dominating == classes[level]
 
     def test_chooses_minimum_class(self):

@@ -59,7 +59,6 @@ class TestLevelClasses:
             previous = i
         rt = rooted(g)
         k = 2
-        classes = level_classes(rt, k)
         # class 2 is the smallest, and it does NOT dominate.
         chosen, level = level_class_construction(rt, k)
         assert level == 2

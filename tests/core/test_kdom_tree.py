@@ -79,7 +79,6 @@ class TestNearestDominatorWave:
 
     def test_driver_rejects_non_dominating_input(self):
         g = path_graph(10)
-        rt = RootedTree.from_graph(g, 0)
         # force a broken 'dominating set' through the wave by calling
         # the driver with k too small for the DP to fail — instead test
         # the RuntimeError path via a direct wave with no dominators in

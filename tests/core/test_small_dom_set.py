@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core import small_dom_set
-from repro.graphs import Graph, RootedTree, path_graph, random_tree, star_graph
+from repro.graphs import Graph, RootedTree, random_tree, star_graph
 from repro.verify import (
     every_dominator_has_outside_neighbor,
     is_dominating,

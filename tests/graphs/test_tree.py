@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graphs import Graph, RootedTree, balanced_tree, path_graph, random_tree
+from repro.graphs import RootedTree, balanced_tree, path_graph, random_tree
 
 
 class TestConstruction:

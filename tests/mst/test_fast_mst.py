@@ -5,12 +5,10 @@ import math
 import pytest
 from hypothesis import given, settings
 
-from repro.analysis import log_star
 from repro.graphs import (
     assign_unique_weights,
     complete_graph,
     cycle_graph,
-    diameter,
     grid_graph,
     lollipop_graph,
     random_connected_graph,

@@ -8,7 +8,6 @@ from repro.graphs import (
     Graph,
     assign_unique_weights,
     complete_graph,
-    grid_graph,
     random_connected_graph,
 )
 from repro.mst import kruskal_mst, mst_weight, prim_mst

@@ -69,7 +69,7 @@ class TestHeatmap:
         lines = text.splitlines()
         assert "channel congestion" in lines[0]
         # 3 channel rows plus the header and the "not shown" footer.
-        assert len([l for l in lines if "|" in l]) == 3
+        assert len([line for line in lines if "|" in line]) == 3
         assert "more channel(s) not shown" in lines[-1]
 
     def test_all_channels_shown_when_few(self):

@@ -1,7 +1,6 @@
 """Integration: the paper's algorithms run unchanged under synchroniser
 α on an asynchronous network (the §1.2 WLOG claim, end to end)."""
 
-import pytest
 
 from repro.core.diam_dom import DiamDOMProgram
 from repro.core.small_dom_set import SmallDomSetProgram

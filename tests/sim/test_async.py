@@ -1,6 +1,5 @@
 """Asynchronous engine and synchroniser α (experiment E13 substrate)."""
 
-import pytest
 
 from repro.graphs import path_graph, random_tree, star_graph
 from repro.primitives.bfs import BFSTreeProgram

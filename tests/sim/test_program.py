@@ -16,7 +16,7 @@ class TestScriptedProgram:
             def script(self):
                 self.output["rounds_seen"] = []
                 for _ in range(3):
-                    inbox = yield
+                    yield
                     self.output["rounds_seen"].append(self.round)
 
         net = Network(pair())

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.graphs import path_graph, star_graph
-from repro.sim import ContractedGraph, IdleProgram, Network, VirtualNetwork
+from repro.graphs import path_graph
+from repro.sim import ContractedGraph, IdleProgram, VirtualNetwork
 
 
 class TestContractedGraph:

@@ -250,14 +250,66 @@ class TestSweepCommand:
         assert main(args) == 0
         assert "ran 0, skipped 8 (complete)" in capsys.readouterr().out
 
-    def test_partial_run_exits_nonzero(self, tmp_path, capsys):
+    def test_partial_run_exits_incomplete_code(self, tmp_path, capsys):
+        """Exit code 3 means "fine but unfinished" — distinct from 1
+        (crash/verify failure) so CI can tell them apart."""
         out = tmp_path / "sweep.jsonl"
         code = main(
             ["sweep", "--fast", "--backend", "inline", "--out", str(out),
              "--max-cells", "2"]
         )
-        assert code == 1
+        assert code == 3
         assert "INCOMPLETE" in capsys.readouterr().out
+
+    def test_sharded_sweeps_merge_byte_identical(self, tmp_path, capsys):
+        one_shot = tmp_path / "full.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(one_shot)]
+        ) == 0
+        shards = []
+        for index in range(2):
+            path = tmp_path / f"shard{index}.jsonl"
+            code = main(
+                ["sweep", "--fast", "--backend", "inline",
+                 "--shard", f"{index}/2", "--out", str(path)]
+            )
+            assert code == 0
+            shards.append(str(path))
+        merged = tmp_path / "merged.jsonl"
+        assert main(["merge-stores", *shards, "--out", str(merged)]) == 0
+        assert merged.read_bytes() == one_shot.read_bytes()
+        assert "merged 2 shard store(s)" in capsys.readouterr().out
+
+    def test_bad_shard_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="shard"):
+            main(["sweep", "--fast", "--shard", "2/2"])
+
+    def test_merge_refuses_missing_shard(self, tmp_path):
+        path = tmp_path / "s0.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--shard", "0/2",
+             "--out", str(path)]
+        ) == 0
+        with pytest.raises(SystemExit, match="missing shard"):
+            main(["merge-stores", str(path),
+                  "--out", str(tmp_path / "m.jsonl")])
+
+    def test_unknown_workload_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["sweep", "--workload", "nope", "--spec", "tree:n=8"])
+
+    def test_import_registers_benchmark_workload(self, capsys):
+        code = main(
+            ["sweep", "--import", "benchmarks.bench_e16_faults",
+             "--workload", "e16-reliable", "--spec", "random:n=20,p=0.2",
+             "--seeds", "0", "--ks", "0", "--backend", "inline"]
+        )
+        assert code == 0
+        assert "sweep e16-reliable: 1 cell(s)" in capsys.readouterr().out
+
+    def test_bad_import_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="--import"):
+            main(["sweep", "--import", "no.such.module", "--fast"])
 
     def test_explicit_grid_with_verify(self, capsys):
         code = main(

@@ -1,6 +1,5 @@
 """The verification layer itself: positive and negative cases."""
 
-import pytest
 
 from repro.graphs import (
     Cluster,
@@ -9,7 +8,6 @@ from repro.graphs import (
     assign_unique_weights,
     grid_graph,
     path_graph,
-    star_graph,
 )
 from repro.mst import kruskal_mst
 from repro.verify import (
