@@ -9,13 +9,22 @@ registry of sweep workloads, and a sharded sweep runner that fans a
 ``--shard i/N`` plus :func:`merge_stores` — with graph-generation
 caching and a checkpoint/resume JSONL result store.  See
 docs/performance.md ("Batch execution and sweeps").
+
+The fabric is *hardened* (docs/robustness.md): dead and hung workers
+are detected and replaced (``deadline_s`` watchdog), poison tasks are
+quarantined after bounded retries instead of crashing the batch, store
+rows carry checksums (:func:`repair_store` salvages a damaged store),
+and the whole story is drilled deterministically by
+:mod:`repro.batch.chaos`.
 """
 
 from .cache import GraphCache
+from .chaos import ChaosAction, ChaosPlan, ChaosReport, run_chaos
 from .dispatch import NetworkSpec, network_spec, task_pickle_bytes
 from .pool import (
     PoolCrashError,
     SharedPool,
+    TaskQuarantinedError,
     imap_completion_order,
     map_submission_order,
     resolve_workers,
@@ -30,16 +39,20 @@ from .registry import (
 )
 from .store import (
     SCHEMA,
+    SalvageReport,
+    StoreCorruption,
     StoreError,
     SweepStore,
     canonical_line,
     cell_key,
     merge_stores,
+    repair_store,
 )
 from .sweep import (
     SWEEP_BACKENDS,
     SweepCell,
     SweepCellError,
+    SweepCrashError,
     SweepGrid,
     SweepSummary,
     fast_grid,
@@ -50,18 +63,25 @@ from .sweep import (
 )
 
 __all__ = [
+    "ChaosAction",
+    "ChaosPlan",
+    "ChaosReport",
     "GraphCache",
     "NetworkSpec",
     "PoolCrashError",
     "SCHEMA",
     "SWEEP_BACKENDS",
+    "SalvageReport",
     "SharedPool",
+    "StoreCorruption",
     "StoreError",
     "SweepCell",
     "SweepCellError",
+    "SweepCrashError",
     "SweepGrid",
     "SweepStore",
     "SweepSummary",
+    "TaskQuarantinedError",
     "Workload",
     "WorkloadError",
     "canonical_line",
@@ -74,8 +94,10 @@ __all__ = [
     "network_spec",
     "parse_shard",
     "register_workload",
+    "repair_store",
     "resolve_workers",
     "run_cell",
+    "run_chaos",
     "run_networks_in_pool",
     "run_sweep",
     "shard_cells",

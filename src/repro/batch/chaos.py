@@ -1,0 +1,406 @@
+"""Deterministic chaos harness for the sweep fabric.
+
+PR 1 gave the *simulated* CONGEST network seeded, replayable fault
+plans (:mod:`repro.sim.faults`): drop/delay/crash events scheduled by a
+:class:`~repro.sim.faults.FaultPlan` so resilience experiments are
+reproducible bit for bit.  This module applies the same discipline to
+the *real* execution layer — the worker pools and result stores that
+run the sweeps:
+
+* a :class:`ChaosPlan` is generated from a seed and schedules faults at
+  planned task indices: ``kill`` (the worker hard-exits mid-task),
+  ``hang`` (the worker wedges until the ``deadline_s`` watchdog clears
+  it), ``slow`` (a delay below the deadline — exercises the watchdog's
+  *non*-firing path), ``corrupt`` (the task's just-checkpointed store
+  row is damaged on disk) and ``poison`` (the task kills its worker on
+  *every* attempt, forcing quarantine);
+* :func:`repro.batch.sweep.run_sweep` accepts ``chaos=plan`` and routes
+  the worker-side ops through :class:`~repro.batch.pool.SharedPool`'s
+  monitored loop (see ``_apply_chaos_op``), applying ``corrupt``
+  parent-side right after the row is appended;
+* :func:`run_chaos` is the end-to-end drill behind ``repro chaos``:
+  fault-free baseline → sweep under the plan → ``repair-store`` →
+  resume → verify that the final store matches the baseline byte for
+  byte, minus the quarantined cells.
+
+Everything is deterministic by construction: the plan depends only on
+``(seed, tasks)``, fabric events carry no pids or timestamps, and the
+retry/quarantine log is compared as a *sorted* list of events — with
+several faulty tasks in flight at once, the kernel scheduler may order
+their detections either way, but the *set* of (kind, task, attempt,
+reason) events is invariant across replays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .store import CRC_FIELD, SweepStore, canonical_line, row_crc
+
+#: Fault kinds a ChaosPlan can schedule.
+CHAOS_KINDS = ("kill", "hang", "slow", "corrupt", "poison")
+
+#: Kinds executed inside the worker (via ``pool._apply_chaos_op``).
+_WORKER_KINDS = ("kill", "hang", "slow", "poison")
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled fault: ``kind`` fires at task ``index``.
+
+    ``detail`` is the sleep for ``slow`` actions (seconds), unused
+    otherwise.  Worker faults fire on the task's *first* attempt only —
+    the retry runs clean, which is what makes recovery verifiable —
+    except ``poison``, which fires on every attempt until the task is
+    quarantined.
+    """
+
+    index: int
+    kind: str
+    detail: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"kind must be one of {CHAOS_KINDS}, got {self.kind!r}"
+            )
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"index": self.index, "kind": self.kind}
+        if self.detail is not None:
+            record["detail"] = self.detail
+        return record
+
+
+class ChaosPlan:
+    """A seeded, replayable schedule of fabric faults.
+
+    The fabric mirror of :class:`~repro.sim.faults.FaultPlan`: built
+    either explicitly from :class:`ChaosAction` records or sampled by
+    :meth:`generate`, and consumed by
+    :meth:`~repro.batch.pool.SharedPool.imap` (worker faults) and
+    :func:`~repro.batch.sweep.run_sweep` (store corruption).  Task
+    indices refer to submission order — for a fresh sweep, the grid's
+    canonical cell order.
+    """
+
+    def __init__(
+        self,
+        actions: List[ChaosAction],
+        seed: Optional[int] = None,
+    ) -> None:
+        by_index: Dict[int, ChaosAction] = {}
+        for action in actions:
+            if action.index in by_index:
+                raise ValueError(
+                    f"two chaos actions at task index {action.index} "
+                    f"(faults must target disjoint tasks)"
+                )
+            by_index[action.index] = action
+        self.actions = tuple(sorted(actions, key=lambda a: a.index))
+        self.seed = seed
+        self._by_index = by_index
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        tasks: int,
+        kills: int = 1,
+        hangs: int = 1,
+        slows: int = 0,
+        corrupts: int = 1,
+        poisons: int = 0,
+        slow_s: float = 0.05,
+    ) -> "ChaosPlan":
+        """Sample a plan over ``tasks`` task indices.
+
+        Same ``(seed, tasks, counts)`` → same plan, always — the
+        replayability contract ``repro chaos --seed`` rests on.  Faults
+        land on disjoint indices so each fault's effect on the store is
+        attributable.
+        """
+        wanted = [
+            ("kill", kills),
+            ("hang", hangs),
+            ("slow", slows),
+            ("corrupt", corrupts),
+            ("poison", poisons),
+        ]
+        need = sum(count for _kind, count in wanted)
+        if need > tasks:
+            raise ValueError(
+                f"plan wants {need} faulted task(s) but only {tasks} exist"
+            )
+        rng = random.Random(seed)
+        indices = rng.sample(range(tasks), need)
+        actions: List[ChaosAction] = []
+        cursor = 0
+        for kind, count in wanted:
+            for _ in range(count):
+                detail = slow_s if kind == "slow" else None
+                actions.append(ChaosAction(indices[cursor], kind, detail))
+                cursor += 1
+        return cls(actions, seed=seed)
+
+    # -- consumption -------------------------------------------------------
+    def op_for(
+        self, index: int, attempt: int
+    ) -> Optional[Tuple[Any, ...]]:
+        """The worker-side op for task ``index`` on its ``attempt``-th
+        try, or ``None`` (see ``pool._apply_chaos_op``)."""
+        action = self._by_index.get(index)
+        if action is None or action.kind not in _WORKER_KINDS:
+            return None
+        if action.kind == "poison":
+            return ("kill",)  # every attempt: the definition of poison
+        if attempt != 0:
+            return None  # one-shot faults: the retry runs clean
+        if action.kind == "slow":
+            return ("slow", action.detail if action.detail else 0.05)
+        return (action.kind,)
+
+    def should_corrupt(self, index: int) -> bool:
+        """Whether task ``index``'s checkpointed row gets corrupted."""
+        action = self._by_index.get(index)
+        return action is not None and action.kind == "corrupt"
+
+    def corrupt_store(self, path: str) -> None:
+        """Damage the most recently appended row of the store at
+        ``path``: its CRC is bit-inverted, so the line stays complete,
+        parseable JSON that *fails* verification — unambiguously
+        corruption, never mistakable for a torn final append."""
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        while lines and not lines[-1].strip():
+            lines.pop()
+        if not lines:
+            return
+        record = json.loads(lines[-1])
+        stripped = {k: v for k, v in record.items() if k != CRC_FIELD}
+        good = row_crc(stripped)
+        record[CRC_FIELD] = f"{int(good, 16) ^ 0xFFFFFFFF:08x}"
+        lines[-1] = canonical_line(record)
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    # -- bookkeeping -------------------------------------------------------
+    def indices(self, kind: str) -> List[int]:
+        """The task indices scheduled for ``kind``, ascending."""
+        return [a.index for a in self.actions if a.kind == kind]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "actions": [action.as_dict() for action in self.actions],
+        }
+
+    def describe(self) -> str:
+        if not self.actions:
+            return "chaos plan: empty"
+        inner = ", ".join(
+            f"{action.kind}@{action.index}" for action in self.actions
+        )
+        seed = "" if self.seed is None else f" (seed {self.seed})"
+        return f"chaos plan{seed}: {inner}"
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+def retry_log(fabric_log: List[Dict[str, Any]]) -> List[Tuple[Any, ...]]:
+    """The replay-comparable view of a pool's fabric log: the retry and
+    quarantine events as sorted ``(kind, task, attempt, reason)`` tuples
+    (sorted because concurrent faults may be *detected* in either
+    order; the set of events is the deterministic part)."""
+    rows = []
+    for event in fabric_log:
+        if event.get("kind") not in ("task_retried", "task_quarantined"):
+            continue
+        rows.append(
+            (
+                event["kind"],
+                event.get("task"),
+                event.get("attempt", event.get("attempts")),
+                event.get("reason"),
+            )
+        )
+    return sorted(rows)
+
+
+# ---------------------------------------------------------------------------
+# The end-to-end drill
+# ---------------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """What a :func:`run_chaos` drill did, and whether it verified.
+
+    ``verified`` is the headline: every non-quarantined cell of the
+    post-repair, post-resume store matches the fault-free baseline
+    (and when nothing was quarantined, the two files are byte-identical
+    — ``byte_identical``).
+    """
+
+    plan: ChaosPlan
+    baseline_path: str
+    chaos_path: str
+    quarantined_cells: List[str] = field(default_factory=list)
+    mismatched_cells: List[str] = field(default_factory=list)
+    missing_after_repair: List[str] = field(default_factory=list)
+    retry_events: List[Tuple[Any, ...]] = field(default_factory=list)
+    salvage_summary: str = ""
+    byte_identical: bool = False
+    restarts: int = 0
+
+    @property
+    def verified(self) -> bool:
+        return not self.mismatched_cells
+
+    def lines(self) -> List[str]:
+        """Human-readable drill summary for the CLI."""
+        out = [self.plan.describe()]
+        out.append(
+            f"fabric: {self.restarts} restart(s), "
+            f"{len(self.retry_events)} retry/quarantine event(s)"
+        )
+        out.append(f"repair: {self.salvage_summary}")
+        if self.quarantined_cells:
+            out.append(
+                "quarantined: " + ", ".join(self.quarantined_cells)
+            )
+        if self.mismatched_cells:
+            out.append(
+                "MISMATCH vs fault-free baseline: "
+                + ", ".join(self.mismatched_cells)
+            )
+        elif self.byte_identical:
+            out.append("verified: store byte-identical to fault-free run")
+        else:
+            out.append(
+                "verified: store matches fault-free run minus "
+                "quarantined cell(s)"
+            )
+        return out
+
+
+def run_chaos(
+    grid: Any,
+    seed: int,
+    out_dir: str,
+    workers: int = 2,
+    deadline_s: float = 1.0,
+    max_attempts: int = 3,
+    kills: int = 1,
+    hangs: int = 1,
+    slows: int = 0,
+    corrupts: int = 1,
+    poisons: int = 0,
+    echo: Callable[[str], None] = lambda line: None,
+) -> ChaosReport:
+    """Run the full chaos drill over ``grid`` and verify recovery.
+
+    Five phases, each exercising one leg of the crash-only story:
+
+    1. **Baseline** — the grid swept inline, fault-free, finalized:
+       the ground truth (``baseline.jsonl`` under ``out_dir``).
+    2. **Chaos sweep** — the same grid under a
+       :meth:`ChaosPlan.generate`\\ d plan, through a monitored
+       :class:`~repro.batch.pool.SharedPool` with the watchdog armed.
+       ``finalize=False`` keeps the checkpoint (CRC'd) form so injected
+       store corruption survives to the next phase.
+    3. **Repair** — :func:`~repro.batch.store.repair_store` salvages
+       the store; corrupted rows drop out as missing cells.
+    4. **Resume** — the sweep re-runs exactly the missing cells
+       (quarantined cells stay quarantined: their error rows are
+       legitimate results of the drill).
+    5. **Verify** — the final store against the baseline: byte-identical
+       when nothing was quarantined, else per-cell identical minus the
+       quarantined cells.
+
+    Deterministic end to end: same ``seed`` (and grid/fault counts) →
+    same plan, same sorted retry/quarantine log, same verification
+    verdict.
+    """
+    from .pool import SharedPool
+    from .sweep import run_sweep
+
+    os.makedirs(out_dir, exist_ok=True)
+    cells = grid.cells()
+    plan = ChaosPlan.generate(
+        seed,
+        len(cells),
+        kills=kills,
+        hangs=hangs,
+        slows=slows,
+        corrupts=corrupts,
+        poisons=poisons,
+    )
+    echo(plan.describe())
+
+    baseline_path = os.path.join(out_dir, "baseline.jsonl")
+    echo("phase 1/5: fault-free baseline")
+    run_sweep(grid, baseline_path, backend="inline", resume=False)
+
+    chaos_path = os.path.join(out_dir, f"chaos-seed{seed}.jsonl")
+    echo("phase 2/5: sweep under chaos")
+    pool = SharedPool(
+        workers=workers, deadline_s=deadline_s, max_attempts=max_attempts
+    )
+    with pool:
+        run_sweep(
+            grid,
+            chaos_path,
+            backend="process",
+            workers=workers,
+            resume=False,
+            chaos=plan,
+            finalize=False,
+        )
+    events = retry_log(pool.fabric_log)
+    restarts = pool.restarts
+
+    echo("phase 3/5: repair-store")
+    from .store import repair_store
+
+    salvage, missing = repair_store(chaos_path)
+    echo(f"  {salvage.summary()}")
+
+    echo("phase 4/5: resume the repaired store")
+    run_sweep(grid, chaos_path, backend="inline", resume=True)
+
+    echo("phase 5/5: verify against the baseline")
+    _meta, baseline_rows = SweepStore(baseline_path).load()
+    _meta, final_rows = SweepStore(chaos_path).load()
+    quarantined = sorted(
+        key for key, row in final_rows.items() if "error" in row
+    )
+    mismatched = [
+        key
+        for key in sorted(baseline_rows)
+        if key not in quarantined
+        and final_rows.get(key) != baseline_rows[key]
+    ]
+    byte_identical = False
+    if not quarantined and not mismatched:
+        with open(baseline_path, "rb") as a, open(chaos_path, "rb") as b:
+            byte_identical = a.read() == b.read()
+
+    report = ChaosReport(
+        plan=plan,
+        baseline_path=baseline_path,
+        chaos_path=chaos_path,
+        quarantined_cells=quarantined,
+        mismatched_cells=mismatched,
+        missing_after_repair=missing,
+        retry_events=events,
+        salvage_summary=salvage.summary(),
+        byte_identical=byte_identical,
+        restarts=restarts,
+    )
+    return report

@@ -24,6 +24,16 @@ regardless of completion order.  Everything that crosses the process
 boundary (task functions, items, results) must be picklable; task
 functions must be module-level (or picklable callables), which is why
 the sweep and runner keep theirs at module scope.
+
+**Fault tolerance** (docs/robustness.md): a worker that *dies* mid-task
+is detected by watching the pool's pid set; a worker that *hangs*
+(livelock, SIGSTOP, a task that never returns) is detected by the
+per-task ``deadline_s`` watchdog.  Either way the pool is torn down
+(SIGKILL — SIGTERM cannot kill a stopped process), respawned after a
+capped exponential backoff, and unfinished tasks are resubmitted.  A
+task blamed ``max_attempts`` times is **quarantined**: yielded with
+status ``"quarantined"`` instead of being retried forever, so one
+poison task degrades the batch instead of crashing it.
 """
 
 from __future__ import annotations
@@ -31,8 +41,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal
 import time
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -54,9 +66,36 @@ def _portable_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _invoke(task: Tuple[Callable[[Any], Any], int, Any]) -> Tuple[int, str, Any]:
+#: How long a chaos "hang" op sleeps — effectively forever next to any
+#: reasonable ``deadline_s``; the watchdog is what ends it.
+_HANG_SECONDS = 600.0
+
+
+def _apply_chaos_op(op: Optional[Tuple[Any, ...]]) -> None:
+    """Worker-side chaos execution (see :mod:`repro.batch.chaos`).
+
+    ``op`` is ``None`` (the overwhelmingly common case), or a small
+    tuple: ``("kill",)`` hard-exits the worker mid-task, ``("hang",)``
+    wedges it until the watchdog kills it, ``("slow", seconds)`` sleeps
+    before running the task normally.
+    """
+    if not op:
+        return
+    kind = op[0]
+    if kind == "kill":
+        os._exit(137)
+    elif kind == "hang":
+        time.sleep(_HANG_SECONDS)
+    elif kind == "slow":
+        time.sleep(float(op[1]))
+
+
+def _invoke(
+    task: Tuple[Callable[[Any], Any], int, Any, Optional[Tuple[Any, ...]]]
+) -> Tuple[int, str, Any]:
     """Worker-side trampoline: run one task, tag it with its index."""
-    fn, index, item = task
+    fn, index, item, chaos_op = task
+    _apply_chaos_op(chaos_op)
     try:
         return index, "ok", fn(item)
     except Exception as exc:  # shipped back, re-raised caller-side
@@ -67,22 +106,43 @@ def _invoke(task: Tuple[Callable[[Any], Any], int, Any]) -> Tuple[int, str, Any]
 # The persistent shared pool
 # ---------------------------------------------------------------------------
 class PoolCrashError(RuntimeError):
-    """Workers kept dying faster than the pool could restart them.
+    """Workers kept dying faster than the pool could make progress.
 
-    Raised by :meth:`SharedPool.imap` after ``max_restarts`` pool
-    restarts within one call still left tasks unfinished — the signature
-    of a task that hard-kills its worker (``os._exit``, OOM kill,
-    segfault) every time it runs.  Results delivered before the crash
-    were already yielded; ``pending`` counts the tasks still unfinished.
+    Raised by :meth:`SharedPool.imap` after ``max_restarts`` consecutive
+    pool restarts delivered no result (and quarantined nothing) — the
+    signature of a pool-wide failure rather than a single poison task
+    (poison tasks are quarantined instead).  Results delivered before
+    the crash were already yielded; ``pending`` counts the tasks still
+    unfinished and ``pending_items`` carries the items themselves so
+    callers can report exactly which work was lost (the sweep surfaces
+    these as cell keys via :class:`~repro.batch.sweep.SweepCrashError`).
     """
 
-    def __init__(self, restarts: int, pending: int) -> None:
+    def __init__(
+        self,
+        restarts: int,
+        pending: int,
+        pending_items: Tuple[Any, ...] = (),
+    ) -> None:
         super().__init__(
             f"worker pool crashed {restarts} time(s); giving up with "
             f"{pending} task(s) unfinished (a task is killing its worker)"
         )
         self.restarts = restarts
         self.pending = pending
+        self.pending_items = tuple(pending_items)
+
+
+class TaskQuarantinedError(RuntimeError):
+    """A strict consumer (``map``) met a quarantined task."""
+
+    def __init__(self, index: int, info: Dict[str, Any]) -> None:
+        super().__init__(
+            f"task {index} quarantined after {info.get('attempts')} "
+            f"attempt(s): {info.get('reason')}"
+        )
+        self.index = index
+        self.info = info
 
 
 #: Stack of entered SharedPools; the innermost is the ambient pool that
@@ -119,19 +179,52 @@ class SharedPool:
     changes, the pool is torn down, respawned, and every unfinished
     task resubmitted.  Tasks must therefore be idempotent — true for
     everything in this repository, where tasks are deterministic
-    simulations.  After ``max_restarts`` restarts within a single call
-    the pool raises :class:`PoolCrashError` instead of looping forever.
+    simulations.
+
+    **Hang recovery.**  ``deadline_s`` arms a watchdog: a task in
+    flight longer than the deadline means its worker is hung (infinite
+    loop, SIGSTOP, deadlock), which no pid-set watching can see.  The
+    pool is killed (SIGKILL — a stopped worker ignores SIGTERM) and
+    rebuilt exactly as for a crash.
+
+    **Blame, retries, quarantine.**  Each recovery increments the
+    attempt count of the tasks *blamed* for it — the deadline-expired
+    tasks on a hang, the in-flight tasks on a crash (at most
+    ``workers`` of them, thanks to windowed dispatch; a planned chaos
+    op narrows blame to the task that carries it).  Unblamed casualties
+    are resubmitted for free.  A task blamed ``max_attempts`` times is
+    yielded with status ``"quarantined"`` and not retried.  Only
+    ``max_restarts`` *consecutive* recoveries with no progress (no
+    result, no quarantine) raise :class:`PoolCrashError`.
     """
 
     def __init__(
-        self, workers: Optional[int] = None, max_restarts: int = 2
+        self,
+        workers: Optional[int] = None,
+        max_restarts: int = 2,
+        deadline_s: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.max_restarts = max_restarts
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.deadline_s = deadline_s
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
         #: Lifetime counters (telemetry for tests and perf reports).
         self.restarts = 0
         self.dispatched = 0
         self.completed = 0
+        self.quarantined = 0
+        #: Fabric events (worker_killed / task_retried / task_quarantined)
+        #: in emission order; also forwarded to the ambient obs session.
+        self.fabric_log: List[Dict[str, Any]] = []
         self._pool: Optional[Any] = None
         self._closed = False
 
@@ -144,10 +237,38 @@ class SharedPool:
         return self._pool
 
     def _teardown(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Kill the workers outright and discard the pool.
+
+        SIGKILL rather than ``Pool.terminate``'s SIGTERM alone: a
+        SIGSTOPped worker never handles SIGTERM, so ``join`` would hang
+        on exactly the failure mode the watchdog exists to clear.
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        for proc in list(pool._pool):
+            if proc.is_alive():
+                try:
+                    os.kill(proc.pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+        # A worker killed while blocked on the task queue dies *holding*
+        # the queue's reader lock, and one killed mid-result-write dies
+        # holding the result queue's writer lock; ``Pool.terminate``
+        # would deadlock acquiring them (``_help_stuff_finish``).  The
+        # pool is being discarded, so force-release both — a release of
+        # an already-free lock raises and is ignored.
+        for lock in (
+            getattr(pool._inqueue, "_rlock", None),
+            getattr(pool._outqueue, "_wlock", None),
+        ):
+            try:
+                if lock is not None:
+                    lock.release()
+            except Exception:
+                pass
+        pool.terminate()
+        pool.join()
 
     def close(self) -> None:
         """Shut the workers down; the pool cannot be used afterwards."""
@@ -180,63 +301,191 @@ class SharedPool:
             return ()
         return tuple(p.pid for p in self._pool._pool)
 
+    # -- fabric events -----------------------------------------------------
+    def _emit(self, kind: str, **fields: Any) -> None:
+        """Record a fabric event and forward it to the obs layer.
+
+        Fabric events carry ``round=-1``/``run=-1``: they describe the
+        execution fabric, not any simulated network round.  Volatile
+        data (pids, timestamps) deliberately never appears — the chaos
+        harness compares these logs across replays.
+        """
+        event: Dict[str, Any] = {"kind": kind, "round": -1, "run": -1}
+        event.update(fields)
+        self.fabric_log.append(event)
+        from ..obs.session import current_observation
+
+        observation = current_observation()
+        if observation is not None:
+            observation.dispatch(dict(event))
+
     # -- execution ---------------------------------------------------------
     def imap(
-        self, fn: Callable[[Any], Any], items: Iterable[Any]
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        deadline_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+        chaos: Optional[Any] = None,
     ) -> Iterator[Tuple[int, str, Any]]:
         """Yield ``(submission_index, status, payload)`` as tasks finish.
 
-        Same contract as :func:`imap_completion_order`, executed on the
-        persistent workers, with crash-restart as described on the
-        class.
+        ``status`` is ``"ok"`` (payload = result), ``"error"`` (payload
+        = the exception the task raised; deterministic failures are
+        never retried), or ``"quarantined"`` (payload = a dict with
+        ``reason``/``attempts``; see the class docstring).  Per-call
+        ``deadline_s``/``max_attempts`` override the pool's defaults.
+        ``chaos`` is a :class:`~repro.batch.chaos.ChaosPlan` (or
+        anything with its ``op_for(index, attempt)`` shape) injecting
+        planned worker faults — the deterministic test harness for all
+        of the above.
         """
-        pending = {
-            index: (fn, index, item) for index, item in enumerate(items)
-        }
-        restarts_this_call = 0
+        deadline = deadline_s if deadline_s is not None else self.deadline_s
+        attempts_cap = (
+            max_attempts if max_attempts is not None else self.max_attempts
+        )
+        items = list(items)
+        pending: Dict[int, Any] = dict(enumerate(items))
+        attempts: Dict[int, int] = {}
+        stalled_restarts = 0
         while pending:
             pool = self._ensure()
             pids = set(p.pid for p in pool._pool)
-            inflight = {
-                index: pool.apply_async(_invoke, (task,))
-                for index, task in pending.items()
-            }
-            self.dispatched += len(inflight)
-            broken = False
-            while inflight and not broken:
-                done = [i for i, r in inflight.items() if r.ready()]
+            queue = deque(sorted(pending))
+            # Windowed dispatch: at most ``workers`` tasks in flight, so
+            # the in-flight set approximates "actually running" and a
+            # recovery blames at most one window, not the whole batch.
+            inflight: Dict[int, Tuple[Any, float]] = {}
+            progressed = False
+            failure: Optional[Tuple[str, List[int]]] = None
+            while queue or inflight:
+                while queue and len(inflight) < self.workers:
+                    index = queue.popleft()
+                    op = (
+                        chaos.op_for(index, attempts.get(index, 0))
+                        if chaos is not None
+                        else None
+                    )
+                    result = pool.apply_async(
+                        _invoke, ((fn, index, pending[index], op),)
+                    )
+                    inflight[index] = (result, time.monotonic())
+                    self.dispatched += 1
+                done = [i for i, (r, _) in inflight.items() if r.ready()]
                 for index in done:
-                    outcome = inflight.pop(index).get()
+                    outcome = inflight.pop(index)[0].get()
                     del pending[index]
                     self.completed += 1
+                    progressed = True
                     yield outcome
-                if not inflight:
+                if not (queue or inflight):
                     break
-                # Liveness: the pool's maintenance thread replaces dead
-                # workers, so a changed pid set means a worker died and
-                # whatever task it held is lost.
-                if set(p.pid for p in pool._pool) != pids:
-                    broken = True
+                if done:
+                    continue  # drain ready results before fault checks
+                failure = self._detect_failure(
+                    inflight, pids, pool, deadline, chaos, attempts
+                )
+                if failure is not None:
+                    break
+                time.sleep(_POLL_INTERVAL)
+            if not pending or failure is None:
+                continue
+            # -- recovery: blame, quarantine, respawn, resubmit --------
+            reason, blamed = failure
+            self.restarts += 1
+            self._teardown()
+            self._emit("worker_killed", reason=reason, workers=self.workers)
+            for index in blamed:
+                attempts[index] = attempts.get(index, 0) + 1
+                if attempts[index] >= attempts_cap:
+                    del pending[index]
+                    self.quarantined += 1
+                    progressed = True
+                    info = {"reason": reason, "attempts": attempts[index]}
+                    self._emit(
+                        "task_quarantined",
+                        task=index,
+                        attempts=attempts[index],
+                        reason=reason,
+                    )
+                    yield index, "quarantined", info
                 else:
-                    time.sleep(_POLL_INTERVAL)
-            if pending and broken:
-                restarts_this_call += 1
-                self.restarts += 1
-                self._teardown()
-                if restarts_this_call > self.max_restarts:
-                    raise PoolCrashError(restarts_this_call, len(pending))
+                    self._emit(
+                        "task_retried",
+                        task=index,
+                        attempt=attempts[index],
+                        reason=reason,
+                    )
+            stalled_restarts = 0 if progressed else stalled_restarts + 1
+            if stalled_restarts > self.max_restarts:
+                raise PoolCrashError(
+                    stalled_restarts, len(pending), tuple(pending.values())
+                )
+            if pending:
+                time.sleep(
+                    min(
+                        self.backoff_max_s,
+                        self.backoff_base_s * (2 ** (stalled_restarts or 1)),
+                    )
+                )
+
+    def _detect_failure(
+        self,
+        inflight: Dict[int, Tuple[Any, float]],
+        pids: set,
+        pool: Any,
+        deadline: Optional[float],
+        chaos: Optional[Any],
+        attempts: Dict[int, int],
+    ) -> Optional[Tuple[str, List[int]]]:
+        """One watchdog pass: ``(reason, blamed_indices)`` or ``None``.
+
+        Blame narrows to the tasks carrying a *planned* chaos op when
+        one is in flight — that keeps the retry/quarantine log
+        deterministic under ``repro chaos`` replays, where organic
+        blame ("everything in flight") would depend on scheduling.
+        """
+
+        def planned(kind: str, candidates: List[int]) -> List[int]:
+            if chaos is None:
+                return []
+            return [
+                index
+                for index in candidates
+                if (chaos.op_for(index, attempts.get(index, 0)) or (None,))[0]
+                == kind
+            ]
+
+        if deadline is not None:
+            now = time.monotonic()
+            expired = [
+                index
+                for index, (_r, started) in inflight.items()
+                if now - started > deadline
+            ]
+            if expired:
+                return "hung", sorted(planned("hang", expired) or expired)
+        # Liveness: the pool's maintenance thread replaces dead workers,
+        # so a changed pid set means a worker died and whatever task it
+        # held is lost.
+        if set(p.pid for p in pool._pool) != pids:
+            candidates = list(inflight)
+            return "crashed", sorted(planned("kill", candidates) or candidates)
+        return None
 
     def map(
         self, fn: Callable[[Any], Any], items: Iterable[Any]
     ) -> List[Any]:
         """Map ``fn`` over ``items``; results in submission order, the
-        first failing item's exception re-raised."""
+        first failing (or quarantined) item's exception re-raised."""
         items = list(items)
         results: List[Any] = [None] * len(items)
-        failures = {}
+        failures: Dict[int, BaseException] = {}
         for index, status, payload in self.imap(fn, items):
             if status == "error":
                 failures[index] = payload
+            elif status == "quarantined":
+                failures[index] = TaskQuarantinedError(index, payload)
             else:
                 results[index] = payload
         if failures:
@@ -254,25 +503,50 @@ def imap_completion_order(
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple[Any, ...] = (),
     pool: Optional[SharedPool] = None,
+    deadline_s: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+    chaos: Optional[Any] = None,
 ) -> Iterator[Tuple[int, str, Any]]:
     """Yield ``(submission_index, status, payload)`` as tasks finish.
 
-    ``status`` is ``"ok"`` (payload = result) or ``"error"`` (payload =
-    the exception; the caller decides whether to raise).  Routing: an
+    ``status`` is ``"ok"`` (payload = result), ``"error"`` (payload =
+    the exception; the caller decides whether to raise), or
+    ``"quarantined"`` (see :meth:`SharedPool.imap`).  Routing: an
     explicit ``pool``, else the ambient :meth:`SharedPool.current`, else
     a disposable pool torn down when the iterator is exhausted or
     closed.  ``initializer`` forces the disposable path (a shared pool's
     workers were started long ago); in-repo callers use lazily-created
-    worker state instead.
+    worker state instead.  ``deadline_s``/``chaos`` need the monitored
+    :class:`SharedPool` loop, so they promote the disposable path to a
+    single-use SharedPool.
     """
-    tasks = [(fn, index, item) for index, item in enumerate(items)]
-    if not tasks:
+    items = list(items)
+    if not items:
         return
     if initializer is None:
         shared = pool if pool is not None else SharedPool.current()
         if shared is not None:
-            yield from shared.imap(fn, [item for _fn, _i, item in tasks])
+            yield from shared.imap(
+                fn,
+                items,
+                deadline_s=deadline_s,
+                max_attempts=max_attempts,
+                chaos=chaos,
+            )
             return
+        if deadline_s is not None or chaos is not None:
+            one_use = SharedPool(
+                workers=min(resolve_workers(workers), len(items)),
+                deadline_s=deadline_s,
+            )
+            try:
+                yield from one_use.imap(
+                    fn, items, max_attempts=max_attempts, chaos=chaos
+                )
+            finally:
+                one_use.close()
+            return
+    tasks = [(fn, index, item, None) for index, item in enumerate(items)]
     processes = min(resolve_workers(workers), len(tasks))
     ctx = multiprocessing.get_context()
     one_shot = ctx.Pool(
@@ -307,12 +581,14 @@ def map_submission_order(
     if backend != "process":
         raise ValueError(f"backend must be 'inline' or 'process', got {backend!r}")
     results: List[Any] = [None] * len(items)
-    failures = {}
+    failures: Dict[int, BaseException] = {}
     for index, status, payload in imap_completion_order(
         fn, items, workers, pool=pool
     ):
         if status == "error":
             failures[index] = payload
+        elif status == "quarantined":
+            failures[index] = TaskQuarantinedError(index, payload)
         else:
             results[index] = payload
     if failures:
@@ -328,6 +604,7 @@ def run_networks_in_pool(
     max_rounds: int,
     workers: Optional[int] = None,
     pool: Optional[SharedPool] = None,
+    deadline_s: Optional[float] = None,
 ) -> Tuple[List[Any], Any]:
     """Process backend for :func:`repro.sim.run_in_parallel`.
 
@@ -339,7 +616,9 @@ def run_networks_in_pool(
     and metrics merge in submission order (deterministic regardless of
     completion order).  On failure, completed runs are preserved and
     re-raised as :class:`~repro.sim.runner.ParallelRunError`, matching
-    the inline backend's contract.
+    the inline backend's contract.  ``deadline_s`` arms the hung-worker
+    watchdog (quarantined runs surface as failures here — a lost
+    simulation run has no partial result worth keeping).
     """
     from ..sim.metrics import RunMetrics
     from ..sim.runner import ParallelRunError
@@ -350,12 +629,14 @@ def run_networks_in_pool(
         for network, factory in runs
     ]
     outcomes: List[Optional[Tuple[Any, dict, dict]]] = [None] * len(tasks)
-    failures = {}
+    failures: Dict[int, BaseException] = {}
     for index, status, payload in imap_completion_order(
-        run_parallel_task, tasks, workers, pool=pool
+        run_parallel_task, tasks, workers, pool=pool, deadline_s=deadline_s
     ):
         if status == "error":
             failures[index] = payload
+        elif status == "quarantined":
+            failures[index] = TaskQuarantinedError(index, payload)
         else:
             outcomes[index] = payload
     networks: List[Any] = []

@@ -4,21 +4,34 @@ Lifecycle of a store file:
 
 * **Checkpointing** — while a sweep runs, each finished cell's row is
   appended (and flushed) immediately, in *completion* order.  An
-  interrupted sweep therefore keeps everything it finished.
+  interrupted sweep therefore keeps everything it finished.  Every
+  checkpointed row carries a CRC32 over its canonical serialization,
+  so a later reader can tell bit-rot (and chaos-injected corruption)
+  from a legitimate row.
 * **Resume** — :meth:`SweepStore.load` reads rows back keyed by cell,
   so a re-run executes only the missing cells (the meta line pins the
-  grid; resuming against a different grid is refused).
+  grid; resuming against a different grid is refused).  ``load``
+  distinguishes a *torn final append* (the run was killed mid-write:
+  an unparsable last line, silently dropped) from *mid-file
+  corruption* (any earlier unparsable line, or any line whose CRC does
+  not match: :class:`StoreCorruption`).  A corrupt store is repaired
+  with :meth:`SweepStore.salvage` / :func:`repair_store` — valid rows
+  survive, corrupt ones are dropped so the next resume re-runs those
+  cells.
 * **Canonical finalize** — when every cell is present the store is
   atomically rewritten in *grid* order with sorted-key, fixed-separator
-  JSON.  Two completed sweeps over the same grid are byte-identical,
-  whatever backend or worker count produced them — that is the
-  determinism contract tests/batch/test_sweep.py enforces.
+  JSON and **without** checksums: two completed sweeps over the same
+  grid are byte-identical, whatever backend or worker count produced
+  them — the determinism contract tests/batch/test_sweep.py enforces,
+  unchanged since PR 5 (checksums protect the append-phase window;
+  a finalized store is written in one atomic replace).
 
 * **Shard merge** — a grid swept as N shards (``repro sweep --shard
   i/N`` on N hosts) yields N stores whose metas differ only in the
   ``shard`` field.  :func:`merge_stores` recombines them into the
   canonical one-shot store, byte for byte — the multi-host half of the
-  determinism contract.
+  determinism contract.  ``allow_partial=True`` tolerates missing
+  shards/cells and emits an explicit holes manifest instead of raising.
 
 Rows deliberately contain no wall-clock data; timing lives in the
 sweep summary (and ``BENCH_sim.json``), never in the store.
@@ -28,15 +41,25 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Store schema tag, written into the meta line.
 SCHEMA = "repro-sweep/1"
 
+#: Key under which a checkpointed row carries its integrity checksum.
+CRC_FIELD = "crc"
+
 
 def canonical_line(obj: Dict[str, Any]) -> str:
     """The one true serialization of a row (or meta) object."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def row_crc(row: Dict[str, Any]) -> str:
+    """CRC32 (hex, 8 chars) over a row's canonical serialization."""
+    return f"{zlib.crc32(canonical_line(row).encode()) & 0xFFFFFFFF:08x}"
 
 
 def cell_key(cell: Dict[str, Any]) -> str:
@@ -51,6 +74,75 @@ class StoreError(ValueError):
     """A store file does not match the sweep trying to use it."""
 
 
+class StoreCorruption(StoreError):
+    """A store line before the final append is unreadable or fails its
+    checksum — bit-rot, a concurrent writer, or injected chaos.
+
+    ``line_numbers`` lists the offending 1-based lines.  Unlike a torn
+    final append (tolerated: the writer died mid-line), corruption is
+    never silently skipped by :meth:`SweepStore.load`; run ``repro
+    repair-store`` (or :func:`repair_store`) to salvage the valid rows
+    and re-mark the lost cells for resume.
+    """
+
+    def __init__(self, path: str, problems: List[Tuple[int, str]]) -> None:
+        detail = "; ".join(
+            f"line {number}: {why}" for number, why in problems[:5]
+        )
+        super().__init__(
+            f"{path}: {len(problems)} corrupt store line(s) ({detail}) — "
+            f"run `repro repair-store` to salvage"
+        )
+        self.path = path
+        self.problems = problems
+        self.line_numbers = [number for number, _why in problems]
+
+
+@dataclass
+class SalvageReport:
+    """What :meth:`SweepStore.salvage` kept and dropped."""
+
+    path: str
+    total_lines: int = 0
+    kept_rows: int = 0
+    #: ``(line_number, reason)`` for every dropped line.
+    dropped: List[Tuple[int, str]] = field(default_factory=list)
+    torn_tail: bool = False
+    missing_meta: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.dropped and not self.torn_tail and not self.missing_meta
+
+    def summary(self) -> str:
+        parts = [f"{self.kept_rows} row(s) kept"]
+        if self.dropped:
+            parts.append(f"{len(self.dropped)} corrupt line(s) dropped")
+        if self.torn_tail:
+            parts.append("torn final append dropped")
+        if self.missing_meta:
+            parts.append("meta line missing")
+        return ", ".join(parts)
+
+
+def _classify(line: str) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """Parse and verify one store line: ``(record, problem)``.
+
+    ``record`` has its checksum verified and stripped; ``problem`` is
+    ``None`` for a good line, else a short reason.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None, "unparsable store line"
+    if not isinstance(record, dict):
+        return None, "unparsable store line"
+    crc = record.pop(CRC_FIELD, None)
+    if crc is not None and crc != row_crc(record):
+        return None, f"checksum mismatch (recorded {crc})"
+    return record, None
+
+
 class SweepStore:
     """One JSONL file holding a sweep's meta line and result rows."""
 
@@ -61,38 +153,92 @@ class SweepStore:
         return os.path.exists(self.path)
 
     # -- reading -----------------------------------------------------------
+    def _read_lines(self) -> List[str]:
+        with open(self.path) as handle:
+            return handle.read().splitlines()
+
     def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[str, Dict[str, Any]]]:
         """Read (meta, rows-by-cell-key); (None, {}) when absent.
 
         Tolerates a truncated trailing line (the run may have been
-        killed mid-append); anything else malformed raises.
+        killed mid-append).  Any *earlier* unreadable line, or any line
+        failing its checksum, raises :class:`StoreCorruption` — a torn
+        write can only ever be the last thing that happened to an
+        append-only file, so damage anywhere else is real corruption
+        and silently skipping it would truncate results.
         """
         if not self.exists():
             return None, {}
         meta: Optional[Dict[str, Any]] = None
         rows: Dict[str, Dict[str, Any]] = {}
-        with open(self.path) as handle:
-            lines = handle.read().splitlines()
+        lines = self._read_lines()
+        corrupt: List[Tuple[int, str]] = []
         for number, line in enumerate(lines):
             if not line.strip():
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if number == len(lines) - 1:
+            record, problem = _classify(line)
+            if record is None:
+                if number == len(lines) - 1 and problem == "unparsable store line":
                     break  # torn final append from an interrupted run
-                raise StoreError(
-                    f"{self.path}:{number + 1}: unparsable store line"
-                )
+                corrupt.append((number + 1, problem or "unreadable"))
+                continue
+            if problem is not None:
+                corrupt.append((number + 1, problem))
+                continue
             if "schema" in record and "cell" not in record:
                 meta = record
             elif "cell" in record:
                 rows[cell_key(record["cell"])] = record
             else:
-                raise StoreError(
-                    f"{self.path}:{number + 1}: neither meta nor row"
-                )
+                corrupt.append((number + 1, "neither meta nor row"))
+        if corrupt:
+            raise StoreCorruption(self.path, corrupt)
         return meta, rows
+
+    def salvage(
+        self,
+    ) -> Tuple[Optional[Dict[str, Any]], Dict[str, Dict[str, Any]], SalvageReport]:
+        """Best-effort read: keep every verifiable row, report the rest.
+
+        The forgiving sibling of :meth:`load` — corruption does not
+        raise, it lands in the :class:`SalvageReport`.  Dropped rows
+        simply leave their cells missing, which is exactly the state a
+        resumed sweep repairs by re-running them.
+        """
+        report = SalvageReport(path=self.path)
+        if not self.exists():
+            report.missing_meta = True
+            return None, {}, report
+        meta: Optional[Dict[str, Any]] = None
+        rows: Dict[str, Dict[str, Any]] = {}
+        lines = self._read_lines()
+        report.total_lines = len(lines)
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            record, problem = _classify(line)
+            if record is None or problem is not None:
+                if (
+                    number == len(lines) - 1
+                    and problem == "unparsable store line"
+                ):
+                    report.torn_tail = True
+                else:
+                    report.dropped.append(
+                        (number + 1, problem or "unreadable")
+                    )
+                continue
+            if "schema" in record and "cell" not in record:
+                meta = record
+            elif "cell" in record:
+                key = cell_key(record["cell"])
+                if key not in rows:
+                    report.kept_rows += 1
+                rows[key] = record
+            else:
+                report.dropped.append((number + 1, "neither meta nor row"))
+        report.missing_meta = meta is None
+        return meta, rows, report
 
     # -- writing -----------------------------------------------------------
     def begin(self, meta: Dict[str, Any], fresh: bool) -> None:
@@ -103,22 +249,65 @@ class SweepStore:
                 handle.write(canonical_line(meta) + "\n")
 
     def append(self, row: Dict[str, Any]) -> None:
-        """Checkpoint one finished cell (appended and flushed)."""
+        """Checkpoint one finished cell (appended and flushed), with its
+        integrity checksum."""
+        stamped = dict(row)
+        stamped[CRC_FIELD] = row_crc(row)
         with open(self.path, "a") as handle:
-            handle.write(canonical_line(row) + "\n")
+            handle.write(canonical_line(stamped) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
 
     def finalize(
         self, meta: Dict[str, Any], rows: Iterable[Dict[str, Any]]
     ) -> None:
-        """Atomically rewrite the store in canonical (grid) order."""
+        """Atomically rewrite the store in canonical (grid) order.
+
+        Checksums are stripped: the finalized form is the PR 5 one,
+        byte-identical across backends, worker counts and hosts.
+        """
         tmp = self.path + ".tmp"
         with open(tmp, "w") as handle:
             handle.write(canonical_line(meta) + "\n")
             for row in rows:
+                row = {k: v for k, v in row.items() if k != CRC_FIELD}
                 handle.write(canonical_line(row) + "\n")
         os.replace(tmp, self.path)
+
+
+# ---------------------------------------------------------------------------
+# Repair
+# ---------------------------------------------------------------------------
+def repair_store(
+    path: str, out_path: Optional[str] = None
+) -> Tuple[SalvageReport, List[str]]:
+    """Salvage a (possibly corrupt) store into a clean checkpoint file.
+
+    Valid rows are kept and rewritten — atomically, in checkpoint form
+    (with checksums) — and everything unreadable is dropped, so the
+    repaired store ``load()``\\ s cleanly and a resumed sweep re-runs
+    exactly the lost cells.  Returns the salvage report and the cell
+    keys the store *should* hold but no longer does (when the meta
+    survives and defines the grid; missing cells of a shard store are
+    computed against the shard's slice).
+
+    ``out_path`` defaults to repairing in place.
+    """
+    store = SweepStore(path)
+    meta, rows, report = store.salvage()
+    if meta is None:
+        raise StoreError(
+            f"{path}: no usable meta line survives — the store cannot be "
+            f"repaired (re-run the sweep with a fresh store)"
+        )
+    target = SweepStore(out_path or path)
+    tmp = SweepStore(target.path + ".repair-tmp")
+    tmp.begin(meta, fresh=True)
+    for key in sorted(rows):
+        tmp.append(rows[key])
+    os.replace(tmp.path, target.path)
+    missing = [key for key in expected_cell_keys(meta) if key not in rows]
+    return report, missing
 
 
 # ---------------------------------------------------------------------------
@@ -139,19 +328,49 @@ def grid_cell_dicts(meta: Dict[str, Any]) -> List[Dict[str, Any]]:
     ]
 
 
-def merge_stores(shard_paths: Sequence[str], out_path: str) -> Dict[str, Any]:
-    """Merge N complete shard stores into the canonical one-shot store.
+def expected_cell_keys(meta: Dict[str, Any]) -> List[str]:
+    """Every cell key ``meta``'s store is responsible for, in canonical
+    order — the full grid, or this shard's round-robin slice when the
+    meta carries a ``shard`` field.  Metas that predate (or omit) the
+    grid-definition fields define no expectations."""
+    if not all(key in meta for key in ("workload", "specs", "seeds", "ks")):
+        return []
+    keys = [cell_key(cell) for cell in grid_cell_dicts(meta)]
+    shard_text = meta.get("shard")
+    if shard_text is None:
+        return keys
+    index_text, count_text = str(shard_text).split("/", 1)
+    index, count = int(index_text), int(count_text)
+    return [key for i, key in enumerate(keys) if i % count == index]
 
-    The inputs must be the N shards of one grid — same meta apart from
-    the ``shard`` field, shard indices covering ``0/N .. (N-1)/N``
-    exactly — and together they must supply every grid cell.  The
-    output is written with :meth:`SweepStore.finalize` under the
-    unsharded meta, so it is byte-identical to the store a single
-    unsharded sweep of the grid would have produced.
 
-    Returns the merged meta.  Raises :class:`StoreError` on any
-    mismatch (different grids, missing/duplicate shards, missing
-    cells).
+def merge_stores(
+    shard_paths: Sequence[str],
+    out_path: str,
+    allow_partial: bool = False,
+    holes_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Merge N shard stores into the canonical one-shot store.
+
+    The inputs must be shards of one grid — same meta apart from the
+    ``shard`` field.  By default the merge is strict: shard indices
+    must cover ``0/N .. (N-1)/N`` exactly and together supply every
+    grid cell, and the output is written with
+    :meth:`SweepStore.finalize` under the unsharded meta — byte-
+    identical to the store a single unsharded sweep would have
+    produced.  Raises :class:`StoreError` on any mismatch.
+
+    ``allow_partial=True`` relaxes completeness (a host died, a shard
+    store was lost): whatever rows exist are merged into a *checkpoint*
+    store that ``repro sweep --out`` can resume to completion, and an
+    explicit **holes manifest** is written next to it (``holes_path``,
+    default ``<out_path>.holes.json``) recording the missing shard
+    indices and missing cell keys — holes are loud, never silent.
+    Grid mismatches and duplicate shards still raise.
+
+    Returns the merged (unsharded) meta; with ``allow_partial`` the
+    meta gains a ``"holes"`` count so downstream tooling can tell a
+    partial merge from a complete one without re-scanning.
     """
     if not shard_paths:
         raise StoreError("merge_stores needs at least one shard store")
@@ -192,7 +411,7 @@ def merge_stores(shard_paths: Sequence[str], out_path: str) -> Dict[str, Any]:
         rows.update(shard_rows)
     assert base_meta is not None and shard_count is not None
     missing_shards = sorted(set(range(shard_count)) - set(seen_shards))
-    if missing_shards:
+    if missing_shards and not allow_partial:
         raise StoreError(
             f"missing shard store(s) for "
             f"{', '.join(f'{i}/{shard_count}' for i in missing_shards)}"
@@ -205,11 +424,32 @@ def merge_stores(shard_paths: Sequence[str], out_path: str) -> Dict[str, Any]:
             missing_cells.append(cell_key(cell))
         else:
             ordered.append(row)
-    if missing_cells:
+    if missing_cells and not allow_partial:
         raise StoreError(
             f"{len(missing_cells)} grid cell(s) missing from the shards "
             f"(first: {missing_cells[0]}) — finish every shard sweep "
-            f"before merging"
+            f"before merging (or pass --allow-partial)"
         )
-    SweepStore(out_path).finalize(base_meta, ordered)
-    return base_meta
+    if not (missing_shards or missing_cells):
+        SweepStore(out_path).finalize(base_meta, ordered)
+        return base_meta
+    # Partial merge: a resumable checkpoint store plus a holes manifest.
+    out = SweepStore(out_path)
+    out.begin(base_meta, fresh=True)
+    for row in ordered:
+        out.append({k: v for k, v in row.items() if k != CRC_FIELD})
+    manifest = {
+        "store": out_path,
+        "schema": SCHEMA,
+        "expected_shards": shard_count,
+        "missing_shards": missing_shards,
+        "expected_cells": base_meta["cells"],
+        "present_cells": len(ordered),
+        "missing_cells": missing_cells,
+    }
+    holes_path = holes_path or out_path + ".holes.json"
+    with open(holes_path, "w") as handle:
+        handle.write(canonical_line(manifest) + "\n")
+    merged_meta = dict(base_meta)
+    merged_meta["holes"] = len(missing_cells)
+    return merged_meta

@@ -41,7 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..graphs import RootedTree
 from ..sim.metrics import RunMetrics
 from .cache import GraphCache
-from .pool import imap_completion_order, resolve_workers
+from .pool import PoolCrashError, imap_completion_order, resolve_workers
 from .registry import get_workload, register_workload
 from .store import SCHEMA, SweepStore, StoreError, cell_key
 
@@ -297,6 +297,41 @@ class SweepCellError(RuntimeError):
         self.cell = cell
 
 
+class SweepCrashError(RuntimeError):
+    """The worker pool crashed; ``cell_keys`` names the lost cells.
+
+    Wraps :class:`~repro.batch.pool.PoolCrashError` with the sweep-level
+    identity of every unfinished task, so an operator can resume around
+    poison cells by hand (checkpointed rows survive in the store).
+    """
+
+    def __init__(
+        self, cause: PoolCrashError, cell_keys: List[str]
+    ) -> None:
+        listed = ", ".join(cell_keys[:8])
+        more = "" if len(cell_keys) <= 8 else f" (+{len(cell_keys) - 8} more)"
+        super().__init__(f"{cause}; lost cells: {listed}{more}")
+        self.cell_keys = list(cell_keys)
+
+    @property
+    def restarts(self) -> int:
+        cause = self.__cause__
+        return cause.restarts if isinstance(cause, PoolCrashError) else 0
+
+
+def quarantined_row(cell: SweepCell, info: Dict[str, Any]) -> Dict[str, Any]:
+    """The store row for a quarantined cell: an ``error`` record instead
+    of a ``result``, so resumes can see (and optionally retry) it."""
+    return {
+        "cell": cell.as_dict(),
+        "error": {
+            "quarantined": True,
+            "attempts": info.get("attempts"),
+            "reason": info.get("reason"),
+        },
+    }
+
+
 @dataclass
 class SweepSummary:
     """What a sweep did: counts, timing, and grid-order merged metrics."""
@@ -307,6 +342,7 @@ class SweepSummary:
     complete: bool
     elapsed: float
     merged: RunMetrics
+    quarantined: int = 0
     rows: List[Dict[str, Any]] = field(repr=False, default_factory=list)
 
     @property
@@ -323,6 +359,11 @@ def run_sweep(
     max_cells: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     echo: Callable[[str], None] = lambda line: None,
+    deadline_s: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+    chaos: Optional[Any] = None,
+    retry_quarantined: bool = False,
+    finalize: bool = True,
 ) -> SweepSummary:
     """Run (or resume) a sweep; return its summary.
 
@@ -337,12 +378,27 @@ def run_sweep(
       shard stores into the one-shot store.
     * On full completion (of the grid, or of the shard's slice) the
       store is rewritten in canonical grid order (byte-identical
-      across backends and worker counts).
+      across backends and worker counts) — unless ``finalize=False``
+      or any cell is quarantined, which keep the checkpoint form so
+      the store stays repairable/resumable.
+
+    **Fault tolerance** (process backend; docs/robustness.md).
+    ``deadline_s`` arms the hung-worker watchdog, ``max_attempts``
+    caps retries before a cell is *quarantined*: recorded in the store
+    as an ``error`` row and counted in ``SweepSummary.quarantined``,
+    while the rest of the sweep completes.  A resumed sweep treats
+    quarantined rows as present unless ``retry_quarantined=True``.
+    A pool-wide crash raises :class:`SweepCrashError` naming the lost
+    cells.  ``chaos`` injects a deterministic
+    :class:`~repro.batch.chaos.ChaosPlan` of worker/store faults —
+    the test harness for all of the above.
     """
     if backend not in SWEEP_BACKENDS:
         raise ValueError(
             f"backend must be one of {SWEEP_BACKENDS}, got {backend!r}"
         )
+    if chaos is not None and backend != "process":
+        raise ValueError("chaos injection requires backend='process'")
     selected = shard_cells(grid.cells(), shard)
     meta = dict(grid.meta())
     if shard is not None:
@@ -358,8 +414,12 @@ def run_sweep(
                     f"pass resume=False (or a new path) to overwrite"
                 )
             for index, cell in selected:
-                if cell.key in existing:
-                    rows_by_index[index] = existing[cell.key]
+                row = existing.get(cell.key)
+                if row is None:
+                    continue
+                if retry_quarantined and "error" in row:
+                    continue  # re-run the poison cell instead of skipping
+                rows_by_index[index] = row
         store.begin(meta, fresh=not resume)
 
     pending = [
@@ -372,8 +432,14 @@ def run_sweep(
         pending = pending[:max_cells]
 
     provider = get_workload(grid.workload).provider
+    # The watchdog and chaos injection live in the monitored pool loop,
+    # so they must not fall back to the single-process fast path.
+    hardened = deadline_s is not None or chaos is not None
     start = time.perf_counter()
-    if backend == "inline" or len(pending) <= 1 or resolve_workers(workers) == 1:
+    if backend == "inline" or (
+        not hardened
+        and (len(pending) <= 1 or resolve_workers(workers) == 1)
+    ):
         cache = GraphCache()
         for index, cell in pending:
             try:
@@ -386,21 +452,38 @@ def run_sweep(
             echo(_cell_line(row))
     else:
         items = [(cell, provider) for _index, cell in pending]
-        for position, status, payload in imap_completion_order(
-            _process_cell, items, workers=workers
-        ):
-            index, cell = pending[position]
-            if status == "error":
-                raise SweepCellError(cell, payload) from payload
-            rows_by_index[index] = payload
-            if store is not None:
-                store.append(payload)
-            echo(_cell_line(payload))
+        try:
+            for position, status, payload in imap_completion_order(
+                _process_cell,
+                items,
+                workers=workers,
+                deadline_s=deadline_s,
+                max_attempts=max_attempts,
+                chaos=chaos,
+            ):
+                index, cell = pending[position]
+                if status == "error":
+                    raise SweepCellError(cell, payload) from payload
+                row = (
+                    quarantined_row(cell, payload)
+                    if status == "quarantined"
+                    else payload
+                )
+                rows_by_index[index] = row
+                if store is not None:
+                    store.append(row)
+                    if chaos is not None and chaos.should_corrupt(position):
+                        chaos.corrupt_store(store.path)
+                echo(_cell_line(row))
+        except PoolCrashError as exc:
+            keys = [cell_key(cell.as_dict()) for cell, _p in exc.pending_items]
+            raise SweepCrashError(exc, keys) from exc
     elapsed = time.perf_counter() - start
 
     complete = len(rows_by_index) == len(selected)
     ordered = [rows_by_index[i] for i in sorted(rows_by_index)]
-    if complete and store is not None:
+    quarantined = sum(1 for row in ordered if "error" in row)
+    if complete and store is not None and finalize and quarantined == 0:
         store.finalize(meta, ordered)
     merged = RunMetrics.merge(
         RunMetrics.from_dict(row["result"]["metrics"])
@@ -414,6 +497,7 @@ def run_sweep(
         complete=complete,
         elapsed=elapsed,
         merged=merged,
+        quarantined=quarantined,
         rows=ordered,
     )
 
@@ -426,6 +510,13 @@ def _grid_mismatch(meta: Dict[str, Any], expected: Dict[str, Any]) -> bool:
 
 def _cell_line(row: Dict[str, Any]) -> str:
     cell = row["cell"]
+    if "error" in row:
+        error = row["error"]
+        return (
+            f"{cell['workload']} {cell['spec']} seed={cell['seed']} "
+            f"k={cell['k']}: QUARANTINED after {error.get('attempts')} "
+            f"attempt(s) ({error.get('reason')})"
+        )
     result = row["result"]
     return (
         f"{cell['workload']} {cell['spec']} seed={cell['seed']} "

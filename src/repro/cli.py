@@ -15,7 +15,11 @@ Examples::
     python -m repro sweep --workload kdom --spec tree:n=200 --spec grid:12x12 \
         --seeds 0,1,2 --ks 2,4,8 --workers 4 --out sweep.jsonl
     python -m repro sweep --fast --shard 0/2 --out shard0.jsonl
+    python -m repro sweep --fast --deadline-s 30 --out sweep.jsonl
     python -m repro merge-stores shard0.jsonl shard1.jsonl --out merged.jsonl
+    python -m repro merge-stores shard0.jsonl --allow-partial --out part.jsonl
+    python -m repro repair-store sweep.jsonl
+    python -m repro chaos --fast --seed 7 --out-dir chaos-drill
 
 Graph specs: ``grid:RxC``, ``torus:RxC``, ``ring:N``, ``tree:N``,
 ``random:N:P`` (random connected with extra-edge probability P),
@@ -421,9 +425,35 @@ def _parse_int_list(text: str, flag: str) -> tuple:
 
 
 #: ``repro sweep`` exit code for "ran fine but the grid (or shard) is
-#: not yet complete" — e.g. bounded by ``--max-cells``.  Distinct from
-#: 1 (a crash or verify failure) so CI can assert the difference.
+#: not yet complete" — e.g. bounded by ``--max-cells``, degraded by
+#: quarantined cells, or merged with holes.  Distinct from 1 (a crash
+#: or verify failure) so CI can assert the difference.
 EXIT_SWEEP_INCOMPLETE = 3
+
+
+def _build_grid(args: argparse.Namespace, verify: bool = False):
+    """The shared grid-construction path of ``sweep`` and ``chaos``."""
+    from .batch import SweepGrid, WorkloadError, fast_grid
+
+    try:
+        if args.fast:
+            return fast_grid(args.workload)
+        if not args.spec:
+            raise SystemExit(
+                "at least one --spec is required (or use --fast for the "
+                "built-in CI grid)"
+            )
+        return SweepGrid(
+            workload=args.workload,
+            specs=tuple(args.spec),
+            seeds=_parse_int_list(args.seeds, "--seeds"),
+            ks=_parse_int_list(args.ks, "--ks"),
+            verify=verify,
+        )
+    except WorkloadError as exc:
+        raise SystemExit(str(exc))
+    except ValueError as exc:
+        raise SystemExit(f"bad sweep grid: {exc}")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -432,9 +462,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from .batch import (
         StoreError,
         SweepCellError,
-        SweepGrid,
-        WorkloadError,
-        fast_grid,
+        SweepCrashError,
         parse_shard,
         run_sweep,
     )
@@ -451,27 +479,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise SystemExit(f"bad --shard: {exc}")
 
-    try:
-        if args.fast:
-            grid = fast_grid(args.workload)
-        else:
-            if not args.spec:
-                raise SystemExit(
-                    "at least one --spec is required (or use --fast for the "
-                    "built-in CI grid)"
-                )
-            grid = SweepGrid(
-                workload=args.workload,
-                specs=tuple(args.spec),
-                seeds=_parse_int_list(args.seeds, "--seeds"),
-                ks=_parse_int_list(args.ks, "--ks"),
-                verify=args.verify,
-            )
-    except WorkloadError as exc:
-        raise SystemExit(str(exc))
-    except ValueError as exc:
-        raise SystemExit(f"bad sweep grid: {exc}")
+    grid = _build_grid(args, verify=args.verify)
 
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        raise SystemExit("bad --deadline-s: must be positive")
+    if args.max_attempts is not None and args.max_attempts < 1:
+        raise SystemExit("bad --max-attempts: must be >= 1")
     echo = print if args.verbose else (lambda line: None)
     try:
         summary = run_sweep(
@@ -483,16 +496,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             max_cells=args.max_cells,
             shard=shard,
             echo=echo,
+            deadline_s=args.deadline_s,
+            max_attempts=args.max_attempts,
+            retry_quarantined=args.retry_quarantined,
         )
-    except (StoreError, SweepCellError) as exc:
+    except (StoreError, SweepCellError, SweepCrashError) as exc:
         raise SystemExit(str(exc))
 
     merged = summary.merged
     shard_note = f" [shard {args.shard}]" if shard is not None else ""
+    state = "complete" if summary.complete else "INCOMPLETE"
+    if summary.quarantined:
+        state += f", {summary.quarantined} QUARANTINED"
     print(
         f"sweep {grid.workload}{shard_note}: {summary.total} cell(s) — "
-        f"ran {summary.ran}, skipped {summary.skipped} "
-        f"({'complete' if summary.complete else 'INCOMPLETE'})"
+        f"ran {summary.ran}, skipped {summary.skipped} ({state})"
     )
     print(
         f"backend={args.backend} workers={args.workers or 'auto'} "
@@ -510,26 +528,102 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         bad = [
             row["cell"]
             for row in summary.rows
-            if row["result"].get("ok") is False
+            if row.get("result", {}).get("ok") is False
         ]
         if bad:
             print(f"VERIFY FAILED for {len(bad)} cell(s): {bad[:5]}")
             return 1
         print("verify: all cells ok")
-    return 0 if summary.complete else EXIT_SWEEP_INCOMPLETE
+    if summary.complete and not summary.quarantined:
+        return 0
+    return EXIT_SWEEP_INCOMPLETE
 
 
 def cmd_merge_stores(args: argparse.Namespace) -> int:
     from .batch import StoreError, merge_stores
 
     try:
-        meta = merge_stores(args.stores, args.out)
+        meta = merge_stores(
+            args.stores,
+            args.out,
+            allow_partial=args.allow_partial,
+            holes_path=args.holes,
+        )
     except StoreError as exc:
         raise SystemExit(str(exc))
+    holes = meta.get("holes", 0)
     print(
         f"merged {len(args.stores)} shard store(s) -> {args.out} "
         f"({meta['cells']} cells, workload {meta['workload']})"
     )
+    if holes:
+        manifest = args.holes or args.out + ".holes.json"
+        print(
+            f"PARTIAL merge: {holes} cell(s) missing — holes manifest "
+            f"at {manifest}; resume with "
+            f"`repro sweep --out {args.out}` to fill them"
+        )
+        return EXIT_SWEEP_INCOMPLETE
+    return 0
+
+
+def cmd_repair_store(args: argparse.Namespace) -> int:
+    from .batch import StoreError, repair_store
+
+    try:
+        report, missing = repair_store(args.store, out_path=args.out)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    target = args.out or args.store
+    print(f"repaired {args.store} -> {target}: {report.summary()}")
+    if missing:
+        shown = ", ".join(missing[:5])
+        more = "" if len(missing) <= 5 else f" (+{len(missing) - 5} more)"
+        print(
+            f"{len(missing)} cell(s) lost: {shown}{more} — resume with "
+            f"`repro sweep --out {target}` to re-run them"
+        )
+    else:
+        print("no cells lost")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .batch import PoolCrashError, SweepCrashError
+    from .batch.chaos import run_chaos
+
+    grid = _build_grid(args)
+    echo = print if args.verbose else (lambda line: None)
+    try:
+        report = run_chaos(
+            grid,
+            seed=args.seed,
+            out_dir=args.out_dir,
+            workers=args.workers,
+            deadline_s=args.deadline_s,
+            max_attempts=args.max_attempts,
+            kills=args.kills,
+            hangs=args.hangs,
+            slows=args.slows,
+            corrupts=args.corrupts,
+            poisons=args.poisons,
+            echo=echo,
+        )
+    except (PoolCrashError, SweepCrashError) as exc:
+        print(f"chaos drill CRASHED the fabric: {exc}")
+        return 1
+    except ValueError as exc:
+        raise SystemExit(f"bad chaos drill: {exc}")
+
+    for line in report.lines():
+        print(line)
+    for event in report.retry_events:
+        kind, task, attempt, reason = event
+        print(f"  {kind}: task {task} attempt {attempt} ({reason})")
+    if not report.verified:
+        return 1
+    if report.quarantined_cells:
+        return EXIT_SWEEP_INCOMPLETE
     return 0
 
 
@@ -705,6 +799,15 @@ def make_parser() -> argparse.ArgumentParser:
                               "exactness)")
     p_sweep.add_argument("--fast", action="store_true",
                          help="built-in CI-sized 8-cell grid")
+    p_sweep.add_argument("--deadline-s", type=float, default=None,
+                         help="per-cell deadline in seconds (process "
+                              "backend): arms the hung-worker watchdog")
+    p_sweep.add_argument("--max-attempts", type=int, default=None,
+                         help="retries before a failing cell is quarantined "
+                              "as an error row (default 3)")
+    p_sweep.add_argument("--retry-quarantined", action="store_true",
+                         help="on resume, re-run previously quarantined "
+                              "cells instead of keeping their error rows")
     p_sweep.add_argument("-v", "--verbose", action="store_true",
                          help="print one line per finished cell")
     p_sweep.set_defaults(fn=cmd_sweep)
@@ -718,7 +821,66 @@ def make_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("--out", required=True,
                          help="merged store path (byte-identical to an "
                               "unsharded sweep of the same grid)")
+    p_merge.add_argument("--allow-partial", action="store_true",
+                         help="tolerate missing shards/cells: merge what "
+                              "exists into a resumable checkpoint store and "
+                              "write an explicit holes manifest (exit 3)")
+    p_merge.add_argument("--holes", default=None, metavar="PATH",
+                         help="holes manifest path for --allow-partial "
+                              "(default: <out>.holes.json)")
     p_merge.set_defaults(fn=cmd_merge_stores)
+
+    p_repair = sub.add_parser(
+        "repair-store",
+        help="salvage a corrupt sweep store (keep verifiable rows, drop "
+             "the rest, list the cells to re-run)",
+    )
+    p_repair.add_argument("store", help="the damaged JSONL store")
+    p_repair.add_argument("--out", default=None,
+                          help="write the repaired store here instead of "
+                               "repairing in place")
+    p_repair.set_defaults(fn=cmd_repair_store)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos drill: sweep under a seeded fault plan, repair, "
+             "resume, verify vs the fault-free baseline",
+    )
+    p_chaos.add_argument("--workload", default="kdom", metavar="NAME",
+                         help="registered workload name (default kdom)")
+    p_chaos.add_argument("--spec", action="append", metavar="SPEC",
+                         help="graph spec, e.g. tree:n=64 (repeatable)")
+    p_chaos.add_argument("--seeds", default="0",
+                         help="comma list of grid seeds")
+    p_chaos.add_argument("--ks", default="2",
+                         help="comma list of k values")
+    p_chaos.add_argument("--fast", action="store_true",
+                         help="built-in CI-sized 8-cell grid")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="chaos-plan seed (same seed, same faults, "
+                              "same verdict)")
+    p_chaos.add_argument("--out-dir", default="chaos-drill",
+                         help="directory for the baseline and chaos stores")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="worker processes for the chaos sweep")
+    p_chaos.add_argument("--deadline-s", type=float, default=5.0,
+                         help="watchdog deadline for hung workers (s)")
+    p_chaos.add_argument("--max-attempts", type=int, default=3,
+                         help="retries before quarantine")
+    p_chaos.add_argument("--kills", type=int, default=1,
+                         help="worker kills to schedule")
+    p_chaos.add_argument("--hangs", type=int, default=1,
+                         help="worker hangs to schedule")
+    p_chaos.add_argument("--slows", type=int, default=0,
+                         help="slow tasks to schedule (below the deadline)")
+    p_chaos.add_argument("--corrupts", type=int, default=1,
+                         help="store-row corruptions to schedule")
+    p_chaos.add_argument("--poisons", type=int, default=0,
+                         help="poison tasks (kill on every attempt -> "
+                              "quarantine; exit 3)")
+    p_chaos.add_argument("-v", "--verbose", action="store_true",
+                         help="print phase-by-phase progress")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_perf = sub.add_parser(
         "perf", help="engine perf smoke suite (writes BENCH_sim.json)"

@@ -27,12 +27,31 @@ wakeup      ``node``, ``target`` (the round the wakeup matures)
 halt        ``node``
 ========== =========================================================
 
-Every event kind is **model-visible**: it reflects what programs did
-(send, halt, request a wakeup) or what the environment did to messages
-(deliver, fault), never *how* the engine scheduled the work.  That is
-what makes a trace byte-identical between ``scheduling="full"`` and
-``scheduling="active"`` — the property
-``tests/obs/test_equivalence.py`` pins.
+**Fabric events** (:data:`FABRIC_KINDS`) describe the execution fabric
+— the worker pools running sweeps (docs/robustness.md) — rather than
+any simulated network, so they carry ``round=-1`` / ``run=-1``:
+
+================ ====================================================
+kind              fields
+================ ====================================================
+worker_killed     ``reason`` (``"hung"``/``"crashed"``), ``workers``
+task_retried      ``task`` (submission index), ``attempt``, ``reason``
+task_quarantined  ``task``, ``attempts``, ``reason``
+================ ====================================================
+
+Like everything else on the stream, fabric events are deterministic
+per cause: no pids, no timestamps — the chaos harness
+(:mod:`repro.batch.chaos`) compares them across replays.
+
+Every simulation event kind is **model-visible**: it reflects what
+programs did (send, halt, request a wakeup) or what the environment
+did to messages (deliver, fault), never *how* the engine scheduled the
+work.  That is what makes a trace byte-identical between
+``scheduling="full"`` and ``scheduling="active"`` — the property
+``tests/obs/test_equivalence.py`` pins.  Fabric events are the sole
+exception: they exist precisely to report execution-layer faults, and
+they never appear unless the fabric actually failed (or chaos was
+injected).
 
 Phase records (``phase-enter`` / ``phase-exit``) travel on a separate
 subscriber channel (:meth:`Subscriber.on_phase`) because they describe
@@ -48,6 +67,14 @@ from typing import Any, Dict, List
 #: the record shapes above.
 TRACE_SCHEMA = "repro-trace/1"
 
+#: Execution-fabric event kinds (worker pools, not simulated networks);
+#: emitted by :class:`repro.batch.pool.SharedPool` with round/run = -1.
+FABRIC_KINDS = (
+    "worker_killed",
+    "task_retried",
+    "task_quarantined",
+)
+
 #: Engine event kinds, in no particular order.
 EVENT_KINDS = (
     "send",
@@ -58,7 +85,7 @@ EVENT_KINDS = (
     "crash",
     "wakeup",
     "halt",
-)
+) + FABRIC_KINDS
 
 #: The subset of kinds that mirror :class:`repro.sim.faults.FaultEvent`s.
 FAULT_KINDS = ("drop", "duplicate", "delay", "crash")

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, IO, List, Optional, Union
 
-from .events import EVENT_KINDS, TRACE_SCHEMA, Event, Subscriber
+from .events import EVENT_KINDS, FABRIC_KINDS, TRACE_SCHEMA, Event, Subscriber
 
 #: Required fields per event kind (beyond "record"/"kind"/"round"/"run").
 _EVENT_FIELDS = {
@@ -37,6 +37,9 @@ _EVENT_FIELDS = {
     "crash": ("node", "plan_index"),
     "wakeup": ("node", "target"),
     "halt": ("node",),
+    "worker_killed": ("reason", "workers"),
+    "task_retried": ("task", "attempt", "reason"),
+    "task_quarantined": ("task", "attempts", "reason"),
 }
 
 
@@ -237,12 +240,20 @@ def validate_trace(trace: Union[Trace, str, IO[str]]) -> List[str]:
         if kind not in EVENT_KINDS:
             problems.append(f"event {index}: unknown kind {kind!r}")
             continue
+        # Fabric events describe the execution layer, not a simulated
+        # round/run; they carry -1 in both fields by convention.
+        floor = -1 if kind in FABRIC_KINDS else 0
         for key in ("round", "run"):
             value = event.get(key)
-            if not isinstance(value, int) or value < 0:
+            if not isinstance(value, int) or value < floor:
+                expected = (
+                    "an integer >= -1"
+                    if floor < 0
+                    else "a non-negative integer"
+                )
                 problems.append(
-                    f"event {index} ({kind}): {key}={value!r} is not a "
-                    f"non-negative integer"
+                    f"event {index} ({kind}): {key}={value!r} is not "
+                    f"{expected}"
                 )
         for key in _EVENT_FIELDS[kind]:
             if key not in event:

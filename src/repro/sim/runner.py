@@ -70,6 +70,7 @@ def run_in_parallel(
     backend: str = "inline",
     workers: Optional[int] = None,
     pool: Optional[Any] = None,
+    deadline_s: Optional[float] = None,
 ) -> Tuple[List[Network], RunMetrics]:
     """Run several disjoint sub-networks simultaneously.
 
@@ -85,7 +86,10 @@ def run_in_parallel(
     ambient entered SharedPool is picked up automatically).  If a run
     raises, the completed runs are preserved and the failure is
     re-raised as :class:`ParallelRunError` with the original exception
-    chained.
+    chained.  ``deadline_s`` (process backend only) arms the
+    hung-worker watchdog: a run in flight longer than the deadline gets
+    its worker killed, a pool restart and a bounded number of retries
+    (see :class:`~repro.batch.pool.SharedPool`).
     """
     if backend not in PARALLEL_BACKENDS:
         raise ValueError(
@@ -95,7 +99,9 @@ def run_in_parallel(
     if backend == "process" and len(run_list) > 1:
         from ..batch.pool import run_networks_in_pool
 
-        return run_networks_in_pool(run_list, max_rounds, workers, pool=pool)
+        return run_networks_in_pool(
+            run_list, max_rounds, workers, pool=pool, deadline_s=deadline_s
+        )
     networks: List[Network] = []
     collected: List[RunMetrics] = []
     for index, (network, factory) in enumerate(run_list):

@@ -1,0 +1,274 @@
+"""Deterministic chaos harness: plans, injection, the full drill.
+
+The acceptance contract (ISSUE 6): same seed → same plan → same
+retry/quarantine log, and the post-repair store is byte-identical to
+the fault-free store minus quarantined cells.
+"""
+
+import pytest
+
+from repro.batch import (
+    ChaosAction,
+    ChaosPlan,
+    SharedPool,
+    StoreCorruption,
+    SweepGrid,
+    SweepStore,
+    run_chaos,
+    run_sweep,
+)
+from repro.batch.chaos import retry_log
+
+#: Small but multi-cell grid: 6 cells, enough for disjoint faults.
+GRID = SweepGrid(
+    workload="partition",
+    specs=("tree:n=18", "tree:n=24"),
+    seeds=(0,),
+    ks=(2, 3, 4),
+)
+
+DEADLINE = 0.5
+
+
+class TestChaosPlan:
+    def test_generate_is_deterministic(self):
+        a = ChaosPlan.generate(5, 20, kills=2, hangs=1, corrupts=2)
+        b = ChaosPlan.generate(5, 20, kills=2, hangs=1, corrupts=2)
+        assert a.as_dict() == b.as_dict()
+
+    def test_different_seeds_differ(self):
+        plans = {
+            tuple(
+                (a.index, a.kind)
+                for a in ChaosPlan.generate(seed, 50, kills=3).actions
+            )
+            for seed in range(8)
+        }
+        assert len(plans) > 1
+
+    def test_faults_land_on_disjoint_indices(self):
+        plan = ChaosPlan.generate(3, 10, kills=3, hangs=3, corrupts=3)
+        indices = [action.index for action in plan.actions]
+        assert len(indices) == len(set(indices)) == 9
+
+    def test_overfull_plan_rejected(self):
+        with pytest.raises(ValueError, match="faulted task"):
+            ChaosPlan.generate(0, 2, kills=2, hangs=1)
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            ChaosPlan([ChaosAction(1, "kill"), ChaosAction(1, "hang")])
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ChaosAction(0, "meteor")
+
+    def test_one_shot_ops_fire_on_first_attempt_only(self):
+        plan = ChaosPlan([ChaosAction(2, "kill"), ChaosAction(4, "hang")])
+        assert plan.op_for(2, 0) == ("kill",)
+        assert plan.op_for(2, 1) is None  # the retry runs clean
+        assert plan.op_for(4, 0) == ("hang",)
+        assert plan.op_for(3, 0) is None
+
+    def test_poison_fires_on_every_attempt(self):
+        plan = ChaosPlan([ChaosAction(1, "poison")])
+        for attempt in range(5):
+            assert plan.op_for(1, attempt) == ("kill",)
+
+    def test_slow_carries_its_delay(self):
+        plan = ChaosPlan([ChaosAction(0, "slow", 0.01)])
+        assert plan.op_for(0, 0) == ("slow", 0.01)
+
+    def test_corrupt_is_parent_side_only(self):
+        plan = ChaosPlan([ChaosAction(3, "corrupt")])
+        assert plan.op_for(3, 0) is None
+        assert plan.should_corrupt(3)
+        assert not plan.should_corrupt(2)
+
+    def test_describe_and_indices(self):
+        plan = ChaosPlan(
+            [ChaosAction(4, "kill"), ChaosAction(1, "corrupt")], seed=9
+        )
+        assert plan.indices("kill") == [4]
+        assert plan.indices("corrupt") == [1]
+        assert "seed 9" in plan.describe()
+        assert "corrupt@1" in plan.describe()
+        assert len(plan) == 2
+
+
+class TestStoreCorruptionInjection:
+    def test_corrupted_row_fails_load_even_as_last_line(self, tmp_path):
+        """Injected corruption is complete JSON with a wrong checksum —
+        never mistakable for a torn final append."""
+        path = str(tmp_path / "s.jsonl")
+        run_sweep(GRID, store_path=path, max_cells=3)
+        plan = ChaosPlan([ChaosAction(0, "corrupt")])
+        plan.corrupt_store(path)
+        with pytest.raises(StoreCorruption, match="checksum mismatch"):
+            SweepStore(path).load()
+
+
+class TestChaosSweep:
+    def test_kill_retry_leaves_store_byte_identical(self, tmp_path):
+        """A planned kill (worker crash mid-task) must be invisible in
+        the finalized store: the retry re-runs the cell, no row is
+        duplicated or lost."""
+        clean, chaotic = str(tmp_path / "clean.jsonl"), str(
+            tmp_path / "chaos.jsonl"
+        )
+        run_sweep(GRID, store_path=clean)
+        plan = ChaosPlan([ChaosAction(2, "kill")])
+        with SharedPool(workers=2, deadline_s=DEADLINE) as pool:
+            summary = run_sweep(
+                GRID,
+                store_path=chaotic,
+                backend="process",
+                workers=2,
+                chaos=plan,
+            )
+        assert summary.complete and summary.quarantined == 0
+        assert pool.restarts >= 1
+        assert (tmp_path / "chaos.jsonl").read_bytes() == (
+            tmp_path / "clean.jsonl"
+        ).read_bytes()
+
+    def test_checkpoint_rows_are_never_duplicated(self, tmp_path):
+        """Even in the un-finalized checkpoint, a retried task appends
+        its row exactly once."""
+        path = str(tmp_path / "chaos.jsonl")
+        plan = ChaosPlan([ChaosAction(1, "kill"), ChaosAction(3, "hang")])
+        with SharedPool(workers=2, deadline_s=DEADLINE):
+            run_sweep(
+                GRID,
+                store_path=path,
+                backend="process",
+                workers=2,
+                chaos=plan,
+                finalize=False,
+            )
+        _meta, rows = SweepStore(path).load()
+        lines = (tmp_path / "chaos.jsonl").read_text().splitlines()
+        assert len(rows) == len(GRID.cells())
+        assert len(lines) == 1 + len(GRID.cells())  # meta + one per cell
+
+    def test_chaos_requires_process_backend(self):
+        plan = ChaosPlan([ChaosAction(0, "kill")])
+        with pytest.raises(ValueError, match="process"):
+            run_sweep(GRID, backend="inline", chaos=plan)
+
+    def test_quarantined_cell_recorded_and_skipped_on_resume(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "q.jsonl")
+        plan = ChaosPlan([ChaosAction(0, "poison")])
+        with SharedPool(workers=2, deadline_s=DEADLINE, max_attempts=2):
+            summary = run_sweep(
+                GRID,
+                store_path=path,
+                backend="process",
+                workers=2,
+                chaos=plan,
+            )
+        assert summary.quarantined == 1
+        assert summary.complete  # degraded, but the sweep finished
+        error_rows = [r for r in summary.rows if "error" in r]
+        assert len(error_rows) == 1
+        assert error_rows[0]["error"]["quarantined"] is True
+        assert error_rows[0]["error"]["reason"] == "crashed"
+        # Resume: the error row counts as present...
+        resumed = run_sweep(GRID, store_path=path)
+        assert resumed.ran == 0 and resumed.quarantined == 1
+        # ...unless the caller asks to retry quarantined cells.
+        retried = run_sweep(GRID, store_path=path, retry_quarantined=True)
+        assert retried.ran == 1 and retried.quarantined == 0
+        assert retried.complete
+
+    def test_retried_quarantine_store_matches_clean_run(self, tmp_path):
+        clean, poisoned = str(tmp_path / "c.jsonl"), str(tmp_path / "p.jsonl")
+        run_sweep(GRID, store_path=clean)
+        plan = ChaosPlan([ChaosAction(4, "poison")])
+        with SharedPool(workers=2, deadline_s=DEADLINE, max_attempts=2):
+            run_sweep(
+                GRID,
+                store_path=poisoned,
+                backend="process",
+                workers=2,
+                chaos=plan,
+            )
+        run_sweep(GRID, store_path=poisoned, retry_quarantined=True)
+        assert (tmp_path / "p.jsonl").read_bytes() == (
+            tmp_path / "c.jsonl"
+        ).read_bytes()
+
+
+class TestRunChaosDrill:
+    def test_full_drill_verifies_byte_identical(self, tmp_path):
+        report = run_chaos(
+            GRID,
+            seed=7,
+            out_dir=str(tmp_path),
+            workers=2,
+            deadline_s=DEADLINE,
+        )
+        assert report.verified
+        assert report.byte_identical
+        assert not report.quarantined_cells
+        assert report.restarts >= 2  # one kill + one hang
+        # The corrupt cell surfaced as missing after repair, then was
+        # re-run by the resume phase.
+        assert len(report.missing_after_repair) == 1
+
+    def test_same_seed_replays_the_same_drill(self, tmp_path):
+        reports = [
+            run_chaos(
+                GRID,
+                seed=13,
+                out_dir=str(tmp_path / name),
+                workers=2,
+                deadline_s=DEADLINE,
+            )
+            for name in ("a", "b")
+        ]
+        assert reports[0].plan.as_dict() == reports[1].plan.as_dict()
+        assert reports[0].retry_events == reports[1].retry_events
+        assert reports[0].quarantined_cells == reports[1].quarantined_cells
+        assert (
+            reports[0].verified,
+            reports[0].byte_identical,
+        ) == (reports[1].verified, reports[1].byte_identical)
+
+    def test_poison_drill_verifies_minus_quarantined(self, tmp_path):
+        report = run_chaos(
+            GRID,
+            seed=3,
+            out_dir=str(tmp_path),
+            workers=2,
+            deadline_s=DEADLINE,
+            kills=0,
+            hangs=0,
+            corrupts=0,
+            poisons=1,
+        )
+        assert report.verified
+        assert not report.byte_identical
+        assert len(report.quarantined_cells) == 1
+        assert any(
+            event[0] == "task_quarantined" for event in report.retry_events
+        )
+        assert "quarantined" in "\n".join(report.lines())
+
+
+class TestRetryLog:
+    def test_filters_and_sorts(self):
+        events = [
+            {"kind": "worker_killed", "reason": "hung", "workers": 2},
+            {"kind": "task_retried", "task": 5, "attempt": 1,
+             "reason": "crashed"},
+            {"kind": "task_quarantined", "task": 1, "attempts": 2,
+             "reason": "hung"},
+        ]
+        log = retry_log(events)
+        assert log == [
+            ("task_quarantined", 1, 2, "hung"),
+            ("task_retried", 5, 1, "crashed"),
+        ]

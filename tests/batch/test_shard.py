@@ -6,6 +6,8 @@ stores with ``merge_stores`` reproduces, byte for byte, the store a
 single unsharded sweep would have written.
 """
 
+import json
+
 import pytest
 
 from repro.batch import (
@@ -173,3 +175,67 @@ class TestMergeErrors:
         stored_meta, rows = SweepStore(str(out)).load()
         assert stored_meta == meta
         assert len(rows) == 12
+
+
+class TestPartialMerge:
+    def shard_store(self, tmp_path, index, count, max_cells=None):
+        path = tmp_path / f"shard{index}.jsonl"
+        run_sweep(
+            GRID, store_path=str(path), shard=(index, count),
+            max_cells=max_cells,
+        )
+        return str(path)
+
+    def test_missing_shard_allowed_with_holes_manifest(self, tmp_path):
+        s0 = self.shard_store(tmp_path, 0, 3)
+        s1 = self.shard_store(tmp_path, 1, 3)
+        out = tmp_path / "out.jsonl"
+        meta = merge_stores([s0, s1], str(out), allow_partial=True)
+        assert meta["holes"] == 4  # shard 2's quarter of the 12-cell grid
+        manifest = json.loads((tmp_path / "out.jsonl.holes.json").read_text())
+        assert manifest["expected_shards"] == 3
+        assert manifest["missing_shards"] == [2]
+        assert manifest["expected_cells"] == 12
+        assert manifest["present_cells"] == 8
+        assert len(manifest["missing_cells"]) == 4
+
+    def test_incomplete_shard_allowed(self, tmp_path):
+        s0 = self.shard_store(tmp_path, 0, 2)
+        s1 = self.shard_store(tmp_path, 1, 2, max_cells=1)
+        out = tmp_path / "out.jsonl"
+        meta = merge_stores([s0, s1], str(out), allow_partial=True)
+        assert meta["holes"] == 5
+        manifest = json.loads((tmp_path / "out.jsonl.holes.json").read_text())
+        assert manifest["missing_shards"] == []  # present, just incomplete
+
+    def test_partial_output_is_resumable_checkpoint(self, tmp_path):
+        """The partial merge is a valid checkpoint store: resuming the
+        full sweep against it fills the holes and reproduces the
+        one-shot bytes."""
+        one_shot = tmp_path / "full.jsonl"
+        run_sweep(GRID, store_path=str(one_shot))
+        s0 = self.shard_store(tmp_path, 0, 2)
+        out = tmp_path / "out.jsonl"
+        merge_stores([s0], str(out), allow_partial=True)
+        resumed = run_sweep(GRID, store_path=str(out))
+        assert resumed.skipped == 6 and resumed.ran == 6
+        assert out.read_bytes() == one_shot.read_bytes()
+
+    def test_complete_partial_merge_has_no_holes(self, tmp_path):
+        paths = [self.shard_store(tmp_path, i, 2) for i in range(2)]
+        one_shot = tmp_path / "full.jsonl"
+        run_sweep(GRID, store_path=str(one_shot))
+        out = tmp_path / "out.jsonl"
+        meta = merge_stores(paths, str(out), allow_partial=True)
+        assert meta.get("holes", 0) == 0
+        assert out.read_bytes() == one_shot.read_bytes()
+
+    def test_explicit_holes_path(self, tmp_path):
+        s0 = self.shard_store(tmp_path, 0, 2)
+        out = tmp_path / "out.jsonl"
+        holes = tmp_path / "my-holes.json"
+        merge_stores(
+            [s0], str(out), allow_partial=True, holes_path=str(holes)
+        )
+        assert holes.exists()
+        assert json.loads(holes.read_text())["store"] == str(out)

@@ -5,7 +5,16 @@ import json
 import pytest
 
 from repro.batch import SweepStore
-from repro.batch.store import SCHEMA, StoreError, canonical_line, cell_key
+from repro.batch.store import (
+    CRC_FIELD,
+    SCHEMA,
+    StoreCorruption,
+    StoreError,
+    canonical_line,
+    cell_key,
+    repair_store,
+    row_crc,
+)
 
 META = {"schema": SCHEMA, "workload": "kdom", "cells": 2}
 
@@ -117,3 +126,123 @@ class TestSweepStore:
         a.finalize(META, rows)
         b.finalize(dict(reversed(META.items())), list(rows))
         assert (tmp_path / "a").read_bytes() == (tmp_path / "b").read_bytes()
+
+
+class TestRowChecksums:
+    def test_appended_rows_carry_crc(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        raw = json.loads(path.read_text().splitlines()[1])
+        assert CRC_FIELD in raw
+        assert raw[CRC_FIELD] == row_crc(_row(0, {"rounds": 3}))
+
+    def test_load_strips_crc(self, tmp_path):
+        store = SweepStore(str(tmp_path / "s.jsonl"))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        _meta, rows = store.load()
+        (row,) = rows.values()
+        assert CRC_FIELD not in row
+        assert row == _row(0, {"rounds": 3})
+
+    def test_tampered_row_raises_corruption(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        store.append(_row(1, {"rounds": 5}))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"rounds":3', '"rounds":9')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreCorruption, match="checksum mismatch"):
+            store.load()
+
+    def test_bad_crc_on_last_line_is_corruption_not_torn(self, tmp_path):
+        """A torn append can't produce complete JSON with a wrong
+        checksum — so even on the final line, a crc mismatch raises."""
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1].replace('"rounds":3', '"rounds":9')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreCorruption, match="checksum mismatch"):
+            store.load()
+
+    def test_finalize_strips_crc_for_byte_stable_output(self, tmp_path):
+        """Finalized stores keep the PR 5 on-disk format exactly."""
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.finalize(META, [_row(0, {"rounds": 3})])
+        for line in path.read_text().splitlines():
+            assert CRC_FIELD not in json.loads(line)
+
+    def test_legacy_rows_without_crc_still_load(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with open(path, "w") as handle:
+            handle.write(canonical_line(META) + "\n")
+            handle.write(canonical_line(_row(0, {"rounds": 3})) + "\n")
+        _meta, rows = SweepStore(str(path)).load()
+        assert len(rows) == 1
+
+
+class TestSalvageAndRepair:
+    def _damaged_store(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        store.append(_row(1, {"rounds": 5}))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"rounds":3', '"rounds":9')  # bad crc
+        path.write_text("\n".join(lines) + "\n")
+        with open(path, "a") as handle:
+            handle.write('{"cell": {"torn')  # torn tail on top
+        return path
+
+    def test_salvage_reports_damage(self, tmp_path):
+        path = self._damaged_store(tmp_path)
+        meta, rows, report = SweepStore(str(path)).salvage()
+        assert meta == META
+        assert list(rows) == [cell_key(_row(1, {})["cell"])]
+        assert report.kept_rows == 1
+        assert len(report.dropped) == 1
+        assert report.torn_tail
+        assert not report.clean
+        assert "1 corrupt line(s) dropped" in report.summary()
+
+    def test_salvage_of_clean_store_is_clean(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = SweepStore(str(path))
+        store.begin(META, fresh=True)
+        store.append(_row(0, {"rounds": 3}))
+        _meta, rows, report = store.salvage()
+        assert report.clean and report.kept_rows == 1
+
+    def test_repair_store_in_place(self, tmp_path):
+        path = self._damaged_store(tmp_path)
+        report, missing = repair_store(str(path))
+        assert report.kept_rows == 1
+        # The repaired store loads cleanly and the valid row survived.
+        _meta, rows = SweepStore(str(path)).load()
+        assert list(rows) == [cell_key(_row(1, {})["cell"])]
+        assert not (tmp_path / "s.jsonl.repair-tmp").exists()
+
+    def test_repair_store_to_new_path(self, tmp_path):
+        path = self._damaged_store(tmp_path)
+        out = tmp_path / "fixed.jsonl"
+        repair_store(str(path), str(out))
+        # Source untouched, repaired copy loads.
+        with pytest.raises(StoreCorruption):
+            SweepStore(str(path)).load()
+        _meta, rows = SweepStore(str(out)).load()
+        assert len(rows) == 1
+
+    def test_repair_without_meta_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(canonical_line(_row(0, {"rounds": 3})) + "\n")
+        with pytest.raises(StoreError, match="meta"):
+            repair_store(str(path))

@@ -391,3 +391,130 @@ class TestReportCommand:
         out.write_text("\n".join(lines) + "\n")
         assert main(["report", str(out)]) == 1
         assert "INVALID" in capsys.readouterr().out
+
+
+class TestHardenedSweepCommand:
+    def test_deadline_flag_is_byte_identical_to_plain_sweep(
+        self, tmp_path, capsys
+    ):
+        plain, hardened = tmp_path / "plain.jsonl", tmp_path / "hard.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(plain)]
+        ) == 0
+        code = main(
+            ["sweep", "--fast", "--workers", "2", "--deadline-s", "30",
+             "--out", str(hardened)]
+        )
+        assert code == 0
+        assert "ran 8, skipped 0 (complete)" in capsys.readouterr().out
+        assert hardened.read_bytes() == plain.read_bytes()
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--fast", "--deadline-s", "0"])
+
+
+class TestRepairStoreCommand:
+    def damaged_store(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out),
+             "--max-cells", "3"]
+        ) == 3
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        lines[1] = lines[1].replace('"k":', '"j":', 1)  # break one row's crc
+        out.write_text("\n".join(lines) + "\n")
+        return out
+
+    def test_repairs_in_place(self, tmp_path, capsys):
+        out = self.damaged_store(tmp_path, capsys)
+        assert main(["repair-store", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "repaired" in text
+        assert "corrupt line(s) dropped" in text
+        # Repaired store resumes cleanly and refills the lost cell.
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out)]
+        ) == 0
+
+    def test_repair_to_new_path(self, tmp_path, capsys):
+        out = self.damaged_store(tmp_path, capsys)
+        fixed = tmp_path / "fixed.jsonl"
+        assert main(["repair-store", str(out), "--out", str(fixed)]) == 0
+        assert fixed.exists()
+
+    def test_missing_store_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["repair-store", str(tmp_path / "nope.jsonl")])
+
+
+class TestPartialMergeCommand:
+    def test_allow_partial_exits_incomplete_with_manifest(
+        self, tmp_path, capsys
+    ):
+        shard0 = tmp_path / "s0.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--shard", "0/2",
+             "--out", str(shard0)]
+        ) == 0
+        merged = tmp_path / "m.jsonl"
+        code = main(
+            ["merge-stores", str(shard0), "--out", str(merged),
+             "--allow-partial"]
+        )
+        assert code == 3
+        text = capsys.readouterr().out
+        assert "PARTIAL merge" in text
+        assert (tmp_path / "m.jsonl.holes.json").exists()
+        # The checkpoint resumes into the full store.
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(merged)]
+        ) == 0
+
+    def test_complete_partial_merge_exits_zero(self, tmp_path, capsys):
+        shards = []
+        for index in range(2):
+            path = tmp_path / f"s{index}.jsonl"
+            assert main(
+                ["sweep", "--fast", "--backend", "inline",
+                 "--shard", f"{index}/2", "--out", str(path)]
+            ) == 0
+            shards.append(str(path))
+        code = main(
+            ["merge-stores", *shards, "--out", str(tmp_path / "m.jsonl"),
+             "--allow-partial"]
+        )
+        assert code == 0
+
+
+class TestChaosCommand:
+    def test_clean_drill_verifies_and_exits_zero(self, tmp_path, capsys):
+        code = main(
+            ["chaos", "--fast", "--seed", "7",
+             "--out-dir", str(tmp_path), "--deadline-s", "0.5"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "chaos plan" in text
+        assert "verified: store byte-identical to fault-free run" in text
+        assert "task_retried" in text
+
+    def test_poison_drill_exits_quarantine_code(self, tmp_path, capsys):
+        code = main(
+            ["chaos", "--fast", "--seed", "3", "--out-dir", str(tmp_path),
+             "--deadline-s", "0.5", "--kills", "0", "--hangs", "0",
+             "--corrupts", "0", "--poisons", "1", "--max-attempts", "2"]
+        )
+        assert code == 3
+        text = capsys.readouterr().out
+        assert "quarantined:" in text
+        assert "minus" in text  # verified minus quarantined cells
+
+    def test_overfull_plan_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad chaos drill"):
+            main(
+                ["chaos", "--workload", "kdom", "--spec", "tree:n=8",
+                 "--seeds", "0", "--ks", "2", "--out-dir", str(tmp_path),
+                 "--kills", "5"]
+            )
