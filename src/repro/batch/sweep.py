@@ -200,6 +200,38 @@ def _workload_kdom(graph, cell: SweepCell) -> Dict[str, Any]:
     return result
 
 
+@register_workload("kdom-dense")
+def _workload_kdom_dense(graph, cell: SweepCell) -> Dict[str, Any]:
+    """``TreeKDom`` under the vectorized backend (``repro.sim.dense``):
+    the exact per-tree DP as array rounds.  Tree specs only; inputs
+    outside the dense contract fall back to the reference engine with
+    identical results, so rows stay deterministic either way."""
+    from ..core import tree_kdominating_set
+    from ..verify import domination_radius
+
+    root = min(graph.nodes, key=str)
+    rooted = RootedTree.from_graph(graph, root)
+    dominators, partition, staged = tree_kdominating_set(
+        graph, root, rooted.parent, cell.k, backend="dense"
+    )
+    bound = max(1, graph.num_nodes // (cell.k + 1))
+    result = {
+        "n": graph.num_nodes,
+        "dominators": len(dominators),
+        "bound": bound,
+        "clusters": partition.num_clusters,
+        "rounds": staged.total_rounds,
+        "breakdown": staged.breakdown(),
+        "metrics": staged.combined.to_dict(per_round=False),
+    }
+    if cell.verify:
+        result["radius"] = domination_radius(graph, dominators)
+        result["ok"] = (
+            len(dominators) <= bound and result["radius"] <= cell.k
+        )
+    return result
+
+
 @register_workload("partition")
 def _workload_partition(graph, cell: SweepCell) -> Dict[str, Any]:
     """Fast ``DOM_Partition`` on the BFS tree rooted at the min node."""

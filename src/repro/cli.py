@@ -318,6 +318,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
 
     g = build_graph(args)
+    if args.backend == "dense" and args.algo not in ("kdom", "kdom-tree"):
+        print(
+            f"--backend dense applies to the kdom workloads, not "
+            f"{args.algo!r}",
+            file=sys.stderr,
+        )
+        return 2
     injector = _trace_fault_injector(args)
     meta = {
         "algo": args.algo,
@@ -335,7 +342,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
             _edges, staged, _diag = fast_mst(g)
         elif args.algo == "kdom":
             ensure_weights(g, args.seed)
-            _dominators, _partition, staged = fastdom_graph(g, args.k)
+            backend = "dense" if args.backend == "dense" else "inline"
+            _dominators, _partition, staged = fastdom_graph(
+                g, args.k, backend=backend
+            )
+        elif args.algo == "kdom-tree":
+            from .core import tree_kdominating_set
+
+            root = min(g.nodes, key=str)
+            rooted = RootedTree.from_graph(g, root)
+            _dominators, _partition, staged = tree_kdominating_set(
+                g, root, rooted.parent, args.k, backend=args.backend
+            )
         else:
             root = min(g.nodes, key=str)
             if args.algo == "bfs":
@@ -645,6 +663,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
         profile=args.profile,
         no_gate=args.no_gate,
         obs=args.obs,
+        workload=args.workload,
+        compare=args.compare,
     )
 
 
@@ -722,10 +742,17 @@ def make_parser() -> argparse.ArgumentParser:
     )
     common(p_trace)
     p_trace.add_argument(
-        "--algo", choices=("bfs", "flood", "kdom", "fast-mst"), default="bfs"
+        "--algo",
+        choices=("bfs", "flood", "kdom", "kdom-tree", "fast-mst"),
+        default="bfs",
     )
     p_trace.add_argument("--k", type=int, default=2,
-                         help="k for the kdom workload")
+                         help="k for the kdom workloads")
+    p_trace.add_argument(
+        "--backend", choices=("reference", "dense"), default="reference",
+        help="execution backend for the kdom workloads; dense kdom-tree "
+             "replays array rounds into the trace (byte-identical to "
+             "reference)")
     p_trace.add_argument("--out", default="trace.jsonl",
                          help="trace output path (JSONL)")
     p_trace.add_argument("--width", type=int, default=60,
@@ -904,6 +931,14 @@ def make_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--obs", action="store_true",
                         help="also measure observability overhead "
                              "(no-subscriber gate at 5%% over baseline)")
+    p_perf.add_argument("--workload", action="append", default=None,
+                        metavar="NAME",
+                        help="run only this workload (repeatable); the "
+                             "spec-dispatch and dense-speedup sections "
+                             "are skipped when filtering")
+    p_perf.add_argument("--compare", default=None, metavar="OLD.json",
+                        help="after the run, print a per-workload "
+                             "speedup table against a previous report")
     p_perf.set_defaults(fn=cmd_perf)
     return parser
 

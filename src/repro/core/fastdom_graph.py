@@ -31,12 +31,16 @@ def fastdom_graph(
     graph: Graph,
     k: int,
     method: str = "kdom-dp",
+    backend: str = "inline",
 ) -> Tuple[Set[Any], Partition, StagedRun]:
     """Run ``FastDOM_G`` on a connected weighted graph.
 
     Edge weights must be distinct (the model assumption; use
     :func:`repro.graphs.assign_unique_weights`).  Returns
     (k-dominating set, radius-<=k partition, per-stage rounds).
+    ``backend`` is forwarded to the per-fragment :func:`fastdom_tree`
+    runs (``"dense"`` vectorizes them; see that driver's fallback
+    rules) — the SimpleMST stage always runs on the event engine.
     """
     from ..graphs.validation import is_connected
 
@@ -75,7 +79,8 @@ def fastdom_graph(
         ]
         fragment_tree = graph.subgraph(fragment).edge_subgraph(tree_edges)
         frag_d, frag_p, frag_staged = fastdom_tree(
-            fragment_tree, fragment_root, fragment_parent, k, method=method
+            fragment_tree, fragment_root, fragment_parent, k,
+            method=method, backend=backend,
         )
         dominators |= frag_d
         center_map.update(frag_p.center_of)

@@ -65,6 +65,15 @@ def fastdom_tree(
     seeded generator, the cluster sub-networks carry rebuild provenance
     and ship to workers as specs, not pickled networks
     (:mod:`repro.batch.dispatch`).
+
+    ``backend="dense"`` runs the whole pipeline as numpy array rounds
+    (:mod:`repro.sim.dense.forest`): the partition's BalancedDOM stages,
+    all per-cluster DP runs as one forest-wide kernel, and the
+    nearest-dominator wave as k scatter-min rounds — identical
+    dominators, partition, and stage accounting.  It applies to
+    ``method="kdom-dp"`` without an active observation; otherwise the
+    call transparently degrades to ``"inline"`` (the event engine is
+    the only implementation of ``diamdom`` and of observed runs).
     """
     if method not in METHODS:
         raise ValueError(f"method must be one of {METHODS}")
@@ -73,6 +82,15 @@ def fastdom_tree(
         dominators = set(tree.nodes)
         partition = Partition.from_center_map({v: v for v in tree.nodes})
         return dominators, partition, StagedRun()
+
+    if backend == "dense":
+        from ..obs.session import current_observation
+        from ..sim.dense import require_numpy
+
+        require_numpy()
+        if method == "kdom-dp" and current_observation() is None:
+            return _fastdom_tree_dense(tree, root, t_parent, k)
+        backend = "inline"
 
     own_pool = None
     if backend == "process" and pool is None:
@@ -162,6 +180,69 @@ def _fastdom_tree_staged(
                 )
             center_map[v] = dom
     return dominators, Partition.from_center_map(center_map), staged
+
+
+def _fastdom_tree_dense(
+    tree: Graph,
+    root: Any,
+    t_parent: Dict[Any, Optional[Any]],
+    k: int,
+) -> Tuple[Set[Any], Partition, StagedRun]:
+    from ..sim.dense.core import np
+    from ..sim.dense.csr import csr_adjacency
+    from ..sim.dense.forest import (
+        dense_cluster_domination,
+        nearest_dominator_wave,
+        partition_from_labels,
+    )
+
+    clusters_partition, staged = dom_partition(
+        tree, root, t_parent, k, backend="dense"
+    )
+    csr = csr_adjacency(tree)
+    n = csr.n
+    nodes = csr.nodes
+    index = csr.index
+    # Clusters are keyed by their centre's row — the DP and the wave
+    # only compare owner labels for equality, so any injective labelling
+    # works and the centre row avoids a python pass per cluster.
+    center_of = clusters_partition.center_of
+    owner = np.fromiter(
+        (index[center_of[v]] for v in nodes), dtype=np.int64, count=n
+    )
+    t_parent_row = np.fromiter(
+        (
+            -1 if t_parent.get(v) is None else index[t_parent[v]]
+            for v in nodes
+        ),
+        dtype=np.int64,
+        count=n,
+    )
+    same_cluster = (t_parent_row >= 0) & (
+        owner[np.maximum(t_parent_row, 0)] == owner
+    )
+    parent = np.where(same_cluster, t_parent_row, np.int64(-1))
+
+    in_dom, dom_metrics = dense_cluster_domination(csr, owner, parent, k)
+    staged.record("cluster-domination", dom_metrics)
+    counts = np.bincount(owner[in_dom], minlength=n)
+    for cluster in clusters_partition:
+        if counts[index[cluster.center]] == 0:  # pragma: no cover - the DP never is
+            raise RuntimeError(
+                f"cluster {cluster.center} produced an empty dominating set"
+            )
+    dominators = {nodes[row] for row in np.flatnonzero(in_dom).tolist()}
+
+    label, dist, wave_metrics = nearest_dominator_wave(csr, owner, in_dom, k)
+    staged.record("cluster-partition", wave_metrics)
+    if (label < 0).any():  # pragma: no cover - clusters have Rad <= k around D
+        v = nodes[int(np.flatnonzero(label < 0)[0])]
+        raise RuntimeError(
+            f"node {v} found no dominator within {k} hops in its "
+            f"cluster; the per-cluster set is not k-dominating "
+            f"(reproduction note R1 applies to method='diamdom')"
+        )
+    return dominators, partition_from_labels(csr, label), staged
 
 
 # Program factories are picklable callables (not closures) so the

@@ -157,12 +157,32 @@ def tree_kdominating_set(
     parent_of: Dict[Any, Optional[Any]],
     k: int,
     staged: Optional[StagedRun] = None,
+    backend: str = "reference",
 ) -> Tuple[Set[Any], Partition, StagedRun]:
     """Run the DP + partition wave on a tree with known parent pointers.
 
     Returns (dominating set, nearest-dominator partition, staging info).
+
+    ``backend="dense"`` evaluates the DP as per-height scatter-reduces
+    and the wave as k scatter-min label propagations — same outputs,
+    stage rounds, metrics, and (under observation) a byte-identical
+    event stream, replayed through two network-shaped runs in the same
+    registration order as the reference pair.  Malformed parent maps
+    fall back to the reference engine so its failure modes are
+    preserved.
     """
     staged = staged if staged is not None else StagedRun()
+    if backend == "dense":
+        from ..sim.dense import require_numpy
+        from ..sim.dense.forest import plan_tree_kdom
+
+        require_numpy()
+        _require_k(k)
+        plan = plan_tree_kdom(graph, root, parent_of)
+        if plan is not None:
+            return _tree_kdominating_set_dense(graph, plan, k, staged)
+    elif backend != "reference":
+        raise ValueError(f"unknown backend {backend!r}")
 
     dp_network = Network(graph)
     dp_network.run(lambda ctx: TreeKDomProgram(ctx, root, parent_of, k))
@@ -181,4 +201,31 @@ def tree_kdominating_set(
             f"the dominating set is not k-dominating"
         )
     partition = Partition.from_center_map(assignment)
+    return dominators, partition, staged
+
+
+def _tree_kdominating_set_dense(
+    graph: Graph, plan, k: int, staged: StagedRun
+) -> Tuple[Set[Any], Partition, StagedRun]:
+    from ..sim.dense.core import np
+    from ..sim.dense.forest import (
+        dense_kdom_dp_run,
+        dense_wave_run,
+        partition_from_labels,
+    )
+
+    in_dom, dp_run = dense_kdom_dp_run(graph, plan, k)
+    staged.record("kdom-dp", dp_run.metrics)
+    nodes = plan.csr.nodes
+    dominators = {nodes[row] for row in in_dom.nonzero()[0].tolist()}
+
+    label, dist, wave_run = dense_wave_run(graph, plan, in_dom, k)
+    staged.record("kdom-partition", wave_run.metrics)
+    if (label < 0).any():  # pragma: no cover - the DP is exactly k-dominating
+        missing = [nodes[r] for r in np.flatnonzero(label < 0).tolist()]
+        raise RuntimeError(
+            f"nodes {missing!r} found no dominator within {k} hops; "
+            f"the dominating set is not k-dominating"
+        )
+    partition = partition_from_labels(plan.csr, label)
     return dominators, partition, staged

@@ -120,6 +120,8 @@ def _merge_side_set(
     """Step 4: large side clusters join the output as-is; small ones are
     merged into a neighbouring output cluster (Lemma 3.5 shows one
     exists)."""
+    if not side:
+        return
     for members in side:
         if len(members) > k:
             top = min(members, key=str)

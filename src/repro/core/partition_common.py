@@ -36,6 +36,12 @@ def cluster_depths(
     tree: Graph, members: Set[Any], top: Any
 ) -> Dict[Any, int]:
     """Depths of members below ``top`` inside the T-induced subtree."""
+    if len(members) == 1:
+        # Early phases are dominated by singleton clusters; skip the
+        # BFS scaffolding (the lone member must be the top).
+        if top not in members:
+            raise ValueError(f"cluster with top {top} is not connected in T")
+        return {top: 0}
     depth = {top: 0}
     queue = deque([top])
     while queue:

@@ -37,6 +37,17 @@ class Cluster:
     def __contains__(self, v: Any) -> bool:
         return v in self.members
 
+    @classmethod
+    def _owning(cls, center: Any, members: Set[Any]) -> "Cluster":
+        """Internal: adopt ``members`` without the defensive copy.  The
+        caller guarantees the set is freshly built, unaliased, and
+        already contains ``center`` — million-node partitions spend
+        real time in ``__post_init__`` otherwise."""
+        cluster = object.__new__(cls)
+        cluster.center = center
+        cluster.members = members
+        return cluster
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Cluster(center={self.center}, size={self.size})"
 
@@ -46,12 +57,21 @@ class Partition:
 
     def __init__(self, clusters: Iterable[Cluster]):
         self.clusters: List[Cluster] = list(clusters)
-        self.center_of: Dict[Any, Any] = {}
+        # dict.fromkeys bulk-inserts at C speed; disjointness is checked
+        # by cardinality, with a python re-scan only on the error path.
+        center_of: Dict[Any, Any] = {}
+        total = 0
         for cluster in self.clusters:
-            for v in cluster.members:
-                if v in self.center_of:
-                    raise ValueError(f"node {v} appears in two clusters")
-                self.center_of[v] = cluster.center
+            center_of.update(dict.fromkeys(cluster.members, cluster.center))
+            total += len(cluster.members)
+        if len(center_of) != total:
+            seen: Set[Any] = set()
+            for cluster in self.clusters:
+                for v in cluster.members:
+                    if v in seen:
+                        raise ValueError(f"node {v} appears in two clusters")
+                    seen.add(v)
+        self.center_of = center_of
 
     @classmethod
     def from_center_map(cls, center_of: Dict[Any, Any]) -> "Partition":
@@ -62,7 +82,10 @@ class Partition:
             members.setdefault(center, set()).add(v)
         for center in members:
             members[center].add(center)
-        return cls(Cluster(center, nodes) for center, nodes in members.items())
+        return cls(
+            Cluster._owning(center, nodes)
+            for center, nodes in members.items()
+        )
 
     # -- inspection ---------------------------------------------------------
     @property

@@ -164,10 +164,33 @@ class BFSTreeProgram(NodeProgram):
 
 
 def build_bfs_tree(
-    graph, root: Any, word_limit: int = 8
+    graph,
+    root: Any,
+    word_limit: int = 8,
+    backend: str = "reference",
+    faults: Any = None,
 ) -> Tuple[Dict[Any, Optional[Any]], Dict[Any, int], "Network"]:
-    """Run the distributed BFS; return (parent map, depth map, network)."""
-    network = Network(graph, word_limit=word_limit)
+    """Run the distributed BFS; return (parent map, depth map, network).
+
+    ``backend="dense"`` computes the identical tree, outputs, round
+    count, and metrics with array kernels.  The dense BFS has no event
+    replay, so it defers to the reference engine whenever an
+    observation session is active (or a fault plan is installed) —
+    trace consumers always see genuine engine events.
+    """
+    if backend == "dense":
+        from ..obs.session import current_observation
+        from ..sim.dense import dense_bfs_tree, plan_bfs, require_numpy
+
+        require_numpy()
+        if faults is None and current_observation() is None:
+            plan = plan_bfs(graph, root, word_limit)
+            if plan is not None:
+                run = dense_bfs_tree(graph, root, plan)
+                return run.bfs_parents, run.bfs_depths, run
+    elif backend != "reference":
+        raise ValueError(f"unknown backend {backend!r}")
+    network = Network(graph, word_limit=word_limit, faults=faults)
     network.run(lambda ctx: BFSTreeProgram(ctx, root))
     parents = network.output_field("parent")
     depths = network.output_field("depth")

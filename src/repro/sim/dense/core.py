@@ -1,0 +1,170 @@
+"""Shared plumbing for the dense (numpy) execution backend.
+
+The dense backend executes *regular* synchronous rounds as whole-array
+operations instead of per-node Python dispatch (see
+docs/performance.md, "The dense backend").  This module holds what
+every dense kernel needs:
+
+* the guarded numpy import — the reference engine must import and run
+  without numpy, so ``np`` is ``None`` when the package is missing and
+  :func:`require_numpy` turns that into the structured
+  :class:`DenseUnavailable` error;
+* :class:`DenseRun`, the network-shaped result object a dense kernel
+  stands in place of a :class:`~repro.sim.network.Network`: it
+  registers with the ambient observation session exactly like a real
+  network (same run-id ordering), carries the final
+  :class:`~repro.sim.metrics.RunMetrics`, and answers the attribute
+  reads the obs layer performs at session close (``current_round``,
+  ``metrics``, ``n``).
+
+Equivalence contract: a dense kernel must produce byte-identical
+observable behaviour to the reference scheduler — same outputs, same
+round count, same metrics, and (for kernels with replay emitters) the
+same event stream.  Kernels that cannot honour that contract in some
+configuration fall back to the reference engine instead of
+approximating (fallback rules in docs/performance.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+try:  # pragma: no cover - exercised via the no-numpy CI matrix entry
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from ..metrics import RunMetrics
+from ...obs.session import bind as _obs_bind
+
+#: True when numpy is importable; the one switch every entry point checks.
+HAVE_NUMPY = np is not None
+
+
+class DenseUnavailable(RuntimeError):
+    """``backend="dense"`` was requested but cannot be honoured.
+
+    Raised when numpy is not installed, or when the graph falls outside
+    the dense backend's representable domain (non-integer node ids).
+    The reference engine handles every such case; the error message
+    says which backend to use instead.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(
+            f"dense backend unavailable: {reason} "
+            f"(use the reference engine: drop backend='dense')"
+        )
+        self.reason = reason
+
+
+def require_numpy() -> None:
+    """Raise :class:`DenseUnavailable` when numpy is missing."""
+    if np is None:
+        raise DenseUnavailable(
+            "numpy is not installed (pip install numpy, or install "
+            "repro with its declared dependencies)"
+        )
+
+
+def as_int(value: Any) -> int:
+    """Coerce a numpy scalar to a Python int (trace payloads and output
+    dictionaries must hold plain scalars: ``json`` falls back to ``str``
+    for ``np.int64``, which would break byte-identical traces)."""
+    return int(value)
+
+
+class DenseRun:
+    """Network-shaped record of one dense kernel execution.
+
+    Constructed *before* the kernel computes (mirroring
+    ``Network.__init__``) so that, under an active observation session,
+    the run id assigned by :meth:`repro.obs.Observation.register`
+    matches the id the reference engine's network would have received
+    at the same call site.  The kernel then fills in ``metrics`` /
+    ``current_round`` / ``outputs`` and, when a tap is bound, replays
+    the round-by-round event stream through :meth:`emit`.
+    """
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self.n = graph.num_nodes
+        self.current_round = 0
+        self.metrics = RunMetrics()
+        self._outputs: Dict[Any, Dict[str, Any]] = {}
+        self._outputs_factory: Optional[Any] = None
+        self._obs = _obs_bind(self)
+
+    # -- observation ---------------------------------------------------------
+    @property
+    def observed(self) -> bool:
+        """True when a tap is bound (events must be replayed)."""
+        return self._obs is not None
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.emit(event)
+
+    # -- the Network result surface drivers read -----------------------------
+    def set_outputs(self, outputs: Dict[Any, Dict[str, Any]]) -> None:
+        self._outputs = outputs
+        self._outputs_factory = None
+
+    def set_outputs_factory(self, factory) -> None:
+        """Defer per-node output-dict construction until someone asks —
+        at n=10^6 the array results are cheap but a million small dicts
+        are not, and the large-n drivers read arrays directly."""
+        self._outputs_factory = factory
+
+    def outputs(self) -> Dict[Any, Dict[str, Any]]:
+        if self._outputs_factory is not None:
+            self._outputs = self._outputs_factory()
+            self._outputs_factory = None
+        return self._outputs
+
+    def output_field(self, key: str) -> Dict[Any, Any]:
+        return {
+            v: fields[key]
+            for v, fields in self.outputs().items()
+            if key in fields
+        }
+
+    def all_halted(self) -> bool:
+        return self.metrics.all_halted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DenseRun(n={self.n}, rounds={self.current_round}, "
+            f"messages={self.metrics.traffic.messages})"
+        )
+
+
+def finish_metrics(
+    run: DenseRun,
+    rounds: int,
+    messages: int,
+    total_words: int,
+    max_words: int,
+    per_round: Dict[int, int],
+) -> RunMetrics:
+    """Install final metrics on ``run`` exactly as the reference engine
+    would have left them after a fault-free fully-halting execution."""
+    metrics = run.metrics
+    metrics.rounds = rounds
+    metrics.traffic.messages = messages
+    metrics.traffic.total_words = total_words
+    metrics.traffic.max_words = max_words
+    metrics.traffic.per_round = per_round
+    metrics.all_halted = True
+    metrics.halted_nodes = run.n
+    run.current_round = rounds
+    return metrics
+
+
+def per_round_from_counts(counts) -> Dict[int, int]:
+    """Convert a per-round message-count array into the engine's sparse
+    ``{round: count}`` dict (zero rounds omitted, Python ints)."""
+    return {
+        r: int(c) for r, c in enumerate(counts) if c
+    }

@@ -1,0 +1,551 @@
+"""Dense ports of the message-passing primitives.
+
+Each kernel re-derives, with whole-array numpy rounds, exactly what the
+reference program computes node by node:
+
+* :func:`dense_flood` — level-synchronous BFS from the source; the
+  "first sender" a node forwards around is the minimum-``str`` neighbor
+  one level up, which is a segment-min over ``str_rank``.
+* :func:`dense_convergecast` — heights of the given parent forest, then
+  one scatter-reduce per height level (``add``/``min``/``max``).
+* :func:`dense_bfs_tree` — BFS levels plus a closed-form replay of the
+  wave/echo/broadcast protocol: parent = min-``str`` offer, echo rounds
+  from the recurrence ``E(v) = max(base(v), max_child E + 1)``, total
+  rounds ``E(root) + M``.
+
+Every kernel returns a :class:`~repro.sim.dense.core.DenseRun` whose
+outputs, round count, and :class:`~repro.sim.metrics.RunMetrics` are
+identical to the reference engine's.  Flood and convergecast also carry
+replay emitters: under an active observation they reproduce the
+reference event stream byte for byte (send/deliver/wakeup/halt, in
+engine order).  BFS does not replay events — its driver falls back to
+the reference engine whenever a tap would be bound.
+
+A kernel signals "this input is outside my contract" by returning
+``None`` from its ``plan`` step *before* any :class:`DenseRun` is
+registered, so the caller can fall back to the reference engine without
+perturbing observation run ids.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .core import DenseRun, finish_metrics, np, per_round_from_counts
+from .csr import CSRAdjacency, csr_adjacency
+from ..model import measure_words
+
+
+# ---------------------------------------------------------------------------
+# Shared level-structure machinery
+# ---------------------------------------------------------------------------
+
+def bfs_levels(
+    csr: CSRAdjacency, source_row: int
+) -> Tuple[Any, List[Any]]:
+    """Distance array (−1 = unreached) and per-distance row arrays
+    (each ascending, matching the engine's sorted schedule)."""
+    n = csr.n
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source_row] = 0
+    frontier = np.array([source_row], dtype=np.int64)
+    levels = [frontier]
+    while frontier.size:
+        _, targets = csr.gather_edges(frontier)
+        fresh = targets[dist[targets] < 0]
+        if fresh.size == 0:
+            break
+        frontier = np.unique(fresh)
+        dist[frontier] = len(levels)
+        levels.append(frontier)
+    return dist, levels
+
+
+def _edge_endpoints(csr: CSRAdjacency) -> Tuple[Any, Any]:
+    """All 2m directed edges as (source rows, target rows)."""
+    sources = np.repeat(
+        np.arange(csr.n, dtype=np.int64), csr.degrees
+    )
+    return sources, csr.indices
+
+
+def min_str_prev_neighbor(
+    csr: CSRAdjacency, dist: Any
+) -> Tuple[Any, Any, Any]:
+    """Per row: the minimum-``str`` neighbor one BFS level closer to the
+    source (−1 for the source row), the count of such neighbors, and
+    the count of same-level neighbors.
+
+    This is exactly the reference parent/first-sender choice: offers
+    arrive from *all* previous-level neighbors in the same round and the
+    program picks ``min(offers, key=str(sender))``.
+    """
+    n = csr.n
+    sources, targets = _edge_endpoints(csr)
+    prev = dist[targets] == dist[sources] - 1
+    same = dist[targets] == dist[sources]
+    best_rank = np.full(n, n, dtype=np.int64)
+    np.minimum.at(best_rank, sources[prev], csr.str_rank[targets[prev]])
+    parent = np.full(n, -1, dtype=np.int64)
+    found = best_rank < n
+    parent[found] = csr.rank_to_row[best_rank[found]]
+    offer_counts = np.bincount(sources[prev], minlength=n)
+    same_counts = np.bincount(sources[same], minlength=n)
+    return parent, offer_counts, same_counts
+
+
+def _rows_except(csr: CSRAdjacency, row: int, skip: int) -> Any:
+    """Neighbors of ``row`` excluding ``skip``, natural order."""
+    neighbors = csr.neighbors_of(row)
+    return neighbors[neighbors != skip]
+
+
+# ---------------------------------------------------------------------------
+# Flood
+# ---------------------------------------------------------------------------
+
+class FloodPlan:
+    """Everything :func:`dense_flood` derived before registering a run."""
+
+    def __init__(self, csr, dist, levels, first_sender, words):
+        self.csr = csr
+        self.dist = dist
+        self.levels = levels
+        self.first_sender = first_sender
+        self.words = words
+
+
+def plan_flood(graph, source, value, word_limit: int) -> Optional[FloodPlan]:
+    """Precompute a flood, or ``None`` when the reference engine must
+    run instead (unreached nodes would never halt; an oversized payload
+    must raise from the engine's own word-limit check)."""
+    csr = csr_adjacency(graph)
+    if source not in csr.index:
+        return None  # let the reference engine raise its own KeyError
+    words = measure_words(("FLOOD", value, 1))
+    if words > word_limit:
+        return None
+    dist, levels = bfs_levels(csr, csr.index[source])
+    if int(dist.min()) < 0:
+        return None
+    first_sender, _, _ = min_str_prev_neighbor(csr, dist)
+    return FloodPlan(csr, dist, levels, first_sender, words)
+
+
+def dense_flood(graph, source, value, plan: FloodPlan) -> DenseRun:
+    """Execute a planned flood; returns the network-shaped run."""
+    csr, dist, levels = plan.csr, plan.dist, plan.levels
+    run = DenseRun(graph)
+    rounds = len(levels) - 1
+    sends = csr.degrees - 1
+    sends[csr.index[source]] = csr.degrees[csr.index[source]]
+    per_round = np.bincount(dist, weights=sends, minlength=rounds + 1)
+    messages = int(sends.sum())
+    finish_metrics(
+        run,
+        rounds=rounds,
+        messages=messages,
+        total_words=messages * plan.words,
+        max_words=plan.words if messages else 0,
+        per_round=per_round_from_counts(per_round.astype(np.int64)),
+    )
+    hops = dist.tolist()
+    run.set_outputs_factory(
+        lambda: {
+            v: {"value": value, "hops": h}
+            for v, h in zip(csr.nodes, hops)
+        }
+    )
+    if run.observed:
+        _replay_flood(run, plan, value)
+    return run
+
+
+def _replay_flood(run: DenseRun, plan: FloodPlan, value) -> None:
+    """Byte-exact event replay of the reference flood execution."""
+    csr, levels = plan.csr, plan.levels
+    nodes, words = csr.nodes, plan.words
+    first = plan.first_sender.tolist()
+    emit = run.emit
+    source_row = int(levels[0][0])
+
+    def fanout_rows(row: int) -> Any:
+        if row == source_row:
+            return csr.neighbors_of(row)
+        return _rows_except(csr, row, first[row])
+
+    # Round 0: the source broadcasts and halts during setup.
+    source_id = nodes[source_row]
+    for t in fanout_rows(source_row):
+        emit({
+            "kind": "send", "round": 0, "node": source_id,
+            "peer": nodes[t], "words": words,
+            "payload": ("FLOOD", value, 1),
+        })
+    emit({"kind": "halt", "round": 0, "node": source_id})
+    # Round r: deliveries of round r−1's sends (outbox order), then the
+    # sorted sweep where the distance-r level adopts, forwards, halts.
+    for r in range(1, len(levels)):
+        for s in levels[r - 1].tolist():
+            sid = nodes[s]
+            for t in fanout_rows(s):
+                emit({
+                    "kind": "deliver", "round": r, "node": nodes[t],
+                    "peer": sid, "words": words,
+                    "sent_round": r - 1, "tag": "FLOOD",
+                })
+        payload = ("FLOOD", value, r + 1)
+        for v in levels[r].tolist():
+            vid = nodes[v]
+            for t in fanout_rows(v):
+                emit({
+                    "kind": "send", "round": r, "node": vid,
+                    "peer": nodes[t], "words": words,
+                    "payload": payload,
+                })
+            emit({"kind": "halt", "round": r, "node": vid})
+
+
+# ---------------------------------------------------------------------------
+# Convergecast
+# ---------------------------------------------------------------------------
+
+class ConvergecastPlan:
+    def __init__(self, csr, parent, heights, height_levels, reduce_kind):
+        self.csr = csr
+        self.parent = parent  # row -> parent row, −1 at the root
+        self.heights = heights
+        self.height_levels = height_levels  # rows grouped by height, asc
+        self.reduce_kind = reduce_kind  # "sum" | "max" | "min"
+
+
+def _group_by_level(values: Any, count: int) -> List[Any]:
+    """Rows grouped by ``values`` (0..count−1), ascending inside each
+    group — one stable argsort instead of ``count`` boolean scans."""
+    order = np.argsort(values, kind="stable")
+    boundaries = np.searchsorted(values[order], np.arange(count + 1))
+    return [
+        order[boundaries[i]: boundaries[i + 1]] for i in range(count)
+    ]
+
+
+def forest_heights(parent: Any, n: int) -> Optional[Tuple[Any, Any]]:
+    """Height of every row in the forest given by ``parent`` (−1 =
+    root), plus each row's depth.  Returns ``None`` if ``parent``
+    contains a cycle (the reference program would deadlock; callers
+    treat it as un-plannable)."""
+    depth = np.full(n, -1, dtype=np.int64)
+    roots = np.flatnonzero(parent < 0)
+    depth[roots] = 0
+    frontier = roots
+    # Child adjacency via one argsort over parents; every row appears
+    # as a child at most once, so the walk is O(n) total.
+    order = np.argsort(parent, kind="stable")
+    child_ptr = np.searchsorted(parent[order], np.arange(n + 1))
+    level = 0
+    while frontier.size:
+        starts = child_ptr[frontier]
+        counts = child_ptr[frontier + 1] - starts
+        total = int(counts.sum())
+        level += 1
+        if total == 0:
+            break
+        ends = np.cumsum(counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            ends - counts, counts
+        )
+        children = order[np.repeat(starts, counts) + within]
+        depth[children] = level
+        frontier = children
+    if int(depth.min()) < 0:
+        return None
+    heights = np.zeros(n, dtype=np.int64)
+    levels = _group_by_level(depth, int(depth.max()) + 1)
+    for rows in reversed(levels):
+        inner = rows[parent[rows] >= 0]
+        if inner.size:
+            np.maximum.at(heights, parent[inner], heights[inner] + 1)
+    return heights, depth
+
+
+def plan_convergecast(
+    graph, root, parent_of, local_values, reduce_kind: str, word_limit: int
+) -> Optional[ConvergecastPlan]:
+    """Precompute a convergecast, or ``None`` on any input the dense
+    port cannot reproduce exactly: malformed parent maps, non-scalar
+    values, integer ranges where an int64 reduction could overflow, or
+    floating sums (whose result depends on the reference engine's
+    arrival order)."""
+    if word_limit < 2:
+        return None
+    csr = csr_adjacency(graph)
+    if root not in csr.index:
+        return None
+    n = csr.n
+    parent = np.full(n, -1, dtype=np.int64)
+    values = np.empty(n, dtype=np.float64)
+    is_float = False
+    for i, v in enumerate(csr.nodes):
+        p = parent_of.get(v)
+        if v == root:
+            if p is not None:
+                return None
+        elif p is None or p not in csr.index:
+            return None
+        else:
+            parent[i] = csr.index[p]
+        try:
+            value = local_values[v]
+        except (KeyError, TypeError):
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        if isinstance(value, float):
+            is_float = True
+        values[i] = value
+    if is_float and reduce_kind == "sum":
+        return None  # float sums are arrival-order dependent
+    if not is_float:
+        bound = np.abs(values).max() if n else 0.0
+        if bound * max(n, 1) >= 2.0**62:
+            return None  # int64 reduction could overflow; use reference
+    # Every parent edge must exist in the graph (the reference program
+    # reads children off ctx.neighbors).
+    sources, targets = _edge_endpoints(csr)
+    has_edge = np.zeros(n, dtype=bool)
+    has_edge[sources[parent[sources] == targets]] = True
+    if not bool(has_edge[parent >= 0].all()):
+        return None
+    grown = forest_heights(parent, n)
+    if grown is None:
+        return None
+    heights, _ = grown
+    plan = ConvergecastPlan(
+        csr,
+        parent,
+        heights,
+        _group_by_level(heights, int(heights.max()) + 1),
+        reduce_kind,
+    )
+    plan.values = values if is_float else values.astype(np.int64)
+    plan.is_float = is_float
+    return plan
+
+
+def dense_convergecast(graph, root, plan: ConvergecastPlan) -> Tuple[Any, DenseRun]:
+    """Execute a planned convergecast; returns (root aggregate, run)."""
+    csr, parent = plan.csr, plan.parent
+    n = csr.n
+    run = DenseRun(graph)
+    aggregate = plan.values.copy()
+    # Fold child aggregates upward one height level at a time; a node's
+    # children all live at strictly smaller heights, so by the time a
+    # level is folded its own values are final.
+    for rows in plan.height_levels:
+        inner = rows[parent[rows] >= 0]
+        if not inner.size:
+            continue
+        if plan.reduce_kind == "sum":
+            np.add.at(aggregate, parent[inner], aggregate[inner])
+        elif plan.reduce_kind == "max":
+            np.maximum.at(aggregate, parent[inner], aggregate[inner])
+        else:
+            np.minimum.at(aggregate, parent[inner], aggregate[inner])
+    rounds = int(plan.heights.max()) if n else 0
+    non_root = parent >= 0
+    messages = int(non_root.sum())
+    per_round = np.bincount(
+        plan.heights[non_root], minlength=rounds + 1
+    )
+    finish_metrics(
+        run,
+        rounds=rounds,
+        messages=messages,
+        total_words=2 * messages,
+        max_words=2 if messages else 0,
+        per_round=per_round_from_counts(per_round),
+    )
+    agg_list = aggregate.tolist()
+    run.set_outputs_factory(
+        lambda: {
+            v: {"aggregate": a} for v, a in zip(csr.nodes, agg_list)
+        }
+    )
+    if run.observed:
+        _replay_convergecast(run, plan, agg_list)
+    return agg_list[csr.index[root]], run
+
+
+def _replay_convergecast(
+    run: DenseRun, plan: ConvergecastPlan, agg_list: List[Any]
+) -> None:
+    csr, parent = plan.csr, plan.parent
+    nodes = csr.nodes
+    emit = run.emit
+    levels = plan.height_levels
+
+    def fire(rows: Any, round_number: int) -> None:
+        for v in rows.tolist():
+            p = parent[v]
+            if p >= 0:
+                emit({
+                    "kind": "send", "round": round_number,
+                    "node": nodes[v], "peer": nodes[p], "words": 2,
+                    "payload": ("CC", agg_list[v]),
+                })
+            emit({
+                "kind": "halt", "round": round_number, "node": nodes[v],
+            })
+
+    # Setup: leaves (height 0) aggregate, send, halt — in index order.
+    fire(levels[0], 0)
+    for r in range(1, len(levels)):
+        # Deliveries first: the previous level's sends, in outbox order
+        # (= sender index order, one message each).
+        for s in levels[r - 1].tolist():
+            p = parent[s]
+            if p >= 0:
+                emit({
+                    "kind": "deliver", "round": r, "node": nodes[p],
+                    "peer": nodes[s], "words": 2,
+                    "sent_round": r - 1, "tag": "CC",
+                })
+        # Sweep: exactly the height-r level fires this round.
+        fire(levels[r], r)
+
+
+# ---------------------------------------------------------------------------
+# BFS tree
+# ---------------------------------------------------------------------------
+
+class BFSPlan:
+    def __init__(self, csr, dist, levels, parent, offers, same_counts):
+        self.csr = csr
+        self.dist = dist
+        self.levels = levels
+        self.parent = parent
+        self.offers = offers
+        self.same_counts = same_counts
+
+
+def plan_bfs(graph, root, word_limit: int) -> Optional[BFSPlan]:
+    if word_limit < 2:
+        return None
+    csr = csr_adjacency(graph)
+    if root not in csr.index:
+        return None
+    dist, levels = bfs_levels(csr, csr.index[root])
+    if int(dist.min()) < 0:
+        return None  # disconnected: reference raises RoundLimitExceeded
+    parent, offers, same_counts = min_str_prev_neighbor(csr, dist)
+    return BFSPlan(csr, dist, levels, parent, offers, same_counts)
+
+
+def dense_bfs_tree(graph, root, plan: BFSPlan) -> DenseRun:
+    """Execute a planned BFS-tree construction.
+
+    Echo rounds follow the wave protocol's closed form: a node with no
+    un-offered neighbors echoes at ``depth+1`` (off its scheduler
+    wakeup); any other node waits for its wave responses (``depth+2``)
+    and its childrens' echoes (``E(child)+1``); the root's floor is
+    round 2.  Total rounds = ``E(root) + M``.
+    """
+    csr, dist, levels, parent = plan.csr, plan.dist, plan.levels, plan.parent
+    n = csr.n
+    run = DenseRun(graph)
+    root_row = csr.index[root]
+    depth_max = len(levels) - 1
+
+    if n == 1:
+        finish_metrics(run, 0, 0, 0, 0, {})
+        run.set_outputs(
+            {root: {
+                "parent": None, "depth": 0, "children": (),
+                "tree_depth": 0, "t1": 1,
+            }}
+        )
+        run.bfs_parents = {root: None}
+        run.bfs_depths = {root: 0}
+        return run
+
+    degrees = csr.degrees
+    others = degrees - plan.offers  # wave fan-out after adoption
+    others[root_row] = degrees[root_row]
+    # E(v): deepest level first, folding E(child)+1 into each parent.
+    base = np.where(others > 0, dist + 2, dist + 1)
+    base[root_row] = 2
+    echo_round = np.zeros(n, dtype=np.int64)
+    child_acc = np.zeros(n, dtype=np.int64)
+    for rows in reversed(levels):
+        echo_round[rows] = np.maximum(base[rows], child_acc[rows])
+        inner = rows[parent[rows] >= 0]
+        if inner.size:
+            np.maximum.at(
+                child_acc, parent[inner], echo_round[inner] + 1
+            )
+    e_root = int(echo_round[root_row])
+    rounds = e_root + depth_max
+
+    # -- metrics --------------------------------------------------------------
+    # Adoption bundle: every non-root sends deg(v) messages on round
+    # d(v) (1 ACCEPT + (offers−1) REJECTs + others WAVEs); the root
+    # sends deg WAVEs on round 0.  Late REJECTs answer same-level
+    # waves one round after adoption; ECHO fires at E(v); MFIN goes to
+    # each child at E(root)+depth.
+    per_round = np.zeros(rounds + 1, dtype=np.int64)
+    np.add.at(per_round, dist, degrees)
+    np.add.at(per_round, dist + 1, plan.same_counts)
+    non_root = np.arange(n) != root_row
+    np.add.at(per_round, echo_round[non_root], 1)
+    child_counts = np.bincount(parent[non_root], minlength=n)
+    np.add.at(per_round, e_root + dist, child_counts)
+    messages = int(per_round.sum())
+    # offers(root) = 0, so this sum already counts the root's fan-out.
+    wave_words = 2 * (degrees - plan.offers).sum()
+    accept_reject_words = (
+        plan.offers.sum() + plan.same_counts.sum()
+    )
+    echo_mfin_words = 2 * (n - 1) * 2
+    finish_metrics(
+        run,
+        rounds=rounds,
+        messages=messages,
+        total_words=int(wave_words + accept_reject_words + echo_mfin_words),
+        max_words=2,
+        per_round=per_round_from_counts(per_round),
+    )
+
+    # -- outputs --------------------------------------------------------------
+    nodes = csr.nodes
+    parent_list = parent.tolist()
+    dist_list = dist.tolist()
+
+    def build_outputs() -> Dict[Any, Dict[str, Any]]:
+        children: List[List[Any]] = [[] for _ in range(n)]
+        # Children in str-order: visit rows by str rank so appends land
+        # pre-sorted.
+        for row in csr.rank_to_row.tolist():
+            p = parent_list[row]
+            if p >= 0:
+                children[p].append(nodes[row])
+        t1 = e_root + depth_max + 1
+        return {
+            nodes[row]: {
+                "parent": None if row == root_row else nodes[parent_list[row]],
+                "depth": dist_list[row],
+                "children": tuple(children[row]),
+                "tree_depth": depth_max,
+                "t1": t1,
+            }
+            for row in range(n)
+        }
+
+    run.set_outputs_factory(build_outputs)
+    # The driver's return values, straight from the arrays (cheaper
+    # than materialising the full per-node output dicts).
+    run.bfs_parents = {
+        nodes[row]: None if row == root_row else nodes[parent_list[row]]
+        for row in range(n)
+    }
+    run.bfs_depths = dict(zip(nodes, dist_list))
+    return run

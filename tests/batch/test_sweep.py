@@ -80,6 +80,29 @@ class TestRunCell:
         row = run_cell(SweepCell("kdom", "tree:n=24", 0, 2))
         assert json.loads(json.dumps(row)) == row
 
+    def test_kdom_dense_cell_matches_reference_engine(self):
+        pytest.importorskip("numpy")
+        from repro.core import tree_kdominating_set
+        from repro.graphs import RootedTree
+
+        cell = SweepCell("kdom-dense", "tree:n=24", 0, 2, verify=True)
+        a, b = run_cell(cell), run_cell(cell)
+        assert a == b
+        assert a["result"]["ok"]
+        assert json.loads(json.dumps(a)) == a
+        # The dense row must be the reference computation, byte for
+        # byte: same dominator count, rounds, and stage breakdown.
+        graph = GraphCache().get("tree:n=24", 0, weighted=False)
+        root = min(graph.nodes, key=str)
+        rooted = RootedTree.from_graph(graph, root)
+        dominators, partition, staged = tree_kdominating_set(
+            graph, root, rooted.parent, 2
+        )
+        assert a["result"]["dominators"] == len(dominators)
+        assert a["result"]["clusters"] == partition.num_clusters
+        assert a["result"]["rounds"] == staged.total_rounds
+        assert a["result"]["breakdown"] == staged.breakdown()
+
     def test_cache_reused_across_cells(self):
         cache = GraphCache()
         run_cell(SweepCell("kdom", "tree:n=24", 0, 2), cache)

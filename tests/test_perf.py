@@ -1,0 +1,145 @@
+"""Perf smoke harness mechanics (repro.perf): workload selection,
+report comparison, gate rules, and the v2 schema contract.
+
+The timing numbers themselves are exercised by CI's perf-smoke and
+large-n-smoke jobs; here we pin the *logic* — filters, skip rules, and
+the staleness behaviour of the schema gate — on synthetic reports."""
+
+import json
+
+import pytest
+
+from repro import perf
+
+
+class TestSelectWorkloads:
+    def test_none_selects_everything_in_order(self):
+        assert list(perf.select_workloads(None)) == list(perf.WORKLOADS)
+        assert list(perf.select_workloads([])) == list(perf.WORKLOADS)
+
+    def test_filter_preserves_suite_order(self):
+        names = list(perf.WORKLOADS)
+        picked = perf.select_workloads([names[2], names[0]])
+        assert list(picked) == [names[0], names[2]]
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            perf.select_workloads(["nope"])
+        with pytest.raises(ValueError, match="bfs_path"):
+            perf.select_workloads(["nope"])
+
+    def test_dense_workloads_are_registered(self):
+        # ISSUE 7: the large-n dense workloads live in the suite with a
+        # per-workload backend tag.
+        assert perf.WORKLOADS["fastdom_dense"][3] == "dense"
+        assert perf.WORKLOADS["bfs_grid_dense"][3] == "dense"
+        assert perf.WORKLOADS["bfs_path"][3] == "reference"
+        # The fast-mode dense FastDOM workload is the n=10^5 acceptance
+        # run; full mode is the million-node row.
+        assert perf.WORKLOADS["fastdom_dense"][1]["n"] == 1_000_000
+        assert perf.WORKLOADS["fastdom_dense"][2]["n"] == 100_000
+
+
+def report(mode="fast", **workloads):
+    return {
+        "schema": perf.SCHEMA,
+        "mode": mode,
+        "workloads": {
+            name: {"best_seconds": best, "backend": backend}
+            for name, (best, backend) in workloads.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_speedup_table(self):
+        old = report(a=(2.0, "reference"), b=(1.0, "reference"))
+        new = report(a=(1.0, "reference"), b=(2.0, "reference"))
+        lines = perf.compare_reports(old, new)
+        assert any("a" in ln and "2.00x" in ln for ln in lines)
+        assert any("b" in ln and "0.50x" in ln for ln in lines)
+
+    def test_one_sided_workloads_marked(self):
+        old = report(gone_one=(1.0, "reference"))
+        new = report(new_one=(1.0, "dense"))
+        text = "\n".join(perf.compare_reports(old, new))
+        assert "gone" in text and "new" in text
+
+    def test_mode_mismatch_noted_first(self):
+        lines = perf.compare_reports(report(mode="full"), report(mode="fast"))
+        assert lines[0].startswith("note: comparing mode='full'")
+
+
+class TestGates:
+    def test_regression_detected(self):
+        current = report(a=(3.0, "reference"))
+        baseline = {"fast": {"a": {"best_seconds": 1.0}}}
+        failures = perf.check_regressions(current, baseline)
+        assert len(failures) == 1 and "a:" in failures[0]
+
+    def test_workload_missing_from_baseline_is_skipped(self):
+        # Adding a workload (the dense rows) must not retroactively
+        # fail the gate before the baseline is re-recorded.
+        current = report(brand_new=(99.0, "dense"))
+        assert perf.check_regressions(current, {"fast": {}}) == []
+
+    def test_obs_gate_skips_dense_workloads(self):
+        current = report(d=(9.0, "dense"), r=(9.0, "reference"))
+        baseline = {
+            "fast": {
+                "d": {"best_seconds": 1.0},
+                "r": {"best_seconds": 1.0},
+            }
+        }
+        failures = perf.check_obs_overhead(current, baseline)
+        assert len(failures) == 1 and failures[0].startswith("r:")
+
+
+class TestMainGateRules:
+    def run_main(self, tmp_path, monkeypatch, baseline, **kwargs):
+        monkeypatch.chdir(tmp_path)
+        if baseline is not None:
+            (tmp_path / "baseline.json").write_text(json.dumps(baseline))
+        return perf.main(
+            fast=True,
+            reps=1,
+            output=str(tmp_path / "out.json"),
+            baseline_path=str(tmp_path / "baseline.json"),
+            workload=["bfs_path"],
+            **kwargs,
+        )
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert perf.main(workload=["nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_stale_schema_skips_gate(self, tmp_path, monkeypatch, capsys):
+        # The staleness fix: a baseline recorded under the v1 schema
+        # (different workload arity/platform) must not produce bogus
+        # regression failures — the gate asks for a re-record instead.
+        stale = {"schema": "repro-perf-smoke/1", "fast": {}}
+        assert self.run_main(tmp_path, monkeypatch, stale) == 0
+        out = capsys.readouterr().out
+        assert "gate skipped — re-record" in out
+
+    def test_missing_baseline_skips_gate(self, tmp_path, monkeypatch, capsys):
+        assert self.run_main(tmp_path, monkeypatch, None) == 0
+        assert "gate skipped" in capsys.readouterr().out
+
+    def test_report_carries_schema_and_backend(self, tmp_path, monkeypatch):
+        self.run_main(tmp_path, monkeypatch, None)
+        written = json.loads((tmp_path / "out.json").read_text())
+        assert written["schema"] == perf.SCHEMA
+        assert written["workloads"]["bfs_path"]["backend"] == "reference"
+
+    def test_compare_prints_table(self, tmp_path, monkeypatch, capsys):
+        old = report(bfs_path=(1.0, "reference"))
+        (tmp_path / "old.json").write_text(json.dumps(old))
+        self.run_main(
+            tmp_path,
+            monkeypatch,
+            None,
+            compare=str(tmp_path / "old.json"),
+        )
+        out = capsys.readouterr().out
+        assert "workload" in out and "speedup" in out
