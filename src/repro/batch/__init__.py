@@ -37,6 +37,16 @@ from .registry import (
     register_workload,
     workload_names,
 )
+from .status import (
+    STATUS_SCHEMA,
+    SweepStatusWriter,
+    find_status_files,
+    read_status,
+    render_status,
+    render_store_status,
+    render_top,
+    status_path_for,
+)
 from .store import (
     SCHEMA,
     SalvageReport,
@@ -61,6 +71,13 @@ from .sweep import (
     run_sweep,
     shard_cells,
 )
+from .telemetry import (
+    aggregate_profiles,
+    cell_snapshot,
+    deterministic_part,
+    store_telemetry,
+    strip_telemetry,
+)
 
 __all__ = [
     "ChaosAction",
@@ -70,6 +87,7 @@ __all__ = [
     "NetworkSpec",
     "PoolCrashError",
     "SCHEMA",
+    "STATUS_SCHEMA",
     "SWEEP_BACKENDS",
     "SalvageReport",
     "SharedPool",
@@ -79,21 +97,30 @@ __all__ = [
     "SweepCellError",
     "SweepCrashError",
     "SweepGrid",
+    "SweepStatusWriter",
     "SweepStore",
     "SweepSummary",
     "TaskQuarantinedError",
     "Workload",
     "WorkloadError",
+    "aggregate_profiles",
     "canonical_line",
     "cell_key",
+    "cell_snapshot",
+    "deterministic_part",
     "fast_grid",
+    "find_status_files",
     "get_workload",
     "imap_completion_order",
     "map_submission_order",
     "merge_stores",
     "network_spec",
     "parse_shard",
+    "read_status",
     "register_workload",
+    "render_status",
+    "render_store_status",
+    "render_top",
     "repair_store",
     "resolve_workers",
     "run_cell",
@@ -101,6 +128,9 @@ __all__ = [
     "run_networks_in_pool",
     "run_sweep",
     "shard_cells",
+    "status_path_for",
+    "store_telemetry",
+    "strip_telemetry",
     "task_pickle_bytes",
     "workload_names",
 ]

@@ -344,6 +344,27 @@ class SharedPool:
         attempts_cap = (
             max_attempts if max_attempts is not None else self.max_attempts
         )
+        # Telemetry is ambient and optional: one lookup per batch, one
+        # ``is not None`` per instrumented point — the fabric mirror of
+        # the engine's no-subscriber discipline.  Everything recorded
+        # here is wall-clock-shaped, so it all rides the volatile plane.
+        from ..obs.telemetry import current_telemetry
+
+        session = current_telemetry()
+        if session is not None:
+            tele_queue_wait = session.registry.histogram(
+                "fabric_queue_wait_s", volatile=True
+            )
+            tele_latency = session.registry.histogram(
+                "fabric_task_latency_s", volatile=True
+            )
+            tele_counter = session.registry.counter(
+                "fabric_tasks", volatile=True
+            )
+            session.registry.gauge("fabric_workers", volatile=True).max(
+                self.workers
+            )
+        batch_started = time.monotonic()
         items = list(items)
         pending: Dict[int, Any] = dict(enumerate(items))
         attempts: Dict[int, int] = {}
@@ -369,14 +390,22 @@ class SharedPool:
                     result = pool.apply_async(
                         _invoke, ((fn, index, pending[index], op),)
                     )
-                    inflight[index] = (result, time.monotonic())
+                    now = time.monotonic()
+                    inflight[index] = (result, now)
                     self.dispatched += 1
+                    if session is not None:
+                        tele_counter.inc(state="dispatched")
+                        tele_queue_wait.observe(now - batch_started)
                 done = [i for i, (r, _) in inflight.items() if r.ready()]
                 for index in done:
-                    outcome = inflight.pop(index)[0].get()
+                    handle, started = inflight.pop(index)
+                    outcome = handle.get()
                     del pending[index]
                     self.completed += 1
                     progressed = True
+                    if session is not None:
+                        tele_counter.inc(state="completed")
+                        tele_latency.observe(time.monotonic() - started)
                     yield outcome
                 if not (queue or inflight):
                     break
@@ -395,6 +424,10 @@ class SharedPool:
             self.restarts += 1
             self._teardown()
             self._emit("worker_killed", reason=reason, workers=self.workers)
+            if session is not None:
+                session.registry.counter(
+                    "fabric_worker_respawns", volatile=True
+                ).inc(reason=reason)
             for index in blamed:
                 attempts[index] = attempts.get(index, 0) + 1
                 if attempts[index] >= attempts_cap:
@@ -408,6 +441,8 @@ class SharedPool:
                         attempts=attempts[index],
                         reason=reason,
                     )
+                    if session is not None:
+                        tele_counter.inc(state="quarantined")
                     yield index, "quarantined", info
                 else:
                     self._emit(
@@ -416,6 +451,8 @@ class SharedPool:
                         attempt=attempts[index],
                         reason=reason,
                     )
+                    if session is not None:
+                        tele_counter.inc(state="retried")
             stalled_restarts = 0 if progressed else stalled_restarts + 1
             if stalled_restarts > self.max_restarts:
                 raise PoolCrashError(
@@ -548,12 +585,21 @@ def imap_completion_order(
             return
     tasks = [(fn, index, item, None) for index, item in enumerate(items)]
     processes = min(resolve_workers(workers), len(tasks))
+    from ..obs.telemetry import current_telemetry
+
+    session = current_telemetry()
+    if session is not None:
+        tele_counter = session.registry.counter("fabric_tasks", volatile=True)
+        tele_counter.inc(len(tasks), state="dispatched")
+        session.registry.gauge("fabric_workers", volatile=True).max(processes)
     ctx = multiprocessing.get_context()
     one_shot = ctx.Pool(
         processes=processes, initializer=initializer, initargs=initargs
     )
     try:
         for result in one_shot.imap_unordered(_invoke, tasks):
+            if session is not None:
+                tele_counter.inc(state="completed")
             yield result
         one_shot.close()
         one_shot.join()

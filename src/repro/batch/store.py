@@ -45,6 +45,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .telemetry import store_telemetry, strip_telemetry
+
 #: Store schema tag, written into the meta line.
 SCHEMA = "repro-sweep/1"
 
@@ -353,7 +355,8 @@ def merge_stores(
     """Merge N shard stores into the canonical one-shot store.
 
     The inputs must be shards of one grid — same meta apart from the
-    ``shard`` field.  By default the merge is strict: shard indices
+    ``shard`` field (and each shard's slice-level ``telemetry``
+    summary, which is dropped and recomputed grid-wide).  By default the merge is strict: shard indices
     must cover ``0/N .. (N-1)/N`` exactly and together supply every
     grid cell, and the output is written with
     :meth:`SweepStore.finalize` under the unsharded meta — byte-
@@ -378,10 +381,12 @@ def merge_stores(
     seen_shards: Dict[int, str] = {}
     shard_count: Optional[int] = None
     rows: Dict[str, Dict[str, Any]] = {}
+    telemetry_everywhere = True
     for path in shard_paths:
         meta, shard_rows = SweepStore(path).load()
         if meta is None:
             raise StoreError(f"{path}: missing or empty store")
+        telemetry_everywhere = telemetry_everywhere and "telemetry" in meta
         shard_text = meta.get("shard")
         if shard_text is None:
             raise StoreError(
@@ -394,7 +399,12 @@ def merge_stores(
             raise StoreError(
                 f"{path}: malformed shard field {shard_text!r}"
             ) from None
-        unsharded = {key: val for key, val in meta.items() if key != "shard"}
+        # A finalized shard meta carries its slice-level telemetry
+        # summary, which legitimately differs per shard — drop it (and
+        # the shard field) before the same-grid comparison.
+        unsharded = strip_telemetry(
+            {key: val for key, val in meta.items() if key != "shard"}
+        )
         if base_meta is None:
             base_meta, shard_count = unsharded, count
         elif unsharded != base_meta or count != shard_count:
@@ -431,8 +441,13 @@ def merge_stores(
             f"before merging (or pass --allow-partial)"
         )
     if not (missing_shards or missing_cells):
-        SweepStore(out_path).finalize(base_meta, ordered)
-        return base_meta
+        merged_meta = dict(base_meta)
+        if telemetry_everywhere:
+            # Recompute the grid-level summary from the merged rows —
+            # byte-identical to what an unsharded sweep would finalize.
+            merged_meta["telemetry"] = store_telemetry(ordered)
+        SweepStore(out_path).finalize(merged_meta, ordered)
+        return merged_meta
     # Partial merge: a resumable checkpoint store plus a holes manifest.
     out = SweepStore(out_path)
     out.begin(base_meta, fresh=True)

@@ -34,16 +34,33 @@ are compared byte for byte.
 
 from __future__ import annotations
 
+import cProfile
+import os
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graphs import RootedTree
+from ..obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    MetricsRegistry,
+    TelemetrySession,
+    emit_phase_spans,
+    span,
+)
 from ..sim.metrics import RunMetrics
 from .cache import GraphCache
 from .pool import PoolCrashError, imap_completion_order, resolve_workers
 from .registry import get_workload, register_workload
+from .status import (
+    PENDING_PREVIEW,
+    SweepStatusWriter,
+    fabric_tallies,
+    status_path_for,
+)
 from .store import SCHEMA, SweepStore, StoreError, cell_key
+from .telemetry import cell_snapshot, deterministic_part
 
 #: Execution backends accepted by :func:`run_sweep`.
 SWEEP_BACKENDS = ("inline", "process")
@@ -297,7 +314,13 @@ def run_cell(
     workload = get_workload(cell.workload, provider)
     cache = cache if cache is not None else GraphCache()
     graph = cache.get(cell.spec, cell.seed, weighted=workload.weighted)
-    return {"cell": cell.as_dict(), "result": workload.fn(graph, cell)}
+    key = cell.key
+    with span("task", key):
+        result = workload.fn(graph, cell)
+    # Phase spans are retrospective: a staged run's breakdown is known
+    # only after it completes (deterministic, so trace-safe).
+    emit_phase_spans(key, result.get("breakdown") or {})
+    return {"cell": cell.as_dict(), "result": result}
 
 
 # Worker-process graph cache: lazy module state rather than a pool
@@ -313,9 +336,61 @@ def _worker_cache() -> GraphCache:
     return _WORKER_CACHE
 
 
-def _process_cell(task: Tuple[SweepCell, Optional[str]]) -> Dict[str, Any]:
-    cell, provider = task
-    return run_cell(cell, _worker_cache(), provider)
+# Worker-process profiler, created on first profiled task so the dump
+# accumulates every cell this worker ran (repro sweep --profile-workers).
+_WORKER_PROFILER: Optional[cProfile.Profile] = None
+
+
+def _worker_profiler() -> cProfile.Profile:
+    global _WORKER_PROFILER
+    if _WORKER_PROFILER is None:
+        _WORKER_PROFILER = cProfile.Profile()
+    return _WORKER_PROFILER
+
+
+def _process_cell(
+    task: Tuple[SweepCell, Optional[str], Optional[str]],
+) -> Dict[str, Any]:
+    """Worker-side cell execution: run, measure, snapshot, ship.
+
+    Returns ``{"row", "telemetry"}`` — the deterministic store row plus
+    this task's registry snapshot (the row-derived deterministic plane
+    and the worker's volatile wall-clock plane), which the parent
+    merges.  With ``profile_dir`` set, the worker profiles the cell and
+    re-dumps its cumulative ``worker-<pid>.pstats`` after every task
+    (so the dump survives however the sweep ends).
+    """
+    cell, provider, profile_dir = task
+    cache = _worker_cache()
+    hits, misses = cache.hits, cache.misses
+    session = TelemetrySession()
+    profiler: Optional[cProfile.Profile] = None
+    if profile_dir:
+        os.makedirs(profile_dir, exist_ok=True)
+        profiler = _worker_profiler()
+    started = time.perf_counter()
+    with session.activate():
+        if profiler is not None:
+            profiler.enable()
+        try:
+            row = run_cell(cell, cache, provider)
+        finally:
+            if profiler is not None:
+                profiler.disable()
+    elapsed = time.perf_counter() - started
+    if profiler is not None:
+        profiler.dump_stats(
+            os.path.join(profile_dir, f"worker-{os.getpid()}.pstats")
+        )
+    session.merge(cell_snapshot(row))
+    registry = session.registry
+    registry.histogram("task_seconds", volatile=True).observe(elapsed)
+    cache_counter = registry.counter("graph_cache", volatile=True)
+    if cache.hits > hits:
+        cache_counter.inc(cache.hits - hits, outcome="hit")
+    if cache.misses > misses:
+        cache_counter.inc(cache.misses - misses, outcome="miss")
+    return {"row": row, "telemetry": session.snapshot()}
 
 
 # ---------------------------------------------------------------------------
@@ -366,7 +441,13 @@ def quarantined_row(cell: SweepCell, info: Dict[str, Any]) -> Dict[str, Any]:
 
 @dataclass
 class SweepSummary:
-    """What a sweep did: counts, timing, and grid-order merged metrics."""
+    """What a sweep did: counts, timing, and grid-order merged metrics.
+
+    ``telemetry`` is the sweep's full registry snapshot (deterministic
+    plane plus volatile wall-clock plane) when telemetry was enabled —
+    the deterministic sections match what a finalized store's meta
+    carries.
+    """
 
     total: int
     ran: int
@@ -375,6 +456,7 @@ class SweepSummary:
     elapsed: float
     merged: RunMetrics
     quarantined: int = 0
+    telemetry: Optional[Dict[str, Any]] = None
     rows: List[Dict[str, Any]] = field(repr=False, default_factory=list)
 
     @property
@@ -396,6 +478,9 @@ def run_sweep(
     chaos: Optional[Any] = None,
     retry_quarantined: bool = False,
     finalize: bool = True,
+    telemetry: bool = True,
+    status_path: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> SweepSummary:
     """Run (or resume) a sweep; return its summary.
 
@@ -424,6 +509,23 @@ def run_sweep(
     cells.  ``chaos`` injects a deterministic
     :class:`~repro.batch.chaos.ChaosPlan` of worker/store faults —
     the test harness for all of the above.
+
+    **Telemetry** (on by default; docs/observability.md).  The sweep
+    runs inside an ambient :class:`~repro.obs.telemetry.
+    TelemetrySession`: workers ship per-cell registry snapshots back
+    with their rows, fabric counters/latencies accumulate in the pool
+    loop, and ``SweepSummary.telemetry`` carries the merged snapshot.
+    The *deterministic* plane of that snapshot is written into the
+    finalized store's meta as ``"telemetry"`` — it is a pure function
+    of the rows, so it is byte-identical across backends, worker
+    counts, shards, and resumes.  A store-backed sweep also heartbeats
+    an atomic status sidecar (``status_path``, default
+    ``<store>.status.json``; see :mod:`repro.batch.status`) rendered by
+    ``repro status`` / ``repro top``.  ``telemetry=False`` turns all of
+    it off — the overhead of the *enabled* path is itself gated at
+    ≤1.05x by ``repro perf --telemetry``.  ``profile_dir`` makes every
+    worker cProfile its cells and dump ``worker-<pid>.pstats`` there
+    (``repro sweep --profile-workers``).
     """
     if backend not in SWEEP_BACKENDS:
         raise ValueError(
@@ -467,56 +569,180 @@ def run_sweep(
     # The watchdog and chaos injection live in the monitored pool loop,
     # so they must not fall back to the single-process fast path.
     hardened = deadline_s is not None or chaos is not None
+
+    # Telemetry: one ambient session for the live/volatile view, and a
+    # separate deterministic accumulator for the store meta — fed only
+    # by row-derived snapshots (worker-shipped or recomputed), so the
+    # stored summary is a pure function of the rows.
+    session = TelemetrySession() if telemetry else None
+    det_registry = MetricsRegistry() if telemetry else None
+    status: Optional[SweepStatusWriter] = None
+    if telemetry:
+        target = status_path or (
+            status_path_for(store_path) if store_path else None
+        )
+        if target:
+            status = SweepStatusWriter(target)
+    if det_registry is not None:
+        for row in rows_by_index.values():
+            snap = cell_snapshot(row)
+            det_registry.merge(snap)
+            session.merge(snap)
+    if profile_dir:
+        os.makedirs(profile_dir, exist_ok=True)
+
     start = time.perf_counter()
-    if backend == "inline" or (
-        not hardened
-        and (len(pending) <= 1 or resolve_workers(workers) == 1)
-    ):
-        cache = GraphCache()
-        for index, cell in pending:
-            try:
-                row = run_cell(cell, cache)
-            except Exception as exc:
-                raise SweepCellError(cell, exc) from exc
-            rows_by_index[index] = row
-            if store is not None:
-                store.append(row)
-            echo(_cell_line(row))
-    else:
-        items = [(cell, provider) for _index, cell in pending]
-        try:
-            for position, status, payload in imap_completion_order(
-                _process_cell,
-                items,
-                workers=workers,
-                deadline_s=deadline_s,
-                max_attempts=max_attempts,
-                chaos=chaos,
-            ):
-                index, cell = pending[position]
-                if status == "error":
-                    raise SweepCellError(cell, payload) from payload
-                row = (
-                    quarantined_row(cell, payload)
-                    if status == "quarantined"
-                    else payload
+    ran_count = 0
+
+    def heartbeat(state: str, force: bool = False) -> None:
+        if status is None:
+            return
+        elapsed_now = time.perf_counter() - start
+        done = len(rows_by_index)
+        remaining = [
+            cell.key
+            for index, cell in selected
+            if index not in rows_by_index
+        ]
+        rate = ran_count / elapsed_now if elapsed_now > 0 else 0.0
+        vol_counters = session.registry.volatile_counters
+        status.write(
+            {
+                "state": state,
+                "workload": grid.workload,
+                "shard": meta.get("shard"),
+                "backend": backend,
+                "workers": (
+                    1 if backend == "inline" else resolve_workers(workers)
+                ),
+                "store": store.path if store is not None else None,
+                "cells": {
+                    "total": len(selected),
+                    "done": done,
+                    "ran": ran_count,
+                    "skipped": skipped,
+                    "quarantined": sum(
+                        1 for r in rows_by_index.values() if "error" in r
+                    ),
+                    "pending": len(remaining),
+                },
+                "inflight": remaining[:PENDING_PREVIEW],
+                "elapsed_s": elapsed_now,
+                "cells_per_s": rate,
+                "eta_s": (len(remaining) / rate) if rate > 0 else None,
+                "fabric": fabric_tallies(vol_counters),
+            },
+            force=force,
+        )
+
+    def record(
+        index: int,
+        row: Dict[str, Any],
+        shipped: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        nonlocal ran_count
+        ran_count += 1
+        rows_by_index[index] = row
+        if store is not None:
+            store.append(row)
+        if det_registry is not None:
+            snap = shipped if shipped is not None else cell_snapshot(row)
+            det_registry.merge(deterministic_part(snap))
+            session.merge(snap)
+        echo(_cell_line(row))
+        heartbeat("running")
+
+    with ExitStack() as stack:
+        if session is not None:
+            stack.enter_context(session.activate())
+            stack.enter_context(span("sweep", grid.workload))
+            if shard is not None:
+                stack.enter_context(
+                    span("shard", f"{shard[0]}/{shard[1]}")
                 )
-                rows_by_index[index] = row
-                if store is not None:
-                    store.append(row)
-                    if chaos is not None and chaos.should_corrupt(position):
-                        chaos.corrupt_store(store.path)
-                echo(_cell_line(row))
-        except PoolCrashError as exc:
-            keys = [cell_key(cell.as_dict()) for cell, _p in exc.pending_items]
-            raise SweepCrashError(exc, keys) from exc
+        heartbeat("running", force=True)
+        try:
+            if backend == "inline" or (
+                not hardened
+                and (len(pending) <= 1 or resolve_workers(workers) == 1)
+            ):
+                cache = GraphCache()
+                profiler = cProfile.Profile() if profile_dir else None
+                for index, cell in pending:
+                    cell_start = time.perf_counter()
+                    try:
+                        if profiler is not None:
+                            profiler.enable()
+                        try:
+                            row = run_cell(cell, cache)
+                        finally:
+                            if profiler is not None:
+                                profiler.disable()
+                    except Exception as exc:
+                        raise SweepCellError(cell, exc) from exc
+                    if session is not None:
+                        session.registry.histogram(
+                            "task_seconds", volatile=True
+                        ).observe(time.perf_counter() - cell_start)
+                    record(index, row)
+                if profiler is not None and pending:
+                    profiler.dump_stats(
+                        os.path.join(
+                            profile_dir, f"inline-{os.getpid()}.pstats"
+                        )
+                    )
+            else:
+                items = [
+                    (cell, provider, profile_dir)
+                    for _index, cell in pending
+                ]
+                try:
+                    for position, state, payload in imap_completion_order(
+                        _process_cell,
+                        items,
+                        workers=workers,
+                        deadline_s=deadline_s,
+                        max_attempts=max_attempts,
+                        chaos=chaos,
+                    ):
+                        index, cell = pending[position]
+                        if state == "error":
+                            raise SweepCellError(cell, payload) from payload
+                        if state == "quarantined":
+                            row = quarantined_row(cell, payload)
+                            shipped = None
+                        else:
+                            row = payload["row"]
+                            shipped = payload["telemetry"]
+                        record(index, row, shipped)
+                        if (
+                            store is not None
+                            and chaos is not None
+                            and chaos.should_corrupt(position)
+                        ):
+                            chaos.corrupt_store(store.path)
+                except PoolCrashError as exc:
+                    keys = [
+                        cell_key(item[0].as_dict())
+                        for item in exc.pending_items
+                    ]
+                    raise SweepCrashError(exc, keys) from exc
+        except BaseException:
+            heartbeat("crashed", force=True)
+            raise
     elapsed = time.perf_counter() - start
 
     complete = len(rows_by_index) == len(selected)
     ordered = [rows_by_index[i] for i in sorted(rows_by_index)]
     quarantined = sum(1 for row in ordered if "error" in row)
     if complete and store is not None and finalize and quarantined == 0:
-        store.finalize(meta, ordered)
+        final_meta = dict(meta)
+        if det_registry is not None:
+            summary = {"schema": TELEMETRY_SCHEMA}
+            summary.update(deterministic_part(det_registry.snapshot()))
+            final_meta["telemetry"] = summary
+        store.finalize(final_meta, ordered)
+    heartbeat("complete" if complete else "incomplete", force=True)
     merged = RunMetrics.merge(
         RunMetrics.from_dict(row["result"]["metrics"])
         for row in ordered
@@ -530,6 +756,7 @@ def run_sweep(
         elapsed=elapsed,
         merged=merged,
         quarantined=quarantined,
+        telemetry=session.snapshot() if session is not None else None,
         rows=ordered,
     )
 

@@ -1,0 +1,134 @@
+"""Deterministic sweep telemetry: per-cell snapshots and store summaries.
+
+The fabric telemetry that ends up *inside* a sweep store's meta must be
+byte-identical across worker counts, shard counts, and interrupt/resume
+— the same contract the rows themselves honour.  The only way to make
+that unconditional is to derive it from the rows: :func:`cell_snapshot`
+is a pure function of one store row, and :func:`store_telemetry` merges
+those snapshots with the order-invariant
+:meth:`~repro.obs.telemetry.MetricsRegistry.merge`.
+
+Workers compute the very same function (plus volatile wall-clock
+extras) and ship the snapshot back with each result, so a live sweep
+aggregates without re-deriving — but a resumed or merged store can
+always recompute the identical summary from rows alone.
+``tests/batch/test_telemetry_sweep.py`` pins shipped == recomputed.
+
+Wall-clock facts (task latency, queue wait, span durations) ride the
+snapshot's ``volatile`` plane and never reach a store; see
+:mod:`repro.obs.telemetry` for the two-plane rules.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pstats
+from typing import Any, Dict, Iterable, List, Tuple
+
+from ..obs.telemetry import TELEMETRY_SCHEMA, MetricsRegistry
+
+#: Snapshot sections that make up the deterministic plane.
+DETERMINISTIC_SECTIONS = ("counters", "gauges", "histograms")
+
+
+def cell_snapshot(row: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic telemetry for one store row.
+
+    Pure in the row: no clocks, no pids, no worker identity — so any
+    partition of the grid merged in any order yields the same summary.
+    """
+    registry = MetricsRegistry()
+    cell = row.get("cell", {})
+    workload = cell.get("workload", "?")
+    registry.counter("sweep_cells_total").inc(workload=workload)
+    if "error" in row:
+        registry.counter("sweep_cells_quarantined").inc(workload=workload)
+        return registry.snapshot()
+    registry.counter("sweep_cells_ok").inc(workload=workload)
+    result = row.get("result", {})
+    n = result.get("n")
+    if isinstance(n, int):
+        registry.counter("sim_nodes_total").inc(n)
+        registry.gauge("sim_nodes_max").max(n)
+    rounds = result.get("rounds")
+    if isinstance(rounds, int):
+        registry.counter("sim_rounds_total").inc(rounds)
+        registry.histogram("cell_rounds").observe(rounds)
+    metrics = result.get("metrics", {})
+    messages = metrics.get("messages")
+    if isinstance(messages, int):
+        registry.counter("sim_messages_total").inc(messages)
+        registry.histogram("cell_messages").observe(messages)
+    words = metrics.get("total_words")
+    if isinstance(words, int):
+        registry.counter("sim_words_total").inc(words)
+    dominators = result.get("dominators")
+    if isinstance(dominators, int):
+        registry.counter("kdom_dominators_total").inc(dominators)
+        registry.histogram("cell_dominators").observe(dominators)
+    clusters = result.get("clusters")
+    if isinstance(clusters, int):
+        registry.counter("sim_clusters_total").inc(clusters)
+    return registry.snapshot()
+
+
+def deterministic_part(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """A snapshot with its volatile plane stripped — the only part that
+    may flow toward a store meta."""
+    return {
+        section: snapshot.get(section, {})
+        for section in DETERMINISTIC_SECTIONS
+    }
+
+
+def store_telemetry(rows: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """The telemetry summary a finalized store carries in its meta."""
+    registry = MetricsRegistry()
+    for row in rows:
+        registry.merge(cell_snapshot(row))
+    summary = {"schema": TELEMETRY_SCHEMA}
+    summary.update(deterministic_part(registry.snapshot()))
+    return summary
+
+
+def strip_telemetry(meta: Dict[str, Any]) -> Dict[str, Any]:
+    """A meta without its ``telemetry`` summary — for comparisons that
+    must treat partial stores (whose slice-level summaries differ) as
+    the same grid."""
+    return {key: val for key, val in meta.items() if key != "telemetry"}
+
+
+# ---------------------------------------------------------------------------
+# Worker profiling (repro sweep --profile-workers)
+# ---------------------------------------------------------------------------
+def profile_files(profile_dir: str) -> List[str]:
+    """The per-worker ``.pstats`` dumps under ``profile_dir``, sorted."""
+    if not os.path.isdir(profile_dir):
+        return []
+    return sorted(
+        os.path.join(profile_dir, name)
+        for name in os.listdir(profile_dir)
+        if name.endswith(".pstats")
+    )
+
+
+def aggregate_profiles(
+    profile_dir: str, top: int = 15
+) -> Tuple[List[str], str]:
+    """Merge every worker's cProfile dump into one hot-function table.
+
+    Returns ``(files, table)`` — the dumps that were merged and the
+    aggregated ``pstats`` output (top ``top`` functions by cumulative
+    time, dirs stripped).  Empty table when no dumps exist.
+    """
+    files = profile_files(profile_dir)
+    if not files:
+        return [], ""
+    stats = pstats.Stats(files[0], stream=io.StringIO())
+    for path in files[1:]:
+        stats.add(path)
+    buffer = io.StringIO()
+    stats.stream = buffer
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return files, buffer.getvalue().rstrip()

@@ -12,9 +12,14 @@ Examples::
         --drop 0.05 --crash 7@3 --reliable
     python -m repro trace --graph tree:n=64 --algo fast-mst --out trace.jsonl
     python -m repro report trace.jsonl
+    python -m repro report trace.jsonl --json
+    python -m repro report --bench
     python -m repro sweep --workload kdom --spec tree:n=200 --spec grid:12x12 \
         --seeds 0,1,2 --ks 2,4,8 --workers 4 --out sweep.jsonl
     python -m repro sweep --fast --shard 0/2 --out shard0.jsonl
+    python -m repro sweep --fast --profile-workers --out sweep.jsonl
+    python -m repro status sweep.jsonl --final
+    python -m repro top --dir .
     python -m repro sweep --fast --deadline-s 30 --out sweep.jsonl
     python -m repro merge-stores shard0.jsonl shard1.jsonl --out merged.jsonl
     python -m repro merge-stores shard0.jsonl --allow-partial --out part.jsonl
@@ -394,34 +399,86 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Schema tag on ``repro report --json`` output.
+REPORT_SCHEMA = "repro-report/1"
+
+
+def _report_json(args: argparse.Namespace, scan, problems) -> int:
+    """Emit the machine-readable report document (``--json``)."""
+    import json
+
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "trace": args.trace,
+        "trace_schema": scan.schema if scan is not None else None,
+        "meta": scan.meta if scan is not None else {},
+        "events": scan.events_total if scan is not None else 0,
+        "by_kind": scan.by_kind if scan is not None else {},
+        "fabric_events": scan.fabric_by_kind if scan is not None else {},
+        "runs": len(scan.runs) if scan is not None else 0,
+        "phases": len(scan.phases) if scan is not None else 0,
+        "phase_breakdown": scan.phase_breakdown() if scan is not None else {},
+        "total_rounds": scan.total_rounds if scan is not None else 0,
+        "valid": not problems,
+        "problems": list(problems),
+    }
+    print(json.dumps(doc, sort_keys=True, indent=2))
+    return 1 if problems else 0
+
+
+def _report_bench(args: argparse.Namespace) -> int:
+    """Render the perf trajectory (``--bench``) from the BENCH history."""
+    from . import perf
+
+    path = args.history or perf.DEFAULT_HISTORY
+    entries, problems = perf.load_history(path)
+    if not entries:
+        print(f"no perf history at {path} — run `repro perf` to record one")
+        return 1
+    for line in perf.perf_trajectory(entries, source=path):
+        print(line)
+    for problem in problems[:5]:
+        print(f"note: {problem}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .obs import (
         TraceValidationError,
         ascii_timeline,
         channel_heatmap,
-        read_trace,
+        scan_trace,
         summary_lines,
-        validate_trace,
     )
 
+    if args.bench:
+        return _report_bench(args)
+    if not args.trace:
+        raise SystemExit("a trace file is required (unless using --bench)")
+    # One streaming pass (iter_trace) — constant-ish memory, so
+    # sweep-scale traces report without materialising their event list.
     try:
-        trace = read_trace(args.trace)
+        scan = scan_trace(args.trace)
     except TraceValidationError as exc:
+        if args.json:
+            return _report_json(args, None, list(exc.problems))
         print(f"unreadable trace {args.trace!r}:")
         for problem in exc.problems[:10]:
             print(f"  - {problem}")
         return 1
-    problems = validate_trace(trace)
-    meta = ", ".join(f"{k}={v}" for k, v in sorted(trace.meta.items()))
-    print(f"trace {args.trace} (schema {trace.schema})")
+    problems = scan.problems()
+    if args.json:
+        return _report_json(args, scan, problems)
+    meta = ", ".join(f"{k}={v}" for k, v in sorted(scan.meta.items()))
+    print(f"trace {args.trace} (schema {scan.schema})")
     if meta:
         print(f"meta: {meta}")
-    for line in summary_lines(trace):
+    for line in summary_lines(scan):
         print(line)
     print()
-    print(ascii_timeline(trace, width=args.width))
+    print(ascii_timeline(scan, width=args.width))
     print()
-    print(channel_heatmap(trace, channels=args.channels, width=args.width))
+    print(channel_heatmap(scan, channels=args.channels, width=args.width))
     if problems:
         print(f"\ntrace INVALID: {len(problems)} problem(s)")
         for problem in problems[:10]:
@@ -504,6 +561,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.max_attempts is not None and args.max_attempts < 1:
         raise SystemExit("bad --max-attempts: must be >= 1")
     echo = print if args.verbose else (lambda line: None)
+    profile_dir = args.profile_workers
+    if profile_dir == "":
+        profile_dir = (args.out or "sweep") + ".profiles"
     try:
         summary = run_sweep(
             grid,
@@ -517,6 +577,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             deadline_s=args.deadline_s,
             max_attempts=args.max_attempts,
             retry_quarantined=args.retry_quarantined,
+            telemetry=not args.no_telemetry,
+            status_path=args.status,
+            profile_dir=profile_dir,
         )
     except (StoreError, SweepCellError, SweepCrashError) as exc:
         raise SystemExit(str(exc))
@@ -542,6 +605,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     if args.out:
         print(f"store: {args.out}")
+    if profile_dir is not None:
+        from .batch import aggregate_profiles
+
+        files, table = aggregate_profiles(profile_dir)
+        if files:
+            print(f"worker profiles: {len(files)} dump(s) in {profile_dir}")
+            print(table)
+        else:
+            print(f"worker profiles: no dumps in {profile_dir} "
+                  f"(every cell skipped?)")
     if grid.verify:
         bad = [
             row["cell"]
@@ -606,6 +679,96 @@ def cmd_repair_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_loop(render, interval: float) -> int:
+    """Re-render a status view every ``interval`` seconds until ^C."""
+    import time
+
+    try:
+        while True:
+            lines, done = render()
+            # ANSI home+clear keeps the view in place on real terminals
+            # and is harmless noise when piped.
+            print("\x1b[H\x1b[2J", end="")
+            for line in lines:
+                print(line)
+            if done:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from .batch import (
+        StoreError,
+        SweepStore,
+        read_status,
+        render_status,
+        render_store_status,
+        status_path_for,
+    )
+
+    if args.final:
+        try:
+            meta, rows = SweepStore(args.store).load()
+        except StoreError as exc:
+            raise SystemExit(str(exc))
+        if meta is None:
+            raise SystemExit(f"{args.store}: no such store")
+        ordered = [rows[key] for key in sorted(rows)]
+        for line in render_store_status(meta, ordered):
+            print(line)
+        return 0
+
+    path = (
+        args.store
+        if args.store.endswith(".status.json")
+        else status_path_for(args.store)
+    )
+
+    def render():
+        try:
+            status = read_status(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read status file {path}: {exc}")
+        state = str(status.get("state", ""))
+        return render_status(status), state not in ("running", "starting")
+
+    if args.watch:
+        return _watch_loop(render, args.interval)
+    lines, _done = render()
+    for line in lines:
+        print(line)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .batch import find_status_files, read_status, render_top
+
+    def render():
+        paths = find_status_files(args.dir)
+        statuses = []
+        kept = []
+        for path in paths:
+            try:
+                statuses.append(read_status(path))
+                kept.append(path)
+            except (OSError, ValueError):
+                continue  # torn write or foreign file; skip this round
+        all_done = bool(kept) and all(
+            str(s.get("state", "")) not in ("running", "starting")
+            for s in statuses
+        )
+        return render_top(statuses, kept), all_done
+
+    if args.watch:
+        return _watch_loop(render, args.interval)
+    lines, _done = render()
+    for line in lines:
+        print(line)
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from .batch import PoolCrashError, SweepCrashError
     from .batch.chaos import run_chaos
@@ -665,6 +828,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
         obs=args.obs,
         workload=args.workload,
         compare=args.compare,
+        telemetry=args.telemetry,
+        history=None if args.no_history else perf.DEFAULT_HISTORY,
     )
 
 
@@ -777,11 +942,21 @@ def make_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser(
         "report", help="validate and summarize a saved JSONL trace"
     )
-    p_report.add_argument("trace", help="trace file written by `repro trace`")
+    p_report.add_argument("trace", nargs="?", default=None,
+                          help="trace file written by `repro trace`")
     p_report.add_argument("--width", type=int, default=60,
                           help="view width in columns")
     p_report.add_argument("--channels", type=int, default=12,
                           help="rows in the congestion heatmap")
+    p_report.add_argument("--json", action="store_true",
+                          help="machine-readable summary (repro-report/1) "
+                               "instead of the ASCII views")
+    p_report.add_argument("--bench", action="store_true",
+                          help="render the perf trajectory from the "
+                               "recorded BENCH history instead of a trace")
+    p_report.add_argument("--history", default=None, metavar="PATH",
+                          help="BENCH history file for --bench "
+                               "(default: BENCH_history.jsonl)")
     p_report.set_defaults(fn=cmd_report)
 
     p_sweep = sub.add_parser(
@@ -835,9 +1010,50 @@ def make_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--retry-quarantined", action="store_true",
                          help="on resume, re-run previously quarantined "
                               "cells instead of keeping their error rows")
+    p_sweep.add_argument("--no-telemetry", action="store_true",
+                         help="disable fabric telemetry (metrics registry, "
+                              "spans, store summary, status heartbeats)")
+    p_sweep.add_argument("--status", default=None, metavar="PATH",
+                         help="live status sidecar path (default: "
+                              "<out>.status.json when --out is given)")
+    p_sweep.add_argument("--profile-workers", nargs="?", const="",
+                         default=None, metavar="DIR",
+                         help="cProfile every cell; dump per-worker .pstats "
+                              "under DIR (default <out>.profiles) and print "
+                              "the aggregated hot-function table")
     p_sweep.add_argument("-v", "--verbose", action="store_true",
                          help="print one line per finished cell")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_status = sub.add_parser(
+        "status",
+        help="render a sweep's live status sidecar (or, with --final, "
+             "the deterministic summary inside a finished store)",
+    )
+    p_status.add_argument("store", help="sweep store path (or its "
+                                        "*.status.json sidecar directly)")
+    p_status.add_argument("--final", action="store_true",
+                          help="read the store itself and render its "
+                               "deterministic telemetry summary")
+    p_status.add_argument("--watch", action="store_true",
+                          help="re-render until the sweep finishes (^C "
+                               "to stop)")
+    p_status.add_argument("--interval", type=float, default=1.0,
+                          help="refresh interval for --watch (seconds)")
+    p_status.set_defaults(fn=cmd_status)
+
+    p_top = sub.add_parser(
+        "top",
+        help="one-line status table over every *.status.json in a "
+             "directory",
+    )
+    p_top.add_argument("--dir", default=".",
+                       help="directory to scan (non-recursive)")
+    p_top.add_argument("--watch", action="store_true",
+                       help="re-render until every sweep finishes")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh interval for --watch (seconds)")
+    p_top.set_defaults(fn=cmd_top)
 
     p_merge = sub.add_parser(
         "merge-stores",
@@ -939,6 +1155,13 @@ def make_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--compare", default=None, metavar="OLD.json",
                         help="after the run, print a per-workload "
                              "speedup table against a previous report")
+    p_perf.add_argument("--telemetry", action="store_true",
+                        help="also measure sweep telemetry overhead and "
+                             "gate the telemetry-off configuration at "
+                             "5%% over baseline")
+    p_perf.add_argument("--no-history", action="store_true",
+                        help="skip appending this run to the BENCH "
+                             "history (BENCH_history.jsonl)")
     p_perf.set_defaults(fn=cmd_perf)
     return parser
 

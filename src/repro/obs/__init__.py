@@ -42,7 +42,9 @@ See docs/observability.md for the full schema and the overhead contract.
 
 from .events import (
     EVENT_KINDS,
+    FABRIC_KINDS,
     FAULT_KINDS,
+    SPAN_KINDS,
     TRACE_SCHEMA,
     CountingSubscriber,
     Subscriber,
@@ -51,34 +53,58 @@ from .events import (
 from .export import (
     JsonlTraceWriter,
     Trace,
+    TraceScan,
     TraceValidationError,
+    iter_trace,
     read_trace,
+    scan_trace,
     validate_trace,
 )
 from .metrics import ChannelMetrics, MetricsCollector, NodeMetrics
 from .session import Observation, current_observation, observe
+from .telemetry import (
+    TELEMETRY_SCHEMA,
+    MetricsRegistry,
+    TelemetrySession,
+    current_telemetry,
+    emit_phase_spans,
+    span,
+    telemetry_session,
+)
 from .views import ascii_timeline, channel_heatmap, phase_table, summary_lines
 
 __all__ = [
     "ChannelMetrics",
     "CountingSubscriber",
     "EVENT_KINDS",
+    "FABRIC_KINDS",
     "FAULT_KINDS",
     "JsonlTraceWriter",
     "MetricsCollector",
+    "MetricsRegistry",
     "NodeMetrics",
     "Observation",
+    "SPAN_KINDS",
     "Subscriber",
+    "TELEMETRY_SCHEMA",
+    "TelemetrySession",
     "Trace",
     "TraceBuffer",
+    "TraceScan",
     "TraceValidationError",
     "TRACE_SCHEMA",
     "ascii_timeline",
     "channel_heatmap",
     "current_observation",
+    "current_telemetry",
+    "emit_phase_spans",
+    "iter_trace",
     "observe",
     "phase_table",
     "read_trace",
+    "scan_trace",
+    "span",
     "summary_lines",
+    "telemetry_session",
     "validate_trace",
 ]

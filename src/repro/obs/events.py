@@ -43,15 +43,30 @@ Like everything else on the stream, fabric events are deterministic
 per cause: no pids, no timestamps — the chaos harness
 (:mod:`repro.batch.chaos`) compares them across replays.
 
+**Span events** (:data:`SPAN_KINDS`) mark the fabric's hierarchical
+work spans (sweep → shard → task → run → phase; see
+:mod:`repro.obs.telemetry`).  They share the fabric plane
+(``round=-1`` / ``run=-1``) and the same determinism rule: ids derive
+from cell keys, never from clocks or pids.
+
+=========== ===================================================
+kind         fields
+=========== ===================================================
+span_start   ``span`` (id, ``level:key``), ``parent`` (id or
+             ``""``), ``level``, ``name``
+span_end     ``span``
+=========== ===================================================
+
 Every simulation event kind is **model-visible**: it reflects what
 programs did (send, halt, request a wakeup) or what the environment
 did to messages (deliver, fault), never *how* the engine scheduled the
 work.  That is what makes a trace byte-identical between
 ``scheduling="full"`` and ``scheduling="active"`` — the property
-``tests/obs/test_equivalence.py`` pins.  Fabric events are the sole
-exception: they exist precisely to report execution-layer faults, and
-they never appear unless the fabric actually failed (or chaos was
-injected).
+``tests/obs/test_equivalence.py`` pins.  Fabric and span events are
+the exception: they describe the execution layer.  Failure kinds never
+appear unless the fabric actually failed (or chaos was injected);
+span kinds appear whenever telemetry-instrumented drivers (sweeps,
+``run_cell``) run under an observation.
 
 Phase records (``phase-enter`` / ``phase-exit``) travel on a separate
 subscriber channel (:meth:`Subscriber.on_phase`) because they describe
@@ -75,6 +90,13 @@ FABRIC_KINDS = (
     "task_quarantined",
 )
 
+#: Hierarchical work spans (repro.obs.telemetry); fabric-plane like
+#: FABRIC_KINDS (round/run = -1) but emitted on healthy runs too.
+SPAN_KINDS = (
+    "span_start",
+    "span_end",
+)
+
 #: Engine event kinds, in no particular order.
 EVENT_KINDS = (
     "send",
@@ -85,7 +107,7 @@ EVENT_KINDS = (
     "crash",
     "wakeup",
     "halt",
-) + FABRIC_KINDS
+) + FABRIC_KINDS + SPAN_KINDS
 
 #: The subset of kinds that mirror :class:`repro.sim.faults.FaultEvent`s.
 FAULT_KINDS = ("drop", "duplicate", "delay", "crash")

@@ -13,6 +13,15 @@ machines.
   on the :data:`_RAMP` intensity ramp;
 * :func:`phase_table` — the :class:`~repro.sim.runner.StagedRun` spans
   as an aligned table (name, start, end, rounds, share).
+
+Every view accepts either an events-carrying trace (a
+:class:`~repro.obs.export.Trace` / :class:`~repro.obs.events.
+TraceBuffer`) or a streaming :class:`~repro.obs.export.TraceScan`,
+which carries the same send profiles precomputed.  Fabric-plane events
+(``round=-1``: worker kills, retries, spans — see
+:mod:`repro.obs.events`) have no place on the round axis, so the views
+bucket them into a separate ``fabric:`` summary line instead of
+folding them onto the simulated timeline.
 """
 
 from __future__ import annotations
@@ -27,14 +36,33 @@ def _bucketize(
     per_round: Dict[int, int], span: int, width: int
 ) -> List[int]:
     """Fold a ``{round: count}`` profile over ``span`` rounds into
-    ``width`` buckets (bucket value = sum of its rounds' counts)."""
+    ``width`` buckets (bucket value = sum of its rounds' counts).
+    Out-of-axis rounds clamp to the edge buckets rather than wrapping
+    (a negative round must not land in the final bucket)."""
     buckets = [0] * width
     if span <= 0:
         return buckets
     for round_number, count in per_round.items():
-        index = min(width - 1, round_number * width // span)
+        index = min(width - 1, max(0, round_number) * width // span)
         buckets[index] += count
     return buckets
+
+
+def _fabric_counts(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Counts by kind of execution-layer events (``round < 0``)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        rnd = event.get("round", 0)
+        if isinstance(rnd, int) and rnd < 0:
+            kind = event.get("kind")
+            counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def _fabric_line(counts: Dict[str, int]) -> str:
+    parts = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
+    total = sum(counts.values())
+    return f"fabric: {total} event(s) off the round axis ({parts})"
 
 
 def _ramp_row(buckets: List[int], peak: int) -> str:
@@ -59,24 +87,68 @@ def _phases_of(trace: Any) -> List[Dict[str, Any]]:
     return list(getattr(trace, "phases", []) or [])
 
 
+def _send_state(
+    trace: Any,
+) -> Tuple[Dict[int, Dict[int, int]], int, Dict[str, int]]:
+    """(per-run send profiles, total sends, fabric counts) for any
+    trace-like object — precomputed on a TraceScan, derived from the
+    event list otherwise.  Fabric-plane sends (round < 0) are excluded
+    from the profiles and reported in the fabric counts."""
+    profiles = getattr(trace, "send_profiles_by_run", None)
+    if profiles is not None:
+        return (
+            profiles,
+            getattr(trace, "total_sends", 0),
+            dict(getattr(trace, "fabric_by_kind", {}) or {}),
+        )
+    events = _events_of(trace)
+    per_run: Dict[int, Dict[int, int]] = {}
+    total = 0
+    for event in events:
+        if event.get("kind") != "send":
+            continue
+        rnd = event["round"]
+        if isinstance(rnd, int) and rnd < 0:
+            continue
+        total += 1
+        profile = per_run.setdefault(event.get("run", 0), {})
+        profile[rnd] = profile.get(rnd, 0) + 1
+    return per_run, total, _fabric_counts(events)
+
+
+def _channel_state(
+    trace: Any,
+) -> Dict[Tuple[str, str], Dict[int, int]]:
+    """Per-channel send profiles (fabric-plane sends excluded)."""
+    profiles = getattr(trace, "channel_profiles", None)
+    if profiles is not None:
+        return profiles
+    out: Dict[Tuple[str, str], Dict[int, int]] = {}
+    for event in _events_of(trace):
+        if event.get("kind") != "send":
+            continue
+        rnd = event["round"]
+        if isinstance(rnd, int) and rnd < 0:
+            continue
+        key = (str(event["node"]), str(event["peer"]))
+        profile = out.setdefault(key, {})
+        profile[rnd] = profile.get(rnd, 0) + 1
+    return out
+
+
 def ascii_timeline(trace: Any, width: int = 60) -> str:
     """Render sends-per-round as one sparkline row per network run.
 
     ``trace`` is anything with ``.events`` / ``.phases`` lists of event
     dicts — a :class:`~repro.obs.export.Trace` or a
-    :class:`~repro.obs.events.TraceBuffer`.
+    :class:`~repro.obs.events.TraceBuffer` — or a streaming
+    :class:`~repro.obs.export.TraceScan`.
     """
-    events = _events_of(trace)
-    sends = [e for e in events if e.get("kind") == "send"]
+    per_run, total_sends, fabric = _send_state(trace)
     lines: List[str] = []
-    if not sends:
+    if not total_sends:
         lines.append("(no send events)")
     else:
-        per_run: Dict[int, Dict[int, int]] = {}
-        for event in sends:
-            profile = per_run.setdefault(event.get("run", 0), {})
-            rnd = event["round"]
-            profile[rnd] = profile.get(rnd, 0) + 1
         run_rows: List[Tuple[int, List[int], int]] = []
         peak = 0
         for run in sorted(per_run):
@@ -86,11 +158,13 @@ def ascii_timeline(trace: Any, width: int = 60) -> str:
             peak = max(peak, max(buckets))
             run_rows.append((run, buckets, span))
         lines.append(
-            f"sends per round ({len(sends)} total, peak bucket {peak})"
+            f"sends per round ({total_sends} total, peak bucket {peak})"
         )
         for run, buckets, span in run_rows:
             row = _ramp_row(buckets, peak)
             lines.append(f"run {run:>2} |{row}| rounds 0..{span - 1}")
+    if fabric:
+        lines.append(_fabric_line(fabric))
     phases = _phases_of(trace)
     if phases:
         lines.append("")
@@ -134,17 +208,10 @@ def channel_heatmap(
     algorithms each run restarts at round 0, which is the natural way
     to compare the same physical link across stages.
     """
-    events = _events_of(trace)
-    sends = [e for e in events if e.get("kind") == "send"]
-    if not sends:
+    profiles = _channel_state(trace)
+    if not profiles:
         return "(no send events)"
-    profiles: Dict[Tuple[str, str], Dict[int, int]] = {}
-    for event in sends:
-        key = (str(event["node"]), str(event["peer"]))
-        profile = profiles.setdefault(key, {})
-        rnd = event["round"]
-        profile[rnd] = profile.get(rnd, 0) + 1
-    span = max(e["round"] for e in sends) + 1
+    span = max(max(p) for p in profiles.values()) + 1
     cols = min(width, span)
     ordered = sorted(
         profiles.items(), key=lambda kv: (-sum(kv[1].values()), kv[0])
@@ -176,12 +243,18 @@ def summary_lines(
     trace: Any, collector: Optional[Any] = None
 ) -> List[str]:
     """Headline numbers for ``repro trace`` / ``repro report`` output."""
-    events = _events_of(trace)
-    by_kind: Dict[str, int] = {}
-    for event in events:
-        kind = event.get("kind")
-        by_kind[kind] = by_kind.get(kind, 0) + 1
-    lines = [f"events: {len(events)}"]
+    precomputed = getattr(trace, "by_kind", None)
+    if precomputed is not None and isinstance(precomputed, dict):
+        by_kind: Dict[str, int] = dict(precomputed)
+        total = getattr(trace, "events_total", sum(by_kind.values()))
+    else:
+        events = _events_of(trace)
+        by_kind = {}
+        for event in events:
+            kind = event.get("kind")
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        total = len(events)
+    lines = [f"events: {total}"]
     if by_kind:
         parts = ", ".join(f"{k}={by_kind[k]}" for k in sorted(by_kind))
         lines.append(f"by kind: {parts}")

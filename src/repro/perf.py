@@ -77,8 +77,15 @@ from .primitives.bfs import build_bfs_tree
 
 SCHEMA = "repro-perf-smoke/2"
 
+#: Schema tag on each BENCH history line (``BENCH_history.jsonl``).
+HISTORY_SCHEMA = "repro-perf-history/1"
+
 #: Default report location (repository root when run from a checkout).
 DEFAULT_OUTPUT = "BENCH_sim.json"
+
+#: Default perf-trajectory history (one JSONL line appended per run;
+#: rendered by ``repro report --bench``).
+DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 #: Default committed baseline used by the regression gate.
 DEFAULT_BASELINE = "benchmarks/perf_baseline.json"
@@ -312,6 +319,82 @@ def measure_observability(
     return section
 
 
+def measure_telemetry_overhead(
+    fast: bool = False,
+    reps: int = 3,
+    echo: Callable[[str], None] = lambda line: None,
+) -> Dict[str, Any]:
+    """Time the kdom sweep with fabric telemetry off and on; return the
+    ``"telemetry"`` report section.
+
+    Mirrors the observability discipline: the metrics registry, spans
+    and status heartbeats must cost (nearly) nothing when disabled —
+    ``telemetry=False`` reduces :func:`repro.batch.run_sweep` to the
+    pre-telemetry code path plus one ``None`` check per cell.  The gate
+    in :func:`main` (``--telemetry``) holds the *off* configuration to
+    :data:`OBS_GATE_FACTOR` of the committed ``sweep_kdom`` baseline,
+    which was recorded before the fabric carried any telemetry at all.
+    """
+    from .batch import SweepGrid, run_sweep
+
+    n, cells = (80, 4) if fast else (300, 8)
+    seeds = tuple(range(cells // 2))
+    grid = SweepGrid(
+        workload="kdom", specs=(f"tree:n={n}",), seeds=seeds, ks=(2, 4)
+    )
+
+    def sweep(enabled: bool) -> None:
+        run_sweep(
+            grid, store_path=None, backend="inline", telemetry=enabled
+        )
+
+    off_times = time_workload(lambda: sweep(False), reps)
+    on_times = time_workload(lambda: sweep(True), reps)
+    off, on = min(off_times), min(on_times)
+    ratio = on / off if off > 0 else float("inf")
+    echo(
+        f"{'telemetry':<14} off {off:.3f}s vs on {on:.3f}s "
+        f"({ratio:.2f}x, {len(seeds) * 2} cells, n={n})"
+    )
+    return {
+        "n": n,
+        "cells": len(seeds) * 2,
+        "off_seconds": round(off, 6),
+        "off_times": [round(t, 6) for t in off_times],
+        "on_seconds": round(on, 6),
+        "on_times": [round(t, 6) for t in on_times],
+        "overhead_ratio": round(ratio, 3),
+    }
+
+
+def check_telemetry_overhead(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    factor: float = OBS_GATE_FACTOR,
+) -> List[str]:
+    """Gate the telemetry-disabled sweep at ``factor`` x the committed
+    ``sweep_kdom`` baseline — the fabric-telemetry twin of
+    :func:`check_obs_overhead`."""
+    section = report.get("telemetry")
+    if not section:
+        return []
+    mode = report.get("mode")
+    base = baseline.get(mode, {}).get("sweep_kdom") if mode else None
+    if not base:
+        return []
+    allowed = base["best_seconds"] * factor
+    current = section["off_seconds"]
+    if current > allowed:
+        return [
+            f"telemetry: disabled sweep {current:.3f}s exceeds "
+            f"{factor:.2f}x baseline sweep_kdom "
+            f"({base['best_seconds']:.3f}s -> allowed {allowed:.3f}s) — "
+            f"fabric telemetry must cost nothing when off "
+            f"(docs/observability.md)"
+        ]
+    return []
+
+
 def measure_spec_dispatch(
     fast: bool = False,
     echo: Callable[[str], None] = lambda line: None,
@@ -429,6 +512,145 @@ def compare_reports(
     return lines
 
 
+def append_history(
+    report: Dict[str, Any], path: str = DEFAULT_HISTORY
+) -> Dict[str, Any]:
+    """Append one compact JSONL line for this run to the BENCH history.
+
+    The history is the longitudinal record behind ``repro report
+    --bench``: every perf run adds ``{schema, mode, recorded_unix,
+    workloads: {name: best_seconds}, dense_speedup}``.  Wall-clock
+    timestamps are fine here — the history is a log, not a store.
+    """
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "mode": report.get("mode"),
+        "recorded_unix": round(time.time(), 3),
+        "workloads": {
+            name: result["best_seconds"]
+            for name, result in report.get("workloads", {}).items()
+        },
+        "dense_speedup": report.get("dense_speedup", {}).get("speedup"),
+    }
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+    return entry
+
+
+def load_history(
+    path: str = DEFAULT_HISTORY,
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Read the BENCH history: ``(entries, problems)``, file order.
+
+    Unreadable or foreign-schema lines are skipped and reported as
+    problems rather than raised — a half-written last line must not
+    block the trajectory view.
+    """
+    entries: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except FileNotFoundError:
+        return [], []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            problems.append(f"line {number}: unparsable history line")
+            continue
+        if not isinstance(entry, dict) or entry.get("schema") != HISTORY_SCHEMA:
+            problems.append(
+                f"line {number}: not a {HISTORY_SCHEMA!r} entry"
+            )
+            continue
+        entries.append(entry)
+    return entries, problems
+
+
+#: Trajectory intensity ramp: fastest run renders '.' and the slowest
+#: '@', so a cooling-down workload reads as a right-to-left fade.
+_TRAJECTORY_RAMP = ".:-=+*#%@"
+
+
+def _trajectory_ramp(series: List[float]) -> str:
+    lo, hi = min(series), max(series)
+    if hi <= lo:
+        return _TRAJECTORY_RAMP[0] * len(series)
+    top = len(_TRAJECTORY_RAMP) - 1
+    return "".join(
+        _TRAJECTORY_RAMP[int((value - lo) / (hi - lo) * top)]
+        for value in series
+    )
+
+
+def perf_trajectory(
+    entries: List[Dict[str, Any]], source: Optional[str] = None
+) -> List[str]:
+    """Render the perf trajectory across recorded history entries.
+
+    One table per mode (fast/full sizes are not comparable): first and
+    latest best per workload, the first->latest trend, and a per-run
+    intensity ramp ('.' fastest .. '@' slowest) so a regression sitting
+    in the middle of the history is visible, not just endpoint drift.
+    """
+    head = f"perf trajectory: {len(entries)} recorded run(s)"
+    if source:
+        head += f" from {source}"
+    lines = [head]
+    by_mode: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in entries:
+        by_mode.setdefault(str(entry.get("mode", "?")), []).append(entry)
+    for mode, group in by_mode.items():
+        lines.append("")
+        lines.append(f"mode {mode}: {len(group)} run(s)")
+        names = sorted({
+            name for entry in group for name in entry.get("workloads", {})
+        })
+        if not names:
+            lines.append("  (no workloads recorded)")
+            continue
+        name_width = max(len("workload"), max(len(n) for n in names))
+        lines.append(
+            f"  {'workload':<{name_width}}  {'first':>9}  {'latest':>9}  "
+            f"{'trend':>13}  runs ('.'=fastest '@'=slowest)"
+        )
+        for name in names:
+            series = [
+                entry["workloads"][name]
+                for entry in group
+                if name in entry.get("workloads", {})
+            ]
+            first, latest = series[0], series[-1]
+            if latest <= 0:
+                trend = "?"
+            else:
+                ratio = first / latest
+                trend = (
+                    f"{ratio:.2f}x faster"
+                    if ratio >= 1
+                    else f"{1 / ratio:.2f}x slower"
+                )
+            lines.append(
+                f"  {name:<{name_width}}  {first:>8.3f}s  {latest:>8.3f}s  "
+                f"{trend:>13}  {_trajectory_ramp(series)}"
+            )
+        speedups = [
+            entry["dense_speedup"]
+            for entry in group
+            if entry.get("dense_speedup")
+        ]
+        if speedups:
+            lines.append(
+                f"  dense speedup: {speedups[0]:.1f}x first, "
+                f"{speedups[-1]:.1f}x latest"
+            )
+    return lines
+
+
 def check_obs_overhead(
     report: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -541,13 +763,17 @@ def main(
     obs: bool = False,
     workload: Optional[List[str]] = None,
     compare: Optional[str] = None,
+    telemetry: bool = False,
+    history: Optional[str] = DEFAULT_HISTORY,
 ) -> int:
     """Run the suite, write the report, apply the regression gate.
 
     ``workload`` restricts the suite to the named workloads (the
     auxiliary spec-dispatch and dense-speedup sections are then
     skipped); ``compare`` prints a per-workload speedup table against a
-    previously written report after the run.
+    previously written report after the run.  ``telemetry`` adds the
+    sweep telemetry-overhead section and its disabled-cost gate;
+    ``history`` appends the run to the BENCH history (``None`` skips).
     """
     try:
         select_workloads(workload)
@@ -565,8 +791,15 @@ def main(
         report["observability"] = measure_observability(
             report, fast=fast, reps=reps, echo=print
         )
+    if telemetry:
+        report["telemetry"] = measure_telemetry_overhead(
+            fast=fast, reps=reps, echo=print
+        )
     write_report(report, output)
     print(f"wrote {output}")
+    if history:
+        append_history(report, history)
+        print(f"appended history -> {history}")
     if compare is not None:
         old = load_baseline(compare)
         if old is None:
@@ -589,6 +822,8 @@ def main(
     failures = check_regressions(report, baseline, gate_factor)
     if obs:
         failures += check_obs_overhead(report, baseline)
+    if telemetry:
+        failures += check_telemetry_overhead(report, baseline)
     speedup_section = report.get("dense_speedup", {})
     speedup = speedup_section.get("speedup")
     if speedup is not None and speedup < DENSE_SPEEDUP_FLOOR:
@@ -605,6 +840,8 @@ def main(
     gates = f"{gate_factor:.1f}x"
     if obs:
         gates += f" + obs {OBS_GATE_FACTOR:.2f}x"
+    if telemetry:
+        gates += f" + telemetry-off {OBS_GATE_FACTOR:.2f}x"
     if speedup is not None:
         gates += f" + dense {DENSE_SPEEDUP_FLOOR:.0f}x floor"
     print(f"gate passed ({gates} vs {baseline_path})")

@@ -1,0 +1,239 @@
+"""Status sidecar mechanics: atomic throttled writes and the renderers.
+
+The sidecar is the *volatile* face of sweep telemetry — wall-clock
+numbers, overwritten in place — so these tests pin the plumbing
+(throttle, schema stamping, atomicity leftovers, discovery) and the
+exact text the ``repro status`` / ``repro top`` renderers produce,
+while tests/batch/test_telemetry_sweep.py pins what a live sweep puts
+in the document.
+"""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    STATUS_SCHEMA,
+    SweepStatusWriter,
+    find_status_files,
+    read_status,
+    render_status,
+    render_store_status,
+    render_top,
+    status_path_for,
+)
+from repro.batch.status import fabric_tallies, format_duration
+
+
+class TestWriter:
+    def test_write_stamps_schema_and_timestamp(self, tmp_path):
+        path = str(tmp_path / "s.status.json")
+        assert SweepStatusWriter(path).write({"state": "running"}, force=True)
+        doc = json.loads(open(path).read())
+        assert doc["schema"] == STATUS_SCHEMA
+        assert doc["state"] == "running"
+        assert doc["updated_unix"] > 0
+
+    def test_unforced_writes_are_throttled(self, tmp_path):
+        path = str(tmp_path / "s.status.json")
+        writer = SweepStatusWriter(path, min_interval=60.0)
+        assert writer.write({"state": "a"})
+        assert not writer.write({"state": "b"})  # inside the interval
+        assert json.loads(open(path).read())["state"] == "a"
+
+    def test_force_bypasses_the_throttle(self, tmp_path):
+        path = str(tmp_path / "s.status.json")
+        writer = SweepStatusWriter(path, min_interval=60.0)
+        writer.write({"state": "running"})
+        assert writer.write({"state": "complete"}, force=True)
+        assert json.loads(open(path).read())["state"] == "complete"
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "s.status.json")
+        SweepStatusWriter(path).write({"state": "running"}, force=True)
+        assert [p.name for p in tmp_path.iterdir()] == ["s.status.json"]
+
+
+class TestReadAndDiscovery:
+    def test_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "s.status.json")
+        SweepStatusWriter(path).write({"state": "running"}, force=True)
+        assert read_status(path)["state"] == "running"
+
+    def test_read_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "s.status.json"
+        path.write_text('{"schema": "other/9"}\n')
+        with pytest.raises(ValueError, match="unknown status schema"):
+            read_status(str(path))
+
+    def test_status_path_for(self):
+        assert status_path_for("out/sweep.jsonl") == (
+            "out/sweep.jsonl.status.json"
+        )
+
+    def test_find_status_files_sorted_nonrecursive(self, tmp_path):
+        for name in ("b.status.json", "a.status.json", "a.jsonl"):
+            (tmp_path / name).write_text("{}")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "c.status.json").write_text("{}")
+        found = find_status_files(str(tmp_path))
+        assert [f.rsplit("/", 1)[-1] for f in found] == [
+            "a.status.json",
+            "b.status.json",
+        ]
+
+    def test_find_status_files_missing_dir(self, tmp_path):
+        assert find_status_files(str(tmp_path / "nope")) == []
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds, text",
+        [
+            (None, "?"),
+            (-1, "?"),
+            (0.0, "0.0s"),
+            (59.94, "59.9s"),
+            (61, "1m01s"),
+            (3661, "1h01m"),
+        ],
+    )
+    def test_cases(self, seconds, text):
+        assert format_duration(seconds) == text
+
+
+class TestFabricTallies:
+    def test_parses_labeled_counters(self):
+        tallies = fabric_tallies(
+            {
+                "fabric_tasks{state=dispatched}": 10,
+                "fabric_tasks{state=completed}": 8,
+                "fabric_tasks{state=retried}": 2,
+                "fabric_tasks{state=quarantined}": 1,
+                "fabric_worker_respawns{reason=deadline}": 2,
+                "fabric_worker_respawns{reason=died}": 1,
+                "task_seconds": 99,  # unrelated counter: ignored
+            }
+        )
+        assert tallies == {
+            "dispatched": 10,
+            "completed": 8,
+            "retried": 2,
+            "quarantined": 1,
+            "respawns": 3,
+        }
+
+    def test_empty_input(self):
+        assert fabric_tallies({}) == {
+            "dispatched": 0,
+            "completed": 0,
+            "retried": 0,
+            "quarantined": 0,
+            "respawns": 0,
+        }
+
+
+SAMPLE_STATUS = {
+    "schema": STATUS_SCHEMA,
+    "state": "running",
+    "workload": "kdom",
+    "shard": None,
+    "backend": "process",
+    "workers": 2,
+    "cells": {
+        "total": 8,
+        "done": 3,
+        "ran": 3,
+        "skipped": 0,
+        "quarantined": 0,
+        "pending": 5,
+    },
+    "inflight": ["kdom|tree:n=24|seed=0|k=2", "kdom|tree:n=24|seed=0|k=3"],
+    "elapsed_s": 1.5,
+    "cells_per_s": 2.0,
+    "eta_s": 2.5,
+    "fabric": {
+        "dispatched": 5,
+        "completed": 3,
+        "retried": 1,
+        "quarantined": 0,
+        "respawns": 1,
+    },
+}
+
+
+class TestRenderStatus:
+    def test_running_document(self):
+        lines = render_status(SAMPLE_STATUS)
+        assert lines[0] == "sweep kdom: RUNNING 3/8 cells (37.5%)"
+        assert "done 3 (ran 3, skipped 0)" in lines[1]
+        assert "pending 5" in lines[1]
+        assert lines[2] == "  backend process, workers 2"
+        assert "2.00 cells/s" in lines[3]
+        assert "eta 2.5s" in lines[3]
+        assert lines[4] == "  retries 1, respawns 1"
+        assert lines[5].startswith("  next: kdom|tree:n=24|seed=0|k=2")
+        assert lines[5].endswith("(+3 more)")
+
+    def test_shard_tag_and_empty_inflight(self):
+        status = dict(SAMPLE_STATUS, shard=[0, 2], inflight=[])
+        lines = render_status(status)
+        assert lines[0].startswith("sweep kdom [shard [0, 2]]")
+        assert not any(line.startswith("  next:") for line in lines)
+
+
+class TestRenderStoreStatus:
+    META = {
+        "workload": "kdom",
+        "cells": 2,
+        "telemetry": {
+            "schema": "repro-telemetry/1",
+            "counters": {"sim_nodes_total": 48},
+            "gauges": {"sim_nodes_max": 24},
+            "histograms": {"cell_rounds": {"count": 2, "sum": 30}},
+        },
+    }
+    ROWS = [
+        {"cell": {}, "result": {}},
+        {"cell": {}, "result": {}},
+    ]
+
+    def test_complete_store_with_telemetry(self):
+        lines = render_store_status(self.META, self.ROWS)
+        assert lines[0] == "sweep kdom: COMPLETE 2/2 cells"
+        assert "  telemetry (repro-telemetry/1):" in lines
+        assert "    sim_nodes_total = 48" in lines
+        assert "    sim_nodes_max = 24" in lines
+        assert "    cell_rounds: count=2 sum=30" in lines
+
+    def test_incomplete_and_quarantined(self):
+        rows = [{"cell": {}, "error": "boom"}]
+        lines = render_store_status({"workload": "kdom", "cells": 2}, rows)
+        assert lines[0] == "sweep kdom: INCOMPLETE 1/2 cells"
+        assert "  quarantined 1" in lines
+
+
+class TestRenderTop:
+    def test_empty(self):
+        assert render_top([], []) == ["(no *.status.json files found)"]
+
+    def test_table_alignment_and_columns(self):
+        other = dict(SAMPLE_STATUS, state="complete", workload="mst")
+        other["cells"] = dict(SAMPLE_STATUS["cells"], done=8, pending=0)
+        lines = render_top(
+            [SAMPLE_STATUS, other],
+            ["out/kdom.jsonl.status.json", "out/mst.jsonl.status.json"],
+        )
+        header, first, second = lines
+        assert header.split() == [
+            "sweep", "state", "cells", "cells/s", "eta", "quar", "retry"
+        ]
+        assert first.split() == [
+            "kdom.jsonl", "running", "3/8", "2.00", "2.5s", "0", "1"
+        ]
+        assert second.split()[:3] == ["mst.jsonl", "complete", "8/8"]
+        # Columns line up: "state" starts at the same offset everywhere.
+        offsets = {line.index(token) for line, token in zip(
+            lines, ("state", "running", "complete")
+        )}
+        assert len(offsets) == 1

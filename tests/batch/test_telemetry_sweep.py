@@ -1,0 +1,283 @@
+"""Sweep telemetry determinism: the summary in a store's meta is a
+pure function of the rows.
+
+The acceptance contract (ISSUE 8): the telemetry summary a finalized
+store carries must be byte-identical across worker counts, across
+shard counts (after ``merge_stores``), and across interrupt/resume —
+and a chaos drill with retries must converge to the same summary as
+the fault-free baseline.  Worker-shipped snapshots are an optimisation
+for the live view, never the source of truth:
+``shipped == recomputed`` is pinned here.
+"""
+
+import json
+
+from repro.batch import (
+    SweepGrid,
+    SweepStore,
+    cell_snapshot,
+    deterministic_part,
+    fast_grid,
+    merge_stores,
+    run_chaos,
+    run_sweep,
+    status_path_for,
+    store_telemetry,
+    strip_telemetry,
+)
+
+GRID = SweepGrid(
+    workload="kdom",
+    specs=("tree:n=24", "random:n=20,p=0.25"),
+    seeds=(0, 1),
+    ks=(2, 3),
+)
+
+
+def sweep_to(tmp_path, name, **kwargs):
+    path = str(tmp_path / name)
+    summary = run_sweep(GRID, store_path=path, **kwargs)
+    return path, summary
+
+
+class TestCellSnapshot:
+    ROW = {
+        "cell": {"workload": "kdom", "spec": "tree:n=8", "seed": 0, "k": 2},
+        "result": {
+            "n": 8,
+            "rounds": 11,
+            "dominators": 2,
+            "clusters": 2,
+            "metrics": {"messages": 40, "total_words": 80},
+        },
+    }
+
+    def test_ok_row_counts_everything(self):
+        snap = cell_snapshot(self.ROW)
+        assert snap["counters"]["sweep_cells_total{workload=kdom}"] == 1
+        assert snap["counters"]["sweep_cells_ok{workload=kdom}"] == 1
+        assert snap["counters"]["sim_nodes_total"] == 8
+        assert snap["counters"]["sim_rounds_total"] == 11
+        assert snap["counters"]["sim_messages_total"] == 40
+        assert snap["counters"]["sim_words_total"] == 80
+        assert snap["counters"]["kdom_dominators_total"] == 2
+        assert snap["gauges"]["sim_nodes_max"] == 8
+        assert snap["histograms"]["cell_rounds"]["count"] == 1
+
+    def test_error_row_counts_only_quarantine(self):
+        snap = cell_snapshot({"cell": {"workload": "kdom"}, "error": "boom"})
+        assert snap["counters"] == {
+            "sweep_cells_quarantined{workload=kdom}": 1,
+            "sweep_cells_total{workload=kdom}": 1,
+        }
+        assert snap["histograms"] == {}
+
+    def test_pure_function_of_the_row(self):
+        assert cell_snapshot(self.ROW) == cell_snapshot(dict(self.ROW))
+
+    def test_no_volatile_plane(self):
+        assert "volatile" not in cell_snapshot(self.ROW)
+
+
+class TestWorkerCountInvariance:
+    def test_store_and_telemetry_identical_across_worker_counts(
+        self, tmp_path
+    ):
+        blobs = {}
+        for name, kwargs in (
+            ("inline.jsonl", {"backend": "inline"}),
+            ("w1.jsonl", {"backend": "process", "workers": 1}),
+            ("w2.jsonl", {"backend": "process", "workers": 2}),
+            ("w3.jsonl", {"backend": "process", "workers": 3}),
+        ):
+            path, summary = sweep_to(tmp_path, name, **kwargs)
+            blobs[name] = (tmp_path / name).read_bytes()
+            assert summary.telemetry is not None
+        assert len(set(blobs.values())) == 1
+
+    def test_shipped_snapshots_equal_recomputed(self, tmp_path):
+        path, summary = sweep_to(
+            tmp_path, "w2.jsonl", backend="process", workers=2
+        )
+        meta, rows = SweepStore(path).load()
+        recomputed = store_telemetry(rows.values())
+        assert meta["telemetry"] == recomputed
+        # The live summary's deterministic plane agrees with the store.
+        live = {
+            section: summary.telemetry[section]
+            for section in ("counters", "gauges", "histograms")
+        }
+        assert live == deterministic_part(recomputed)
+
+    def test_summary_volatile_plane_never_reaches_the_store(self, tmp_path):
+        path, summary = sweep_to(
+            tmp_path, "w2.jsonl", backend="process", workers=2
+        )
+        assert "volatile" in summary.telemetry  # live wall-clock facts
+        meta, _rows = SweepStore(path).load()
+        assert "volatile" not in meta["telemetry"]
+        assert "volatile" not in (tmp_path / "w2.jsonl").read_text()
+
+
+class TestResumeInvariance:
+    def test_interrupt_resume_matches_one_shot(self, tmp_path):
+        one_shot, _ = sweep_to(tmp_path, "oneshot.jsonl", backend="inline")
+        resumed = str(tmp_path / "resumed.jsonl")
+        partial = run_sweep(
+            GRID, store_path=resumed, backend="inline", max_cells=3
+        )
+        assert not partial.complete
+        run_sweep(GRID, store_path=resumed, backend="inline")
+        assert (
+            (tmp_path / "resumed.jsonl").read_bytes()
+            == (tmp_path / "oneshot.jsonl").read_bytes()
+        )
+
+    def test_resume_over_a_finalized_store_is_stable(self, tmp_path):
+        path, _ = sweep_to(tmp_path, "s.jsonl", backend="inline")
+        before = (tmp_path / "s.jsonl").read_bytes()
+        summary = run_sweep(GRID, store_path=path, backend="inline")
+        assert summary.skipped == summary.total
+        assert (tmp_path / "s.jsonl").read_bytes() == before
+
+
+class TestShardInvariance:
+    def test_merged_shards_match_unsharded_bytes(self, tmp_path):
+        unsharded, _ = sweep_to(tmp_path, "full.jsonl", backend="inline")
+        shard_paths = []
+        for index in range(2):
+            path = str(tmp_path / f"shard{index}.jsonl")
+            run_sweep(
+                GRID, store_path=path, backend="inline", shard=(index, 2)
+            )
+            shard_paths.append(path)
+        # Each finalized shard carries its own slice-level summary...
+        shard_metas = [SweepStore(p).load()[0] for p in shard_paths]
+        assert all("telemetry" in meta for meta in shard_metas)
+        assert (
+            shard_metas[0]["telemetry"] != shard_metas[1]["telemetry"]
+        )
+        # ...which the merge strips and recomputes grid-wide.
+        merged = str(tmp_path / "merged.jsonl")
+        merged_meta = merge_stores(shard_paths, merged)
+        assert (
+            (tmp_path / "merged.jsonl").read_bytes()
+            == (tmp_path / "full.jsonl").read_bytes()
+        )
+        full_meta, full_rows = SweepStore(unsharded).load()
+        assert merged_meta["telemetry"] == full_meta["telemetry"]
+
+    def test_strip_telemetry_helper(self):
+        meta = {"workload": "kdom", "telemetry": {"schema": "x"}}
+        assert strip_telemetry(meta) == {"workload": "kdom"}
+        assert "telemetry" in meta  # non-mutating
+
+
+class TestTelemetryOff:
+    def test_disabled_sweep_writes_no_telemetry(self, tmp_path):
+        path, summary = sweep_to(
+            tmp_path, "off.jsonl", backend="inline", telemetry=False
+        )
+        assert summary.telemetry is None
+        meta, _rows = SweepStore(path).load()
+        assert "telemetry" not in meta
+        assert not (tmp_path / "off.jsonl.status.json").exists()
+
+    def test_off_store_rows_match_on_store_rows(self, tmp_path):
+        off, _ = sweep_to(
+            tmp_path, "off.jsonl", backend="inline", telemetry=False
+        )
+        on, _ = sweep_to(tmp_path, "on.jsonl", backend="inline")
+        off_lines = (tmp_path / "off.jsonl").read_text().splitlines()
+        on_lines = (tmp_path / "on.jsonl").read_text().splitlines()
+        # Rows are identical; only the meta line differs (telemetry key).
+        assert off_lines[1:] == on_lines[1:]
+        off_meta = json.loads(off_lines[0])
+        on_meta = json.loads(on_lines[0])
+        assert strip_telemetry(on_meta) == off_meta
+
+
+class TestStatusSidecar:
+    def test_sweep_leaves_a_final_status_document(self, tmp_path):
+        path, _ = sweep_to(
+            tmp_path, "s.jsonl", backend="process", workers=2
+        )
+        doc = json.loads(open(status_path_for(path)).read())
+        assert doc["schema"] == "repro-status/1"
+        assert doc["state"] == "complete"
+        assert doc["cells"]["done"] == 8
+        assert doc["cells"]["pending"] == 0
+        assert doc["workers"] == 2
+        assert doc["backend"] == "process"
+        assert doc["fabric"]["completed"] == 8
+
+    def test_interrupted_sweep_reports_incomplete(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        run_sweep(GRID, store_path=path, backend="inline", max_cells=3)
+        doc = json.loads(open(status_path_for(path)).read())
+        assert doc["state"] == "incomplete"
+        assert doc["cells"]["done"] == 3
+        assert doc["cells"]["pending"] == 5
+
+
+class TestChaosConvergence:
+    def test_chaos_drill_converges_to_the_baseline_telemetry(self, tmp_path):
+        grid = SweepGrid(
+            workload="partition",
+            specs=("tree:n=18", "tree:n=24"),
+            seeds=(0,),
+            ks=(2, 3, 4),
+        )
+        report = run_chaos(
+            grid,
+            seed=7,
+            out_dir=str(tmp_path),
+            workers=2,
+            deadline_s=0.5,
+        )
+        assert report.verified
+        assert report.byte_identical
+        # Retries happened, yet both stores carry the identical
+        # rows-derived summary — wall-clock noise never leaks in.
+        assert report.restarts >= 1
+        base_meta, base_rows = SweepStore(report.baseline_path).load()
+        chaos_meta, _ = SweepStore(report.chaos_path).load()
+        assert base_meta["telemetry"] == chaos_meta["telemetry"]
+        assert base_meta["telemetry"] == store_telemetry(base_rows.values())
+
+
+class TestProfileDumps:
+    def test_profile_dir_collects_pstats(self, tmp_path):
+        from repro.batch import aggregate_profiles
+
+        profile_dir = str(tmp_path / "profiles")
+        grid = fast_grid()
+        run_sweep(
+            grid,
+            store_path=str(tmp_path / "p.jsonl"),
+            backend="process",
+            workers=2,
+            profile_dir=profile_dir,
+        )
+        files, table = aggregate_profiles(profile_dir)
+        assert files
+        assert all(path.endswith(".pstats") for path in files)
+        assert "cumulative" in table
+
+    def test_profiling_does_not_change_the_store(self, tmp_path):
+        plain, _ = sweep_to(tmp_path, "plain.jsonl", backend="inline")
+        profiled, _ = sweep_to(
+            tmp_path,
+            "profiled.jsonl",
+            backend="inline",
+            profile_dir=str(tmp_path / "prof"),
+        )
+        assert (
+            (tmp_path / "plain.jsonl").read_bytes()
+            == (tmp_path / "profiled.jsonl").read_bytes()
+        )
+
+    def test_missing_dir_aggregates_empty(self, tmp_path):
+        from repro.batch import aggregate_profiles
+
+        assert aggregate_profiles(str(tmp_path / "nope")) == ([], "")

@@ -1,0 +1,197 @@
+"""Streaming trace reading: iter_trace, TraceScan, and the --json report.
+
+``repro report`` must work on traces too large to materialise, so the
+lazy reader and the single-pass scan have to agree exactly — same
+views, same counts, same validation problems in the same order — with
+``read_trace`` + ``validate_trace`` on every trace the repo can
+produce.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import path_graph
+from repro.obs import (
+    JsonlTraceWriter,
+    TraceValidationError,
+    ascii_timeline,
+    channel_heatmap,
+    iter_trace,
+    observe,
+    read_trace,
+    scan_trace,
+    summary_lines,
+    validate_trace,
+)
+from repro.obs.telemetry import emit_phase_spans, span
+from repro.primitives.flooding import FloodProgram
+from repro.sim import Network
+
+
+def flood_trace(with_spans=False):
+    """A small real trace as raw JSONL text."""
+    sink = io.StringIO()
+    writer = JsonlTraceWriter(sink, meta={"algo": "flood"})
+    with observe(writer):
+        if with_spans:
+            with span("task", "cell-a"):
+                Network(path_graph(5)).run(
+                    lambda ctx: FloodProgram(ctx, 0, value=1)
+                )
+            emit_phase_spans("cell-a", {"flood": 5})
+        else:
+            Network(path_graph(5)).run(
+                lambda ctx: FloodProgram(ctx, 0, value=1)
+            )
+    return sink.getvalue()
+
+
+class TestIterTrace:
+    def test_yields_records_in_file_order(self):
+        records = list(iter_trace(io.StringIO(flood_trace())))
+        assert records[0]["record"] == "header"
+        assert records[-1]["record"] == "summary"
+        kinds = {r["record"] for r in records}
+        assert kinds == {"header", "event", "run", "summary"}
+
+    def test_is_lazy(self):
+        """Consuming one record must not parse the rest of the file."""
+        text = flood_trace()
+        good_first_line = text.splitlines()[0]
+        poisoned = good_first_line + "\nnot json at all\n"
+        it = iter_trace(io.StringIO(poisoned))
+        assert next(it)["record"] == "header"  # fine: line 2 untouched
+        with pytest.raises(TraceValidationError):
+            next(it)
+
+    def test_path_input_owns_and_closes_handle(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        out.write_text(flood_trace())
+        records = list(iter_trace(str(out)))
+        assert records[0]["record"] == "header"
+
+    def test_bad_json_names_the_line(self):
+        text = flood_trace() + "{broken\n"
+        with pytest.raises(TraceValidationError) as excinfo:
+            list(iter_trace(io.StringIO(text)))
+        assert "bad JSON" in excinfo.value.problems[0]
+
+    def test_first_line_must_be_header(self):
+        with pytest.raises(TraceValidationError):
+            list(iter_trace(io.StringIO('{"record":"event"}\n')))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TraceValidationError):
+            list(iter_trace(io.StringIO("")))
+
+    def test_unknown_record_type_rejected(self):
+        text = flood_trace() + '{"record":"mystery"}\n'
+        with pytest.raises(TraceValidationError):
+            list(iter_trace(io.StringIO(text)))
+
+
+class TestScanEquivalence:
+    def equivalent(self, text):
+        trace = read_trace(io.StringIO(text))
+        scan = scan_trace(io.StringIO(text))
+        assert scan.events_total == len(trace.events)
+        by_kind = {}
+        for event in trace.events:
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        assert scan.by_kind == by_kind
+        assert scan.phases == trace.phases
+        assert scan.runs == trace.runs
+        assert scan.summary == trace.summary
+        assert scan.meta == trace.meta
+        assert scan.total_rounds == trace.total_rounds
+        assert scan.phase_breakdown() == trace.phase_breakdown()
+        assert scan.problems() == validate_trace(trace)
+        return trace, scan
+
+    def test_counts_and_problems_match_on_a_valid_trace(self):
+        _trace, scan = self.equivalent(flood_trace())
+        assert scan.problems() == []
+
+    def test_span_events_count_as_fabric(self):
+        _trace, scan = self.equivalent(flood_trace(with_spans=True))
+        assert scan.problems() == []
+        assert scan.fabric_by_kind["span_start"] == 2
+        assert scan.fabric_by_kind["span_end"] == 2
+
+    def test_problems_match_on_an_invalid_trace(self):
+        # Inject a malformed event and a stale summary count.
+        lines = flood_trace().splitlines()
+        lines.insert(1, json.dumps(
+            {"record": "event", "kind": "send", "round": 0, "run": 0}
+        ))
+        text = "\n".join(lines) + "\n"
+        trace, scan = self.equivalent(text)
+        problems = scan.problems()
+        assert problems  # missing node/peer/words/payload + summary drift
+        assert problems == validate_trace(trace)
+
+    def test_views_render_identically_from_scan_and_trace(self):
+        for text in (flood_trace(), flood_trace(with_spans=True)):
+            trace = read_trace(io.StringIO(text))
+            scan = scan_trace(io.StringIO(text))
+            assert ascii_timeline(scan) == ascii_timeline(trace)
+            assert channel_heatmap(scan) == channel_heatmap(trace)
+            assert summary_lines(scan) == summary_lines(trace)
+
+    def test_fabric_events_render_off_the_round_axis(self):
+        scan = scan_trace(io.StringIO(flood_trace(with_spans=True)))
+        timeline = ascii_timeline(scan)
+        assert "fabric: 4 event(s) off the round axis" in timeline
+        assert "span_start=2" in timeline and "span_end=2" in timeline
+
+
+class TestReportJson:
+    def trace_path(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        out.write_text(flood_trace(with_spans=True))
+        return str(out)
+
+    def test_exact_schema(self, tmp_path, capsys):
+        path = self.trace_path(tmp_path)
+        assert main(["report", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        scan = scan_trace(path)
+        assert doc == {
+            "schema": "repro-report/1",
+            "trace": path,
+            "trace_schema": "repro-trace/1",
+            "meta": {"algo": "flood"},
+            "events": scan.events_total,
+            "by_kind": scan.by_kind,
+            "fabric_events": {"span_start": 2, "span_end": 2},
+            "runs": 1,
+            "phases": 0,
+            "phase_breakdown": {},
+            "total_rounds": scan.total_rounds,
+            "valid": True,
+            "problems": [],
+        }
+
+    def test_invalid_trace_exits_one_with_problems(self, tmp_path, capsys):
+        out = tmp_path / "bad.jsonl"
+        lines = flood_trace().splitlines()
+        lines.insert(1, json.dumps(
+            {"record": "event", "kind": "send", "round": 0, "run": 0}
+        ))
+        out.write_text("\n".join(lines) + "\n")
+        assert main(["report", str(out), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["valid"] is False
+        assert doc["problems"]
+
+    def test_unreadable_trace_still_emits_a_document(self, tmp_path, capsys):
+        out = tmp_path / "broken.jsonl"
+        out.write_text("{not json\n")
+        assert main(["report", str(out), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-report/1"
+        assert doc["valid"] is False
+        assert doc["trace_schema"] is None

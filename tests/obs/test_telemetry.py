@@ -1,0 +1,242 @@
+"""Fabric telemetry: registry determinism, sessions, spans.
+
+The load-bearing property is order-invariance: snapshots merged in any
+order, over any partition of the work, must collapse to byte-identical
+state — that is what makes the sweep-store telemetry summary
+independent of worker count (tests/batch/test_telemetry_sweep.py pins
+the end-to-end version of the same contract).
+"""
+
+import io
+import itertools
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlTraceWriter,
+    MetricsRegistry,
+    TelemetrySession,
+    current_telemetry,
+    emit_phase_spans,
+    observe,
+    read_trace,
+    span,
+    telemetry_session,
+    validate_trace,
+)
+from repro.obs.telemetry import (
+    current_span,
+    histogram_quantile,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("cells") == "cells"
+
+    def test_labels_sorted(self):
+        assert (
+            series_key("tasks", {"state": "ok", "backend": "process"})
+            == "tasks{backend=process,state=ok}"
+        )
+
+
+class TestRegistry:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        cells = reg.counter("cells")
+        cells.inc(workload="kdom")
+        cells.inc(3, workload="kdom")
+        cells.inc(workload="mst")
+        snap = reg.snapshot()
+        assert snap["counters"] == {
+            "cells{workload=kdom}": 4,
+            "cells{workload=mst}": 1,
+        }
+
+    def test_gauge_max_is_high_water(self):
+        reg = MetricsRegistry()
+        peak = reg.gauge("peak")
+        peak.max(4)
+        peak.max(2)
+        assert reg.snapshot()["gauges"] == {"peak": 4}
+
+    def test_histogram_buckets_are_power_of_two_labels(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("rounds")
+        for value in (1, 3, 100):
+            hist.observe(value)
+        series = reg.snapshot()["histograms"]["rounds"]
+        assert series["count"] == 3
+        assert series["sum"] == 104
+        assert series["buckets"] == {"1": 1, "128": 1, "4": 1}
+
+    def test_deterministic_histogram_rejects_floats(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TypeError):
+            reg.histogram("rounds").observe(0.5)
+        reg.histogram("latency", volatile=True).observe(0.5)  # fine
+
+    def test_snapshot_omits_empty_volatile_plane(self):
+        reg = MetricsRegistry()
+        reg.counter("cells").inc()
+        assert "volatile" not in reg.snapshot()
+        reg.counter("tasks", volatile=True).inc()
+        snap = reg.snapshot()
+        assert snap["volatile"]["counters"] == {"tasks": 1}
+
+    def test_snapshot_series_keys_sorted(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        for label in ("z", "a", "m"):
+            counter.inc(x=label)
+        assert list(reg.snapshot()["counters"]) == [
+            "c{x=a}", "c{x=m}", "c{x=z}"
+        ]
+
+    def test_volatile_counters_live_view(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks", volatile=True).inc(state="done")
+        assert reg.volatile_counters == {"tasks{state=done}": 1}
+
+
+def _sample_snapshots():
+    snaps = []
+    for i in range(4):
+        reg = MetricsRegistry()
+        reg.counter("cells").inc(i + 1, workload="kdom")
+        reg.gauge("peak").max(10 * i)
+        reg.histogram("rounds").observe(2**i)
+        reg.counter("lat", volatile=True).inc(i)
+        snaps.append(reg.snapshot())
+    return snaps
+
+
+class TestMergeOrderInvariance:
+    def test_every_permutation_merges_identically(self):
+        snaps = _sample_snapshots()
+        reference = MetricsRegistry.merged(snaps)
+        for order in itertools.permutations(snaps):
+            assert MetricsRegistry.merged(order) == reference
+        # Byte-level, the way a store meta would carry it:
+        blobs = {
+            json.dumps(MetricsRegistry.merged(order), sort_keys=True)
+            for order in itertools.permutations(snaps)
+        }
+        assert len(blobs) == 1
+
+    def test_any_partition_merges_identically(self):
+        snaps = _sample_snapshots()
+        reference = MetricsRegistry.merged(snaps)
+        partial = MetricsRegistry.merged(snaps[:2])
+        rest = MetricsRegistry.merged(snaps[2:])
+        assert MetricsRegistry.merged([partial, rest]) == reference
+
+    def test_merge_sums_counters_and_histograms_maxes_gauges(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").max(5)
+        a.histogram("h").observe(1)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.gauge("g").max(4)
+        b.histogram("h").observe(1)
+        merged = MetricsRegistry.merged([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["c"] == 5
+        assert merged["gauges"]["g"] == 5
+        assert merged["histograms"]["h"]["count"] == 2
+
+
+class TestSession:
+    def test_no_session_by_default(self):
+        assert current_telemetry() is None
+
+    def test_session_is_ambient_and_nests(self):
+        with telemetry_session() as outer:
+            assert current_telemetry() is outer
+            inner = TelemetrySession()
+            with inner.activate():
+                assert current_telemetry() is inner
+            assert current_telemetry() is outer
+        assert current_telemetry() is None
+
+    def test_session_merge_folds_worker_snapshots(self):
+        shipped = _sample_snapshots()
+        with telemetry_session() as session:
+            for snap in shipped:
+                session.merge(snap)
+            assert session.snapshot()["counters"]["cells{workload=kdom}"] == 10
+
+
+class TestSpans:
+    def test_span_without_observation_or_session_is_silent(self):
+        with span("task", "cell-a") as span_id:
+            assert span_id == "task:cell-a"
+            assert current_span() == "task:cell-a"
+        assert current_span() is None
+
+    def test_span_records_volatile_duration(self):
+        with telemetry_session() as session:
+            with span("task", "cell-a"):
+                pass
+        snap = session.snapshot()
+        series = snap["volatile"]["histograms"]["span_seconds{level=task}"]
+        assert series["count"] == 1
+
+    def test_span_events_ride_the_trace_with_deterministic_ids(self):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        with observe(writer):
+            with span("sweep", "kdom"):
+                with span("task", "kdom|tree:n=8|seed=0|k=2"):
+                    pass
+        trace = read_trace(io.StringIO(buffer.getvalue()))
+        assert validate_trace(trace) == []
+        starts = trace.by_kind("span_start")
+        ends = trace.by_kind("span_end")
+        assert [e["span"] for e in starts] == [
+            "sweep:kdom",
+            "task:kdom|tree:n=8|seed=0|k=2",
+        ]
+        assert starts[0]["parent"] == ""
+        assert starts[1]["parent"] == "sweep:kdom"
+        assert all(e["round"] == -1 and e["run"] == -1 for e in starts + ends)
+        # Inner span closes first (stack discipline).
+        assert [e["span"] for e in ends] == [
+            "task:kdom|tree:n=8|seed=0|k=2",
+            "sweep:kdom",
+        ]
+
+    def test_emit_phase_spans_carries_rounds(self):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        with observe(writer):
+            emit_phase_spans("cell-a", {"mst": 12, "dp": 5})
+        trace = read_trace(io.StringIO(buffer.getvalue()))
+        assert validate_trace(trace) == []
+        starts = trace.by_kind("span_start")
+        ends = trace.by_kind("span_end")
+        assert [e["span"] for e in starts] == [
+            "phase:cell-a/mst", "phase:cell-a/dp"
+        ]
+        assert all(e["parent"] == "task:cell-a" for e in starts)
+        assert [e["rounds"] for e in ends] == [12, 5]
+
+    def test_phase_spans_without_observation_are_free(self):
+        emit_phase_spans("cell-a", {"mst": 12})  # must not raise
+
+
+class TestHistogramQuantile:
+    def test_quantiles_hit_bucket_bounds(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", volatile=True)
+        for value in (0.1, 0.1, 0.1, 0.9):
+            hist.observe(value)
+        series = reg.snapshot()["volatile"]["histograms"]["h"]
+        assert histogram_quantile(series, 0.5) == 0.125
+        assert histogram_quantile(series, 1.0) == 1.0
+
+    def test_empty_series_is_zero(self):
+        assert histogram_quantile({"count": 0, "buckets": {}}, 0.5) == 0.0

@@ -563,3 +563,166 @@ class TestChaosCommand:
                  "--seeds", "0", "--ks", "2", "--out-dir", str(tmp_path),
                  "--kills", "5"]
             )
+
+
+class TestStatusCommand:
+    def swept_store(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        return out
+
+    def test_status_reads_the_sidecar(self, tmp_path, capsys):
+        out = self.swept_store(tmp_path, capsys)
+        assert main(["status", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "sweep kdom: COMPLETE 8/8 cells" in text
+        assert "backend inline, workers 1" in text
+
+    def test_status_accepts_the_sidecar_path_directly(
+        self, tmp_path, capsys
+    ):
+        out = self.swept_store(tmp_path, capsys)
+        assert main(["status", str(out) + ".status.json"]) == 0
+        assert "8/8 cells" in capsys.readouterr().out
+
+    def test_status_final_renders_store_telemetry(self, tmp_path, capsys):
+        out = self.swept_store(tmp_path, capsys)
+        assert main(["status", str(out), "--final"]) == 0
+        text = capsys.readouterr().out
+        assert "sweep kdom: COMPLETE 8/8 cells" in text
+        assert "telemetry (repro-telemetry/1):" in text
+        assert "sweep_cells_ok{workload=kdom} = 8" in text
+
+    def test_status_final_is_identical_across_worker_counts(
+        self, tmp_path, capsys
+    ):
+        texts = []
+        for workers in ("1", "2"):
+            out = tmp_path / f"w{workers}.jsonl"
+            assert main(
+                ["sweep", "--fast", "--backend", "process",
+                 "--workers", workers, "--out", str(out)]
+            ) == 0
+            capsys.readouterr()
+            assert main(["status", str(out), "--final"]) == 0
+            texts.append(capsys.readouterr().out)
+        assert texts[0] == texts[1]
+
+    def test_missing_sidecar_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read status file"):
+            main(["status", str(tmp_path / "nope.jsonl")])
+
+    def test_mid_sweep_status_via_max_cells(self, tmp_path, capsys):
+        out = tmp_path / "partial.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out),
+             "--max-cells", "3"]
+        ) == 3  # EXIT_SWEEP_INCOMPLETE
+        capsys.readouterr()
+        assert main(["status", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "INCOMPLETE 3/8 cells" in text
+        assert "pending 5" in text
+
+
+class TestTopCommand:
+    def test_lists_every_sidecar(self, tmp_path, capsys):
+        for name in ("a.jsonl", "b.jsonl"):
+            assert main(
+                ["sweep", "--fast", "--backend", "inline",
+                 "--out", str(tmp_path / name)]
+            ) == 0
+        capsys.readouterr()
+        assert main(["top", "--dir", str(tmp_path)]) == 0
+        text = capsys.readouterr().out
+        assert text.splitlines()[0].split()[:3] == ["sweep", "state", "cells"]
+        assert "a.jsonl" in text and "b.jsonl" in text
+        assert text.count("8/8") == 2
+
+    def test_empty_dir(self, tmp_path, capsys):
+        assert main(["top", "--dir", str(tmp_path)]) == 0
+        assert "no *.status.json files found" in capsys.readouterr().out
+
+    def test_unreadable_sidecar_skipped(self, tmp_path, capsys):
+        (tmp_path / "torn.status.json").write_text("{not json")
+        assert main(["top", "--dir", str(tmp_path)]) == 0
+        assert "no *.status.json files found" in capsys.readouterr().out
+
+
+class TestSweepTelemetryFlags:
+    def test_no_telemetry_writes_no_sidecar_or_meta(self, tmp_path, capsys):
+        import json as json_mod
+
+        out = tmp_path / "off.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out),
+             "--no-telemetry"]
+        ) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "off.jsonl.status.json").exists()
+        meta = json_mod.loads(out.read_text().splitlines()[0])
+        assert "telemetry" not in meta
+
+    def test_status_flag_redirects_the_sidecar(self, tmp_path, capsys):
+        out = tmp_path / "s.jsonl"
+        side = tmp_path / "elsewhere.status.json"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out),
+             "--status", str(side)]
+        ) == 0
+        capsys.readouterr()
+        assert side.exists()
+        assert not (tmp_path / "s.jsonl.status.json").exists()
+
+    def test_profile_workers_prints_hot_functions(self, tmp_path, capsys):
+        out = tmp_path / "p.jsonl"
+        prof = tmp_path / "prof"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out),
+             "--profile-workers", str(prof)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "worker profiles: 1 dump(s)" in text
+        assert "cumulative" in text
+
+    def test_profile_workers_defaults_next_to_the_store(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "p.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out),
+             "--profile-workers"]
+        ) == 0
+        capsys.readouterr()
+        assert (tmp_path / "p.jsonl.profiles").is_dir()
+
+
+class TestReportBench:
+    def test_bench_renders_the_history(self, tmp_path, capsys):
+        from repro import perf
+
+        history = tmp_path / "history.jsonl"
+        for best in (2.0, 1.0):
+            perf.append_history(
+                {"schema": perf.SCHEMA, "mode": "fast",
+                 "workloads": {"sweep_kdom": {"best_seconds": best,
+                                              "backend": "reference"}}},
+                str(history),
+            )
+        assert main(["report", "--bench", "--history", str(history)]) == 0
+        text = capsys.readouterr().out
+        assert "perf trajectory: 2 recorded run(s)" in text
+        assert "sweep_kdom" in text and "2.00x faster" in text
+
+    def test_bench_without_history_exits_one(self, tmp_path, capsys):
+        assert main(
+            ["report", "--bench", "--history", str(tmp_path / "none")]
+        ) == 1
+        assert "no perf history" in capsys.readouterr().out
+
+    def test_report_without_trace_or_bench_is_an_error(self):
+        with pytest.raises(SystemExit, match="trace file is required"):
+            main(["report"])

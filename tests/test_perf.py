@@ -143,3 +143,85 @@ class TestMainGateRules:
         )
         out = capsys.readouterr().out
         assert "workload" in out and "speedup" in out
+
+
+class TestTelemetryGate:
+    def current(self, off_seconds):
+        doc = report(sweep_kdom=(1.0, "reference"))
+        doc["telemetry"] = {"off_seconds": off_seconds, "on_seconds": 1.0}
+        return doc
+
+    def test_within_factor_passes(self):
+        baseline = {"fast": {"sweep_kdom": {"best_seconds": 1.0}}}
+        assert perf.check_telemetry_overhead(
+            self.current(1.04), baseline
+        ) == []
+
+    def test_disabled_path_regression_fails(self):
+        baseline = {"fast": {"sweep_kdom": {"best_seconds": 1.0}}}
+        failures = perf.check_telemetry_overhead(self.current(1.2), baseline)
+        assert len(failures) == 1
+        assert "telemetry" in failures[0] and "1.05x" in failures[0]
+
+    def test_no_section_or_baseline_skips(self):
+        baseline = {"fast": {"sweep_kdom": {"best_seconds": 1.0}}}
+        assert perf.check_telemetry_overhead(report(), baseline) == []
+        assert perf.check_telemetry_overhead(self.current(9.0), {}) == []
+
+
+class TestHistory:
+    def test_append_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        doc = report(a=(2.0, "reference"))
+        doc["dense_speedup"] = {"speedup": 10.0}
+        perf.append_history(doc, path)
+        perf.append_history(report(a=(1.0, "reference")), path)
+        entries, problems = perf.load_history(path)
+        assert problems == []
+        assert [e["workloads"]["a"] for e in entries] == [2.0, 1.0]
+        assert entries[0]["dense_speedup"] == 10.0
+        assert entries[1]["dense_speedup"] is None
+        assert all(e["schema"] == perf.HISTORY_SCHEMA for e in entries)
+
+    def test_load_skips_bad_lines_with_problems(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        good = json.dumps(
+            {"schema": perf.HISTORY_SCHEMA, "mode": "fast",
+             "workloads": {"a": 1.0}}
+        )
+        path.write_text(good + "\n{broken\n" + '{"schema":"other/1"}\n')
+        entries, problems = perf.load_history(str(path))
+        assert len(entries) == 1
+        assert len(problems) == 2
+        assert "unparsable" in problems[0]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert perf.load_history(str(tmp_path / "nope")) == ([], [])
+
+
+class TestTrajectory:
+    def entries(self, *bests, mode="fast"):
+        return [
+            {"schema": perf.HISTORY_SCHEMA, "mode": mode,
+             "workloads": {"sweep_kdom": best}, "dense_speedup": None}
+            for best in bests
+        ]
+
+    def test_trend_and_ramp(self):
+        lines = perf.perf_trajectory(
+            self.entries(2.0, 1.5, 1.0), source="BENCH_history.jsonl"
+        )
+        assert lines[0] == (
+            "perf trajectory: 3 recorded run(s) from BENCH_history.jsonl"
+        )
+        assert any("mode fast: 3 run(s)" in line for line in lines)
+        row = next(line for line in lines if "sweep_kdom" in line)
+        assert "2.00x faster" in row
+        assert row.rstrip().endswith("@+.")  # slowest first, fastest last
+
+    def test_modes_render_separately(self):
+        lines = perf.perf_trajectory(
+            self.entries(1.0) + self.entries(5.0, mode="full")
+        )
+        assert any("mode fast: 1 run(s)" in line for line in lines)
+        assert any("mode full: 1 run(s)" in line for line in lines)
