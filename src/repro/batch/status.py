@@ -46,16 +46,27 @@ class SweepStatusWriter:
     ) -> None:
         self.path = path
         self.min_interval = min_interval
-        self._last_write = 0.0
+        self._last_write: Optional[float] = None
+
+    def should_write(self, force: bool = False) -> bool:
+        """Whether :meth:`write` would write right now.
+
+        Pure throttle check — no clock mutation, no I/O — so callers
+        can skip building the status payload entirely when the write
+        would be dropped anyway (``run_sweep``'s heartbeat does this on
+        every completed cell).
+        """
+        if force or self._last_write is None:
+            return True
+        return time.monotonic() - self._last_write >= self.min_interval
 
     def write(self, payload: Dict[str, Any], force: bool = False) -> bool:
         """Write ``payload`` (plus schema/timestamp stamps) unless a
         write happened within ``min_interval`` seconds and ``force`` is
         off.  Returns whether a write happened."""
-        now = time.monotonic()
-        if not force and now - self._last_write < self.min_interval:
+        if not self.should_write(force):
             return False
-        self._last_write = now
+        self._last_write = time.monotonic()
         doc = {"schema": STATUS_SCHEMA, "updated_unix": time.time()}
         doc.update(payload)
         tmp = self.path + ".tmp"

@@ -51,7 +51,12 @@ from ..obs.telemetry import (
 )
 from ..sim.metrics import RunMetrics
 from .cache import GraphCache
-from .pool import PoolCrashError, imap_completion_order, resolve_workers
+from .pool import (
+    PoolCrashError,
+    SharedPool,
+    imap_completion_order,
+    resolve_workers,
+)
 from .registry import get_workload, register_workload
 from .status import (
     PENDING_PREVIEW,
@@ -569,6 +574,27 @@ def run_sweep(
     # The watchdog and chaos injection live in the monitored pool loop,
     # so they must not fall back to the single-process fast path.
     hardened = deadline_s is not None or chaos is not None
+    # An entered SharedPool always executes the cells (it is the first
+    # route in imap_completion_order), so the single-cell/single-worker
+    # inline fallback only applies when there is no pool to reuse.
+    shared = SharedPool.current() if backend == "process" else None
+    use_inline = backend == "inline" or (
+        shared is None
+        and not hardened
+        and (len(pending) <= 1 or resolve_workers(workers) == 1)
+    )
+    # Status documents report the backend/workers that actually execute
+    # cells — when the fallback runs inline, claiming a process pool
+    # would make `repro top` show a phantom one.
+    if use_inline:
+        effective_backend, effective_workers = "inline", 1
+    else:
+        effective_backend = "process"
+        effective_workers = (
+            shared.workers
+            if shared is not None
+            else min(resolve_workers(workers), max(len(pending), 1))
+        )
 
     # Telemetry: one ambient session for the live/volatile view, and a
     # separate deterministic accumulator for the store meta — fed only
@@ -595,7 +621,12 @@ def run_sweep(
     ran_count = 0
 
     def heartbeat(state: str, force: bool = False) -> None:
-        if status is None:
+        # Early-exit *before* payload construction: the remaining-cells
+        # comprehension is O(total cells) and the quarantine scan is
+        # O(done), so building the document on every completed cell
+        # only to have the writer throttle it would make the heartbeat
+        # itself a hot-path cost on large grids.
+        if status is None or not status.should_write(force):
             return
         elapsed_now = time.perf_counter() - start
         done = len(rows_by_index)
@@ -611,10 +642,8 @@ def run_sweep(
                 "state": state,
                 "workload": grid.workload,
                 "shard": meta.get("shard"),
-                "backend": backend,
-                "workers": (
-                    1 if backend == "inline" else resolve_workers(workers)
-                ),
+                "backend": effective_backend,
+                "workers": effective_workers,
                 "store": store.path if store is not None else None,
                 "cells": {
                     "total": len(selected),
@@ -632,7 +661,9 @@ def run_sweep(
                 "eta_s": (len(remaining) / rate) if rate > 0 else None,
                 "fabric": fabric_tallies(vol_counters),
             },
-            force=force,
+            # The throttle already passed above; force here so a clock
+            # tick between the check and the write can't drop it.
+            force=True,
         )
 
     def record(
@@ -662,10 +693,7 @@ def run_sweep(
                 )
         heartbeat("running", force=True)
         try:
-            if backend == "inline" or (
-                not hardened
-                and (len(pending) <= 1 or resolve_workers(workers) == 1)
-            ):
+            if use_inline:
                 cache = GraphCache()
                 profiler = cProfile.Profile() if profile_dir else None
                 for index, cell in pending:

@@ -726,20 +726,52 @@ def cmd_status(args: argparse.Namespace) -> int:
         else status_path_for(args.store)
     )
 
-    def render():
+    def render(tolerant: bool = False):
         try:
             status = read_status(path)
         except (OSError, ValueError) as exc:
+            # In watch mode a missing sidecar just means the first
+            # heartbeat hasn't landed yet (or a read raced the
+            # os.replace swap): render a placeholder and retry next
+            # tick instead of dying.  One-shot keeps the hard failure.
+            if tolerant:
+                return [f"(waiting for {path}: {exc})"], False
             raise SystemExit(f"cannot read status file {path}: {exc}")
         state = str(status.get("state", ""))
         return render_status(status), state not in ("running", "starting")
 
     if args.watch:
-        return _watch_loop(render, args.interval)
+        return _watch_loop(lambda: render(tolerant=True), args.interval)
     lines, _done = render()
     for line in lines:
         print(line)
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import importlib
+
+    from .serve import ServeConfig, run_server
+
+    for module in args.imports or ():
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise SystemExit(f"--import {module}: {exc}")
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        raise SystemExit("bad --deadline-s: must be positive")
+    if args.cache_size < 1:
+        raise SystemExit("bad --cache-size: must be >= 1")
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        deadline_s=args.deadline_s,
+        max_attempts=args.max_attempts,
+    )
+    return run_server(config)
 
 
 def cmd_top(args: argparse.Namespace) -> int:
@@ -1041,6 +1073,38 @@ def make_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--interval", type=float, default=1.0,
                           help="refresh interval for --watch (seconds)")
     p_status.set_defaults(fn=cmd_status)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="kdom-as-a-service: a persistent HTTP/JSON query server "
+             "over the sweep fabric (docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8673,
+                         help="bind port; 0 picks an ephemeral port")
+    p_serve.add_argument("--backend", choices=("inline", "process"),
+                         default="process",
+                         help="where query cells execute (default: "
+                              "process — a persistent SharedPool)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: CPU count)")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="bounded LRU result-cache entries "
+                              "(default: 1024)")
+    p_serve.add_argument("--deadline-s", type=float, default=None,
+                         help="per-cell deadline (process backend): a "
+                              "hung query is quarantined and answered "
+                              "with HTTP 503")
+    p_serve.add_argument("--max-attempts", type=int, default=None,
+                         help="retries before a failing cell is "
+                              "quarantined (default 3)")
+    p_serve.add_argument("--import", dest="imports", action="append",
+                         metavar="MODULE",
+                         help="import MODULE first so its "
+                              "@register_workload workloads are servable "
+                              "(repeatable)")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_top = sub.add_parser(
         "top",

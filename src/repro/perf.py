@@ -103,6 +103,11 @@ OBS_GATE_FACTOR = 1.05
 #: machine variance while still catching a de-vectorized code path.
 DENSE_SPEEDUP_FLOOR = 10.0
 
+#: Warm-cache serve throughput may fall to 1/this of the committed
+#: baseline before the ``serve_qps`` gate fails — same tolerance shape
+#: as the workload gate, applied to a rate instead of a duration.
+SERVE_QPS_GATE_FACTOR = 2.0
+
 
 def _bfs_path(n: int) -> Tuple[Callable[[], Any], Dict[str, Any]]:
     graph = path_graph(n)
@@ -477,6 +482,104 @@ def measure_dense_speedup(
     }
 
 
+def measure_serve_qps(
+    fast: bool = False,
+    echo: Callable[[str], None] = lambda line: None,
+) -> Dict[str, Any]:
+    """Load-test a live in-process ``repro serve``; return the
+    ``"serve_qps"`` report section.
+
+    Two phases against one server (inline backend — the server cost,
+    not the pool's): a *cold* pass that computes every distinct cell
+    once, then a *warm* pass of thousands of queries over the same
+    cells, all answered from the result cache.  The gate in
+    :func:`main` holds ``warm_qps`` above ``1/SERVE_QPS_GATE_FACTOR``
+    of the committed baseline — cold throughput is dominated by the
+    algorithm itself and is recorded, not gated.
+    """
+    from .serve import ServeConfig, query_body, run_load, running_server
+
+    distinct = 64 if fast else 256
+    total = 1000 if fast else 4000
+    concurrency = 100
+    spec = "tree:n=16"
+    bodies = [query_body("kdom", spec, seed, 2) for seed in range(distinct)]
+    config = ServeConfig(
+        host="127.0.0.1", port=0, backend="inline", cache_size=distinct * 2
+    )
+    with running_server(config) as server:
+        cold = run_load(
+            "127.0.0.1",
+            server.port,
+            bodies,
+            concurrency=min(concurrency, distinct),
+        )
+        warm = run_load(
+            "127.0.0.1",
+            server.port,
+            [bodies[i % distinct] for i in range(total)],
+            concurrency=concurrency,
+        )
+        cache_hits = server.cache.hits
+    section = {
+        "spec": spec,
+        "distinct_cells": distinct,
+        "warm_requests": total,
+        "concurrency": concurrency,
+        "cold_qps": round(cold["qps"], 1),
+        "cold_seconds": round(cold["seconds"], 6),
+        "warm_qps": round(warm["qps"], 1),
+        "warm_seconds": round(warm["seconds"], 6),
+        "warm_latency_p95_ms": (
+            round(warm["latency_p95_ms"], 3)
+            if warm["latency_p95_ms"] is not None
+            else None
+        ),
+        "errors": cold["errors"] + warm["errors"],
+        "cache_hits": cache_hits,
+    }
+    echo(
+        f"{'serve_qps':<14} cold {cold['qps']:.0f} q/s "
+        f"({distinct} cells), warm {warm['qps']:.0f} q/s "
+        f"({total} queries, c={concurrency})"
+    )
+    return section
+
+
+def check_serve_qps(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    factor: float = SERVE_QPS_GATE_FACTOR,
+) -> List[str]:
+    """Gate warm serve throughput at ``1/factor`` of the baseline.
+
+    Same skip rule as :func:`check_regressions`: a mode whose baseline
+    has no ``serve_qps`` entry is not gated.  Any failed request during
+    the load test fails the gate outright — a throughput number built
+    on errors is not a throughput number.
+    """
+    mode = report.get("mode")
+    section = report.get("serve_qps") or {}
+    base = (baseline.get(mode) or {}).get("serve_qps")
+    if not section or not base:
+        return []
+    failures = []
+    if section.get("errors"):
+        failures.append(
+            f"serve_qps: {section['errors']} failed request(s) during "
+            f"the load test"
+        )
+    floor = base["warm_qps"] / factor
+    warm = section.get("warm_qps", 0.0)
+    if warm < floor:
+        failures.append(
+            f"serve_qps: warm {warm:.0f} q/s below baseline "
+            f"{base['warm_qps']:.0f} q/s / {factor:.1f} "
+            f"(floor {floor:.0f} q/s)"
+        )
+    return failures
+
+
 def compare_reports(
     old: Dict[str, Any], new: Dict[str, Any]
 ) -> List[str]:
@@ -531,6 +634,7 @@ def append_history(
             for name, result in report.get("workloads", {}).items()
         },
         "dense_speedup": report.get("dense_speedup", {}).get("speedup"),
+        "serve_qps": report.get("serve_qps", {}).get("warm_qps"),
     }
     with open(path, "a") as handle:
         handle.write(json.dumps(entry, sort_keys=True,
@@ -787,6 +891,7 @@ def main(
     if not workload:
         report["spec_dispatch"] = measure_spec_dispatch(fast=fast, echo=print)
         report["dense_speedup"] = measure_dense_speedup(echo=print)
+        report["serve_qps"] = measure_serve_qps(fast=fast, echo=print)
     if obs:
         report["observability"] = measure_observability(
             report, fast=fast, reps=reps, echo=print
@@ -820,6 +925,7 @@ def main(
         )
         return 0
     failures = check_regressions(report, baseline, gate_factor)
+    failures += check_serve_qps(report, baseline)
     if obs:
         failures += check_obs_overhead(report, baseline)
     if telemetry:
@@ -844,5 +950,7 @@ def main(
         gates += f" + telemetry-off {OBS_GATE_FACTOR:.2f}x"
     if speedup is not None:
         gates += f" + dense {DENSE_SPEEDUP_FLOOR:.0f}x floor"
+    if report.get("serve_qps"):
+        gates += f" + serve 1/{SERVE_QPS_GATE_FACTOR:.1f}x qps floor"
     print(f"gate passed ({gates} vs {baseline_path})")
     return 0

@@ -1,0 +1,39 @@
+"""kdom-as-a-service: the persistent query server (docs/service.md).
+
+A long-lived ``repro serve`` process answers graph-spec queries over
+HTTP/JSON from a bounded result cache in front of the sweep fabric —
+responses are byte-identical to the rows a direct ``run_sweep`` of the
+same ``(workload, spec, seed, k)`` cell produces.
+"""
+
+from .cache import ResultCache
+from .client import load_async, query_body, run_load
+from .server import (
+    SERVE_SCHEMA,
+    QueryError,
+    ReproServe,
+    ServeConfig,
+    build_cell,
+    classify_failure,
+    render_serve_status,
+    run_server,
+    running_server,
+    serve_tallies,
+)
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "QueryError",
+    "ReproServe",
+    "ResultCache",
+    "ServeConfig",
+    "build_cell",
+    "classify_failure",
+    "load_async",
+    "query_body",
+    "render_serve_status",
+    "run_load",
+    "run_server",
+    "running_server",
+    "serve_tallies",
+]

@@ -1,0 +1,64 @@
+"""Bounded LRU result cache for the query server.
+
+Entries are the *serialized* response bytes — exactly
+``canonical_line(row) + "\\n"``, the same bytes a finalized
+:class:`~repro.batch.store.SweepStore` holds for that cell — keyed by
+the provenance recipe ``cell_key((spec, seed, k, workload))``.  Caching
+bytes rather than rows keeps the byte-identity contract trivially true
+on the hit path: the server never re-serializes, it replays.
+
+The cache is deliberately tiny and synchronous: it is only ever touched
+from the server's event-loop thread, so there is no locking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class ResultCache:
+    """A bounded LRU mapping cell keys to canonical response bytes."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached bytes for ``key`` (refreshing recency), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value: bytes) -> None:
+        """Insert (or refresh) ``key``; evict the LRU entry at capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

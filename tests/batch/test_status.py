@@ -48,6 +48,18 @@ class TestWriter:
         assert writer.write({"state": "complete"}, force=True)
         assert json.loads(open(path).read())["state"] == "complete"
 
+    def test_should_write_is_pure(self, tmp_path):
+        path = str(tmp_path / "s.status.json")
+        writer = SweepStatusWriter(path, min_interval=60.0)
+        assert writer.should_write()  # nothing written yet
+        assert writer.should_write()  # ...and checking didn't mutate
+        assert writer.write({"state": "a"})
+        assert not writer.should_write()  # inside the interval
+        assert writer.should_write(force=True)
+        assert not writer.should_write()  # force check didn't mutate
+        assert not writer.write({"state": "b"})
+        assert json.loads(open(path).read())["state"] == "a"
+
     def test_no_tmp_file_left_behind(self, tmp_path):
         path = str(tmp_path / "s.status.json")
         SweepStatusWriter(path).write({"state": "running"}, force=True)

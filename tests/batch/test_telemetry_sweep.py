@@ -219,6 +219,70 @@ class TestStatusSidecar:
         assert doc["cells"]["done"] == 3
         assert doc["cells"]["pending"] == 5
 
+    def test_throttled_heartbeat_does_no_payload_work(
+        self, tmp_path, monkeypatch
+    ):
+        """Between the forced start/finish heartbeats, a throttled
+        heartbeat must early-exit before building the status payload
+        (the remaining-cells scan is O(total) per completed cell)."""
+        import math
+
+        import repro.batch.sweep as sweep_mod
+
+        calls = []
+        real_tallies = sweep_mod.fabric_tallies
+        monkeypatch.setattr(
+            sweep_mod,
+            "fabric_tallies",
+            lambda counters: calls.append(1) or real_tallies(counters),
+        )
+
+        class NeverUnforced(sweep_mod.SweepStatusWriter):
+            def __init__(self, path, min_interval=None):
+                super().__init__(path, min_interval=math.inf)
+
+        monkeypatch.setattr(sweep_mod, "SweepStatusWriter", NeverUnforced)
+        run_sweep(GRID, store_path=str(tmp_path / "s.jsonl"),
+                  backend="inline")
+        # Payloads were built only for the two forced heartbeats —
+        # none of the 8 per-cell heartbeats did payload work.
+        assert len(calls) == 2
+
+    def test_single_cell_process_sweep_reports_inline_fallback(
+        self, tmp_path
+    ):
+        grid = SweepGrid(
+            workload="kdom", specs=("tree:n=24",), seeds=(0,), ks=(2,)
+        )
+        path = str(tmp_path / "one.jsonl")
+        run_sweep(grid, store_path=path, backend="process", workers=4)
+        doc = json.loads(open(status_path_for(path)).read())
+        # One pending cell executes inline: no phantom 4-worker pool.
+        assert doc["backend"] == "inline"
+        assert doc["workers"] == 1
+
+    def test_single_worker_process_sweep_reports_inline_fallback(
+        self, tmp_path
+    ):
+        path, _ = sweep_to(
+            tmp_path, "w1.jsonl", backend="process", workers=1
+        )
+        doc = json.loads(open(status_path_for(path)).read())
+        assert doc["backend"] == "inline"
+        assert doc["workers"] == 1
+
+    def test_ambient_shared_pool_workers_are_reported(self, tmp_path):
+        from repro.batch import SharedPool
+
+        path = str(tmp_path / "pooled.jsonl")
+        with SharedPool(workers=3):
+            run_sweep(GRID, store_path=path, backend="process")
+        doc = json.loads(open(status_path_for(path)).read())
+        # The sweep rode the ambient 3-worker pool — the document says
+        # so instead of echoing resolve_workers(None).
+        assert doc["backend"] == "process"
+        assert doc["workers"] == 3
+
 
 class TestChaosConvergence:
     def test_chaos_drill_converges_to_the_baseline_telemetry(self, tmp_path):

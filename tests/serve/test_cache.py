@@ -1,0 +1,50 @@
+"""ResultCache: bounded LRU over canonical response bytes."""
+
+import pytest
+
+from repro.serve import ResultCache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(2)
+        assert cache.get("a") is None
+        cache.put("a", b"row-a\n")
+        assert cache.get("a") == b"row-a\n"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_lru(self):
+        cache = ResultCache(2)
+        cache.put("a", b"a")
+        cache.put("b", b"b")
+        cache.get("a")  # refresh a; b is now least-recent
+        cache.put("c", b"c")
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put("a", b"a")
+        cache.put("b", b"b")
+        cache.put("a", b"a2")  # rewrite refreshes too
+        cache.put("c", b"c")
+        assert "b" not in cache
+        assert cache.get("a") == b"a2"
+
+    def test_len_and_stats(self):
+        cache = ResultCache(3)
+        for key in "abc":
+            cache.put(key, key.encode())
+        assert len(cache) == 3
+        assert cache.stats() == {
+            "size": 3,
+            "capacity": 3,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity must be >= 1"):
+            ResultCache(0)

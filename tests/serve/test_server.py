@@ -1,0 +1,363 @@
+"""End-to-end tests for the `repro serve` query server.
+
+The load-bearing contract: a served response body is byte-identical to
+the corresponding row of a finalized ``run_sweep`` store.  Around it,
+the error paths the ISSUE pins (400 malformed spec, 404 did-you-mean,
+503 quarantine with tally), single-flight dedup, LRU eviction, and the
+status/metrics documents.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.batch import SweepGrid, run_sweep
+from repro.batch.registry import register_workload
+from repro.serve import (
+    SERVE_SCHEMA,
+    QueryError,
+    ServeConfig,
+    build_cell,
+    query_body,
+    render_serve_status,
+    run_load,
+    running_server,
+    serve_tallies,
+)
+
+# --- a gate workload the single-flight test can hold open ------------
+_GATE_STARTED = threading.Event()
+_GATE_RELEASE = threading.Event()
+
+
+@register_workload("serve-gate")
+def _gate_workload(graph, cell):
+    """Test-only workload that blocks until the test releases it."""
+    _GATE_STARTED.set()
+    assert _GATE_RELEASE.wait(timeout=30), "gate never released"
+    return {"rounds": 0, "gated": True}
+
+
+def http(port, path, body=None, method=None, timeout=30):
+    """One request; returns (status, body_bytes, headers)."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body,
+        method=method or ("POST" if body is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        with exc:
+            return exc.code, exc.read(), dict(exc.headers)
+
+
+@pytest.fixture()
+def inline_server():
+    config = ServeConfig(port=0, backend="inline", cache_size=4)
+    with running_server(config) as server:
+        yield server
+
+
+class TestByteIdentity:
+    def test_served_equals_direct_run_sweep_row(self, tmp_path):
+        grid = SweepGrid(
+            workload="kdom", specs=("tree:n=40",), seeds=(0,), ks=(2,)
+        )
+        store = tmp_path / "direct.jsonl"
+        run_sweep(grid, store_path=str(store), backend="inline")
+        row_line = store.read_bytes().splitlines(keepends=True)[-1]
+        with running_server(
+            ServeConfig(port=0, backend="inline", cache_size=4)
+        ) as server:
+            body = query_body("kdom", "tree:n=40", 0, 2)
+            status, served, headers = http(server.port, "/query", body)
+            assert status == 200
+            assert served == row_line
+            assert headers["X-Serve-Cache"] == "miss"
+            # The hit path replays the same bytes.
+            status, again, headers = http(server.port, "/query", body)
+            assert status == 200
+            assert again == row_line
+            assert headers["X-Serve-Cache"] == "hit"
+
+
+class TestErrorPaths:
+    def test_malformed_spec_is_400_with_graphspec_message(
+        self, inline_server
+    ):
+        body = query_body("kdom", "banana:n=8", 0, 2)
+        status, payload, _ = http(inline_server.port, "/query", body)
+        assert status == 400
+        doc = json.loads(payload)
+        assert doc["schema"] == SERVE_SCHEMA
+        assert "GraphSpecError" in doc["error"]
+        assert "banana" in doc["error"]
+
+    def test_bad_spec_value_is_400(self, inline_server):
+        body = query_body("kdom", "tree:n=banana", 0, 2)
+        status, payload, _ = http(inline_server.port, "/query", body)
+        assert status == 400
+        assert "GraphSpecError" in json.loads(payload)["error"]
+
+    def test_unknown_workload_is_404_with_did_you_mean(
+        self, inline_server
+    ):
+        body = query_body("kdmo", "tree:n=8", 0, 2)
+        status, payload, _ = http(inline_server.port, "/query", body)
+        assert status == 404
+        assert "did you mean 'kdom'?" in json.loads(payload)["error"]
+
+    def test_bad_json_body_is_400(self, inline_server):
+        status, payload, _ = http(
+            inline_server.port, "/query", b"{not json"
+        )
+        assert status == 400
+        assert "not valid JSON" in json.loads(payload)["error"]
+
+    def test_missing_spec_is_400(self, inline_server):
+        status, payload, _ = http(
+            inline_server.port, "/query", b'{"workload": "kdom"}'
+        )
+        assert status == 400
+        assert "'spec'" in json.loads(payload)["error"]
+
+    def test_unknown_path_is_404(self, inline_server):
+        status, payload, _ = http(inline_server.port, "/nope")
+        assert status == 404
+        assert "no such endpoint" in json.loads(payload)["error"]
+
+    def test_method_not_allowed_is_405(self, inline_server):
+        status, _, _ = http(
+            inline_server.port, "/status", b"{}", method="POST"
+        )
+        assert status == 405
+
+
+class TestQuarantine:
+    class _AlwaysHang:
+        """Chaos stub: every attempt of every task hangs."""
+
+        def op_for(self, index, attempt):
+            return ("hang",)
+
+    def test_pool_deadline_is_503_with_tally(self):
+        config = ServeConfig(
+            port=0,
+            backend="process",
+            workers=1,
+            cache_size=4,
+            deadline_s=0.5,
+            max_attempts=1,
+            chaos=self._AlwaysHang(),
+        )
+        with running_server(config) as server:
+            body = query_body("kdom", "tree:n=8", 0, 2)
+            status, payload, _ = http(server.port, "/query", body)
+            assert status == 503
+            doc = json.loads(payload)
+            assert "quarantined" in doc["error"]
+            assert doc["quarantined"]["attempts"] == 1
+            assert doc["quarantine_tally"] >= 1
+            # The failure is not cached: the cell stays answerable.
+            status_doc = json.loads(
+                http(server.port, "/status")[1]
+            )
+            assert status_doc["cache"]["size"] == 0
+            assert status_doc["tasks"]["quarantined"] == 1
+
+
+class TestSingleFlight:
+    def test_identical_concurrent_queries_run_once(self, inline_server):
+        _GATE_STARTED.clear()
+        _GATE_RELEASE.clear()
+        port = inline_server.port
+        body = query_body("serve-gate", "tree:n=8", 0, 2)
+        results = []
+
+        def issue():
+            results.append(http(port, "/query", body))
+
+        threads = [threading.Thread(target=issue) for _ in range(5)]
+        threads[0].start()
+        assert _GATE_STARTED.wait(timeout=10)
+        for thread in threads[1:]:
+            thread.start()
+        # Every handler counts a cache miss before attaching to the
+        # in-flight future — once misses reach 5, all five requests
+        # are parked on the same future.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            doc = json.loads(http(port, "/status")[1])
+            if doc["cache"]["misses"] >= 5:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("five concurrent queries never arrived")
+        assert doc["inflight"] == 1
+        _GATE_RELEASE.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == 5
+        bodies = {payload for _status, payload, _headers in results}
+        assert {status for status, _p, _h in results} == {200}
+        assert len(bodies) == 1  # identical bytes for every waiter
+        doc = json.loads(http(port, "/status")[1])
+        assert doc["tasks"]["ok"] == 1  # one pool task, not five
+        assert doc["requests"]["miss"] == 1
+        assert doc["requests"]["flight"] == 4
+
+
+class TestLRUEviction:
+    def test_cache_size_bounds_entries_end_to_end(self):
+        config = ServeConfig(port=0, backend="inline", cache_size=2)
+        with running_server(config) as server:
+            port = server.port
+            for seed in (0, 1, 2):
+                status, _, headers = http(
+                    port, "/query", query_body("kdom", "tree:n=8", seed, 2)
+                )
+                assert status == 200
+                assert headers["X-Serve-Cache"] == "miss"
+            doc = json.loads(http(port, "/status")[1])
+            assert doc["cache"]["size"] == 2
+            assert doc["cache"]["evictions"] == 1
+            # seed=0 was evicted: querying it again is a miss...
+            _, _, headers = http(
+                port, "/query", query_body("kdom", "tree:n=8", 0, 2)
+            )
+            assert headers["X-Serve-Cache"] == "miss"
+            # ...while seed=2 is still resident.
+            _, _, headers = http(
+                port, "/query", query_body("kdom", "tree:n=8", 2, 2)
+            )
+            assert headers["X-Serve-Cache"] == "hit"
+
+
+class TestDocuments:
+    def test_status_document_and_renderer(self, inline_server):
+        port = inline_server.port
+        http(port, "/query", query_body("kdom", "tree:n=8", 0, 2))
+        http(port, "/query", query_body("kdom", "tree:n=8", 0, 2))
+        doc = json.loads(http(port, "/status")[1])
+        assert doc["schema"] == SERVE_SCHEMA
+        assert doc["state"] == "running"
+        assert doc["backend"] == "inline"
+        assert doc["workers"] == 1
+        assert doc["requests"]["hit"] == 1
+        assert doc["requests"]["miss"] == 1
+        assert "kdom" in doc["workloads"]
+        lines = render_serve_status(doc)
+        assert lines[0].startswith("serve: RUNNING backend=inline")
+        assert "requests 2 (hit 1, miss 1" in lines[1]
+        assert "cache 1/4 entries" in lines[2]
+
+    def test_metrics_document_carries_serve_counters(self, inline_server):
+        port = inline_server.port
+        http(port, "/query", query_body("kdom", "tree:n=8", 0, 2))
+        doc = json.loads(http(port, "/metrics")[1])
+        assert doc["schema"] == SERVE_SCHEMA
+        counters = doc["volatile"]["counters"]
+        assert (
+            counters["serve_requests{endpoint=query,outcome=miss}"] == 1
+        )
+        assert counters["serve_tasks{state=ok}"] == 1
+        histograms = doc["volatile"]["histograms"]
+        assert any(
+            key.startswith("serve_request_seconds") for key in histograms
+        )
+
+    def test_workloads_endpoint(self, inline_server):
+        doc = json.loads(http(inline_server.port, "/workloads")[1])
+        assert "kdom" in doc["workloads"]
+        assert "mst" in doc["workloads"]
+
+    def test_get_query_with_querystring(self, inline_server):
+        status, payload, _ = http(
+            inline_server.port,
+            "/query?workload=kdom&spec=tree:n=8&seed=0&k=2",
+        )
+        assert status == 200
+        row = json.loads(payload)
+        assert row["cell"] == {
+            "workload": "kdom", "spec": "tree:n=8", "seed": 0, "k": 2
+        }
+
+
+class TestLoadClient:
+    def test_run_load_reports_throughput(self, inline_server):
+        bodies = [query_body("kdom", "tree:n=8", 0, 2)] * 50
+        report = run_load(
+            "127.0.0.1", inline_server.port, bodies, concurrency=8
+        )
+        assert report["requests"] == 50
+        assert report["errors"] == 0
+        assert report["qps"] > 0
+        assert report["statuses"] == {"200": 50}
+        assert report["latency_p95_ms"] is not None
+
+
+class TestDrain:
+    def test_drained_server_refuses_connections(self):
+        config = ServeConfig(port=0, backend="inline", cache_size=4)
+        with running_server(config) as server:
+            port = server.port
+            assert http(port, "/status")[0] == 200
+        assert server.state == "stopped"
+        with pytest.raises(urllib.error.URLError):
+            http(port, "/status", timeout=2)
+
+
+class TestBuildCell:
+    def test_defaults(self):
+        cell, provider = build_cell({"spec": "tree:n=8"})
+        assert cell.workload == "kdom"
+        assert (cell.seed, cell.k) == (0, 2)
+        assert provider == "repro.batch.sweep"  # where kdom registers
+
+    def test_string_integers_accepted(self):
+        cell, _ = build_cell(
+            {"spec": "tree:n=8", "seed": "3", "k": "4"}
+        )
+        assert (cell.seed, cell.k) == (3, 4)
+
+    @pytest.mark.parametrize(
+        "doc, match",
+        [
+            ({}, "'spec'"),
+            ({"spec": 7}, "'spec'"),
+            ({"spec": "tree:n=8", "seed": "x"}, "'seed'"),
+            ({"spec": "tree:n=8", "k": True}, "'k'"),
+            ({"spec": "tree:n=8", "workload": 3}, "'workload'"),
+        ],
+    )
+    def test_malformed_fields_are_400(self, doc, match):
+        with pytest.raises(QueryError, match=match) as excinfo:
+            build_cell(doc)
+        assert excinfo.value.status == 400
+
+    def test_unknown_workload_is_404(self):
+        with pytest.raises(QueryError) as excinfo:
+            build_cell({"spec": "tree:n=8", "workload": "nope"})
+        assert excinfo.value.status == 404
+
+
+class TestServeTallies:
+    def test_collapses_outcome_labels(self):
+        tallies = serve_tallies(
+            {
+                "serve_requests{endpoint=query,outcome=hit}": 3,
+                "serve_requests{endpoint=query,outcome=miss}": 2,
+                "serve_requests{endpoint=query,outcome=flight}": 1,
+                "serve_requests{endpoint=query,outcome=error}": 1,
+                "serve_tasks{state=ok}": 99,  # unrelated: ignored
+            }
+        )
+        assert tallies == {
+            "hit": 3, "miss": 2, "flight": 1, "error": 1, "total": 7
+        }

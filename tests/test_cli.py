@@ -628,6 +628,87 @@ class TestStatusCommand:
         assert "pending 5" in text
 
 
+class TestStatusWatchTolerance:
+    """Watch mode retries past transient sidecar failures (ISSUE 9):
+    a watch started before the first heartbeat, or a read racing the
+    os.replace swap, renders a waiting line instead of dying."""
+
+    def _interrupt_after_first_sleep(self, monkeypatch):
+        import time as time_mod
+
+        def interrupt(_interval):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(time_mod, "sleep", interrupt)
+
+    def test_watch_tolerates_missing_sidecar(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._interrupt_after_first_sleep(monkeypatch)
+        assert main(
+            ["status", str(tmp_path / "nope.jsonl"), "--watch"]
+        ) == 0
+        assert "waiting for" in capsys.readouterr().out
+
+    def test_watch_tolerates_torn_document(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._interrupt_after_first_sleep(monkeypatch)
+        (tmp_path / "s.jsonl.status.json").write_text("{torn")
+        assert main(["status", str(tmp_path / "s.jsonl"), "--watch"]) == 0
+        assert "waiting for" in capsys.readouterr().out
+
+    def test_watch_exits_when_state_is_terminal(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        # state=complete on the first render: no sleep, clean exit.
+        assert main(["status", str(out), "--watch"]) == 0
+        assert "COMPLETE 8/8 cells" in capsys.readouterr().out
+
+    def test_one_shot_keeps_the_hard_failure(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read status file"):
+            main(["status", str(tmp_path / "nope.jsonl")])
+
+
+class TestServeCommand:
+    def test_parser_wires_the_config(self, monkeypatch):
+        import repro.serve as serve_mod
+
+        captured = {}
+
+        def fake_run_server(config):
+            captured["config"] = config
+            return 0
+
+        monkeypatch.setattr(serve_mod, "run_server", fake_run_server)
+        assert main(
+            ["serve", "--port", "0", "--backend", "inline",
+             "--cache-size", "16", "--deadline-s", "2.5",
+             "--workers", "3"]
+        ) == 0
+        config = captured["config"]
+        assert config.port == 0
+        assert config.backend == "inline"
+        assert config.cache_size == 16
+        assert config.deadline_s == 2.5
+        assert config.workers == 3
+
+    def test_bad_cache_size(self):
+        with pytest.raises(SystemExit, match="--cache-size"):
+            main(["serve", "--cache-size", "0"])
+
+    def test_bad_deadline(self):
+        with pytest.raises(SystemExit, match="--deadline-s"):
+            main(["serve", "--deadline-s", "-1"])
+
+    def test_bad_import(self):
+        with pytest.raises(SystemExit, match="--import nope_mod"):
+            main(["serve", "--import", "nope_mod"])
+
+
 class TestTopCommand:
     def test_lists_every_sidecar(self, tmp_path, capsys):
         for name in ("a.jsonl", "b.jsonl"):
