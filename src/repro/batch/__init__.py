@@ -58,6 +58,16 @@ from .store import (
     merge_stores,
     repair_store,
 )
+from .portfolio import (
+    PORTFOLIO_SCHEMA,
+    PortfolioError,
+    REDUCTIONS,
+    portfolio_run,
+    portfolio_verdict,
+    render_verdict,
+    verdict_json,
+    verdict_path_for,
+)
 from .sweep import (
     SWEEP_BACKENDS,
     SweepCell,
@@ -85,7 +95,10 @@ __all__ = [
     "ChaosReport",
     "GraphCache",
     "NetworkSpec",
+    "PORTFOLIO_SCHEMA",
     "PoolCrashError",
+    "PortfolioError",
+    "REDUCTIONS",
     "SCHEMA",
     "STATUS_SCHEMA",
     "SWEEP_BACKENDS",
@@ -116,9 +129,12 @@ __all__ = [
     "merge_stores",
     "network_spec",
     "parse_shard",
+    "portfolio_run",
+    "portfolio_verdict",
     "read_status",
     "register_workload",
     "render_status",
+    "render_verdict",
     "render_store_status",
     "render_top",
     "repair_store",
@@ -132,5 +148,7 @@ __all__ = [
     "store_telemetry",
     "strip_telemetry",
     "task_pickle_bytes",
+    "verdict_json",
+    "verdict_path_for",
     "workload_names",
 ]

@@ -1,0 +1,256 @@
+"""Best-of-N portfolio runs: fan seeds out, reduce to one verdict.
+
+FastGraphs.jl's greedy dominating-set benchmark (SNIPPETS.md #2) runs
+``reps`` randomized attempts and keeps the smallest set — the
+canonical experiment shape for comparing randomized CONGEST algorithms
+(KP95 vs. the Penso–Barbosa line in the algorithm-zoo roadmap item).
+:func:`portfolio_run` first-classes it on the sweep fabric: the N
+seeds become a one-spec :class:`~repro.batch.sweep.SweepGrid` and run
+through :func:`~repro.batch.sweep.run_sweep`, so the ambient
+:class:`~repro.batch.pool.SharedPool`, deadline watchdog, bounded
+retries, chaos drills, and checkpoint/resume stores all apply
+unchanged.  Every attempt is an ordinary store row (warehouse-
+ingestable); the reduction verdict is a deterministic JSON document
+written as a ``<store>.verdict.json`` sidecar that ``repro ingest``
+picks up automatically.
+
+Determinism contract: the verdict is a pure function of the attempt
+rows, which are themselves byte-identical across backends and worker
+counts — so the winning seed cannot depend on completion order (ties
+break toward the smallest seed).  CI's portfolio-smoke step ``cmp``s
+the verdicts of ``--workers 1`` and ``--workers 2`` runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from .store import SweepStore, canonical_line
+from .sweep import SweepGrid, SweepSummary, run_sweep
+
+#: Schema tag on every verdict document.
+PORTFOLIO_SCHEMA = "repro-portfolio/1"
+
+#: Reduction name -> candidate result fields, first present wins.
+#: All reductions minimize; "smallest" is the FastGraphs best-of-N
+#: shape (fewest dominators, falling back to fewest clusters for
+#: partition-style workloads).
+REDUCTIONS: Dict[str, Tuple[str, ...]] = {
+    "smallest": ("dominators", "clusters"),
+    "rounds": ("rounds",),
+    "messages": ("messages",),
+}
+
+
+class PortfolioError(ValueError):
+    """A malformed portfolio request (unknown reduction, no seeds)."""
+
+
+def _attempt_value(
+    row: Dict[str, Any], fields: Tuple[str, ...]
+) -> Optional[Any]:
+    """The reduction metric of one attempt row, or ``None``.
+
+    Deliberately local (not :func:`repro.warehouse.query.extract_metric`)
+    — the warehouse imports the batch layer, so the dependency must not
+    point back.
+    """
+    result = row.get("result")
+    if not isinstance(result, dict):
+        return None  # quarantined attempt
+    for name in fields:
+        value = result.get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return value
+        metrics = result.get("metrics")
+        if isinstance(metrics, dict):
+            value = metrics.get(name)
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                return value
+    return None
+
+
+def portfolio_verdict(
+    rows: Sequence[Dict[str, Any]],
+    workload: str,
+    spec: str,
+    k: int,
+    seeds: Sequence[int],
+    reduce: str = "smallest",
+    complete: bool = True,
+) -> Dict[str, Any]:
+    """Reduce attempt rows to the verdict document (pure function).
+
+    ``best_seed`` minimizes ``(value, seed)`` over attempts that
+    produced the metric; it is ``None`` when no attempt did (all
+    quarantined, or the workload lacks the metric).  The document
+    carries no paths or timings, so identical attempts give identical
+    verdict bytes wherever they ran.
+    """
+    fields = REDUCTIONS.get(reduce)
+    if fields is None:
+        raise PortfolioError(
+            f"unknown reduction {reduce!r}; available: "
+            f"{', '.join(sorted(REDUCTIONS))}"
+        )
+    values: Dict[str, Any] = {}
+    quarantined = 0
+    candidates = []
+    metric = fields[0]
+    for row in rows:
+        seed = row.get("cell", {}).get("seed")
+        value = _attempt_value(row, fields)
+        if value is None:
+            quarantined += 1 if "error" in row else 0
+            continue
+        for name in fields:  # which alias actually supplied the value
+            if _attempt_value(row, (name,)) is not None:
+                metric = name
+                break
+        values[str(seed)] = value
+        candidates.append((value, seed))
+    best = min(candidates) if candidates else None
+    return {
+        "schema": PORTFOLIO_SCHEMA,
+        "workload": workload,
+        "spec": spec,
+        "k": k,
+        "reduce": reduce,
+        "metric": metric,
+        "seeds": list(seeds),
+        "attempts": len(rows),
+        "quarantined": quarantined,
+        "complete": bool(complete),
+        "best_seed": None if best is None else best[1],
+        "best_value": None if best is None else best[0],
+        "values": values,
+    }
+
+
+def verdict_path_for(store_path: str) -> str:
+    """The verdict sidecar next to a portfolio's attempt store."""
+    return store_path + ".verdict.json"
+
+
+def portfolio_run(
+    workload: str,
+    spec: str,
+    seeds: Sequence[int],
+    k: int = 2,
+    reduce: str = "smallest",
+    store_path: Optional[str] = None,
+    backend: str = "inline",
+    workers: Optional[int] = None,
+    resume: bool = True,
+    deadline_s: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+    chaos: Optional[Any] = None,
+    telemetry: bool = True,
+    verify: bool = False,
+    echo: Callable[[str], None] = lambda line: None,
+) -> Tuple[Dict[str, Any], SweepSummary]:
+    """Run a best-of-N portfolio; return ``(verdict, sweep summary)``.
+
+    The attempts are the one-spec grid ``(spec,) × seeds × (k,)`` run
+    through :func:`run_sweep` with everything that implies: ambient
+    SharedPool reuse under ``backend="process"``, deadline/retry/chaos
+    semantics, resumable checkpoint stores, telemetry.  With a
+    ``store_path`` the attempts finalize as a normal sweep store and
+    the verdict lands in :func:`verdict_path_for` beside it — both
+    ingest into the warehouse with one ``repro ingest`` call.
+
+    A quarantined attempt does not sink the portfolio: the verdict
+    reduces over the surviving attempts and records the casualty count
+    (``quarantined``), mirroring the sweep fabric's own
+    quarantine-and-continue stance.
+    """
+    if reduce not in REDUCTIONS:
+        raise PortfolioError(
+            f"unknown reduction {reduce!r}; available: "
+            f"{', '.join(sorted(REDUCTIONS))}"
+        )
+    seeds = list(dict.fromkeys(int(seed) for seed in seeds))
+    if not seeds:
+        raise PortfolioError("portfolio needs at least one seed")
+    grid = SweepGrid(
+        workload=workload,
+        specs=(spec,),
+        seeds=tuple(seeds),
+        ks=(k,),
+        verify=verify,
+    )
+    summary = run_sweep(
+        grid,
+        store_path=store_path,
+        backend=backend,
+        workers=workers,
+        resume=resume,
+        echo=echo,
+        deadline_s=deadline_s,
+        max_attempts=max_attempts,
+        chaos=chaos,
+        telemetry=telemetry,
+    )
+    rows = summary.rows
+    if store_path is not None:
+        # The finalized store is the authority (canonical order, CRC
+        # stripped) — reduce over what future ingests will read.
+        _meta, stored = SweepStore(store_path).load()
+        rows = [stored[key] for key in sorted(stored)]
+    verdict = portfolio_verdict(
+        rows,
+        workload=workload,
+        spec=spec,
+        k=k,
+        seeds=seeds,
+        reduce=reduce,
+        complete=summary.complete and summary.quarantined == 0,
+    )
+    if store_path is not None:
+        path = verdict_path_for(store_path)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(canonical_line(verdict) + "\n")
+        os.replace(tmp, path)
+    return verdict, summary
+
+
+def render_verdict(verdict: Dict[str, Any]) -> list:
+    """Human lines for one verdict (``repro portfolio`` output)."""
+    lines = [
+        f"portfolio {verdict['workload']} {verdict['spec']} "
+        f"k={verdict['k']} reduce={verdict['reduce']} "
+        f"({verdict['attempts']} attempt(s))"
+    ]
+    for seed_text, value in sorted(
+        verdict.get("values", {}).items(), key=lambda item: int(item[0])
+    ):
+        marker = (
+            " <- best"
+            if verdict.get("best_seed") is not None
+            and seed_text == str(verdict["best_seed"])
+            else ""
+        )
+        lines.append(
+            f"  seed {seed_text}: {verdict['metric']}={value}{marker}"
+        )
+    if verdict.get("quarantined"):
+        lines.append(f"  quarantined attempts: {verdict['quarantined']}")
+    if verdict.get("best_seed") is None:
+        lines.append("  no attempt produced the reduction metric")
+    else:
+        lines.append(
+            f"best: seed {verdict['best_seed']} with "
+            f"{verdict['metric']}={verdict['best_value']}"
+        )
+    if not verdict.get("complete", True):
+        lines.append("INCOMPLETE: not every attempt finished cleanly")
+    return lines
+
+
+def verdict_json(verdict: Dict[str, Any]) -> str:
+    """Canonical one-line serialization (what the sidecar holds)."""
+    return canonical_line(verdict)

@@ -39,6 +39,7 @@ needs them.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -435,6 +436,19 @@ def _report_bench(args: argparse.Namespace) -> int:
     if not entries:
         print(f"no perf history at {path} — run `repro perf` to record one")
         return 1
+    if getattr(args, "warehouse", None):
+        from .warehouse import Warehouse, WarehouseError
+
+        try:
+            with Warehouse(args.warehouse) as warehouse:
+                added, skipped = warehouse.ingest_history(entries)
+        except WarehouseError as exc:
+            raise SystemExit(str(exc))
+        print(
+            f"warehouse {args.warehouse}: +{added} bench entr"
+            f"{'y' if added == 1 else 'ies'}, {skipped} already recorded — "
+            f"query with `repro query --bench --db {args.warehouse}`"
+        )
     for line in perf.perf_trajectory(entries, source=path):
         print(line)
     for problem in problems[:5]:
@@ -677,6 +691,140 @@ def cmd_repair_store(args: argparse.Namespace) -> int:
     else:
         print("no cells lost")
     return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from .batch import StoreError
+    from .warehouse import IncompleteStoreError, Warehouse
+
+    incomplete = False
+    try:
+        with Warehouse(args.db) as warehouse:
+            for path in args.stores:
+                try:
+                    report = warehouse.ingest_store(
+                        path, allow_partial=args.allow_partial
+                    )
+                except IncompleteStoreError as exc:
+                    print(f"INCOMPLETE {exc}")
+                    incomplete = True
+                    continue
+                print(report.describe())
+                if report.holes:
+                    incomplete = True
+            print(f"warehouse {args.db}: {warehouse.row_count()} row(s) total")
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    return EXIT_SWEEP_INCOMPLETE if incomplete else 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .batch import StoreError
+    from .warehouse import (
+        BENCH_FIELDS,
+        DEFAULT_WAREHOUSE,
+        QueryError,
+        RESULT_FIELDS,
+        Warehouse,
+        bench_query_doc,
+        bench_samples_from_entries,
+        load_store_rows,
+        parse_aggs,
+        parse_group_by,
+        parse_where,
+        query_json,
+        render_query_table,
+        results_query_doc,
+    )
+
+    try:
+        aggs = parse_aggs(args.agg)
+        if args.bench:
+            if args.store:
+                raise QueryError(
+                    "--bench reads a warehouse (--db) or BENCH history "
+                    "(--history), not sweep stores"
+                )
+            where = parse_where(args.where, BENCH_FIELDS)
+            group_by = parse_group_by(args.group_by, BENCH_FIELDS)
+            if args.db:
+                with Warehouse(args.db) as warehouse:
+                    samples = warehouse.fetch_bench_samples()
+            else:
+                from . import perf
+
+                path = args.history or perf.DEFAULT_HISTORY
+                entries, _problems = perf.load_history(path)
+                samples = bench_samples_from_entries(entries)
+            doc = bench_query_doc(samples, where, group_by, aggs)
+        else:
+            if not args.metric:
+                raise QueryError(
+                    "--metric is required (e.g. --metric dominators; "
+                    "or use --bench for perf history)"
+                )
+            where = parse_where(args.where, RESULT_FIELDS)
+            group_by = parse_group_by(args.group_by, RESULT_FIELDS)
+            if args.store:
+                rows = load_store_rows(args.store)
+            else:
+                with Warehouse(args.db or DEFAULT_WAREHOUSE) as warehouse:
+                    rows = warehouse.fetch_rows(where)
+            doc = results_query_doc(rows, args.metric, where, group_by, aggs)
+    except (QueryError, StoreError) as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(query_json(doc))
+    else:
+        for line in render_query_table(doc):
+            print(line)
+    return 0 if doc["rows_matched"] else EXIT_SWEEP_INCOMPLETE
+
+
+def cmd_portfolio(args: argparse.Namespace) -> int:
+    from .batch import (
+        SweepCellError,
+        SweepCrashError,
+        portfolio_run,
+        render_verdict,
+        verdict_path_for,
+    )
+
+    seeds = _parse_int_list(args.seeds, "--seeds")
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        raise SystemExit("bad --deadline-s: must be positive")
+    if args.max_attempts is not None and args.max_attempts < 1:
+        raise SystemExit("bad --max-attempts: must be >= 1")
+    echo = print if args.verbose else (lambda line: None)
+    try:
+        verdict, _summary = portfolio_run(
+            args.workload,
+            args.spec,
+            seeds,
+            k=args.k,
+            reduce=args.reduce,
+            store_path=args.out,
+            backend=args.backend,
+            workers=args.workers,
+            resume=not args.no_resume,
+            deadline_s=args.deadline_s,
+            max_attempts=args.max_attempts,
+            echo=echo,
+        )
+    except (ValueError, SweepCellError, SweepCrashError) as exc:
+        # PortfolioError, WorkloadError and StoreError are ValueErrors.
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(verdict, sort_keys=True, indent=2))
+    else:
+        for line in render_verdict(verdict):
+            print(line)
+        if args.out:
+            print(f"store: {args.out}")
+            print(f"verdict: {verdict_path_for(args.out)}")
+    if verdict["complete"] and verdict["best_seed"] is not None:
+        return 0
+    return EXIT_SWEEP_INCOMPLETE
 
 
 def _watch_loop(render, interval: float) -> int:
@@ -989,6 +1137,11 @@ def make_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--history", default=None, metavar="PATH",
                           help="BENCH history file for --bench "
                                "(default: BENCH_history.jsonl)")
+    p_report.add_argument("--warehouse", default=None, metavar="DB",
+                          help="with --bench: also ingest the history "
+                               "into this warehouse sqlite file so perf "
+                               "trajectories are queryable (repro query "
+                               "--bench)")
     p_report.set_defaults(fn=cmd_report)
 
     p_sweep = sub.add_parser(
@@ -1147,6 +1300,96 @@ def make_parser() -> argparse.ArgumentParser:
                           help="write the repaired store here instead of "
                                "repairing in place")
     p_repair.set_defaults(fn=cmd_repair_store)
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="load JSONL sweep stores into the sqlite results warehouse "
+             "(idempotent; docs/warehouse.md)",
+    )
+    p_ingest.add_argument("stores", nargs="+", metavar="STORE",
+                          help="finalized sweep stores (a *.verdict.json "
+                               "sidecar next to a store is ingested too)")
+    p_ingest.add_argument("--db", default="warehouse.sqlite",
+                          help="warehouse sqlite file (default: "
+                               "warehouse.sqlite; created on first use)")
+    p_ingest.add_argument("--allow-partial", action="store_true",
+                          help="ingest incomplete stores (missing cells "
+                               "become lineage holes; exit 3)")
+    p_ingest.set_defaults(fn=cmd_ingest)
+
+    p_query = sub.add_parser(
+        "query",
+        help="cross-sweep aggregations over the warehouse (or raw "
+             "stores) — byte-identical either way",
+    )
+    p_query.add_argument("--db", default=None, metavar="PATH",
+                         help="warehouse sqlite file (default: "
+                              "warehouse.sqlite unless --store is given)")
+    p_query.add_argument("--store", action="append", metavar="STORE",
+                         help="answer from raw JSONL store(s) instead of "
+                              "the warehouse (repeatable; the byte-identity "
+                              "reference path)")
+    p_query.add_argument("--metric", default=None, metavar="NAME",
+                         help="numeric result field to aggregate "
+                              "(dominators, rounds, clusters, messages, "
+                              "words, ...)")
+    p_query.add_argument("--where", action="append", metavar="FIELD=V[,V]",
+                         help="equality filter on workload/spec/family/"
+                              "seed/k (repeatable; comma = any-of)")
+    p_query.add_argument("--group-by", default=None, metavar="F1[,F2]",
+                         help="group fields, e.g. family,k")
+    p_query.add_argument("--agg", default=None, metavar="A1[,A2]",
+                         help="aggregations: count,min,max,sum,mean,pNN "
+                              "(default: count,min,max,mean,p50,p90)")
+    p_query.add_argument("--bench", action="store_true",
+                         help="query perf-history samples (fields "
+                              "workload/mode, metric best_seconds) from "
+                              "--db or --history")
+    p_query.add_argument("--history", default=None, metavar="PATH",
+                         help="BENCH history file for --bench without a "
+                              "warehouse (default: BENCH_history.jsonl)")
+    p_query.add_argument("--json", action="store_true",
+                         help="print the repro-query/1 document instead "
+                              "of the ASCII table")
+    p_query.set_defaults(fn=cmd_query)
+
+    p_portfolio = sub.add_parser(
+        "portfolio",
+        help="best-of-N run: fan seeds over the pool, reduce to the "
+             "best attempt (deterministic verdict)",
+    )
+    p_portfolio.add_argument("--workload", default="kdom", metavar="NAME",
+                             help="registered workload name (default kdom)")
+    p_portfolio.add_argument("--spec", required=True, metavar="SPEC",
+                             help="graph spec, e.g. random:n=64,p=0.1")
+    p_portfolio.add_argument("--seeds", default="0,1,2,3",
+                             help="comma list of attempt seeds")
+    p_portfolio.add_argument("--k", type=int, default=2)
+    p_portfolio.add_argument("--reduce", default="smallest",
+                             choices=("smallest", "rounds", "messages"),
+                             help="which attempt wins (all minimize)")
+    p_portfolio.add_argument("--out", default=None,
+                             help="attempt store path; the verdict lands "
+                                  "in <out>.verdict.json beside it")
+    p_portfolio.add_argument("--backend", choices=("inline", "process"),
+                             default="process",
+                             help="where attempts execute (default: "
+                                  "process)")
+    p_portfolio.add_argument("--workers", type=int, default=None,
+                             help="process-pool size (default: CPU count)")
+    p_portfolio.add_argument("--no-resume", action="store_true",
+                             help="overwrite an existing attempt store")
+    p_portfolio.add_argument("--deadline-s", type=float, default=None,
+                             help="per-attempt deadline (process backend)")
+    p_portfolio.add_argument("--max-attempts", type=int, default=None,
+                             help="retries before an attempt is "
+                                  "quarantined (default 3)")
+    p_portfolio.add_argument("--json", action="store_true",
+                             help="print the repro-portfolio/1 verdict "
+                                  "document")
+    p_portfolio.add_argument("-v", "--verbose", action="store_true",
+                             help="print one line per finished attempt")
+    p_portfolio.set_defaults(fn=cmd_portfolio)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -615,20 +615,23 @@ def compare_reports(
     return lines
 
 
-def append_history(
-    report: Dict[str, Any], path: str = DEFAULT_HISTORY
+def history_entry(
+    report: Dict[str, Any], recorded_unix: Optional[float] = None
 ) -> Dict[str, Any]:
-    """Append one compact JSONL line for this run to the BENCH history.
+    """One compact history entry for a perf report.
 
-    The history is the longitudinal record behind ``repro report
-    --bench``: every perf run adds ``{schema, mode, recorded_unix,
-    workloads: {name: best_seconds}, dense_speedup}``.  Wall-clock
-    timestamps are fine here — the history is a log, not a store.
+    The single definition of the ``repro-perf-history/1`` shape —
+    :func:`append_history` writes it, the warehouse
+    (``Warehouse.ingest_history``) decomposes it into queryable
+    bench samples, and tests build synthetic histories from it.
     """
-    entry = {
+    return {
         "schema": HISTORY_SCHEMA,
         "mode": report.get("mode"),
-        "recorded_unix": round(time.time(), 3),
+        "recorded_unix": (
+            round(time.time(), 3) if recorded_unix is None
+            else recorded_unix
+        ),
         "workloads": {
             name: result["best_seconds"]
             for name, result in report.get("workloads", {}).items()
@@ -636,6 +639,19 @@ def append_history(
         "dense_speedup": report.get("dense_speedup", {}).get("speedup"),
         "serve_qps": report.get("serve_qps", {}).get("warm_qps"),
     }
+
+
+def append_history(
+    report: Dict[str, Any], path: str = DEFAULT_HISTORY
+) -> Dict[str, Any]:
+    """Append one compact JSONL line for this run to the BENCH history.
+
+    The history is the longitudinal record behind ``repro report
+    --bench``: every perf run adds a :func:`history_entry`.
+    Wall-clock timestamps are fine here — the history is a log, not a
+    store.
+    """
+    entry = history_entry(report)
     with open(path, "a") as handle:
         handle.write(json.dumps(entry, sort_keys=True,
                                 separators=(",", ":")) + "\n")

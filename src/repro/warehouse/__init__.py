@@ -1,0 +1,73 @@
+"""repro.warehouse — a queryable sqlite layer over the sweep fabric.
+
+The sweep fabric's JSONL stores are the source of truth; the warehouse
+is the *index*: ``repro ingest`` loads finalized (or declared-partial)
+stores into one sqlite file with provenance-keyed rows and per-store
+lineage, and ``repro query`` answers cross-sweep aggregations whose
+``--json`` documents are byte-identical to a pure-Python reduction
+over the raw JSONL rows (docs/warehouse.md).
+
+Stdlib only (``sqlite3``) — no new dependencies.
+"""
+
+from .db import (
+    DEFAULT_WAREHOUSE,
+    IncompleteStoreError,
+    IngestReport,
+    Warehouse,
+    WAREHOUSE_SCHEMA,
+    WarehouseConflict,
+    WarehouseError,
+)
+from .query import (
+    BENCH_FIELDS,
+    BENCH_METRIC,
+    DEFAULT_AGGS,
+    QUERY_SCHEMA,
+    QueryError,
+    RESULT_FIELDS,
+    bench_query_doc,
+    bench_samples_from_entries,
+    extract_metric,
+    load_store_rows,
+    parse_aggs,
+    parse_group_by,
+    parse_where,
+    quantile,
+    query_json,
+    reduce_values,
+    render_query_table,
+    results_query_doc,
+    row_fields,
+    spec_family,
+)
+
+__all__ = [
+    "BENCH_FIELDS",
+    "BENCH_METRIC",
+    "DEFAULT_AGGS",
+    "DEFAULT_WAREHOUSE",
+    "IncompleteStoreError",
+    "IngestReport",
+    "QUERY_SCHEMA",
+    "QueryError",
+    "RESULT_FIELDS",
+    "WAREHOUSE_SCHEMA",
+    "Warehouse",
+    "WarehouseConflict",
+    "WarehouseError",
+    "bench_query_doc",
+    "bench_samples_from_entries",
+    "extract_metric",
+    "load_store_rows",
+    "parse_aggs",
+    "parse_group_by",
+    "parse_where",
+    "quantile",
+    "query_json",
+    "reduce_values",
+    "render_query_table",
+    "results_query_doc",
+    "row_fields",
+    "spec_family",
+]

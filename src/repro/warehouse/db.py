@@ -1,0 +1,540 @@
+"""The sqlite results warehouse: ingest-once storage over SweepStore.
+
+``Warehouse`` turns a pile of JSONL sweep stores (shards, merged
+stores, portfolio attempt stores) plus perf-history logs into one
+queryable sqlite file, while keeping the JSONL as the source of truth:
+
+* **Provenance-keyed rows.**  Each result row is stored under its
+  ``cell_key`` with the canonical row JSON alongside decomposed filter
+  columns (workload/spec/family/seed/k).  The stored JSON is exactly
+  the finalized store line, so a warehouse answer can always be
+  re-derived from — and byte-compared against — the raw JSONL
+  (:mod:`repro.warehouse.query` does both sides of that comparison).
+* **Idempotent ingest.**  A store is identified by the sha256 of its
+  file bytes; ingesting the same bytes twice is a declared no-op that
+  changes zero rows.  A *different* store contributing the *same*
+  cell confirms it only if the row JSON matches byte for byte
+  (shards vs. their merged store); a mismatch raises
+  :class:`WarehouseConflict` and rolls the whole store back.
+* **Lineage.**  Every ``(store, cell)`` contribution is recorded —
+  status ``row`` for a stored result, ``hole`` for a cell the store
+  was responsible for but could not supply (partial merges with a
+  ``.holes.json`` manifest, incomplete sharded stores ingested with
+  ``allow_partial``).  Holes are loud in sqlite just as they are loud
+  on disk.
+* **One transaction per store.**  Ingest either lands completely or
+  not at all; a corrupt store (:class:`~repro.batch.store.StoreCorruption`)
+  or a conflict leaves the warehouse untouched.
+
+Portfolio verdicts (``repro portfolio``) and perf-history entries
+(``repro report --bench --warehouse``) ingest through the same
+hash-keyed idempotency rule.  Schema tag: ``repro-warehouse/1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..batch.store import (
+    StoreError,
+    SweepStore,
+    canonical_line,
+    expected_cell_keys,
+)
+from .query import spec_family
+
+#: Schema tag recorded in ``warehouse_meta`` and checked on open.
+WAREHOUSE_SCHEMA = "repro-warehouse/1"
+
+#: Where ``repro ingest`` / ``repro query`` look by default.
+DEFAULT_WAREHOUSE = "warehouse.sqlite"
+
+
+class WarehouseError(StoreError):
+    """The warehouse file is unusable (wrong schema, unreadable)."""
+
+
+class WarehouseConflict(WarehouseError):
+    """Two stores disagree about a cell's result bytes.
+
+    The sweep fabric's byte-identity contract means a cell's finalized
+    row is the same everywhere; a mismatch at ingest is data loss
+    waiting to happen, so it rolls the store back instead of silently
+    keeping either side.
+    """
+
+
+class IncompleteStoreError(StoreError):
+    """A store is missing expected cells and ``allow_partial`` is off.
+
+    The CLI maps this to exit code 3 (incomplete input), matching
+    ``repro sweep`` / ``repro merge-stores``.
+    """
+
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS warehouse_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS stores (
+    store_id      INTEGER PRIMARY KEY,
+    path          TEXT NOT NULL,
+    store_hash    TEXT NOT NULL UNIQUE,
+    meta_hash     TEXT NOT NULL,
+    workload      TEXT,
+    shard         TEXT,
+    cells         INTEGER NOT NULL,
+    ingested_rows INTEGER NOT NULL,
+    holes         INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS rows (
+    cell_key    TEXT PRIMARY KEY,
+    workload    TEXT NOT NULL,
+    spec        TEXT NOT NULL,
+    family      TEXT NOT NULL,
+    seed        INTEGER,
+    k           INTEGER,
+    quarantined INTEGER NOT NULL,
+    row_json    TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS rows_by_slice ON rows (workload, family, k);
+CREATE TABLE IF NOT EXISTS lineage (
+    store_id INTEGER NOT NULL REFERENCES stores (store_id),
+    cell_key TEXT NOT NULL,
+    status   TEXT NOT NULL CHECK (status IN ('row', 'hole')),
+    PRIMARY KEY (store_id, cell_key)
+);
+CREATE TABLE IF NOT EXISTS portfolios (
+    verdict_hash TEXT PRIMARY KEY,
+    workload     TEXT NOT NULL,
+    spec         TEXT NOT NULL,
+    k            INTEGER,
+    reduce       TEXT NOT NULL,
+    best_seed    INTEGER,
+    best_value   REAL,
+    attempts     INTEGER NOT NULL,
+    quarantined  INTEGER NOT NULL,
+    verdict_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS bench_entries (
+    entry_hash    TEXT PRIMARY KEY,
+    mode          TEXT,
+    recorded_unix REAL,
+    dense_speedup REAL,
+    serve_qps     REAL,
+    entry_json    TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS bench_samples (
+    entry_hash    TEXT NOT NULL REFERENCES bench_entries (entry_hash),
+    workload      TEXT NOT NULL,
+    best_seconds  REAL NOT NULL,
+    mode          TEXT,
+    recorded_unix REAL,
+    PRIMARY KEY (entry_hash, workload)
+);
+"""
+
+
+@dataclass
+class IngestReport:
+    """What one ``ingest_store`` call did (CLI-printable)."""
+
+    path: str
+    store_hash: str
+    noop: bool = False
+    added: int = 0
+    confirmed: int = 0
+    holes: List[str] = field(default_factory=list)
+    verdict_added: bool = False
+
+    def describe(self) -> str:
+        digest = self.store_hash[:8]
+        if self.noop:
+            return (
+                f"no-op {self.path}: already ingested ({digest}), "
+                f"0 row(s) changed"
+            )
+        text = (
+            f"ingested {self.path}: +{self.added} row(s), "
+            f"{self.confirmed} confirmed ({digest})"
+        )
+        if self.holes:
+            text += f" PARTIAL: {len(self.holes)} hole(s) recorded"
+        if self.verdict_added:
+            text += " + portfolio verdict"
+        return text
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class Warehouse:
+    """A sqlite results warehouse (context manager; commits per store)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._db = sqlite3.connect(path)
+        self._db.executescript(_TABLES)
+        row = self._db.execute(
+            "SELECT value FROM warehouse_meta WHERE key = 'schema'"
+        ).fetchone()
+        if row is None:
+            self._db.execute(
+                "INSERT INTO warehouse_meta (key, value) VALUES (?, ?)",
+                ("schema", WAREHOUSE_SCHEMA),
+            )
+            self._db.commit()
+        elif row[0] != WAREHOUSE_SCHEMA:
+            self._db.close()
+            raise WarehouseError(
+                f"{path}: warehouse schema {row[0]!r} is not "
+                f"{WAREHOUSE_SCHEMA!r}"
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- ingest: sweep stores ---------------------------------------------
+    def ingest_store(
+        self, path: str, allow_partial: bool = False
+    ) -> IngestReport:
+        """Load one JSONL store into the warehouse, atomically.
+
+        Raises :class:`IncompleteStoreError` when the store is missing
+        cells it is responsible for (its grid slice, per the meta's
+        ``shard`` field) unless ``allow_partial`` — in which case the
+        missing cells are recorded as lineage holes instead.  A
+        ``<path>.holes.json`` manifest (written by partial
+        ``merge-stores``) contributes its ``missing_cells`` the same
+        way.  Corruption from :meth:`SweepStore.load` propagates —
+        ``allow_partial`` forgives *missing* data, never *damaged*
+        data (``repro repair-store`` exists for that).
+        """
+        try:
+            store_hash = _sha256_file(path)
+        except OSError as exc:
+            raise WarehouseError(f"{path}: unreadable store: {exc}") from exc
+        report = IngestReport(path=path, store_hash=store_hash)
+        known = self._db.execute(
+            "SELECT store_id FROM stores WHERE store_hash = ?", (store_hash,)
+        ).fetchone()
+        if known is not None:
+            report.noop = True
+            return report
+
+        meta, rows = SweepStore(path).load()
+        if meta is None:
+            raise WarehouseError(f"{path}: missing or empty store")
+        missing = [
+            key for key in expected_cell_keys(meta) if key not in rows
+        ]
+        for key in self._manifest_holes(path):
+            if key not in rows and key not in missing:
+                missing.append(key)
+        missing.sort()
+        if missing and not allow_partial:
+            raise IncompleteStoreError(
+                f"{path}: {len(missing)} expected cell(s) missing "
+                f"(first: {missing[0]}); re-run the sweep, merge with "
+                f"--allow-partial, or ingest with --allow-partial"
+            )
+        report.holes = missing
+
+        try:
+            with self._db:  # one transaction per store
+                cursor = self._db.execute(
+                    "INSERT INTO stores (path, store_hash, meta_hash, "
+                    "workload, shard, cells, ingested_rows, holes) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        path,
+                        store_hash,
+                        _sha256_text(canonical_line(meta)),
+                        meta.get("workload"),
+                        meta.get("shard"),
+                        len(rows),
+                        0,  # patched below once conflicts are ruled out
+                        len(missing),
+                    ),
+                )
+                store_id = cursor.lastrowid
+                for key in sorted(rows):
+                    if self._upsert_row(key, rows[key], path):
+                        report.added += 1
+                    else:
+                        report.confirmed += 1
+                    self._db.execute(
+                        "INSERT INTO lineage (store_id, cell_key, status) "
+                        "VALUES (?, ?, 'row')",
+                        (store_id, key),
+                    )
+                for key in missing:
+                    self._db.execute(
+                        "INSERT INTO lineage (store_id, cell_key, status) "
+                        "VALUES (?, ?, 'hole')",
+                        (store_id, key),
+                    )
+                self._db.execute(
+                    "UPDATE stores SET ingested_rows = ? WHERE store_id = ?",
+                    (report.added, store_id),
+                )
+        except sqlite3.IntegrityError as exc:  # pragma: no cover - races
+            raise WarehouseError(f"{path}: ingest failed: {exc}") from exc
+
+        verdict_path = path + ".verdict.json"
+        if os.path.exists(verdict_path):
+            report.verdict_added = self.ingest_verdict_file(verdict_path)
+        return report
+
+    def _manifest_holes(self, path: str) -> List[str]:
+        """``missing_cells`` from a partial merge's holes manifest."""
+        holes_path = path + ".holes.json"
+        if not os.path.exists(holes_path):
+            return []
+        try:
+            with open(holes_path) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise WarehouseError(
+                f"{holes_path}: unreadable holes manifest: {exc}"
+            ) from exc
+        cells = manifest.get("missing_cells", [])
+        return [str(cell) for cell in cells]
+
+    def _upsert_row(
+        self, key: str, row: Dict[str, Any], source: str
+    ) -> bool:
+        """Insert a new cell row or confirm an identical existing one.
+
+        Returns True when the row was new.  Raises
+        :class:`WarehouseConflict` (rolling back the open transaction)
+        when the cell exists with different bytes.
+        """
+        line = canonical_line(row)
+        existing = self._db.execute(
+            "SELECT row_json FROM rows WHERE cell_key = ?", (key,)
+        ).fetchone()
+        if existing is not None:
+            if existing[0] != line:
+                raise WarehouseConflict(
+                    f"{source}: cell {key} conflicts with previously "
+                    f"ingested bytes; the fabric's byte-identity contract "
+                    f"is broken (did a verify flag or workload version "
+                    f"change between sweeps?)"
+                )
+            return False
+        cell = row.get("cell", {})
+        spec = str(cell.get("spec", "?"))
+        self._db.execute(
+            "INSERT INTO rows (cell_key, workload, spec, family, seed, k, "
+            "quarantined, row_json) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                str(cell.get("workload", "?")),
+                spec,
+                spec_family(spec),
+                cell.get("seed"),
+                cell.get("k"),
+                1 if "error" in row else 0,
+                line,
+            ),
+        )
+        return True
+
+    # -- ingest: portfolio verdicts ---------------------------------------
+    def ingest_verdict(self, verdict: Dict[str, Any]) -> bool:
+        """Record one portfolio verdict; hash-keyed no-op on repeats."""
+        line = canonical_line(verdict)
+        verdict_hash = _sha256_text(line)
+        with self._db:
+            known = self._db.execute(
+                "SELECT 1 FROM portfolios WHERE verdict_hash = ?",
+                (verdict_hash,),
+            ).fetchone()
+            if known is not None:
+                return False
+            self._db.execute(
+                "INSERT INTO portfolios (verdict_hash, workload, spec, k, "
+                "reduce, best_seed, best_value, attempts, quarantined, "
+                "verdict_json) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    verdict_hash,
+                    str(verdict.get("workload", "?")),
+                    str(verdict.get("spec", "?")),
+                    verdict.get("k"),
+                    str(verdict.get("reduce", "?")),
+                    verdict.get("best_seed"),
+                    verdict.get("best_value"),
+                    int(verdict.get("attempts", 0)),
+                    int(verdict.get("quarantined", 0)),
+                    line,
+                ),
+            )
+        return True
+
+    def ingest_verdict_file(self, path: str) -> bool:
+        try:
+            with open(path) as handle:
+                verdict = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise WarehouseError(
+                f"{path}: unreadable verdict sidecar: {exc}"
+            ) from exc
+        if not isinstance(verdict, dict):
+            raise WarehouseError(f"{path}: verdict is not an object")
+        return self.ingest_verdict(verdict)
+
+    # -- ingest: perf history ---------------------------------------------
+    def ingest_history(
+        self, entries: Iterable[Dict[str, Any]]
+    ) -> Tuple[int, int]:
+        """Record perf-history entries; returns ``(added, skipped)``.
+
+        Each entry is keyed by the sha256 of its canonical line, so
+        re-ingesting a growing BENCH_history.jsonl only adds the new
+        tail.
+        """
+        added = skipped = 0
+        with self._db:
+            for entry in entries:
+                line = canonical_line(entry)
+                entry_hash = _sha256_text(line)
+                known = self._db.execute(
+                    "SELECT 1 FROM bench_entries WHERE entry_hash = ?",
+                    (entry_hash,),
+                ).fetchone()
+                if known is not None:
+                    skipped += 1
+                    continue
+                self._db.execute(
+                    "INSERT INTO bench_entries (entry_hash, mode, "
+                    "recorded_unix, dense_speedup, serve_qps, entry_json) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        entry_hash,
+                        entry.get("mode"),
+                        entry.get("recorded_unix"),
+                        entry.get("dense_speedup"),
+                        entry.get("serve_qps"),
+                        line,
+                    ),
+                )
+                for workload, best in sorted(
+                    (entry.get("workloads") or {}).items()
+                ):
+                    if isinstance(best, bool) or not isinstance(
+                        best, (int, float)
+                    ):
+                        continue
+                    self._db.execute(
+                        "INSERT INTO bench_samples (entry_hash, workload, "
+                        "best_seconds, mode, recorded_unix) "
+                        "VALUES (?, ?, ?, ?, ?)",
+                        (
+                            entry_hash,
+                            workload,
+                            best,
+                            entry.get("mode"),
+                            entry.get("recorded_unix"),
+                        ),
+                    )
+                added += 1
+        return added, skipped
+
+    # -- reading -----------------------------------------------------------
+    def row_count(self) -> int:
+        return self._db.execute("SELECT COUNT(*) FROM rows").fetchone()[0]
+
+    def fetch_rows(
+        self, where: Optional[Dict[str, List[str]]] = None
+    ) -> List[Dict[str, Any]]:
+        """Result rows (parsed row JSON) in cell-key order.
+
+        ``where`` only *narrows* via indexed columns; the caller
+        (:mod:`repro.warehouse.query`) re-applies the authoritative
+        predicate, so SQL/Python matching differences (``seed="02"``)
+        cannot change an answer.
+        """
+        sql = "SELECT row_json FROM rows"
+        clauses: List[str] = []
+        params: List[str] = []
+        for column in ("workload", "spec", "family", "seed", "k"):
+            values = (where or {}).get(column)
+            if values:
+                marks = ", ".join("?" for _ in values)
+                clauses.append(
+                    f"CAST({column} AS TEXT) IN ({marks})"
+                )
+                params.extend(values)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY cell_key"
+        return [
+            json.loads(row[0])
+            for row in self._db.execute(sql, params).fetchall()
+        ]
+
+    def fetch_bench_samples(self) -> List[Dict[str, Any]]:
+        """Per-workload bench samples in deterministic order."""
+        return [
+            {"workload": row[0], "mode": row[1], "best_seconds": row[2]}
+            for row in self._db.execute(
+                "SELECT workload, mode, best_seconds FROM bench_samples "
+                "ORDER BY entry_hash, workload"
+            ).fetchall()
+        ]
+
+    def fetch_lineage(self, cell_key: str) -> List[Tuple[str, str]]:
+        """``(store path, status)`` contributions for one cell."""
+        return [
+            (row[0], row[1])
+            for row in self._db.execute(
+                "SELECT stores.path, lineage.status FROM lineage "
+                "JOIN stores USING (store_id) WHERE lineage.cell_key = ? "
+                "ORDER BY stores.store_id",
+                (cell_key,),
+            ).fetchall()
+        ]
+
+    def stores(self) -> List[Dict[str, Any]]:
+        """Every ingested store's ledger row, ingest order."""
+        return [
+            {
+                "store_id": row[0],
+                "path": row[1],
+                "store_hash": row[2],
+                "meta_hash": row[3],
+                "workload": row[4],
+                "shard": row[5],
+                "cells": row[6],
+                "ingested_rows": row[7],
+                "holes": row[8],
+            }
+            for row in self._db.execute(
+                "SELECT store_id, path, store_hash, meta_hash, workload, "
+                "shard, cells, ingested_rows, holes FROM stores "
+                "ORDER BY store_id"
+            ).fetchall()
+        ]

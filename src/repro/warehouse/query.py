@@ -1,0 +1,433 @@
+"""Cross-sweep aggregation queries with a byte-identity contract.
+
+A query is ``(metric, where, group_by, aggregations)`` over result
+rows.  The answer — the ``repro-query/1`` JSON document and the ASCII
+table rendered from it — is pinned **byte-identical** whether the rows
+come from the sqlite warehouse (:mod:`repro.warehouse.db`) or straight
+from raw JSONL sweep stores.  Two rules make that unconditional:
+
+* both sources funnel through the same pure-Python reduction in this
+  module — SQL only *narrows* candidate rows, the authoritative
+  predicate (:func:`match_where`) is re-applied here, and no aggregate
+  is ever computed by sqlite;
+* every aggregate is order-insensitive: values are sorted before
+  reduction, so ingest order, shard order, and completion order cannot
+  leak into a float sum or a quantile.
+
+Grammar (docs/warehouse.md):
+
+* **metric** — a numeric field of a row's ``result`` (``dominators``,
+  ``rounds``, ``clusters``, ``n`` …) or of its nested ``metrics``
+  (``messages``; ``words`` aliases ``total_words``).  Boolean fields
+  (``ok``) are not metrics.
+* **where** — equality filters on the provenance fields ``workload``,
+  ``spec``, ``family`` (the spec kind before ``:``), ``seed``, ``k``;
+  a comma list means membership (``k=2,3``).
+* **group_by** — any subset of the same fields; groups are emitted in
+  sorted key order.
+* **aggregations** — ``count``, ``min``, ``max``, ``sum``, ``mean``
+  (rounded to 6 places), and ``pNN`` nearest-rank quantiles
+  (``p50``, ``p90``, …).
+
+The same machinery answers **bench** queries (``repro query --bench``)
+over perf-history samples: fields ``workload``/``mode``, metric
+``best_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..batch.store import SweepStore, canonical_line
+
+#: Schema tag on every query answer document.
+QUERY_SCHEMA = "repro-query/1"
+
+#: Filter/group fields of a result row (provenance-derived).
+RESULT_FIELDS = ("workload", "spec", "family", "seed", "k")
+
+#: Filter/group fields of a bench-history sample.
+BENCH_FIELDS = ("workload", "mode")
+
+#: The metric every bench query aggregates.
+BENCH_METRIC = "best_seconds"
+
+#: Non-quantile aggregation names.
+BASE_AGGS = ("count", "min", "max", "sum", "mean")
+
+#: Default aggregation list when the caller names none.
+DEFAULT_AGGS = ("count", "min", "max", "mean", "p50", "p90")
+
+
+class QueryError(ValueError):
+    """A malformed query: unknown field, bad aggregation, bad filter."""
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+def parse_aggs(text: Optional[str]) -> Tuple[str, ...]:
+    """Parse a ``count,mean,p90`` comma list; ``None`` means the default."""
+    if not text:
+        return DEFAULT_AGGS
+    aggs = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not aggs:
+        raise QueryError(f"bad aggregation list {text!r}: nothing named")
+    for agg in aggs:
+        if agg in BASE_AGGS:
+            continue
+        if _quantile_level(agg) is None:
+            raise QueryError(
+                f"unknown aggregation {agg!r}; available: "
+                f"{', '.join(BASE_AGGS)}, pNN (e.g. p50, p90)"
+            )
+    return aggs
+
+
+def _quantile_level(agg: str) -> Optional[int]:
+    """``"p90"`` -> 90; ``None`` when ``agg`` is not a quantile name."""
+    if len(agg) < 2 or agg[0] != "p" or not agg[1:].isdigit():
+        return None
+    level = int(agg[1:])
+    return level if 0 <= level <= 100 else None
+
+
+def parse_where(
+    items: Optional[Iterable[str]], allowed: Sequence[str]
+) -> Dict[str, List[str]]:
+    """Parse repeated ``field=v1,v2`` filters into ``{field: values}``.
+
+    Values stay strings — matching is string equality against
+    ``str(field value)``, the one definition both the SQL narrowing and
+    the raw-row reduction share.
+    """
+    where: Dict[str, List[str]] = {}
+    for item in items or ():
+        field, sep, text = item.partition("=")
+        field = field.strip()
+        if not sep or not field:
+            raise QueryError(
+                f"bad filter {item!r}: expected field=value[,value...]"
+            )
+        if field not in allowed:
+            raise QueryError(
+                f"unknown filter field {field!r}; available: "
+                f"{', '.join(allowed)}"
+            )
+        values = [part.strip() for part in text.split(",") if part.strip()]
+        if not values:
+            raise QueryError(f"bad filter {item!r}: no values")
+        merged = where.setdefault(field, [])
+        merged.extend(value for value in values if value not in merged)
+    return {field: sorted(values) for field, values in where.items()}
+
+
+def parse_group_by(
+    text: Optional[str], allowed: Sequence[str]
+) -> Tuple[str, ...]:
+    """Parse a ``family,k`` comma list of group fields (may be empty)."""
+    if not text:
+        return ()
+    fields = tuple(part.strip() for part in text.split(",") if part.strip())
+    for field in fields:
+        if field not in allowed:
+            raise QueryError(
+                f"unknown group-by field {field!r}; available: "
+                f"{', '.join(allowed)}"
+            )
+    if len(set(fields)) != len(fields):
+        raise QueryError(f"duplicate group-by field in {text!r}")
+    return fields
+
+
+# ---------------------------------------------------------------------------
+# Row access
+# ---------------------------------------------------------------------------
+def spec_family(spec: str) -> str:
+    """The generator kind of a graph spec: ``tree:n=40`` -> ``tree``."""
+    return spec.split(":", 1)[0]
+
+
+def row_fields(row: Dict[str, Any]) -> Dict[str, Any]:
+    """The filter/group fields of one store row (provenance only)."""
+    cell = row.get("cell", {})
+    spec = str(cell.get("spec", "?"))
+    return {
+        "workload": str(cell.get("workload", "?")),
+        "spec": spec,
+        "family": spec_family(spec),
+        "seed": cell.get("seed"),
+        "k": cell.get("k"),
+    }
+
+
+def extract_metric(row: Dict[str, Any], metric: str) -> Optional[Any]:
+    """The numeric value of ``metric`` in one row, or ``None``.
+
+    Quarantined rows (no ``result``) and rows whose workload does not
+    record the metric yield ``None`` — the query counts them as
+    *skipped* instead of failing.  Booleans are not numbers here.
+    """
+    result = row.get("result")
+    if not isinstance(result, dict):
+        return None
+    value = result.get(metric)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    metrics = result.get("metrics")
+    if isinstance(metrics, dict):
+        name = "total_words" if metric == "words" else metric
+        value = metrics.get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return value
+    return None
+
+
+def match_where(
+    fields: Dict[str, Any], where: Dict[str, List[str]]
+) -> bool:
+    """The one authoritative filter predicate (string equality)."""
+    return all(
+        str(fields.get(field)) in values for field, values in where.items()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reduction (pure, order-insensitive)
+# ---------------------------------------------------------------------------
+def quantile(sorted_values: Sequence[Any], level: int) -> Any:
+    """Nearest-rank (inclusive) quantile of already-sorted values.
+
+    ``p0`` is the minimum, ``p100`` the maximum; integer inputs stay
+    integers (no interpolation), which keeps JSON output types stable.
+    """
+    count = len(sorted_values)
+    if count == 0:
+        return None
+    rank = -(-level * count // 100)  # ceil(level/100 * count)
+    index = max(0, min(count - 1, rank - 1))
+    return sorted_values[index]
+
+
+def reduce_values(values: Iterable[Any], aggs: Sequence[str]) -> Dict[str, Any]:
+    """Apply ``aggs`` to ``values``; sorted first, so any input order
+    (ingest, shard, completion) produces identical floats."""
+    ordered = sorted(values)
+    count = len(ordered)
+    out: Dict[str, Any] = {}
+    for agg in aggs:
+        if agg == "count":
+            out[agg] = count
+        elif count == 0:
+            out[agg] = None
+        elif agg == "min":
+            out[agg] = ordered[0]
+        elif agg == "max":
+            out[agg] = ordered[-1]
+        elif agg == "sum":
+            out[agg] = sum(ordered)
+        elif agg == "mean":
+            out[agg] = round(sum(ordered) / count, 6)
+        else:
+            out[agg] = quantile(ordered, _quantile_level(agg) or 0)
+    return out
+
+
+def _query_doc(
+    records: Iterable[Dict[str, Any]],
+    fields_fn: Callable[[Dict[str, Any]], Dict[str, Any]],
+    value_fn: Callable[[Dict[str, Any]], Optional[Any]],
+    table: str,
+    metric: str,
+    where: Dict[str, List[str]],
+    group_by: Sequence[str],
+    aggs: Sequence[str],
+) -> Dict[str, Any]:
+    matched = 0
+    skipped = 0
+    grouped: Dict[Tuple[str, ...], Tuple[Dict[str, Any], List[Any]]] = {}
+    for record in records:
+        fields = fields_fn(record)
+        if not match_where(fields, where):
+            continue
+        matched += 1
+        value = value_fn(record)
+        if value is None:
+            skipped += 1
+            continue
+        key_fields = {field: fields.get(field) for field in group_by}
+        sort_key = tuple(str(key_fields[field]) for field in group_by)
+        if sort_key not in grouped:
+            grouped[sort_key] = (key_fields, [])
+        grouped[sort_key][1].append(value)
+    groups = [
+        {"key": key_fields, **reduce_values(values, aggs)}
+        for _sort, (key_fields, values) in sorted(grouped.items())
+    ]
+    return {
+        "schema": QUERY_SCHEMA,
+        "table": table,
+        "metric": metric,
+        "where": where,
+        "group_by": list(group_by),
+        "aggregations": list(aggs),
+        "rows_matched": matched,
+        "rows_skipped": skipped,
+        "groups": groups,
+    }
+
+
+def results_query_doc(
+    rows: Iterable[Dict[str, Any]],
+    metric: str,
+    where: Optional[Dict[str, List[str]]] = None,
+    group_by: Sequence[str] = (),
+    aggs: Sequence[str] = DEFAULT_AGGS,
+) -> Dict[str, Any]:
+    """The query answer over result rows (warehouse-fetched or raw)."""
+    return _query_doc(
+        rows,
+        row_fields,
+        lambda row: extract_metric(row, metric),
+        "results",
+        metric,
+        where or {},
+        group_by,
+        aggs,
+    )
+
+
+def bench_query_doc(
+    samples: Iterable[Dict[str, Any]],
+    where: Optional[Dict[str, List[str]]] = None,
+    group_by: Sequence[str] = (),
+    aggs: Sequence[str] = DEFAULT_AGGS,
+) -> Dict[str, Any]:
+    """The query answer over bench-history samples.
+
+    A sample is ``{"workload", "mode", "best_seconds"}`` — see
+    :func:`bench_samples_from_entries`.
+    """
+    return _query_doc(
+        samples,
+        lambda s: {"workload": s.get("workload"), "mode": s.get("mode")},
+        lambda s: (
+            s.get(BENCH_METRIC)
+            if isinstance(s.get(BENCH_METRIC), (int, float))
+            and not isinstance(s.get(BENCH_METRIC), bool)
+            else None
+        ),
+        "bench",
+        BENCH_METRIC,
+        where or {},
+        group_by,
+        aggs,
+    )
+
+
+def bench_samples_from_entries(
+    entries: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Flatten ``repro-perf-history/1`` entries into per-workload samples."""
+    samples = []
+    for entry in entries:
+        mode = str(entry.get("mode", "?"))
+        for workload, best in sorted(
+            (entry.get("workloads") or {}).items()
+        ):
+            if isinstance(best, (int, float)) and not isinstance(best, bool):
+                samples.append(
+                    {"workload": workload, "mode": mode, BENCH_METRIC: best}
+                )
+    return samples
+
+
+def query_json(doc: Dict[str, Any]) -> str:
+    """The canonical serialization of a query answer (what ``repro
+    query --json`` prints) — the byte string the identity contract
+    compares."""
+    return json.dumps(doc, sort_keys=True, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# Raw-store access (the reduction's JSONL source)
+# ---------------------------------------------------------------------------
+def load_store_rows(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """The union of rows across stores, in cell-key order.
+
+    Duplicate cells across stores (a merged store next to its shards)
+    must agree byte for byte — the same conflict rule the warehouse
+    enforces at ingest (:class:`~repro.warehouse.db.WarehouseConflict`
+    there, :class:`QueryError` here).  Corruption propagates from
+    :meth:`~repro.batch.store.SweepStore.load` untouched.
+    """
+    merged: Dict[str, Tuple[str, str]] = {}
+    for path in paths:
+        meta, rows = SweepStore(path).load()
+        if meta is None:
+            raise QueryError(f"{path}: missing or empty store")
+        for key, row in rows.items():
+            line = canonical_line(row)
+            previous = merged.get(key)
+            if previous is not None and previous[0] != line:
+                raise QueryError(
+                    f"conflicting results for cell {key}: {path} "
+                    f"disagrees with {previous[1]}"
+                )
+            merged[key] = (line, path)
+    return [json.loads(merged[key][0]) for key in sorted(merged)]
+
+
+# ---------------------------------------------------------------------------
+# ASCII rendering
+# ---------------------------------------------------------------------------
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    return json.dumps(value)
+
+
+def render_query_table(doc: Dict[str, Any]) -> List[str]:
+    """A deterministic ASCII table of a query answer document."""
+    where = doc.get("where") or {}
+    group_by = doc.get("group_by") or []
+    aggs = doc.get("aggregations") or []
+    head = (
+        f"query {doc.get('metric')} [{doc.get('table')}]: "
+        f"{doc.get('rows_matched', 0)} row(s) matched"
+    )
+    skipped = doc.get("rows_skipped", 0)
+    if skipped:
+        head += f", {skipped} without the metric"
+    lines = [head]
+    if where:
+        lines.append(
+            "where "
+            + " ".join(
+                f"{field}={','.join(values)}"
+                for field, values in sorted(where.items())
+            )
+        )
+    columns = list(group_by) + list(aggs)
+    cells = [
+        [_format_value(group["key"].get(field)) for field in group_by]
+        + [_format_value(group.get(agg)) for agg in aggs]
+        for group in doc.get("groups", [])
+    ]
+    widths = [
+        max(len(name), *(len(row[i]) for row in cells)) if cells else len(name)
+        for i, name in enumerate(columns)
+    ]
+    lines.append(
+        "  ".join(name.ljust(widths[i]) for i, name in enumerate(columns))
+    )
+    for row in cells:
+        lines.append(
+            "  ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+        )
+    if not cells:
+        lines.append("(no matching rows)")
+    return lines

@@ -1,0 +1,143 @@
+"""Best-of-N portfolio runs: deterministic verdicts, sidecars, faults."""
+
+import json
+import os
+
+import pytest
+
+from repro.batch import (
+    PortfolioError,
+    SweepStore,
+    portfolio_run,
+    portfolio_verdict,
+    verdict_json,
+    verdict_path_for,
+)
+
+SPEC = "random:n=24,p=0.18"
+
+
+def attempt(seed, dominators):
+    return {
+        "cell": {"workload": "kdom", "spec": SPEC, "seed": seed, "k": 2},
+        "result": {"dominators": dominators, "rounds": 7,
+                   "metrics": {"messages": 50 + seed}},
+    }
+
+
+class TestVerdictReduction:
+    def test_smallest_picks_min_value(self):
+        rows = [attempt(0, 9), attempt(1, 6), attempt(2, 8)]
+        verdict = portfolio_verdict(
+            rows, "kdom", SPEC, 2, seeds=[0, 1, 2],
+        )
+        assert verdict["best_seed"] == 1
+        assert verdict["best_value"] == 6
+        assert verdict["metric"] == "dominators"
+        assert verdict["values"] == {"0": 9, "1": 6, "2": 8}
+
+    def test_tie_breaks_to_smallest_seed(self):
+        rows = [attempt(2, 5), attempt(0, 5), attempt(1, 5)]
+        verdict = portfolio_verdict(rows, "kdom", SPEC, 2, seeds=[0, 1, 2])
+        assert verdict["best_seed"] == 0
+
+    def test_messages_reduction_uses_nested_metrics(self):
+        rows = [attempt(0, 9), attempt(1, 6)]
+        verdict = portfolio_verdict(
+            rows, "kdom", SPEC, 2, seeds=[0, 1], reduce="messages",
+        )
+        assert verdict["metric"] == "messages"
+        assert verdict["best_seed"] == 0  # 50 < 51
+
+    def test_quarantined_attempts_survive_the_portfolio(self):
+        rows = [
+            attempt(0, 9),
+            {"cell": attempt(1, 0)["cell"], "error": {"type": "Boom"}},
+        ]
+        verdict = portfolio_verdict(
+            rows, "kdom", SPEC, 2, seeds=[0, 1], complete=False,
+        )
+        assert verdict["best_seed"] == 0
+        assert verdict["quarantined"] == 1
+        assert verdict["complete"] is False
+
+    def test_no_candidates_means_no_best(self):
+        rows = [{"cell": attempt(0, 0)["cell"], "error": {"type": "X"}}]
+        verdict = portfolio_verdict(rows, "kdom", SPEC, 2, seeds=[0])
+        assert verdict["best_seed"] is None
+        assert verdict["best_value"] is None
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(PortfolioError):
+            portfolio_verdict([], "kdom", SPEC, 2, seeds=[0],
+                              reduce="largest")
+
+    def test_verdict_is_pure_of_row_order(self):
+        rows = [attempt(0, 9), attempt(1, 6), attempt(2, 8)]
+        a = portfolio_verdict(rows, "kdom", SPEC, 2, seeds=[0, 1, 2])
+        b = portfolio_verdict(rows[::-1], "kdom", SPEC, 2, seeds=[0, 1, 2])
+        assert verdict_json(a) == verdict_json(b)
+
+
+class TestPortfolioRun:
+    def test_run_reduces_real_attempts(self, tmp_path):
+        store = str(tmp_path / "p.jsonl")
+        verdict, summary = portfolio_run(
+            "kdom", SPEC, seeds=[0, 1, 2], k=2,
+            store_path=store, backend="inline", telemetry=False,
+        )
+        assert summary.complete
+        assert verdict["attempts"] == 3
+        assert verdict["complete"] is True
+        best = verdict["best_value"]
+        assert best == min(verdict["values"].values())
+        # the attempts are ordinary, finalized store rows
+        meta, rows = SweepStore(store).load()
+        assert meta["workload"] == "kdom"
+        assert len(rows) == 3
+
+    def test_verdict_sidecar_is_canonical_json(self, tmp_path):
+        store = str(tmp_path / "p.jsonl")
+        verdict, _ = portfolio_run(
+            "kdom", SPEC, seeds=[0, 1], k=2,
+            store_path=store, backend="inline", telemetry=False,
+        )
+        path = verdict_path_for(store)
+        assert os.path.exists(path)
+        with open(path) as handle:
+            text = handle.read()
+        assert text == verdict_json(verdict) + "\n"
+        assert json.loads(text) == verdict
+
+    def test_memory_only_run_needs_no_store(self):
+        verdict, _ = portfolio_run(
+            "kdom", SPEC, seeds=[0, 1], k=2,
+            backend="inline", telemetry=False,
+        )
+        assert verdict["attempts"] == 2
+
+    def test_verdict_bytes_identical_across_runs(self, tmp_path):
+        # determinism contract: re-running the same portfolio (fresh
+        # store, any completion order) reproduces the verdict bytes.
+        texts = []
+        for name in ("a", "b"):
+            store = str(tmp_path / f"{name}.jsonl")
+            portfolio_run(
+                "kdom", SPEC, seeds=[0, 1, 2], k=2,
+                store_path=store, backend="inline", telemetry=False,
+            )
+            with open(verdict_path_for(store)) as handle:
+                texts.append(handle.read())
+        assert texts[0] == texts[1]
+
+    def test_duplicate_seeds_deduplicated(self):
+        verdict, _ = portfolio_run(
+            "kdom", SPEC, seeds=[1, 1, 0], k=2,
+            backend="inline", telemetry=False,
+        )
+        assert verdict["seeds"] == [1, 0]
+        assert verdict["attempts"] == 2
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(PortfolioError):
+            portfolio_run("kdom", SPEC, seeds=[], backend="inline")

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import generate, main
@@ -807,3 +809,196 @@ class TestReportBench:
     def test_report_without_trace_or_bench_is_an_error(self):
         with pytest.raises(SystemExit, match="trace file is required"):
             main(["report"])
+
+
+class TestIngestCommand:
+    @pytest.fixture
+    def store(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--no-telemetry",
+             "--out", str(path)]
+        ) == 0
+        return str(path)
+
+    def test_ingest_then_noop_reingest(self, store, tmp_path, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        assert main(["ingest", store, "--db", db]) == 0
+        first = capsys.readouterr().out
+        assert "+8 row(s)" in first and "8 row(s) total" in first
+        assert main(["ingest", store, "--db", db]) == 0
+        again = capsys.readouterr().out
+        assert "no-op" in again and "8 row(s) total" in again
+
+    def test_incomplete_store_exits_three(self, tmp_path, capsys):
+        path = tmp_path / "part.jsonl"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--no-telemetry",
+             "--max-cells", "3", "--out", str(path)]
+        ) == 3
+        capsys.readouterr()
+        db = str(tmp_path / "wh.sqlite")
+        assert main(["ingest", str(path), "--db", db]) == 3
+        assert "INCOMPLETE" in capsys.readouterr().out
+        assert main(
+            ["ingest", str(path), "--db", db, "--allow-partial"]
+        ) == 3
+        assert "PARTIAL" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_one(self, store, tmp_path, capsys):
+        with open(store) as handle:
+            lines = handle.read().splitlines()
+        lines.insert(2, "{mid-file garbage")
+        with open(store, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(SystemExit, match="corrupt"):
+            main(["ingest", store, "--db", str(tmp_path / "wh.sqlite")])
+
+
+class TestQueryCommand:
+    @pytest.fixture
+    def fabric(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        db = tmp_path / "wh.sqlite"
+        assert main(
+            ["sweep", "--fast", "--backend", "inline", "--no-telemetry",
+             "--out", str(store)]
+        ) == 0
+        assert main(["ingest", str(store), "--db", str(db)]) == 0
+        capsys.readouterr()
+        return {"store": str(store), "db": str(db)}
+
+    def test_json_byte_identity_warehouse_vs_raw(self, fabric, capsys):
+        query = ["--metric", "dominators", "--where", "workload=kdom",
+                 "--group-by", "family,k",
+                 "--agg", "count,min,max,mean,p50,p90", "--json"]
+        assert main(["query", "--db", fabric["db"]] + query) == 0
+        from_warehouse = capsys.readouterr().out
+        assert main(["query", "--store", fabric["store"]] + query) == 0
+        from_raw = capsys.readouterr().out
+        assert from_warehouse == from_raw
+        doc = json.loads(from_warehouse)
+        assert doc["schema"] == "repro-query/1"
+        assert doc["rows_matched"] == 8
+
+    def test_ascii_table_default(self, fabric, capsys):
+        assert main(
+            ["query", "--db", fabric["db"], "--metric", "rounds",
+             "--group-by", "family"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "query rounds [results]: 8 row(s) matched" in text
+
+    def test_empty_match_exits_three(self, fabric, capsys):
+        assert main(
+            ["query", "--db", fabric["db"], "--metric", "dominators",
+             "--where", "workload=absent"]
+        ) == 3
+        assert "0 row(s) matched" in capsys.readouterr().out
+
+    def test_bad_filter_field_exits_one(self, fabric):
+        with pytest.raises(SystemExit, match="unknown filter field"):
+            main(["query", "--db", fabric["db"], "--metric", "dominators",
+                  "--where", "color=red"])
+
+    def test_metric_required_without_bench(self, fabric):
+        with pytest.raises(SystemExit, match="--metric is required"):
+            main(["query", "--db", fabric["db"]])
+
+    def test_bench_query_over_history(self, tmp_path, capsys):
+        from repro import perf
+
+        history = tmp_path / "h.jsonl"
+        for best in (2.0, 1.0):
+            perf.append_history(
+                {"schema": perf.SCHEMA, "mode": "fast",
+                 "workloads": {"bfs_path": {"best_seconds": best,
+                                            "backend": "reference"}}},
+                str(history),
+            )
+        assert main(
+            ["query", "--bench", "--history", str(history),
+             "--group-by", "workload", "--agg", "count,min,max", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["table"] == "bench"
+        assert doc["groups"] == [
+            {"key": {"workload": "bfs_path"}, "count": 2,
+             "min": 1.0, "max": 2.0},
+        ]
+
+
+class TestPortfolioCommand:
+    def test_portfolio_roundtrip_to_warehouse(self, tmp_path, capsys):
+        store = tmp_path / "p.jsonl"
+        db = str(tmp_path / "wh.sqlite")
+        assert main(
+            ["portfolio", "--spec", "random:n=24,p=0.18",
+             "--seeds", "0,1,2", "--backend", "inline",
+             "--out", str(store)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "<- best" in text and "verdict:" in text
+        assert main(["ingest", str(store), "--db", db]) == 0
+        assert "portfolio verdict" in capsys.readouterr().out
+
+    def test_json_verdict_document(self, capsys):
+        assert main(
+            ["portfolio", "--spec", "tree:n=16", "--seeds", "0,1",
+             "--backend", "inline", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-portfolio/1"
+        assert doc["best_seed"] in (0, 1)
+
+    def test_worker_count_does_not_change_the_verdict(self, tmp_path,
+                                                      capsys):
+        texts = []
+        for workers, name in ((1, "w1"), (2, "w2")):
+            store = tmp_path / f"{name}.jsonl"
+            assert main(
+                ["portfolio", "--spec", "random:n=20,p=0.2",
+                 "--seeds", "0,1,2,3", "--backend", "process",
+                 "--workers", str(workers), "--out", str(store)]
+            ) == 0
+            capsys.readouterr()
+            with open(str(store) + ".verdict.json") as handle:
+                texts.append(handle.read())
+        assert texts[0] == texts[1]
+
+    def test_unknown_workload_exits_one(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["portfolio", "--spec", "tree:n=16", "--workload",
+                  "nope", "--backend", "inline"])
+
+
+class TestReportBenchWarehouse:
+    def test_history_lands_in_the_warehouse(self, tmp_path, capsys):
+        from repro import perf
+
+        history = tmp_path / "h.jsonl"
+        db = str(tmp_path / "wh.sqlite")
+        for best in (2.0, 1.5, 1.0):
+            perf.append_history(
+                {"schema": perf.SCHEMA, "mode": "fast",
+                 "workloads": {"bfs_path": {"best_seconds": best,
+                                            "backend": "reference"}}},
+                str(history),
+            )
+        assert main(
+            ["report", "--bench", "--history", str(history),
+             "--warehouse", db]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "+3 bench entries" in text
+        assert "perf trajectory: 3 recorded run(s)" in text
+        # second ingest of the same history adds nothing
+        assert main(
+            ["report", "--bench", "--history", str(history),
+             "--warehouse", db]
+        ) == 0
+        assert "+0 bench entries, 3 already recorded" in \
+            capsys.readouterr().out
+        assert main(
+            ["query", "--bench", "--db", db, "--agg", "count"]
+        ) == 0

@@ -1,0 +1,264 @@
+"""Warehouse ingest: idempotency, lineage, partial stores, corruption."""
+
+import json
+
+import pytest
+
+from repro.batch import SweepStore, canonical_line, cell_key
+from repro.batch.store import SCHEMA, StoreCorruption
+from repro.warehouse import (
+    IncompleteStoreError,
+    Warehouse,
+    WarehouseConflict,
+    WarehouseError,
+)
+
+
+def meta(seeds=(0, 1), shard=None):
+    doc = {
+        "schema": SCHEMA,
+        "workload": "kdom",
+        "specs": ["tree:n=8"],
+        "seeds": list(seeds),
+        "ks": [2],
+        "verify": False,
+        "cells": len(seeds),
+    }
+    if shard is not None:
+        doc["shard"] = shard
+    return doc
+
+
+def row(seed, payload=None, spec="tree:n=8"):
+    return {
+        "cell": {"workload": "kdom", "spec": spec, "seed": seed, "k": 2},
+        "result": payload or {"dominators": 3 + seed, "rounds": 5},
+    }
+
+
+def write_store(path, meta_doc, rows):
+    store = SweepStore(str(path))
+    store.finalize(meta_doc, rows)
+    return str(path)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "wh.sqlite")
+
+
+class TestIdempotency:
+    def test_fresh_ingest_adds_rows(self, tmp_path, db_path):
+        path = write_store(tmp_path / "s.jsonl", meta(), [row(0), row(1)])
+        with Warehouse(db_path) as wh:
+            report = wh.ingest_store(path)
+            assert (report.noop, report.added, report.confirmed) == (
+                False, 2, 0,
+            )
+            assert wh.row_count() == 2
+
+    def test_reingest_same_bytes_is_noop(self, tmp_path, db_path):
+        path = write_store(tmp_path / "s.jsonl", meta(), [row(0), row(1)])
+        with Warehouse(db_path) as wh:
+            wh.ingest_store(path)
+            before = wh.row_count()
+            report = wh.ingest_store(path)
+            assert report.noop
+            assert report.added == 0
+            assert wh.row_count() == before
+            # exactly one ledger entry: the no-op never re-registered it
+            assert len(wh.stores()) == 1
+
+    def test_same_bytes_different_path_is_noop(self, tmp_path, db_path):
+        path = write_store(tmp_path / "s.jsonl", meta(), [row(0), row(1)])
+        copy = str(tmp_path / "copy.jsonl")
+        with open(path, "rb") as src, open(copy, "wb") as dst:
+            dst.write(src.read())
+        with Warehouse(db_path) as wh:
+            wh.ingest_store(path)
+            assert wh.ingest_store(copy).noop
+
+    def test_overlapping_identical_cells_confirm(self, tmp_path, db_path):
+        shard = write_store(
+            tmp_path / "shard.jsonl", meta(seeds=(0,)), [row(0)]
+        )
+        merged = write_store(
+            tmp_path / "merged.jsonl", meta(), [row(0), row(1)]
+        )
+        with Warehouse(db_path) as wh:
+            wh.ingest_store(shard)
+            report = wh.ingest_store(merged)
+            assert (report.added, report.confirmed) == (1, 1)
+            assert wh.row_count() == 2
+
+    def test_conflicting_cell_bytes_roll_back(self, tmp_path, db_path):
+        a = write_store(tmp_path / "a.jsonl", meta(seeds=(0,)), [row(0)])
+        b = write_store(
+            tmp_path / "b.jsonl",
+            meta(seeds=(0,)),
+            [row(0, {"dominators": 99, "rounds": 1})],
+        )
+        with Warehouse(db_path) as wh:
+            wh.ingest_store(a)
+            with pytest.raises(WarehouseConflict):
+                wh.ingest_store(b)
+            # the whole conflicting store rolled back: no ledger entry,
+            # no lineage, original row intact
+            assert wh.row_count() == 1
+            assert len(wh.stores()) == 1
+            key = cell_key(row(0)["cell"])
+            assert wh.fetch_rows()[0] == row(0)
+            assert len(wh.fetch_lineage(key)) == 1
+
+
+class TestPartialStores:
+    def test_incomplete_store_refused_by_default(self, tmp_path, db_path):
+        path = write_store(tmp_path / "s.jsonl", meta(), [row(0)])
+        with Warehouse(db_path) as wh:
+            with pytest.raises(IncompleteStoreError):
+                wh.ingest_store(path)
+            assert wh.row_count() == 0
+
+    def test_allow_partial_records_holes_in_lineage(self, tmp_path, db_path):
+        path = write_store(tmp_path / "s.jsonl", meta(), [row(0)])
+        with Warehouse(db_path) as wh:
+            report = wh.ingest_store(path, allow_partial=True)
+            missing = cell_key(row(1)["cell"])
+            assert report.holes == [missing]
+            assert wh.row_count() == 1
+            assert wh.fetch_lineage(missing) == [(path, "hole")]
+            assert wh.fetch_lineage(cell_key(row(0)["cell"])) == [
+                (path, "row")
+            ]
+
+    def test_holes_manifest_contributes_missing_cells(
+        self, tmp_path, db_path
+    ):
+        # A partial merge writes <out>.holes.json; its missing_cells
+        # must land as lineage holes even when the checkpoint meta
+        # alone would not predict them (e.g. foreign workload metas).
+        path = write_store(tmp_path / "m.jsonl", meta(), [row(0)])
+        ghost = "kdom|tree:n=8|seed=7|k=2"
+        with open(path + ".holes.json", "w") as handle:
+            json.dump(
+                {
+                    "store": path,
+                    "schema": SCHEMA,
+                    "missing_cells": [ghost],
+                },
+                handle,
+            )
+        with Warehouse(db_path) as wh:
+            report = wh.ingest_store(path, allow_partial=True)
+            assert ghost in report.holes
+            assert wh.fetch_lineage(ghost) == [(path, "hole")]
+
+    def test_shard_meta_expects_only_its_slice(self, tmp_path, db_path):
+        # shard 0/2 of a 2-cell grid owns only seed 0 — a complete
+        # shard store ingests cleanly without --allow-partial.
+        path = write_store(
+            tmp_path / "shard0.jsonl", meta(shard="0/2"), [row(0)]
+        )
+        with Warehouse(db_path) as wh:
+            report = wh.ingest_store(path)
+            assert report.holes == []
+            assert report.added == 1
+
+    def test_resumed_partial_store_fills_previous_holes(
+        self, tmp_path, db_path
+    ):
+        partial = write_store(tmp_path / "s.jsonl", meta(), [row(0)])
+        with Warehouse(db_path) as wh:
+            wh.ingest_store(partial, allow_partial=True)
+            write_store(tmp_path / "s.jsonl", meta(), [row(0), row(1)])
+            report = wh.ingest_store(partial)
+            assert (report.added, report.confirmed) == (1, 1)
+            key = cell_key(row(1)["cell"])
+            # lineage keeps both the hole and the later fill
+            assert wh.fetch_lineage(key) == [
+                (partial, "hole"), (partial, "row"),
+            ]
+
+
+class TestCorruption:
+    def test_midfile_garbage_surfaces_not_swallowed(self, tmp_path, db_path):
+        path = str(tmp_path / "s.jsonl")
+        store = SweepStore(path)
+        store.begin(meta(), fresh=True)
+        store.append(row(0))
+        with open(path, "a") as handle:
+            handle.write("{not json at all\n")
+        store.append(row(1))
+        with Warehouse(db_path) as wh:
+            with pytest.raises(StoreCorruption):
+                wh.ingest_store(path)
+            # allow_partial forgives missing data, never damaged data
+            with pytest.raises(StoreCorruption):
+                wh.ingest_store(path, allow_partial=True)
+            assert wh.row_count() == 0
+
+    def test_missing_store_errors(self, db_path, tmp_path):
+        with Warehouse(db_path) as wh:
+            with pytest.raises(WarehouseError):
+                wh.ingest_store(str(tmp_path / "nope.jsonl"))
+
+    def test_unreadable_holes_manifest_errors(self, tmp_path, db_path):
+        path = write_store(tmp_path / "s.jsonl", meta(), [row(0), row(1)])
+        with open(path + ".holes.json", "w") as handle:
+            handle.write("{broken")
+        with Warehouse(db_path) as wh:
+            with pytest.raises(WarehouseError):
+                wh.ingest_store(path)
+
+    def test_foreign_schema_file_rejected_on_open(self, tmp_path):
+        db = str(tmp_path / "wh.sqlite")
+        with Warehouse(db) as wh:
+            wh._db.execute(
+                "UPDATE warehouse_meta SET value = 'other/9' "
+                "WHERE key = 'schema'"
+            )
+            wh._db.commit()
+        with pytest.raises(WarehouseError):
+            Warehouse(db)
+
+
+class TestVerdictAndHistory:
+    def test_verdict_sidecar_auto_ingested(self, tmp_path, db_path):
+        path = write_store(tmp_path / "p.jsonl", meta(), [row(0), row(1)])
+        verdict = {
+            "schema": "repro-portfolio/1",
+            "workload": "kdom",
+            "spec": "tree:n=8",
+            "k": 2,
+            "reduce": "smallest",
+            "best_seed": 0,
+            "best_value": 3,
+            "attempts": 2,
+            "quarantined": 0,
+        }
+        with open(path + ".verdict.json", "w") as handle:
+            handle.write(canonical_line(verdict) + "\n")
+        with Warehouse(db_path) as wh:
+            report = wh.ingest_store(path)
+            assert report.verdict_added
+            # hash-keyed: same verdict again is a no-op
+            assert wh.ingest_verdict(verdict) is False
+
+    def test_history_ingest_adds_only_new_tail(self, db_path):
+        entry = {
+            "schema": "repro-perf-history/1",
+            "mode": "fast",
+            "recorded_unix": 1000.0,
+            "workloads": {"bfs_path": 0.5, "fast_mst": 1.25},
+            "dense_speedup": 12.0,
+            "serve_qps": None,
+        }
+        later = dict(entry, recorded_unix=2000.0)
+        with Warehouse(db_path) as wh:
+            assert wh.ingest_history([entry]) == (1, 0)
+            assert wh.ingest_history([entry, later]) == (1, 1)
+            samples = wh.fetch_bench_samples()
+            assert len(samples) == 4
+            assert {s["workload"] for s in samples} == {
+                "bfs_path", "fast_mst",
+            }

@@ -1,0 +1,244 @@
+"""Query layer: grammar, reductions, and the byte-identity contract."""
+
+import pytest
+
+from repro.batch import SweepStore, fast_grid, run_sweep
+from repro.batch.store import SCHEMA, merge_stores
+from repro.warehouse import (
+    QueryError,
+    Warehouse,
+    bench_query_doc,
+    bench_samples_from_entries,
+    extract_metric,
+    load_store_rows,
+    parse_aggs,
+    parse_group_by,
+    parse_where,
+    quantile,
+    query_json,
+    reduce_values,
+    render_query_table,
+    results_query_doc,
+)
+
+
+def row(seed, k=2, spec="tree:n=8", workload="kdom", payload=None):
+    return {
+        "cell": {"workload": workload, "spec": spec, "seed": seed, "k": k},
+        "result": (
+            payload
+            if payload is not None
+            else {"dominators": 3 + seed + k, "rounds": 5 * (seed + 1),
+                  "metrics": {"messages": 100 * (seed + 1)}}
+        ),
+    }
+
+
+class TestParsing:
+    def test_default_aggs(self):
+        assert parse_aggs(None) == (
+            "count", "min", "max", "mean", "p50", "p90",
+        )
+
+    def test_quantile_names(self):
+        assert parse_aggs("count,p25,p99") == ("count", "p25", "p99")
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(QueryError):
+            parse_aggs("median")
+        with pytest.raises(QueryError):
+            parse_aggs("p101")
+
+    def test_where_membership_and_merge(self):
+        where = parse_where(
+            ["k=2,3", "k=4", "family=tree"],
+            ("workload", "spec", "family", "seed", "k"),
+        )
+        assert where == {"k": ["2", "3", "4"], "family": ["tree"]}
+
+    def test_where_rejects_unknown_field(self):
+        with pytest.raises(QueryError):
+            parse_where(["color=red"], ("workload", "k"))
+        with pytest.raises(QueryError):
+            parse_where(["no-equals"], ("workload", "k"))
+
+    def test_group_by_validates(self):
+        assert parse_group_by("family,k", ("family", "k")) == ("family", "k")
+        with pytest.raises(QueryError):
+            parse_group_by("family,family", ("family", "k"))
+        with pytest.raises(QueryError):
+            parse_group_by("bogus", ("family", "k"))
+
+
+class TestReduction:
+    def test_nearest_rank_quantiles(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert quantile(values, 0) == 1
+        assert quantile(values, 50) == 5
+        assert quantile(values, 90) == 9
+        assert quantile(values, 100) == 10
+        assert quantile([7], 50) == 7
+        assert quantile([], 50) is None
+
+    def test_order_insensitive(self):
+        aggs = ("count", "min", "max", "sum", "mean", "p50", "p90")
+        a = reduce_values([3.1, 1.7, 2.9, 0.4], aggs)
+        b = reduce_values([0.4, 2.9, 1.7, 3.1], aggs)
+        assert a == b
+
+    def test_mean_rounded(self):
+        assert reduce_values([1, 2], ("mean",)) == {"mean": 1.5}
+        assert reduce_values([1, 1, 1], ("mean",))["mean"] == 1.0
+
+    def test_empty_group_aggs_are_none(self):
+        out = reduce_values([], ("count", "min", "mean", "p50"))
+        assert out == {"count": 0, "min": None, "mean": None, "p50": None}
+
+    def test_extract_metric_nested_and_alias(self):
+        r = row(0)
+        assert extract_metric(r, "dominators") == 5
+        assert extract_metric(r, "messages") == 100
+        quarantined = {"cell": r["cell"], "error": {"type": "Boom"}}
+        assert extract_metric(quarantined, "dominators") is None
+        boolish = row(0, payload={"ok": True})
+        assert extract_metric(boolish, "ok") is None
+
+
+class TestResultsDoc:
+    ROWS = [row(s, k, spec=spec)
+            for spec in ("tree:n=8", "random:n=9,p=0.3")
+            for s in (0, 1, 2)
+            for k in (2, 3)]
+
+    def test_group_and_filter(self):
+        where = {"family": ["tree"], "k": ["2"]}
+        doc = results_query_doc(
+            self.ROWS, "dominators", where, ("seed",), ("count", "max"),
+        )
+        assert doc["schema"] == "repro-query/1"
+        assert doc["rows_matched"] == 3
+        assert [g["key"] for g in doc["groups"]] == [
+            {"seed": 0}, {"seed": 1}, {"seed": 2},
+        ]
+
+    def test_rows_without_metric_counted_skipped(self):
+        rows = [row(0), {"cell": row(1)["cell"], "error": {"type": "X"}}]
+        doc = results_query_doc(rows, "dominators", {}, (), ("count",))
+        assert doc["rows_matched"] == 2
+        assert doc["rows_skipped"] == 1
+        assert doc["groups"][0]["count"] == 1
+
+    def test_table_renders_deterministically(self):
+        doc = results_query_doc(
+            self.ROWS, "dominators", {"family": ["tree"]}, ("k",),
+            ("count", "mean"),
+        )
+        lines = render_query_table(doc)
+        assert lines[0].startswith("query dominators [results]: 6 row")
+        assert lines == render_query_table(doc)
+
+    def test_empty_match_renders(self):
+        doc = results_query_doc(self.ROWS, "dominators",
+                                {"workload": ["nope"]}, (), ("count",))
+        assert doc["rows_matched"] == 0
+        assert "(no matching rows)" in render_query_table(doc)
+
+
+class TestByteIdentity:
+    """The acceptance-criteria contract, exercised store-to-warehouse."""
+
+    @pytest.fixture(scope="class")
+    def fabric(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("fabric")
+        shard0 = str(root / "shard0.jsonl")
+        shard1 = str(root / "shard1.jsonl")
+        merged = str(root / "merged.jsonl")
+        grid = fast_grid()
+        run_sweep(grid, store_path=shard0, backend="inline",
+                  shard=(0, 2), telemetry=False)
+        run_sweep(grid, store_path=shard1, backend="inline",
+                  shard=(1, 2), telemetry=False)
+        merge_stores([shard0, shard1], merged)
+        db = str(root / "wh.sqlite")
+        with Warehouse(db) as wh:
+            for path in (shard0, shard1, merged):
+                wh.ingest_store(path)
+        return {"db": db, "stores": [shard0, shard1, merged],
+                "merged": merged}
+
+    @pytest.mark.parametrize(
+        "metric,where_items,group_text,agg_text",
+        [
+            ("dominators", ["workload=kdom"], "family,k", None),
+            ("dominators", ["family=tree"], "seed", "count,mean,p50"),
+            ("rounds", ["k=2,3"], "family", "count,min,max,sum,p90"),
+            ("messages", [], "", "count,p25,p75"),
+            ("dominators", ["seed=1"], "k", "mean"),
+        ],
+    )
+    def test_warehouse_equals_raw_reduction(
+        self, fabric, metric, where_items, group_text, agg_text
+    ):
+        fields = ("workload", "spec", "family", "seed", "k")
+        where = parse_where(where_items, fields)
+        group_by = parse_group_by(group_text, fields)
+        aggs = parse_aggs(agg_text)
+        with Warehouse(fabric["db"]) as wh:
+            wh_doc = results_query_doc(
+                wh.fetch_rows(where), metric, where, group_by, aggs,
+            )
+        raw_doc = results_query_doc(
+            load_store_rows([fabric["merged"]]), metric, where, group_by,
+            aggs,
+        )
+        assert query_json(wh_doc) == query_json(raw_doc)
+
+    def test_union_of_shards_equals_merged(self, fabric):
+        # the raw path itself is source-insensitive: shards vs merged
+        a = load_store_rows(fabric["stores"][:2])
+        b = load_store_rows([fabric["merged"]])
+        assert a == b
+
+    def test_conflicting_duplicate_cells_rejected(self, tmp_path):
+        meta = {"schema": SCHEMA, "workload": "kdom", "cells": 1}
+        a = SweepStore(str(tmp_path / "a.jsonl"))
+        a.finalize(meta, [row(0)])
+        b = SweepStore(str(tmp_path / "b.jsonl"))
+        b.finalize(meta, [row(0, payload={"dominators": 777})])
+        with pytest.raises(QueryError):
+            load_store_rows([a.path, b.path])
+
+
+class TestBenchDoc:
+    ENTRIES = [
+        {"schema": "repro-perf-history/1", "mode": "fast",
+         "recorded_unix": 1.0,
+         "workloads": {"bfs_path": 0.5, "fast_mst": 2.0},
+         "dense_speedup": None, "serve_qps": None},
+        {"schema": "repro-perf-history/1", "mode": "fast",
+         "recorded_unix": 2.0,
+         "workloads": {"bfs_path": 0.4},
+         "dense_speedup": None, "serve_qps": None},
+    ]
+
+    def test_samples_flatten(self):
+        samples = bench_samples_from_entries(self.ENTRIES)
+        assert len(samples) == 3
+        assert samples[0] == {
+            "workload": "bfs_path", "mode": "fast", "best_seconds": 0.5,
+        }
+
+    def test_bench_doc_matches_warehouse(self, tmp_path):
+        raw = bench_query_doc(
+            bench_samples_from_entries(self.ENTRIES),
+            {"workload": ["bfs_path"]}, ("mode",), ("count", "min", "max"),
+        )
+        with Warehouse(str(tmp_path / "wh.sqlite")) as wh:
+            wh.ingest_history(self.ENTRIES)
+            stored = bench_query_doc(
+                wh.fetch_bench_samples(),
+                {"workload": ["bfs_path"]}, ("mode",),
+                ("count", "min", "max"),
+            )
+        assert query_json(raw) == query_json(stored)
+        assert stored["groups"][0]["count"] == 2
